@@ -1,0 +1,61 @@
+// Figure 2: "Optimization Opportunities in Production System".
+//
+//   (a) CDF of per-user average bandwidth against the ladder's max bitrate —
+//       roughly 10% of users sit below it;
+//   (b) CDF of per-user daily stall counts — >90% of users stall-free,
+//       >99% with at most two stalls.
+#include <cstdio>
+
+#include "abr/hyb.h"
+#include "bench_util.h"
+#include "sim/session.h"
+#include "stats/ecdf.h"
+#include "trace/population.h"
+#include "trace/video.h"
+
+using namespace lingxi;
+
+int main() {
+  bench::print_header("Figure 2(a): bandwidth CDF vs max bitrate");
+  const trace::PopulationModel networks;
+  Rng rng(7);
+
+  std::vector<double> user_bw;
+  const int kUsers = 20000;
+  for (int i = 0; i < kUsers; ++i) user_bw.push_back(networks.sample(rng).mean_bandwidth);
+  const stats::Ecdf bw_cdf(user_bw);
+
+  std::printf("%-12s %-8s\n", "BW (Mbps)", "CDF");
+  for (double mbps : {1.0, 2.0, 4.0, 4.3, 6.0, 10.0, 20.0, 30.0, 50.0}) {
+    std::printf("%-12.1f %-8.4f\n", mbps, bw_cdf(mbps * 1000.0));
+  }
+  const double below_max = bw_cdf(4300.0);
+  std::printf("fraction below max bitrate (4300 kbps): %.3f (paper: ~0.10)\n", below_max);
+
+  bench::print_header("Figure 2(b): per-user daily stall counts CDF");
+  // Simulate one "day" (10 sessions) per user with the production ABR.
+  const trace::VideoGenerator videos({});
+  const sim::SessionSimulator simulator({});
+  std::vector<double> stall_counts;
+  const int kDayUsers = 2000;
+  for (int u = 0; u < kDayUsers; ++u) {
+    const auto profile = networks.sample(rng);
+    abr::Hyb hyb;
+    std::size_t stalls = 0;
+    for (int s = 0; s < 10; ++s) {
+      const trace::Video video = videos.sample(rng);
+      auto bw = profile.make_session_model();
+      const auto session = simulator.run(video, hyb, *bw, nullptr, rng);
+      stalls += session.stall_events;
+    }
+    stall_counts.push_back(static_cast<double>(stalls));
+  }
+  const stats::Ecdf stall_cdf(stall_counts);
+  std::printf("%-14s %-8s\n", "stall count", "CDF");
+  for (int c : {0, 1, 2, 3, 5, 8, 10}) {
+    std::printf("<= %-11d %-8.4f\n", c, stall_cdf(static_cast<double>(c)));
+  }
+  std::printf("stall-free users: %.3f (paper: >0.90)\n", stall_cdf(0.0));
+  std::printf("at most two stalls: %.4f (paper: >0.99)\n", stall_cdf(2.0));
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Figure 11: "Heatmap of Stall Parameters under Different Sensitivities"
+// (§5.2 Detailed Analysis).
+//
+// For every rule-based user in the 8x8 (stall count threshold x stall time
+// threshold) grid, runs LingXi L(B) on top of RobustMPC / Pensieve and
+// reports the mean stall parameter LingXi converged to, averaged over
+// several users per cell. Expected shape: the right side (higher exit
+// thresholds = more stall-tolerant users) carries smaller stall parameters —
+// darker in the paper's heatmap.
+#include <cstdio>
+#include <memory>
+
+#include "abr/pensieve.h"
+#include "abr/robust_mpc.h"
+#include "bench_util.h"
+#include "common/running_stats.h"
+#include "core/lingxi.h"
+#include "sim/session.h"
+#include "trace/population.h"
+#include "trace/video.h"
+#include "user/rule_based.h"
+
+using namespace lingxi;
+
+namespace {
+
+constexpr std::size_t kSessions = 28;
+constexpr std::size_t kWarmup = 8;
+constexpr std::size_t kUsersPerCell = 3;
+
+trace::PopulationModel::Config network_config() {
+  trace::PopulationModel::Config cfg;
+  cfg.median_bandwidth = 1300.0;
+  cfg.sigma = 0.4;
+  cfg.relative_sd = 0.45;
+  return cfg;
+}
+
+user::RuleBasedUser::Config rule_config(int count_thr, int time_thr) {
+  user::RuleBasedUser::Config ucfg;
+  ucfg.stall_count_threshold = static_cast<std::size_t>(count_thr);
+  ucfg.stall_time_threshold = static_cast<double>(time_thr);
+  ucfg.content_exit_rate = 0.055;
+  return ucfg;
+}
+
+double mean_chosen_stall_param(abr::AbrAlgorithm& abr_algo,
+                               const bench::TrainedPredictor& predictor, int count_thr,
+                               int time_thr, std::uint64_t seed) {
+  const trace::PopulationModel networks(network_config());
+  const trace::VideoGenerator videos({});
+  const sim::SessionSimulator simulator({});
+
+  core::LingXiConfig cfg;
+  cfg.space.optimize_stall = true;
+  cfg.space.optimize_switch = true;
+  cfg.space.optimize_beta = false;
+  cfg.obo_rounds = 8;
+  cfg.monte_carlo.samples = 24;
+  cfg.monte_carlo.sample_duration = 25.0;
+
+  RunningStats chosen;
+  for (std::size_t u = 0; u < kUsersPerCell; ++u) {
+    Rng rng(seed + u * 104729);
+    user::RuleBasedUser user_model(rule_config(count_thr, time_thr));
+    const auto profile = networks.sample(rng);
+    core::LingXi lingxi(cfg, predictor.make(), trace::BitrateLadder::default_ladder());
+    abr_algo.set_params(cfg.default_params);
+
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      const trace::Video video = videos.sample(rng);
+      auto bw = profile.make_session_model();
+      lingxi.begin_session();
+      const auto session = simulator.run(video, abr_algo, *bw, &user_model, rng);
+      for (const auto& seg : session.segments) lingxi.on_segment(seg);
+      const bool stall_exit = session.exited && !session.segments.empty() &&
+                              session.segments.back().stall_time > 0.05;
+      lingxi.end_session(stall_exit);
+      const Seconds buffer =
+          session.segments.empty() ? 0.0 : session.segments.back().buffer_after;
+      lingxi.maybe_optimize(abr_algo, buffer, rng);
+      if (s >= kWarmup) chosen.add(abr_algo.params().stall_penalty);
+    }
+  }
+  return chosen.mean();
+}
+
+void heatmap(const char* title, abr::AbrAlgorithm& abr_algo,
+             const bench::TrainedPredictor& predictor, std::uint64_t seed) {
+  bench::print_header(title);
+  std::printf("rows: stall-time threshold (s); cols: stall-count threshold\n");
+  std::printf("%-8s", "");
+  for (int count_thr = 2; count_thr <= 9; ++count_thr) std::printf("%-8d", count_thr);
+  std::printf("\n");
+  double left_sum = 0.0, right_sum = 0.0;
+  for (int time_thr = 2; time_thr <= 9; ++time_thr) {
+    std::printf("%-8d", time_thr);
+    for (int count_thr = 2; count_thr <= 9; ++count_thr) {
+      const double p = mean_chosen_stall_param(
+          abr_algo, predictor, count_thr, time_thr,
+          seed + static_cast<std::uint64_t>(time_thr * 100 + count_thr));
+      // "Left" = least tolerant quadrant, "right" = most tolerant.
+      if (count_thr <= 5 && time_thr <= 5) left_sum += p;
+      if (count_thr > 5 && time_thr > 5) right_sum += p;
+      std::printf("%-8.2f", p);
+    }
+    std::printf("\n");
+  }
+  std::printf("mean stall parameter: sensitive quadrant %.2f vs tolerant quadrant %.2f\n"
+              "(expect lower for tolerant users: they do not need stall protection)\n",
+              left_sum / 16.0, right_sum / 16.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("fitting exit-rate predictor on the rule-based world...\n");
+  const auto rule_factory = [](Rng& rng) -> std::unique_ptr<user::UserModel> {
+    // The log world spans the same rule grid the evaluation uses.
+    const int count_thr = 2 + static_cast<int>(rng.uniform_int(0, 7));
+    const int time_thr = 2 + static_cast<int>(rng.uniform_int(0, 7));
+    return std::make_unique<user::RuleBasedUser>(rule_config(count_thr, time_thr));
+  };
+  const auto predictor =
+      bench::train_predictor_for_world(rule_factory, network_config(), {}, 606);
+
+  abr::RobustMpc::Config mpc_cfg;
+  mpc_cfg.horizon = 4;
+  abr::RobustMpc mpc(mpc_cfg);
+  heatmap("Figure 11(a): RobustMPC", mpc, predictor, 10000);
+
+  Rng prng(707);
+  abr::Pensieve pensieve(4, prng);
+  {
+    abr::PensieveTrainConfig tcfg;
+    tcfg.episodes = 400;
+    tcfg.max_segments = 40;
+    tcfg.entropy_beta = 0.01;
+    tcfg.lr = 1e-3;
+    const trace::VideoGenerator videos({});
+    trace::PopulationModel::Config train_cfg;
+    train_cfg.median_bandwidth = 2000.0;
+    train_cfg.sigma = 0.8;
+    train_cfg.relative_sd = 0.5;
+    const trace::PopulationModel networks(train_cfg);
+    abr::train_pensieve(pensieve, videos, networks, tcfg, prng);
+  }
+  heatmap("Figure 11(b): Pensieve", pensieve, predictor, 20000);
+  return 0;
+}

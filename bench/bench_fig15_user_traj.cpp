@@ -1,0 +1,98 @@
+// Figure 15: "The Details of User Updates to the ABR Parameter" (§5.5.2).
+//
+// Per-stall-event trajectories for four representative users — two with high
+// stall tolerance, two stall-sensitive — showing stall time, whether the
+// user exited, and the beta parameter after LingXi's update. Expected
+// narrative: tolerant users stabilize in the upper beta range; sensitive
+// users converge to the lower range, with dips after exit bursts.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "abr/hyb.h"
+#include "analytics/experiment.h"
+#include "bench_util.h"
+#include "common/running_stats.h"
+
+using namespace lingxi;
+
+int main() {
+  std::printf("training shared exit-rate predictor...\n");
+  const auto predictor = bench::train_predictor(222, 0.7);
+
+  analytics::ExperimentConfig cfg;
+  cfg.users = 60;
+  cfg.days = 5;
+  cfg.sessions_per_user_day = 12;
+  cfg.intervention_day = 0;
+  cfg.record_stall_events = true;
+  cfg.network.median_bandwidth = 1200.0;  // stall-heavy
+  cfg.network.relative_sd = 0.45;
+  cfg.network.sigma = 0.4;
+  cfg.lingxi.obo_rounds = 5;
+  cfg.lingxi.monte_carlo.samples = 8;
+
+  analytics::PopulationExperiment experiment(
+      cfg, [] { return std::make_unique<abr::Hyb>(); },
+      [&] { return predictor.make(); });
+  const auto result = experiment.run(true, 4242);
+
+  // Group stall events per user; keep users with enough events to plot.
+  std::map<std::size_t, std::vector<analytics::StallEventRecord>> by_user;
+  for (const auto& ev : result.stall_events) by_user[ev.user].push_back(ev);
+
+  struct Candidate {
+    std::size_t user;
+    double tolerance;
+    std::size_t events;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [user, events] : by_user) {
+    if (events.size() >= 12) {
+      candidates.push_back({user, events.front().user_tolerance, events.size()});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.tolerance > b.tolerance; });
+  if (candidates.size() < 4) {
+    std::printf("not enough stall-active users recorded (%zu)\n", candidates.size());
+    return 1;
+  }
+
+  const Candidate picks[4] = {candidates.front(), candidates[1],
+                              candidates[candidates.size() - 2], candidates.back()};
+  const char* labels[4] = {"User 1 (high tolerance)", "User 2 (high tolerance)",
+                           "User 3 (stall-sensitive)", "User 4 (stall-sensitive)"};
+
+  for (int i = 0; i < 4; ++i) {
+    bench::print_header(std::string("Figure 15: ") + labels[i]);
+    const auto& events = by_user[picks[i].user];
+    std::printf("ground-truth tolerance: %.1fs, %zu stall events\n", picks[i].tolerance,
+                events.size());
+    std::printf("%-8s %-12s %-10s %-8s\n", "event", "stall(s)", "beta", "exited");
+    const std::size_t n = std::min<std::size_t>(events.size(), 18);
+    RunningStats beta;
+    for (std::size_t e = 0; e < n; ++e) {
+      std::printf("%-8zu %-12.2f %-10.3f %-8s\n", e + 1, events[e].stall_time,
+                  events[e].param_beta_after, events[e].exited ? "EXIT" : "-");
+    }
+    for (const auto& ev : events) beta.add(ev.param_beta_after);
+    std::printf("mean beta across all events: %.3f\n", beta.mean());
+  }
+
+  // Aggregate check: tolerant half vs sensitive half.
+  RunningStats tol_beta, sens_beta;
+  for (const auto& c : candidates) {
+    RunningStats b;
+    for (const auto& ev : by_user[c.user]) b.add(ev.param_beta_after);
+    (c.tolerance >= 5.0 ? tol_beta : sens_beta).add(b.mean());
+  }
+  if (!tol_beta.empty() && !sens_beta.empty()) {
+    std::printf("\nmean beta, tolerant users (tolerance>=5s): %.3f vs sensitive: %.3f\n",
+                tol_beta.mean(), sens_beta.mean());
+    std::printf("(expect tolerant >= sensitive: the Fig. 15 classification behaviour)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Microbenchmarks (google-benchmark): per-operation costs behind the §6
+// overhead discussion — "LingXi's overhead is primarily determined by
+// personalized predictor invocations, which typically consume hundreds of
+// times more computational resources than conventional ABR decisions."
+#include <benchmark/benchmark.h>
+
+#include <limits>
+#include <memory>
+
+#include "abr/hyb.h"
+#include "abr/pensieve.h"
+#include "abr/robust_mpc.h"
+#include "bayesopt/gp.h"
+#include "bench_util.h"
+#include "predictor/exit_net.h"
+#include "sim/monte_carlo.h"
+#include "trace/bandwidth.h"
+#include "trace/video.h"
+
+using namespace lingxi;
+
+namespace {
+
+sim::AbrObservation make_observation(const trace::Video& video) {
+  sim::AbrObservation obs;
+  obs.video = &video;
+  obs.buffer = 4.0;
+  obs.buffer_max = 8.0;
+  obs.next_segment = 5;
+  obs.first_segment = false;
+  obs.last_level = 1;
+  obs.throughput_history = {1200.0, 1500.0, 900.0, 1100.0, 1300.0};
+  obs.download_time_history = {0.5, 0.4, 0.7, 0.6, 0.5};
+  return obs;
+}
+
+void BM_HybDecision(benchmark::State& state) {
+  const trace::Video video(trace::BitrateLadder::default_ladder(), 60, 1.0);
+  auto obs = make_observation(video);
+  abr::Hyb hyb;
+  for (auto _ : state) benchmark::DoNotOptimize(hyb.select(obs));
+}
+BENCHMARK(BM_HybDecision);
+
+void BM_RobustMpcDecision(benchmark::State& state) {
+  const trace::Video video(trace::BitrateLadder::default_ladder(), 60, 1.0);
+  auto obs = make_observation(video);
+  abr::RobustMpc::Config cfg;
+  cfg.horizon = static_cast<std::size_t>(state.range(0));
+  abr::RobustMpc mpc(cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(mpc.select(obs));
+}
+BENCHMARK(BM_RobustMpcDecision)->Arg(3)->Arg(5);
+
+void BM_PensieveDecision(benchmark::State& state) {
+  const trace::Video video(trace::BitrateLadder::default_ladder(), 60, 1.0);
+  auto obs = make_observation(video);
+  Rng rng(1);
+  abr::Pensieve policy(4, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(policy.select(obs));
+}
+BENCHMARK(BM_PensieveDecision);
+
+void BM_ExitNetInference(benchmark::State& state) {
+  Rng rng(2);
+  predictor::StallExitNet net(rng);
+  nn::Tensor f({predictor::kChannels, predictor::kHistoryLen});
+  f.fill(0.4);
+  for (auto _ : state) benchmark::DoNotOptimize(net.predict(f));
+}
+BENCHMARK(BM_ExitNetInference);
+
+void BM_MonteCarloEvaluation(benchmark::State& state) {
+  Rng rng(3);
+  auto net = std::make_shared<predictor::StallExitNet>(rng);
+  auto os = std::make_shared<predictor::OverallStatsModel>();
+  predictor::EngagementState seed;
+
+  sim::MonteCarloConfig mc;
+  mc.samples = static_cast<std::size_t>(state.range(0));
+  mc.enable_pruning = false;
+  const sim::MonteCarloEvaluator eval(mc, {});
+  const auto video = eval.make_virtual_video(trace::BitrateLadder::default_ladder(), 1.0);
+  abr::Hyb hyb;
+  trace::NormalBandwidth bw(1200.0, 300.0);
+  for (auto _ : state) {
+    predictor::PredictorExitModel exits({net, os}, seed, 1.0);
+    benchmark::DoNotOptimize(eval.evaluate(video, hyb, exits, bw, 2.0,
+                                           std::numeric_limits<double>::infinity(), rng));
+  }
+}
+BENCHMARK(BM_MonteCarloEvaluation)->Arg(8)->Arg(32);
+
+void BM_GpUpdateAndPredict(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  for (auto _ : state) {
+    bayesopt::GaussianProcess gp;
+    for (std::size_t i = 0; i < n; ++i) {
+      gp.observe({rng.uniform(), rng.uniform()}, rng.uniform());
+    }
+    benchmark::DoNotOptimize(gp.predict({0.5, 0.5}));
+  }
+}
+BENCHMARK(BM_GpUpdateAndPredict)->Arg(8)->Arg(32);
+
+void BM_PlayerEnvStep(benchmark::State& state) {
+  sim::PlayerEnv env(sim::PlayerConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.step(100000.0, 1.0, 2000.0));
+  }
+}
+BENCHMARK(BM_PlayerEnvStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

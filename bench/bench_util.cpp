@@ -1,0 +1,89 @@
+#include "bench_util.h"
+
+#include <algorithm>
+
+namespace lingxi::bench {
+
+TrainedPredictor train_predictor(std::uint64_t seed, double scale) {
+  Rng rng(seed);
+  TrainedPredictor out;
+  out.os_model = std::make_shared<predictor::OverallStatsModel>();
+  out.net = std::make_shared<predictor::StallExitNet>(rng);
+
+  const auto users = static_cast<std::size_t>(std::max(4.0, 30.0 * scale));
+  const auto sessions = static_cast<std::size_t>(std::max(4.0, 15.0 * scale));
+
+  // OS model: population frequencies from an unfiltered log.
+  {
+    predictor::DatasetGenConfig gen;
+    gen.users = users;
+    gen.sessions_per_user = sessions;
+    gen.filter = predictor::DatasetFilter::kAll;
+    const auto data = predictor::generate_dataset(gen, rng);
+    for (const auto& s : data.samples) {
+      out.os_model->observe(1, predictor::SwitchType::kNone, s.exited);
+    }
+  }
+  // Stall net: balanced stall subset.
+  {
+    predictor::DatasetGenConfig gen;
+    gen.users = users;
+    gen.sessions_per_user = sessions;
+    gen.filter = predictor::DatasetFilter::kStall;
+    auto data = predictor::generate_dataset(gen, rng);
+    auto balanced = predictor::balance(data, rng);
+    predictor::TrainConfig cfg;
+    cfg.epochs = 6;
+    if (!balanced.samples.empty()) predictor::train_exit_net(*out.net, balanced, cfg, rng);
+  }
+  return out;
+}
+
+TrainedPredictor train_predictor_for_world(
+    const std::function<std::unique_ptr<user::UserModel>(Rng&)>& user_factory,
+    const trace::PopulationModel::Config& network,
+    const trace::VideoGenerator::Config& video, std::uint64_t seed) {
+  Rng rng(seed);
+  TrainedPredictor out;
+  out.os_model = std::make_shared<predictor::OverallStatsModel>();
+  out.net = std::make_shared<predictor::StallExitNet>(rng);
+
+  auto make_gen = [&](predictor::DatasetFilter filter) {
+    predictor::DatasetGenConfig gen;
+    gen.users = 72;
+    gen.sessions_per_user = 20;
+    gen.filter = filter;
+    gen.network = network;
+    gen.video = video;
+    gen.user_factory = user_factory;
+    return gen;
+  };
+  {
+    const auto data =
+        predictor::generate_dataset(make_gen(predictor::DatasetFilter::kAll), rng);
+    for (const auto& s : data.samples) {
+      out.os_model->observe(1, predictor::SwitchType::kNone, s.exited);
+    }
+  }
+  {
+    auto data =
+        predictor::generate_dataset(make_gen(predictor::DatasetFilter::kStall), rng);
+    auto balanced = predictor::balance(data, rng);
+    predictor::TrainConfig cfg;
+    cfg.epochs = 12;
+    if (!balanced.samples.empty()) predictor::train_exit_net(*out.net, balanced, cfg, rng);
+  }
+  return out;
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void print_row(const std::vector<double>& values, int precision) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::printf("%.*f%s", precision, values[i], i + 1 == values.size() ? "\n" : "\t");
+  }
+}
+
+}  // namespace lingxi::bench

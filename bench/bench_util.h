@@ -1,0 +1,45 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "predictor/dataset.h"
+#include "predictor/exit_net.h"
+#include "predictor/hybrid.h"
+#include "predictor/os_model.h"
+
+namespace lingxi::bench {
+
+/// Trained predictor components shared by the LingXi benches: an OS model
+/// fitted on an ALL-segments synthetic log and a stall-exit net trained on
+/// the balanced stall subset. Deterministic for a given seed.
+struct TrainedPredictor {
+  std::shared_ptr<predictor::StallExitNet> net;
+  std::shared_ptr<predictor::OverallStatsModel> os_model;
+
+  predictor::HybridExitPredictor make() const { return {net, os_model}; }
+};
+
+/// Train on a synthetic production log. `scale` multiplies the dataset size
+/// (1.0 ~ a few thousand stall samples, trains in seconds).
+TrainedPredictor train_predictor(std::uint64_t seed, double scale = 1.0);
+
+/// Train on logs from a specific world: user behaviours supplied by
+/// `user_factory`, network and video models as given. Mirrors fitting the
+/// production predictor on production logs.
+TrainedPredictor train_predictor_for_world(
+    const std::function<std::unique_ptr<user::UserModel>(Rng&)>& user_factory,
+    const trace::PopulationModel::Config& network,
+    const trace::VideoGenerator::Config& video, std::uint64_t seed);
+
+/// Section header in bench output.
+void print_header(const std::string& title);
+
+/// "x y1 y2 ..." row printing with fixed precision.
+void print_row(const std::vector<double>& values, int precision = 4);
+
+}  // namespace lingxi::bench

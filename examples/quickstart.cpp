@@ -1,0 +1,72 @@
+// Quickstart: one user streams one video through HYB; a stall-heavy network
+// triggers LingXi, which re-optimizes HYB's beta for this user.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "abr/hyb.h"
+#include "common/rng.h"
+#include "core/lingxi.h"
+#include "predictor/exit_net.h"
+#include "predictor/os_model.h"
+#include "sim/session.h"
+#include "trace/bandwidth.h"
+#include "trace/video.h"
+
+int main() {
+  using namespace lingxi;
+  Rng rng(2024);
+
+  // 1. A 60-segment short video on the default LD/SD/HD/FullHD ladder.
+  const trace::Video video(trace::BitrateLadder::default_ladder(), 60, 1.0);
+
+  // 2. A congested network: 900 kbps mean, bursty.
+  trace::GaussMarkovBandwidth bandwidth({.mean = 900.0, .rho = 0.9, .noise_sd = 250.0});
+
+  // 3. The serving ABR (HYB) with the production-default beta.
+  abr::Hyb hyb;
+  std::printf("initial params: %s\n", hyb.params().to_string().c_str());
+
+  // 4. LingXi with an (untrained, for brevity) hybrid exit predictor.
+  auto net = std::make_shared<predictor::StallExitNet>(rng);
+  auto os_model = std::make_shared<predictor::OverallStatsModel>();
+  core::LingXiConfig config;
+  config.space.optimize_stall = false;
+  config.space.optimize_switch = false;
+  config.space.optimize_beta = true;  // HYB integration tunes beta
+  core::LingXi lingxi(config, predictor::HybridExitPredictor(net, os_model),
+                      video.ladder());
+
+  // 5. Play the video; feed every segment to LingXi.
+  const sim::SessionSimulator simulator({});
+  lingxi.begin_session();
+  const sim::SessionResult session = simulator.run(video, hyb, bandwidth, nullptr, rng);
+  for (const auto& seg : session.segments) lingxi.on_segment(seg);
+  lingxi.end_session(/*exited_during_stall=*/false);
+
+  std::printf("session: %zu segments, %.1fs watched, %.2fs stalled (%zu events), "
+              "mean bitrate %.0f kbps\n",
+              session.segments.size(), session.watch_time, session.total_stall,
+              session.stall_events, session.mean_bitrate);
+
+  // 6. Enough stalls accumulated? Run one optimization round.
+  if (lingxi.should_optimize()) {
+    const Seconds buffer = session.segments.back().buffer_after;
+    if (const auto params = lingxi.maybe_optimize(hyb, buffer, rng)) {
+      std::printf("LingXi optimized params: %s\n", params->to_string().c_str());
+    }
+  } else {
+    std::printf("not enough stall events to trigger LingXi (threshold %zu)\n",
+                config.trigger_stall_threshold);
+  }
+
+  const auto& stats = lingxi.stats();
+  std::printf("stats: triggers=%llu optimizations=%llu mc_evals=%llu\n",
+              static_cast<unsigned long long>(stats.triggers),
+              static_cast<unsigned long long>(stats.optimizations_run),
+              static_cast<unsigned long long>(stats.mc_evaluations));
+  return 0;
+}

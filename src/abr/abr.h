@@ -1,0 +1,34 @@
+// Base class for all ABR algorithms.
+//
+// An AbrAlgorithm is a sim::BitrateSelector whose behaviour is additionally
+// governed by runtime-adjustable QoeParams — the hook LingXi uses to retune
+// objectives without touching the algorithm internals (§4 "Seamless
+// Integration").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "abr/qoe.h"
+#include "sim/session.h"
+
+namespace lingxi::abr {
+
+class AbrAlgorithm : public sim::BitrateSelector {
+ public:
+  /// Human-readable algorithm name for logs and bench output.
+  virtual std::string name() const = 0;
+
+  /// Runtime objective adjustment (thread-safety note: the production system
+  /// applies this between segments from the playback thread).
+  virtual void set_params(const QoeParams& params) { params_ = params; }
+  const QoeParams& params() const noexcept { return params_; }
+
+  /// Independent copy for Monte Carlo rollouts.
+  virtual std::unique_ptr<AbrAlgorithm> clone() const = 0;
+
+ protected:
+  QoeParams params_;
+};
+
+}  // namespace lingxi::abr

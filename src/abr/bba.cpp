@@ -1,0 +1,24 @@
+#include "abr/bba.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lingxi::abr {
+
+std::size_t Bba::select(const sim::AbrObservation& obs) {
+  LINGXI_ASSERT(obs.video != nullptr);
+  const std::size_t levels = obs.video->ladder().levels();
+  const Seconds cushion_top = std::max(config_.reservoir + 0.1,
+                                       config_.cushion_fraction * obs.buffer_max);
+  if (obs.buffer <= config_.reservoir) return 0;
+  if (obs.buffer >= cushion_top) return levels - 1;
+  const double frac = (obs.buffer - config_.reservoir) / (cushion_top - config_.reservoir);
+  const auto level = static_cast<std::size_t>(std::floor(frac * static_cast<double>(levels)));
+  return std::min(level, levels - 1);
+}
+
+std::unique_ptr<AbrAlgorithm> Bba::clone() const { return std::make_unique<Bba>(*this); }
+
+}  // namespace lingxi::abr

@@ -1,0 +1,28 @@
+// BBA [Huang et al., SIGCOMM'14]: pure buffer-based rate adaptation.
+// Below the reservoir it plays the lowest rate; above the cushion, the
+// highest; in between it maps buffer occupancy linearly onto the ladder.
+#pragma once
+
+#include "abr/abr.h"
+
+namespace lingxi::abr {
+
+class Bba final : public AbrAlgorithm {
+ public:
+  struct Config {
+    Seconds reservoir = 1.5;      ///< play lowest rate below this buffer
+    double cushion_fraction = 0.9;  ///< cushion top as a fraction of B_max
+  };
+
+  Bba() : config_(Config{}) {}
+  explicit Bba(Config config) : config_(config) {}
+
+  std::string name() const override { return "BBA"; }
+  std::size_t select(const sim::AbrObservation& obs) override;
+  std::unique_ptr<AbrAlgorithm> clone() const override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace lingxi::abr

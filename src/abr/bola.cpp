@@ -1,0 +1,48 @@
+#include "abr/bola.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lingxi::abr {
+
+std::size_t Bola::select(const sim::AbrObservation& obs) {
+  LINGXI_ASSERT(obs.video != nullptr);
+  const auto& ladder = obs.video->ladder();
+  const std::size_t levels = ladder.levels();
+  const Seconds L = obs.video->segment_duration();
+
+  // Utilities relative to the lowest level.
+  const double v_max = std::log(ladder.max_bitrate() / ladder.min_bitrate());
+  // gamma*p grows with the stall penalty: a more stall-averse objective keeps
+  // the buffer fuller. Normalized against the default penalty scale (~4.3).
+  const double gp = 1.0 + params_.stall_penalty / 4.3;
+  // Choose V so that the top level becomes attractive as the buffer
+  // approaches the cap (standard BOLA-BASIC calibration).
+  const double buffer_cap_segments = std::max(2.0, obs.buffer_max / L);
+  const double V = (buffer_cap_segments - 1.0) / (v_max + gp);
+
+  const double buffer_segments = obs.buffer / L;
+  double best_score = 0.0;
+  std::size_t best = 0;
+  bool any_positive = false;
+  for (std::size_t m = 0; m < levels; ++m) {
+    const double v_m = std::log(ladder.bitrate(m) / ladder.min_bitrate());
+    const double size_segments = ladder.bitrate(m) / ladder.min_bitrate();
+    const double score = (V * (v_m + gp) - buffer_segments) / size_segments;
+    if (score >= 0.0 && (!any_positive || score > best_score)) {
+      best_score = score;
+      best = m;
+      any_positive = true;
+    }
+  }
+  if (any_positive) return best;
+  // All scores negative: either the buffer is above the Lyapunov target
+  // (stream the top rendition — no stall risk) or it is empty enough that
+  // only the safest choice is defensible.
+  return buffer_segments >= V * (v_max + gp) ? levels - 1 : 0;
+}
+
+std::unique_ptr<AbrAlgorithm> Bola::clone() const { return std::make_unique<Bola>(*this); }
+
+}  // namespace lingxi::abr

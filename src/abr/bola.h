@@ -1,0 +1,24 @@
+// BOLA [Spiteri et al., ToN'20]: Lyapunov-optimization-based bitrate choice.
+// For each level m the score is
+//     (V * (v_m + gamma * p) - B) / S_m
+// with utility v_m = ln(S_m / S_0); the level maximizing a non-negative
+// score is chosen, else the lowest level. V is derived from the buffer cap
+// so the cushion maps onto the ladder; gamma*p rises with the configured
+// stall penalty, making BOLA respond to LingXi's objective adjustments.
+#pragma once
+
+#include "abr/abr.h"
+
+namespace lingxi::abr {
+
+class Bola final : public AbrAlgorithm {
+ public:
+  Bola() = default;
+  explicit Bola(QoeParams params) { params_ = params; }
+
+  std::string name() const override { return "BOLA"; }
+  std::size_t select(const sim::AbrObservation& obs) override;
+  std::unique_ptr<AbrAlgorithm> clone() const override;
+};
+
+}  // namespace lingxi::abr

@@ -1,0 +1,47 @@
+#include "abr/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lingxi::abr {
+
+Kbps harmonic_mean(std::span<const Kbps> samples) noexcept {
+  if (samples.empty()) return 0.0;
+  double denom = 0.0;
+  for (Kbps s : samples) {
+    LINGXI_DASSERT(s > 0.0);
+    denom += 1.0 / s;
+  }
+  return static_cast<double>(samples.size()) / denom;
+}
+
+double max_relative_error(std::span<const Kbps> samples) noexcept {
+  if (samples.size() < 2) return 0.0;
+  double max_err = 0.0;
+  // Predict sample i from samples [0, i) with the harmonic mean, mirroring
+  // what the controller would have predicted at that point.
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const Kbps pred = harmonic_mean(samples.subspan(0, i));
+    if (pred <= 0.0) continue;
+    max_err = std::max(max_err, std::fabs(pred - samples[i]) / samples[i]);
+  }
+  return max_err;
+}
+
+Kbps robust_estimate(std::span<const Kbps> samples) noexcept {
+  const Kbps hm = harmonic_mean(samples);
+  return hm / (1.0 + max_relative_error(samples));
+}
+
+Kbps ewma(std::span<const Kbps> samples, double alpha) noexcept {
+  if (samples.empty()) return 0.0;
+  double est = samples.front();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    est = alpha * samples[i] + (1.0 - alpha) * est;
+  }
+  return est;
+}
+
+}  // namespace lingxi::abr

@@ -1,0 +1,30 @@
+// Throughput estimation used by the ABR algorithms.
+//
+// * harmonic mean of the recent window — the classic MPC predictor;
+// * RobustMPC discounting — divide by (1 + max relative error observed
+//   over the window), the lower-bound estimate of [Yin et al. '15];
+// * EWMA — rate-based algorithms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/units.h"
+
+namespace lingxi::abr {
+
+/// Harmonic mean of positive samples; 0 if empty.
+Kbps harmonic_mean(std::span<const Kbps> samples) noexcept;
+
+/// Max relative prediction error of the one-step harmonic-mean predictor
+/// over the window (RobustMPC's error term). 0 if fewer than 2 samples.
+double max_relative_error(std::span<const Kbps> samples) noexcept;
+
+/// RobustMPC lower-bound estimate: harmonic_mean / (1 + max_relative_error).
+Kbps robust_estimate(std::span<const Kbps> samples) noexcept;
+
+/// Exponentially weighted moving average with weight `alpha` on the newest
+/// sample, iterated over the window (oldest first). 0 if empty.
+Kbps ewma(std::span<const Kbps> samples, double alpha = 0.3) noexcept;
+
+}  // namespace lingxi::abr

@@ -1,0 +1,30 @@
+#include "abr/hyb.h"
+
+#include "abr/estimator.h"
+#include "common/assert.h"
+
+namespace lingxi::abr {
+
+std::size_t Hyb::select(const sim::AbrObservation& obs) {
+  LINGXI_ASSERT(obs.video != nullptr);
+  const auto& ladder = obs.video->ladder();
+
+  if (obs.first_segment || obs.throughput_history.empty()) {
+    return 0;  // conservative start
+  }
+  const Kbps estimate = harmonic_mean(obs.throughput_history);
+  if (estimate <= 0.0) return 0;
+
+  const double budget = params_.hyb_beta * obs.buffer;
+  std::size_t best = 0;
+  for (std::size_t level = 0; level < ladder.levels(); ++level) {
+    const Bytes size = obs.video->segment_size(obs.next_segment, level);
+    const Seconds dl = units::download_time(size, estimate);
+    if (dl < budget) best = level;
+  }
+  return best;
+}
+
+std::unique_ptr<AbrAlgorithm> Hyb::clone() const { return std::make_unique<Hyb>(*this); }
+
+}  // namespace lingxi::abr

@@ -1,0 +1,23 @@
+// HYB [Akhtar et al., SIGCOMM'18 §5.3 of the LingXi paper]: an
+// implicit-objective algorithm. It picks the maximum bitrate whose expected
+// download time stays within a beta fraction of the current buffer:
+//     d_k(Q) / C_hat  <  beta * B_k
+// beta trades bandwidth-estimate confidence against stall risk; it is the
+// parameter LingXi tunes in the paper's production A/B test.
+#pragma once
+
+#include "abr/abr.h"
+
+namespace lingxi::abr {
+
+class Hyb final : public AbrAlgorithm {
+ public:
+  Hyb() = default;
+  explicit Hyb(QoeParams params) { params_ = params; }
+
+  std::string name() const override { return "HYB"; }
+  std::size_t select(const sim::AbrObservation& obs) override;
+  std::unique_ptr<AbrAlgorithm> clone() const override;
+};
+
+}  // namespace lingxi::abr

@@ -1,0 +1,237 @@
+#include "abr/pensieve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "sim/player_env.h"
+
+namespace lingxi::abr {
+namespace {
+
+constexpr std::size_t kHidden = 64;
+// Normalization scales keeping inputs roughly in [0, 1].
+constexpr double kThroughputScale = 8000.0;  // kbps
+constexpr double kBufferScale = 10.0;        // s
+constexpr double kDownloadScale = 10.0;      // s
+
+std::size_t feature_count_for(std::size_t levels) {
+  return 3 + 2 * kPensieveHistory + levels + 1 + 3;
+}
+
+}  // namespace
+
+Pensieve::Pensieve(std::size_t levels, Rng& rng)
+    : levels_(levels),
+      fc1_(feature_count_for(levels), kHidden, rng),
+      fc2_(kHidden, kHidden, rng),
+      head_(kHidden, levels, rng) {
+  LINGXI_ASSERT(levels >= 2);
+}
+
+Pensieve::Pensieve(const Pensieve& other) = default;
+Pensieve& Pensieve::operator=(const Pensieve& other) = default;
+
+std::size_t Pensieve::feature_count() const { return feature_count_for(levels_); }
+
+nn::Tensor Pensieve::build_features(const sim::AbrObservation& obs) const {
+  LINGXI_ASSERT(obs.video != nullptr);
+  const auto& ladder = obs.video->ladder();
+  LINGXI_ASSERT(ladder.levels() == levels_);
+
+  nn::Tensor f({feature_count()});
+  std::size_t i = 0;
+  // Last selected bitrate (0 before the first segment).
+  f[i++] = obs.first_segment ? 0.0 : ladder.bitrate(obs.last_level) / ladder.max_bitrate();
+  f[i++] = obs.buffer / kBufferScale;
+  f[i++] = obs.buffer_max / 30.0;
+  // Throughput / download-time history, zero-padded at the front.
+  for (std::size_t k = 0; k < kPensieveHistory; ++k) {
+    const std::size_t n = obs.throughput_history.size();
+    f[i++] = (k < kPensieveHistory - n)
+                 ? 0.0
+                 : obs.throughput_history[k - (kPensieveHistory - n)] / kThroughputScale;
+  }
+  for (std::size_t k = 0; k < kPensieveHistory; ++k) {
+    const std::size_t n = obs.download_time_history.size();
+    f[i++] = (k < kPensieveHistory - n)
+                 ? 0.0
+                 : obs.download_time_history[k - (kPensieveHistory - n)] / kDownloadScale;
+  }
+  // Next-segment sizes across the ladder, relative to the top rendition.
+  const Bytes top = units::segment_bytes(ladder.max_bitrate(), obs.video->segment_duration());
+  for (std::size_t level = 0; level < levels_; ++level) {
+    f[i++] = obs.video->segment_size(obs.next_segment, level) / top;
+  }
+  f[i++] = static_cast<double>(obs.video->segment_count() - obs.next_segment) /
+           static_cast<double>(obs.video->segment_count());
+  // The paper's modification: QoE parameters become state variables.
+  f[i++] = params_.stall_penalty / 20.0;
+  f[i++] = params_.switch_penalty / 4.0;
+  f[i++] = params_.hyb_beta;
+  LINGXI_ASSERT(i == feature_count());
+  return f;
+}
+
+nn::Tensor Pensieve::logits(const nn::Tensor& features) {
+  return head_.forward(relu2_.forward(fc2_.forward(relu1_.forward(fc1_.forward(features)))));
+}
+
+void Pensieve::backward(const nn::Tensor& grad_logits) {
+  fc1_.backward(relu1_.backward(fc2_.backward(relu2_.backward(head_.backward(grad_logits)))));
+}
+
+std::size_t Pensieve::select(const sim::AbrObservation& obs) {
+  const nn::Tensor z = logits(build_features(obs));
+  std::size_t best = 0;
+  for (std::size_t a = 1; a < levels_; ++a) {
+    if (z[a] > z[best]) best = a;
+  }
+  return best;
+}
+
+std::size_t Pensieve::sample_action(const sim::AbrObservation& obs, Rng& rng,
+                                    nn::Tensor* features_out) {
+  nn::Tensor features = build_features(obs);
+  const nn::Tensor probs = nn::softmax(logits(features));
+  std::vector<double> w(probs.data(), probs.data() + probs.size());
+  const std::size_t action = rng.discrete(w);
+  if (features_out != nullptr) *features_out = std::move(features);
+  return action;
+}
+
+std::unique_ptr<AbrAlgorithm> Pensieve::clone() const {
+  return std::make_unique<Pensieve>(*this);
+}
+
+nn::ParamSet Pensieve::param_set() {
+  nn::ParamSet set;
+  set.add(fc1_);
+  set.add(fc2_);
+  set.add(head_);
+  return set;
+}
+
+PensieveTrainReport train_pensieve(Pensieve& policy, const trace::VideoGenerator& videos,
+                                   const trace::PopulationModel& population,
+                                   const PensieveTrainConfig& config, Rng& rng) {
+  LINGXI_ASSERT(config.episodes > 0);
+  nn::ParamSet params = policy.param_set();
+  nn::Adam::Config adam_cfg;
+  adam_cfg.lr = config.lr;
+  nn::Adam adam(params.params, params.grads, adam_cfg);
+
+  struct StepRecord {
+    nn::Tensor features;
+    std::size_t action;
+    double reward;
+  };
+
+  std::vector<double> episode_returns;
+  episode_returns.reserve(config.episodes);
+  const QoeParams base_params = policy.params();
+
+  for (std::size_t ep = 0; ep < config.episodes; ++ep) {
+    // Fresh world per episode.
+    trace::Video video = videos.sample(rng);
+    const std::size_t segments = std::min(video.segment_count(), config.max_segments);
+    const trace::NetworkProfile profile = population.sample(rng);
+    auto bw = profile.make_session_model();
+
+    if (config.randomize_params) {
+      policy.set_params(config.space.from_unit(config.space.sample_unit(rng), base_params));
+    }
+    const double mu = policy.params().stall_penalty;
+    const double lambda = policy.params().switch_penalty;
+
+    sim::PlayerEnv env(sim::PlayerConfig{});
+    sim::AbrObservation obs;
+    obs.video = &video;
+    obs.rtt = env.config().rtt;
+
+    std::vector<StepRecord> steps;
+    steps.reserve(segments);
+    double prev_quality = -1.0;
+
+    for (std::size_t k = 0; k < segments; ++k) {
+      obs.buffer = env.buffer();
+      obs.buffer_max = env.buffer_max();
+      obs.next_segment = k;
+      obs.first_segment = (k == 0);
+
+      StepRecord rec;
+      rec.action = policy.sample_action(obs, rng, &rec.features);
+
+      const Kbps current_bw = bw->sample(env.wall_clock(), rng);
+      const Bytes size = video.segment_size(k, rec.action);
+      const sim::StepResult step = env.step(size, video.segment_duration(), current_bw);
+
+      const double quality = video.ladder().quality(rec.action, config.metric);
+      rec.reward = quality - mu * step.stall_time;
+      if (prev_quality >= 0.0) rec.reward -= lambda * std::fabs(quality - prev_quality);
+      prev_quality = quality;
+
+      obs.throughput_history.push_back(current_bw);
+      obs.download_time_history.push_back(step.download_time);
+      if (obs.throughput_history.size() > kPensieveHistory) {
+        obs.throughput_history.erase(obs.throughput_history.begin());
+        obs.download_time_history.erase(obs.download_time_history.begin());
+      }
+      obs.last_level = rec.action;
+      steps.push_back(std::move(rec));
+    }
+
+    // Discounted returns-to-go, normalized within the episode.
+    std::vector<double> returns(steps.size());
+    double g = 0.0;
+    for (std::size_t k = steps.size(); k-- > 0;) {
+      g = steps[k].reward + config.gamma * g;
+      returns[k] = g;
+    }
+    episode_returns.push_back(returns.empty() ? 0.0 : returns.front());
+
+    double mean_g = 0.0;
+    for (double r : returns) mean_g += r;
+    mean_g /= std::max<std::size_t>(1, returns.size());
+    double var_g = 0.0;
+    for (double r : returns) var_g += (r - mean_g) * (r - mean_g);
+    const double sd_g = std::sqrt(var_g / std::max<std::size_t>(1, returns.size())) + 1e-6;
+
+    params.zero_grad();
+    for (std::size_t k = 0; k < steps.size(); ++k) {
+      const double advantage = (returns[k] - mean_g) / sd_g;
+      const nn::Tensor z = policy.logits(steps[k].features);
+      nn::Tensor grad = nn::policy_gradient(z, steps[k].action, advantage);
+      if (config.entropy_beta > 0.0) {
+        // Entropy bonus: push logits toward higher entropy.
+        const nn::Tensor p = nn::softmax(z);
+        double entropy = 0.0;
+        for (std::size_t a = 0; a < p.size(); ++a) {
+          entropy -= p[a] * std::log(std::max(p[a], 1e-12));
+        }
+        for (std::size_t a = 0; a < p.size(); ++a) {
+          grad[a] += config.entropy_beta * p[a] *
+                     (std::log(std::max(p[a], 1e-12)) + entropy);
+        }
+      }
+      grad.scale(1.0 / static_cast<double>(steps.size()));
+      policy.backward(grad);
+    }
+    adam.step();
+  }
+  policy.set_params(base_params);
+
+  PensieveTrainReport report;
+  const std::size_t tail = std::max<std::size_t>(1, config.episodes / 10);
+  for (std::size_t i = 0; i < tail; ++i) {
+    report.initial_mean_return += episode_returns[i];
+    report.final_mean_return += episode_returns[episode_returns.size() - 1 - i];
+  }
+  report.initial_mean_return /= static_cast<double>(tail);
+  report.final_mean_return /= static_cast<double>(tail);
+  return report;
+}
+
+}  // namespace lingxi::abr

@@ -1,0 +1,90 @@
+// Pensieve [Mao et al., SIGCOMM'17]: learned ABR policy, with the paper's
+// §5.2 modification — the QoE parameters (stall penalty, switch penalty) are
+// injected into the network state, and the training reward is QoE_lin under
+// parameters randomized per episode. One trained policy therefore serves
+// every optimization objective, and LingXi retunes it at inference time by
+// changing the state inputs.
+//
+// The policy is a small MLP trained with REINFORCE (return baseline +
+// entropy regularization) directly in the Eq. 3 simulator. The original
+// uses A3C on a cluster; at this scale REINFORCE converges in seconds and
+// exercises the same interface.
+#pragma once
+
+#include <optional>
+
+#include "abr/abr.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/optimizer.h"
+#include "trace/population.h"
+#include "trace/video.h"
+
+namespace lingxi::abr {
+
+/// Feature vector layout (see build_features): history windows are fixed at
+/// 8 samples to match the paper's state matrices.
+constexpr std::size_t kPensieveHistory = 8;
+
+class Pensieve final : public AbrAlgorithm {
+ public:
+  /// `levels` must match the ladder the policy will be used with.
+  Pensieve(std::size_t levels, Rng& rng);
+  Pensieve(const Pensieve& other);
+  Pensieve& operator=(const Pensieve& other);
+
+  std::string name() const override { return "Pensieve"; }
+  /// Greedy action (used online).
+  std::size_t select(const sim::AbrObservation& obs) override;
+  std::unique_ptr<AbrAlgorithm> clone() const override;
+
+  /// Stochastic action + cached features, used during training.
+  std::size_t sample_action(const sim::AbrObservation& obs, Rng& rng,
+                            nn::Tensor* features_out = nullptr);
+
+  /// Forward pass to logits for a prebuilt feature vector.
+  nn::Tensor logits(const nn::Tensor& features);
+  /// Backward pass for a gradient w.r.t. logits (training).
+  void backward(const nn::Tensor& grad_logits);
+
+  nn::ParamSet param_set();
+  std::size_t levels() const noexcept { return levels_; }
+  std::size_t feature_count() const;
+
+  /// Encode observation + current QoE params into the network input.
+  nn::Tensor build_features(const sim::AbrObservation& obs) const;
+
+ private:
+  std::size_t levels_;
+  nn::Dense fc1_;
+  nn::ReLU relu1_;
+  nn::Dense fc2_;
+  nn::ReLU relu2_;
+  nn::Dense head_;
+};
+
+struct PensieveTrainConfig {
+  std::size_t episodes = 400;
+  double gamma = 0.99;          ///< return discount
+  double lr = 2.5e-3;
+  double entropy_beta = 0.02;   ///< exploration bonus weight
+  std::size_t max_segments = 60;
+  /// Randomize QoE params per episode inside `space` (the paper's dynamic
+  /// reward). When false, trains against the fixed params on the policy.
+  bool randomize_params = true;
+  ParamSpace space;
+  trace::QualityMetric metric = trace::QualityMetric::kLinearMbps;
+};
+
+struct PensieveTrainReport {
+  double initial_mean_return = 0.0;  ///< mean return over first 10% episodes
+  double final_mean_return = 0.0;    ///< mean return over last 10% episodes
+};
+
+/// REINFORCE training in the simulator; videos and network conditions are
+/// drawn fresh per episode.
+PensieveTrainReport train_pensieve(Pensieve& policy, const trace::VideoGenerator& videos,
+                                   const trace::PopulationModel& population,
+                                   const PensieveTrainConfig& config, Rng& rng);
+
+}  // namespace lingxi::abr

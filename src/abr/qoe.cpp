@@ -1,0 +1,67 @@
+#include "abr/qoe.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace lingxi::abr {
+namespace {
+
+double to_unit_coord(double v, double lo, double hi) {
+  LINGXI_DASSERT(hi > lo);
+  return std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+}
+
+double from_unit_coord(double u, double lo, double hi) {
+  return lo + std::clamp(u, 0.0, 1.0) * (hi - lo);
+}
+
+}  // namespace
+
+std::string QoeParams::to_string() const {
+  std::ostringstream ss;
+  ss << "{stall=" << stall_penalty << ", switch=" << switch_penalty
+     << ", beta=" << hyb_beta << "}";
+  return ss.str();
+}
+
+std::size_t ParamSpace::dimensions() const noexcept {
+  return static_cast<std::size_t>(optimize_stall) + static_cast<std::size_t>(optimize_switch) +
+         static_cast<std::size_t>(optimize_beta);
+}
+
+std::vector<double> ParamSpace::to_unit(const QoeParams& p) const {
+  std::vector<double> u;
+  u.reserve(dimensions());
+  if (optimize_stall) u.push_back(to_unit_coord(p.stall_penalty, stall_min, stall_max));
+  if (optimize_switch) u.push_back(to_unit_coord(p.switch_penalty, switch_min, switch_max));
+  if (optimize_beta) u.push_back(to_unit_coord(p.hyb_beta, beta_min, beta_max));
+  return u;
+}
+
+QoeParams ParamSpace::from_unit(const std::vector<double>& u, const QoeParams& base) const {
+  LINGXI_ASSERT(u.size() == dimensions());
+  QoeParams p = base;
+  std::size_t i = 0;
+  if (optimize_stall) p.stall_penalty = from_unit_coord(u[i++], stall_min, stall_max);
+  if (optimize_switch) p.switch_penalty = from_unit_coord(u[i++], switch_min, switch_max);
+  if (optimize_beta) p.hyb_beta = from_unit_coord(u[i++], beta_min, beta_max);
+  return p;
+}
+
+std::vector<double> ParamSpace::sample_unit(Rng& rng) const {
+  std::vector<double> u(dimensions());
+  for (double& x : u) x = rng.uniform();
+  return u;
+}
+
+QoeParams ParamSpace::clamp(const QoeParams& p) const {
+  QoeParams out = p;
+  out.stall_penalty = std::clamp(out.stall_penalty, stall_min, stall_max);
+  out.switch_penalty = std::clamp(out.switch_penalty, switch_min, switch_max);
+  out.hyb_beta = std::clamp(out.hyb_beta, beta_min, beta_max);
+  return out;
+}
+
+}  // namespace lingxi::abr

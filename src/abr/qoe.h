@@ -1,0 +1,57 @@
+// The QoE parameter contract between LingXi and ABR algorithms.
+//
+// LingXi never replaces an ABR; it re-tunes the ABR's optimization objective
+// at runtime (§3, §4). `QoeParams` is the full set of knobs any of the
+// bundled algorithms understands:
+//   * stall_penalty  (mu in Eq. 1)     — MPC/Pensieve-style explicit QoE
+//   * switch_penalty (lambda in Eq. 1) — same
+//   * hyb_beta       (beta, §5.3)      — implicit-objective algorithms (HYB)
+// Each algorithm reads the subset that applies to it and ignores the rest.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lingxi::abr {
+
+struct QoeParams {
+  /// mu: QoE_lin stall-time weight. Paper default: the maximum video quality
+  /// value (4.3 for the default ladder under the linear-Mbps metric).
+  double stall_penalty = 4.3;
+  /// lambda: QoE_lin switching weight. Paper experiments sweep 0..4.
+  double switch_penalty = 1.0;
+  /// beta: HYB aggressiveness — download allowed while d(Q)/C < beta * B.
+  double hyb_beta = 0.8;
+
+  std::string to_string() const;
+  bool operator==(const QoeParams&) const = default;
+};
+
+/// Box constraints for the parameter search, matching the sweeps in §5.2
+/// (stall 1..20, switch 0..4) and §5.3/Fig. 13-15 (beta roughly 0.4..0.95).
+struct ParamSpace {
+  double stall_min = 1.0, stall_max = 20.0;
+  double switch_min = 0.0, switch_max = 4.0;
+  double beta_min = 0.4, beta_max = 0.95;
+
+  /// Which coordinates the optimizer actually searches; un-searched
+  /// coordinates keep their default value. (HYB integration searches only
+  /// beta; MPC/Pensieve integrations search stall+switch.)
+  bool optimize_stall = true;
+  bool optimize_switch = true;
+  bool optimize_beta = false;
+
+  std::size_t dimensions() const noexcept;
+  /// Map params to the searched coordinates, scaled to the unit cube.
+  std::vector<double> to_unit(const QoeParams& p) const;
+  /// Inverse of to_unit; unsearched coordinates come from `base`.
+  QoeParams from_unit(const std::vector<double>& u, const QoeParams& base) const;
+  /// Uniform random point in the unit cube of searched coordinates.
+  std::vector<double> sample_unit(Rng& rng) const;
+  /// Clamp every coordinate of `p` into the box.
+  QoeParams clamp(const QoeParams& p) const;
+};
+
+}  // namespace lingxi::abr

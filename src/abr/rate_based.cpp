@@ -1,0 +1,19 @@
+#include "abr/rate_based.h"
+
+#include "abr/estimator.h"
+#include "common/assert.h"
+
+namespace lingxi::abr {
+
+std::size_t RateBased::select(const sim::AbrObservation& obs) {
+  LINGXI_ASSERT(obs.video != nullptr);
+  if (obs.throughput_history.empty()) return 0;
+  const Kbps estimate = ewma(obs.throughput_history, config_.ewma_alpha);
+  return obs.video->ladder().highest_level_below(config_.safety * estimate);
+}
+
+std::unique_ptr<AbrAlgorithm> RateBased::clone() const {
+  return std::make_unique<RateBased>(*this);
+}
+
+}  // namespace lingxi::abr

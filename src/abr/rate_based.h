@@ -1,0 +1,27 @@
+// Rate-based adaptation (FESTIVE/PANDA family): pick the highest ladder
+// bitrate below a safety fraction of the smoothed throughput estimate.
+#pragma once
+
+#include "abr/abr.h"
+
+namespace lingxi::abr {
+
+class RateBased final : public AbrAlgorithm {
+ public:
+  struct Config {
+    double safety = 0.85;   ///< usable fraction of the estimate
+    double ewma_alpha = 0.3;
+  };
+
+  RateBased() : config_(Config{}) {}
+  explicit RateBased(Config config) : config_(config) {}
+
+  std::string name() const override { return "RateBased"; }
+  std::size_t select(const sim::AbrObservation& obs) override;
+  std::unique_ptr<AbrAlgorithm> clone() const override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace lingxi::abr

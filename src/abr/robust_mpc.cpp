@@ -1,0 +1,76 @@
+#include "abr/robust_mpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "abr/estimator.h"
+#include "common/assert.h"
+
+namespace lingxi::abr {
+
+std::size_t RobustMpc::select(const sim::AbrObservation& obs) {
+  LINGXI_ASSERT(obs.video != nullptr);
+  const auto& video = *obs.video;
+  const auto& ladder = video.ladder();
+  const std::size_t levels = ladder.levels();
+
+  if (obs.throughput_history.empty()) return 0;
+
+  const Kbps estimate = config_.robust ? robust_estimate(obs.throughput_history)
+                                       : harmonic_mean(obs.throughput_history);
+  if (estimate <= 0.0) return 0;
+
+  const std::size_t remaining = video.segment_count() - obs.next_segment;
+  const std::size_t horizon = std::min(config_.horizon, remaining);
+  LINGXI_ASSERT(horizon >= 1);
+
+  const Seconds L = video.segment_duration();
+  const double last_quality =
+      obs.first_segment ? -1.0 : ladder.quality(obs.last_level, config_.metric);
+
+  // Enumerate all level sequences of length `horizon` (levels^horizon).
+  std::size_t total = 1;
+  for (std::size_t h = 0; h < horizon; ++h) total *= levels;
+
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::size_t best_first = 0;
+
+  for (std::size_t code = 0; code < total; ++code) {
+    // Decode `code` into a level sequence (least significant digit first).
+    Seconds buffer = obs.buffer;
+    double score = 0.0;
+    double prev_quality = last_quality;
+    std::size_t c = code;
+    std::size_t first_level = 0;
+    for (std::size_t h = 0; h < horizon; ++h) {
+      const std::size_t level = c % levels;
+      c /= levels;
+      if (h == 0) first_level = level;
+
+      const Bytes size = video.segment_size(obs.next_segment + h, level);
+      const Seconds dl = units::download_time(size, estimate);
+      const Seconds stall = std::max(0.0, dl - buffer);
+      buffer = std::max(0.0, buffer - dl) + L;
+      buffer = std::min(buffer, std::max(obs.buffer_max, L));
+
+      const double quality = ladder.quality(level, config_.metric);
+      score += quality - params_.stall_penalty * stall;
+      if (prev_quality >= 0.0) {
+        score -= params_.switch_penalty * std::fabs(quality - prev_quality);
+      }
+      prev_quality = quality;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_first = first_level;
+    }
+  }
+  return best_first;
+}
+
+std::unique_ptr<AbrAlgorithm> RobustMpc::clone() const {
+  return std::make_unique<RobustMpc>(*this);
+}
+
+}  // namespace lingxi::abr

@@ -1,0 +1,37 @@
+// RobustMPC [Yin et al., SIGCOMM'15]: model-predictive control over a short
+// lookahead horizon. Enumerates all bitrate sequences for the next H
+// segments, rolls the buffer model forward under a conservative
+// (error-discounted harmonic mean) throughput estimate, and picks the first
+// step of the sequence maximizing QoE_lin:
+//     sum q(Q_k) - mu * sum stall_k - lambda * sum |q(Q_{k+1}) - q(Q_k)|
+// mu / lambda come from QoeParams — the knobs LingXi retunes (§5.2).
+#pragma once
+
+#include "abr/abr.h"
+#include "trace/video.h"
+
+namespace lingxi::abr {
+
+class RobustMpc final : public AbrAlgorithm {
+ public:
+  struct Config {
+    std::size_t horizon = 5;
+    trace::QualityMetric metric = trace::QualityMetric::kLinearMbps;
+    /// Use the plain harmonic mean instead of the robust discounted estimate
+    /// (plain MPC ablation).
+    bool robust = true;
+  };
+
+  RobustMpc() : config_(Config{}) {}
+  explicit RobustMpc(Config config) : config_(config) {}
+  RobustMpc(Config config, QoeParams params) : config_(config) { params_ = params; }
+
+  std::string name() const override { return config_.robust ? "RobustMPC" : "MPC"; }
+  std::size_t select(const sim::AbrObservation& obs) override;
+  std::unique_ptr<AbrAlgorithm> clone() const override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace lingxi::abr

@@ -1,0 +1,183 @@
+#include "analytics/experiment.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "user/data_driven.h"
+
+namespace lingxi::analytics {
+namespace {
+
+constexpr Seconds kStallThreshold = 0.05;
+
+/// A stall-driven exit: the user left at the stalled segment or the next one
+/// (the paper's stall-exit definition, §5.5.1).
+bool exited_during_stall(const sim::SessionResult& session) {
+  if (!session.exited || session.segments.empty()) return false;
+  const std::size_t n = session.segments.size();
+  if (session.segments[n - 1].stall_time > kStallThreshold) return true;
+  return n >= 2 && session.segments[n - 2].stall_time > kStallThreshold;
+}
+
+/// Count stall events that were followed by an exit (0 or 1 per session —
+/// the session ends at the exit).
+std::size_t stall_exit_count(const sim::SessionResult& session) {
+  return exited_during_stall(session) ? 1u : 0u;
+}
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^ (b * 0xc2b2ae3d27d4eb4fULL);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+ExperimentConfig::ExperimentConfig() {
+  // The production A/B test tunes HYB's beta (§5.3): search beta only.
+  lingxi.space.optimize_stall = false;
+  lingxi.space.optimize_switch = false;
+  lingxi.space.optimize_beta = true;
+}
+
+PopulationExperiment::PopulationExperiment(
+    ExperimentConfig config, AbrFactory abr_factory,
+    std::function<predictor::HybridExitPredictor()> make_predictor)
+    : config_(std::move(config)),
+      abr_factory_(std::move(abr_factory)),
+      make_predictor_(std::move(make_predictor)) {
+  LINGXI_ASSERT(abr_factory_ != nullptr);
+  LINGXI_ASSERT(make_predictor_ != nullptr);
+  LINGXI_ASSERT(config_.users > 0 && config_.days > 0);
+}
+
+ExperimentResult PopulationExperiment::run(bool treatment, std::uint64_t seed) const {
+  ExperimentResult result;
+  result.daily.resize(config_.days);
+
+  const user::UserPopulation population(config_.population);
+  const trace::PopulationModel networks(config_.network);
+  const trace::VideoGenerator videos(config_.video);
+  const sim::SessionSimulator simulator(config_.session);
+  const trace::BitrateLadder& ladder = config_.video.ladder;
+
+  for (std::size_t u = 0; u < config_.users; ++u) {
+    // Population draws are arm-independent (paired experiment): same user
+    // and network on both arms for a given seed.
+    Rng pop_rng(mix_seed(seed, u, 0));
+    const user::DataDrivenUser::Config base_user = population.sample_config(pop_rng);
+    const trace::NetworkProfile profile = networks.sample(pop_rng);
+
+    auto abr = abr_factory_();
+    const abr::QoeParams default_params = config_.lingxi.default_params;
+    abr->set_params(default_params);
+
+    std::unique_ptr<core::LingXi> lingxi;
+    if (treatment) {
+      lingxi = std::make_unique<core::LingXi>(config_.lingxi, make_predictor_(), ladder);
+    }
+
+    std::size_t user_stall_event_counter = 0;
+
+    for (std::size_t day = 0; day < config_.days; ++day) {
+      // Day-to-day tolerance drift, identical across arms.
+      user::DataDrivenUser::Config day_user_cfg = base_user;
+      if (config_.drift_user_tolerance && day > 0) {
+        Rng drift_rng(mix_seed(seed, u, 100 + day));
+        day_user_cfg.tolerance =
+            std::max(0.5, base_user.tolerance + population.sample_drift(drift_rng));
+      }
+      user::DataDrivenUser user_model(day_user_cfg);
+
+      const bool lingxi_active = treatment && day >= config_.intervention_day;
+
+      UserDayRecord rec;
+      rec.user = u;
+      rec.day = day;
+      double param_beta_sum = 0.0, param_stall_sum = 0.0, bw_sum = 0.0;
+      std::size_t bw_count = 0;
+
+      for (std::size_t s = 0; s < config_.sessions_per_user_day; ++s) {
+        // Paired arms: both arms replay the same per-session world (video,
+        // bandwidth path, exit coin flips), so the treatment series differs
+        // from control only through LingXi's parameter changes. This is the
+        // variance-reduction analogue of the paper's 30M-user population.
+        Rng session_rng(mix_seed(seed, u, (day << 16) | (s + 1)));
+        const trace::Video video = videos.sample(session_rng);
+        auto bw = profile.make_session_model();
+
+        if (!lingxi_active) abr->set_params(default_params);
+        const sim::SessionResult session =
+            simulator.run(video, *abr, *bw, &user_model, session_rng);
+
+        result.daily[day].add(session);
+        rec.watch_time += session.watch_time;
+        rec.stall_time += session.total_stall;
+        rec.stall_events += static_cast<double>(session.stall_events);
+        rec.stall_exits += static_cast<double>(stall_exit_count(session));
+        for (const auto& seg : session.segments) {
+          bw_sum += seg.throughput;
+          ++bw_count;
+        }
+
+        if (treatment) {
+          // Engagement state accumulates from day 0 so the predictor has
+          // history when the intervention starts.
+          lingxi->begin_session();
+          for (const auto& seg : session.segments) lingxi->on_segment(seg);
+          lingxi->end_session(exited_during_stall(session));
+
+          if (lingxi_active) {
+            const Seconds buffer_seed =
+                session.segments.empty() ? 0.0 : session.segments.back().buffer_after;
+            lingxi->maybe_optimize(*abr, buffer_seed, session_rng);
+          }
+        }
+
+        if (config_.record_stall_events && treatment && lingxi_active) {
+          for (const auto& seg : session.segments) {
+            if (seg.stall_time > kStallThreshold) {
+              StallEventRecord ev;
+              ev.user = u;
+              ev.event_index = user_stall_event_counter++;
+              ev.stall_time = seg.stall_time;
+              ev.param_beta_after = abr->params().hyb_beta;
+              ev.param_stall_after = abr->params().stall_penalty;
+              ev.exited = session.exited && seg.index + 2 >= session.segments.size();
+              ev.user_tolerance = day_user_cfg.tolerance;
+              result.stall_events.push_back(ev);
+            }
+          }
+        }
+
+        param_beta_sum += abr->params().hyb_beta;
+        param_stall_sum += abr->params().stall_penalty;
+      }
+
+      rec.mean_beta = param_beta_sum / static_cast<double>(config_.sessions_per_user_day);
+      rec.mean_stall_penalty =
+          param_stall_sum / static_cast<double>(config_.sessions_per_user_day);
+      rec.mean_bandwidth = bw_count > 0 ? bw_sum / static_cast<double>(bw_count) : 0.0;
+      result.user_days.push_back(rec);
+    }
+  }
+  return result;
+}
+
+std::vector<double> relative_daily_gap(const ExperimentResult& treatment,
+                                       const ExperimentResult& control,
+                                       double (MetricAccumulator::*metric)() const) {
+  LINGXI_ASSERT(treatment.daily.size() == control.daily.size());
+  std::vector<double> gaps;
+  gaps.reserve(control.daily.size());
+  for (std::size_t d = 0; d < control.daily.size(); ++d) {
+    const double c = (control.daily[d].*metric)();
+    const double t = (treatment.daily[d].*metric)();
+    gaps.push_back(c != 0.0 ? (t - c) / c : 0.0);
+  }
+  return gaps;
+}
+
+}  // namespace lingxi::analytics

@@ -1,0 +1,111 @@
+// Population experiment driver — the synthetic stand-in for the paper's
+// production A/B infrastructure (§5.3-§5.5).
+//
+// Simulates a fixed population of users over D days. Each user keeps a
+// persistent network profile, user model (with optional day-to-day tolerance
+// drift), and — in the treatment arm — a persistent LingXi instance whose
+// long-term state carries across days. LingXi activates on
+// `intervention_day` (AA period before, AB period after), exactly mirroring
+// the difference-in-differences protocol of Fig. 12.
+//
+// The driver records:
+//   * per-day aggregate metrics (watch time, bitrate, stall) per arm,
+//   * per-user-per-day records (assigned parameter, stall exit rate, mean
+//     bandwidth) for Figs. 13 and 14,
+//   * per-stall-event trajectories (stall time, parameter after update,
+//     exit) for Fig. 15.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "abr/abr.h"
+#include "analytics/metrics.h"
+#include "core/lingxi.h"
+#include "predictor/hybrid.h"
+#include "trace/population.h"
+#include "trace/video.h"
+#include "user/user_population.h"
+
+namespace lingxi::analytics {
+
+struct ExperimentConfig {
+  std::size_t users = 150;
+  std::size_t days = 10;
+  std::size_t sessions_per_user_day = 12;
+  /// Day (0-based) on which LingXi activates in the treatment arm; use
+  /// days (== one past the end) for a pure AA run.
+  std::size_t intervention_day = 5;
+  bool drift_user_tolerance = true;
+  bool record_stall_events = false;
+
+  user::UserPopulation::Config population;
+  trace::PopulationModel::Config network;
+  trace::VideoGenerator::Config video;
+  core::LingXiConfig lingxi;
+  sim::SessionSimulator::Config session;
+
+  ExperimentConfig();
+};
+
+struct UserDayRecord {
+  std::size_t user = 0;
+  std::size_t day = 0;
+  double mean_stall_penalty = 0.0;  ///< LingXi-assigned (or default) params
+  double mean_beta = 0.0;
+  double stall_events = 0.0;
+  double stall_exits = 0.0;         ///< stalls followed by an exit
+  double stall_time = 0.0;
+  double watch_time = 0.0;
+  Kbps mean_bandwidth = 0.0;
+  double stall_exit_rate() const noexcept {
+    return stall_events > 0.0 ? stall_exits / stall_events : 0.0;
+  }
+};
+
+struct StallEventRecord {
+  std::size_t user = 0;
+  std::size_t event_index = 0;  ///< running stall-event count for this user
+  double stall_time = 0.0;
+  double param_beta_after = 0.0;
+  double param_stall_after = 0.0;
+  bool exited = false;
+  double user_tolerance = 0.0;  ///< ground truth for the Fig. 15 narrative
+};
+
+struct ExperimentResult {
+  std::vector<MetricAccumulator> daily;   ///< indexed by day
+  std::vector<UserDayRecord> user_days;
+  std::vector<StallEventRecord> stall_events;
+};
+
+class PopulationExperiment {
+ public:
+  using AbrFactory = std::function<std::unique_ptr<abr::AbrAlgorithm>()>;
+
+  /// `make_predictor` supplies the (shared) hybrid predictor LingXi uses in
+  /// the treatment arm.
+  PopulationExperiment(ExperimentConfig config, AbrFactory abr_factory,
+                       std::function<predictor::HybridExitPredictor()> make_predictor);
+
+  /// Run one arm. `treatment` enables LingXi from intervention_day onward.
+  /// The same `seed` reproduces the same user population / network worlds,
+  /// so control and treatment arms are paired.
+  ExperimentResult run(bool treatment, std::uint64_t seed) const;
+
+  const ExperimentConfig& config() const noexcept { return config_; }
+
+ private:
+  ExperimentConfig config_;
+  AbrFactory abr_factory_;
+  std::function<predictor::HybridExitPredictor()> make_predictor_;
+};
+
+/// Relative per-day gaps (treatment - control) / control for a metric series.
+std::vector<double> relative_daily_gap(const ExperimentResult& treatment,
+                                       const ExperimentResult& control,
+                                       double (MetricAccumulator::*metric)() const);
+
+}  // namespace lingxi::analytics

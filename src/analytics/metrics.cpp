@@ -1,0 +1,38 @@
+#include "analytics/metrics.h"
+
+namespace lingxi::analytics {
+
+void MetricAccumulator::add(const sim::SessionResult& session) {
+  watch_time_ += session.watch_time;
+  stall_time_ += session.total_stall;
+  bitrate_time_ += session.mean_bitrate * session.watch_time;
+  ++sessions_;
+  if (session.completed()) ++completed_;
+  stall_events_ += session.stall_events;
+  switches_ += session.quality_switches;
+}
+
+void MetricAccumulator::merge(const MetricAccumulator& other) {
+  watch_time_ += other.watch_time_;
+  stall_time_ += other.stall_time_;
+  bitrate_time_ += other.bitrate_time_;
+  sessions_ += other.sessions_;
+  completed_ += other.completed_;
+  stall_events_ += other.stall_events_;
+  switches_ += other.switches_;
+}
+
+double MetricAccumulator::mean_bitrate() const noexcept {
+  return watch_time_ > 0.0 ? bitrate_time_ / watch_time_ : 0.0;
+}
+
+double MetricAccumulator::completion_rate() const noexcept {
+  return sessions_ > 0 ? static_cast<double>(completed_) / static_cast<double>(sessions_)
+                       : 0.0;
+}
+
+double MetricAccumulator::stall_per_10k() const noexcept {
+  return watch_time_ > 0.0 ? stall_time_ / watch_time_ * 10000.0 : 0.0;
+}
+
+}  // namespace lingxi::analytics

@@ -1,0 +1,40 @@
+// Aggregation of session results into the QoS/QoE metrics the paper reports:
+// total watch time, time-weighted mean bitrate, total stall time, completion
+// rate, QoE_lin.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/session.h"
+#include "trace/video.h"
+
+namespace lingxi::analytics {
+
+class MetricAccumulator {
+ public:
+  void add(const sim::SessionResult& session);
+  void merge(const MetricAccumulator& other);
+
+  double total_watch_time() const noexcept { return watch_time_; }
+  double total_stall_time() const noexcept { return stall_time_; }
+  /// Watch-time-weighted mean bitrate (kbps).
+  double mean_bitrate() const noexcept;
+  double completion_rate() const noexcept;
+  std::size_t sessions() const noexcept { return sessions_; }
+  std::size_t completed() const noexcept { return completed_; }
+  std::size_t stall_events() const noexcept { return stall_events_; }
+  std::size_t quality_switches() const noexcept { return switches_; }
+  /// Stall seconds per 10000 watch seconds (the unit of Fig. 3(b)).
+  double stall_per_10k() const noexcept;
+
+ private:
+  double watch_time_ = 0.0;
+  double stall_time_ = 0.0;
+  double bitrate_time_ = 0.0;  ///< sum of bitrate * watch_time per session
+  std::size_t sessions_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t stall_events_ = 0;
+  std::size_t switches_ = 0;
+};
+
+}  // namespace lingxi::analytics

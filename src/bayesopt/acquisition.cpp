@@ -1,0 +1,46 @@
+#include "bayesopt/acquisition.h"
+
+#include <cmath>
+
+namespace lingxi::bayesopt {
+namespace {
+
+double normal_pdf(double z) noexcept {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+}
+
+double normal_cdf(double z) noexcept { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+double expected_improvement(double mean, double variance, double best_y) noexcept {
+  const double sd = std::sqrt(variance);
+  if (sd < 1e-12) return best_y - mean > 0.0 ? best_y - mean : 0.0;
+  const double z = (best_y - mean) / sd;
+  return (best_y - mean) * normal_cdf(z) + sd * normal_pdf(z);
+}
+
+double probability_of_improvement(double mean, double variance, double best_y) noexcept {
+  const double sd = std::sqrt(variance);
+  if (sd < 1e-12) return mean < best_y ? 1.0 : 0.0;
+  return normal_cdf((best_y - mean) / sd);
+}
+
+double lower_confidence_bound(double mean, double variance, double kappa) noexcept {
+  return -(mean - kappa * std::sqrt(variance));
+}
+
+double acquisition(AcquisitionKind kind, double mean, double variance,
+                   double best_y) noexcept {
+  switch (kind) {
+    case AcquisitionKind::kExpectedImprovement:
+      return expected_improvement(mean, variance, best_y);
+    case AcquisitionKind::kProbabilityOfImprovement:
+      return probability_of_improvement(mean, variance, best_y);
+    case AcquisitionKind::kLowerConfidenceBound:
+      return lower_confidence_bound(mean, variance);
+  }
+  return 0.0;
+}
+
+}  // namespace lingxi::bayesopt

@@ -1,0 +1,23 @@
+// Acquisition functions (minimization convention): larger = more worth
+// sampling. The paper's OBO maximizes an improvement-rate acquisition; we
+// provide EI (default), PI and LCB for the ablation benches.
+#pragma once
+
+namespace lingxi::bayesopt {
+
+enum class AcquisitionKind { kExpectedImprovement, kProbabilityOfImprovement, kLowerConfidenceBound };
+
+/// Expected improvement below `best_y` at a point with posterior
+/// (mean, variance).
+double expected_improvement(double mean, double variance, double best_y) noexcept;
+
+/// Probability of improving on `best_y`.
+double probability_of_improvement(double mean, double variance, double best_y) noexcept;
+
+/// Negated lower confidence bound (kappa-weighted exploration), so larger
+/// is still better for minimization.
+double lower_confidence_bound(double mean, double variance, double kappa = 2.0) noexcept;
+
+double acquisition(AcquisitionKind kind, double mean, double variance, double best_y) noexcept;
+
+}  // namespace lingxi::bayesopt

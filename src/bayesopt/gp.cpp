@@ -1,0 +1,121 @@
+#include "bayesopt/gp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lingxi::bayesopt {
+
+GaussianProcess::GaussianProcess() : GaussianProcess(GpConfig{}) {}
+
+GaussianProcess::GaussianProcess(GpConfig config) : config_(config) {
+  LINGXI_ASSERT(config_.length_scale > 0.0);
+  LINGXI_ASSERT(config_.signal_variance > 0.0);
+  LINGXI_ASSERT(config_.noise_variance >= 0.0);
+}
+
+double GaussianProcess::kernel(const std::vector<double>& a,
+                               const std::vector<double>& b) const {
+  LINGXI_DASSERT(a.size() == b.size());
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return config_.signal_variance *
+         std::exp(-0.5 * d2 / (config_.length_scale * config_.length_scale));
+}
+
+void GaussianProcess::observe(const std::vector<double>& x, double y) {
+  LINGXI_ASSERT(!x.empty());
+  if (!xs_.empty()) LINGXI_ASSERT(x.size() == xs_.front().size());
+  xs_.push_back(x);
+  ys_.push_back(y);
+  refit();
+}
+
+void GaussianProcess::refit() {
+  const std::size_t n = xs_.size();
+  y_mean_ = 0.0;
+  for (double y : ys_) y_mean_ += y;
+  y_mean_ /= static_cast<double>(n);
+
+  // K + noise*I, then in-place Cholesky (lower).
+  chol_.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double v = kernel(xs_[i], xs_[j]);
+      if (i == j) v += config_.noise_variance + 1e-10;  // jitter
+      chol_[i * n + j] = v;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = chol_[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= chol_[i * n + k] * chol_[j * n + k];
+      if (i == j) {
+        LINGXI_ASSERT(sum > 0.0);
+        chol_[i * n + j] = std::sqrt(sum);
+      } else {
+        chol_[i * n + j] = sum / chol_[j * n + j];
+      }
+    }
+  }
+  // alpha = K^-1 (y - mean) via two triangular solves.
+  alpha_.assign(n, 0.0);
+  std::vector<double> z(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = ys_[i] - y_mean_;
+    for (std::size_t k = 0; k < i; ++k) sum -= chol_[i * n + k] * z[k];
+    z[i] = sum / chol_[i * n + i];
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = z[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= chol_[k * n + i] * alpha_[k];
+    alpha_[i] = sum / chol_[i * n + i];
+  }
+}
+
+GpPrediction GaussianProcess::predict(const std::vector<double>& x) const {
+  GpPrediction p;
+  const std::size_t n = xs_.size();
+  if (n == 0) {
+    p.mean = 0.0;
+    p.variance = config_.signal_variance;
+    return p;
+  }
+  std::vector<double> k_star(n);
+  for (std::size_t i = 0; i < n; ++i) k_star[i] = kernel(x, xs_[i]);
+
+  p.mean = y_mean_;
+  for (std::size_t i = 0; i < n; ++i) p.mean += k_star[i] * alpha_[i];
+
+  // v = L^-1 k_star; var = k(x,x) - v.v
+  std::vector<double> v(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = k_star[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= chol_[i * n + k] * v[k];
+    v[i] = sum / chol_[i * n + i];
+  }
+  double vv = 0.0;
+  for (double vi : v) vv += vi * vi;
+  p.variance = std::max(0.0, kernel(x, x) - vv);
+  return p;
+}
+
+double GaussianProcess::best_y() const {
+  LINGXI_ASSERT(!ys_.empty());
+  return *std::min_element(ys_.begin(), ys_.end());
+}
+
+const std::vector<double>& GaussianProcess::best_x() const {
+  LINGXI_ASSERT(!ys_.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ys_.size(); ++i) {
+    if (ys_[i] < ys_[best]) best = i;
+  }
+  return xs_[best];
+}
+
+}  // namespace lingxi::bayesopt

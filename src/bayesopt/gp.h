@@ -1,0 +1,54 @@
+// Gaussian-process regression surrogate (§3.1).
+//
+// Squared-exponential kernel with observation noise, exact inference via
+// Cholesky factorization. Observation counts in LingXi are tiny (one OBO
+// round samples ~10 candidates), so O(n^3) refits are negligible.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lingxi::bayesopt {
+
+struct GpConfig {
+  double length_scale = 0.25;  ///< in unit-cube coordinates
+  double signal_variance = 1.0;
+  double noise_variance = 1e-4;
+};
+
+struct GpPrediction {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+class GaussianProcess {
+ public:
+  GaussianProcess();  // default config
+  explicit GaussianProcess(GpConfig config);
+
+  /// Add one observation y = f(x). Points must share a dimension.
+  void observe(const std::vector<double>& x, double y);
+
+  /// Posterior at `x` (prior if no observations yet). Targets are internally
+  /// centered on their mean, so the prior mean tracks the data.
+  GpPrediction predict(const std::vector<double>& x) const;
+
+  std::size_t observations() const noexcept { return xs_.size(); }
+  /// Lowest observed target and its location (minimization convention).
+  double best_y() const;
+  const std::vector<double>& best_x() const;
+
+ private:
+  void refit();
+  double kernel(const std::vector<double>& a, const std::vector<double>& b) const;
+
+  GpConfig config_;
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> ys_;
+  double y_mean_ = 0.0;
+  // Cholesky factor L of (K + noise*I) and alpha = K^-1 (y - mean).
+  std::vector<double> chol_;   // row-major lower triangular, n x n
+  std::vector<double> alpha_;
+};
+
+}  // namespace lingxi::bayesopt

@@ -1,0 +1,70 @@
+#include "bayesopt/obo.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace lingxi::bayesopt {
+
+OnlineBayesOpt::OnlineBayesOpt(std::size_t dimensions, Config config)
+    : dims_(dimensions), config_(config), gp_(config.gp) {
+  LINGXI_ASSERT(dims_ >= 1);
+  LINGXI_ASSERT(config_.candidate_grid >= 1);
+}
+
+OnlineBayesOpt::OnlineBayesOpt(std::size_t dimensions)
+    : OnlineBayesOpt(dimensions, Config{}) {}
+
+void OnlineBayesOpt::warm_start(const std::vector<double>& x) {
+  LINGXI_ASSERT(x.size() == dims_);
+  warm_start_ = x;
+  has_warm_start_ = true;
+  warm_start_used_ = false;
+}
+
+std::vector<double> OnlineBayesOpt::next_candidate(Rng& rng) {
+  // The warm-start point is always evaluated first: it anchors the GP at the
+  // previous optimum.
+  if (has_warm_start_ && !warm_start_used_) {
+    warm_start_used_ = true;
+    return warm_start_;
+  }
+  auto random_point = [&] {
+    std::vector<double> x(dims_);
+    for (double& v : x) v = rng.uniform();
+    return x;
+  };
+  if (gp_.observations() < config_.bootstrap_samples) return random_point();
+
+  const double best_y = gp_.best_y();
+  const std::vector<double>& incumbent = gp_.best_x();
+
+  std::vector<double> best_x;
+  double best_acq = -1e300;
+  auto consider = [&](std::vector<double> x) {
+    const GpPrediction p = gp_.predict(x);
+    const double a = acquisition(config_.acquisition, p.mean, p.variance, best_y);
+    if (a > best_acq) {
+      best_acq = a;
+      best_x = std::move(x);
+    }
+  };
+
+  for (std::size_t i = 0; i < config_.candidate_grid; ++i) consider(random_point());
+  for (std::size_t i = 0; i < config_.local_perturbations; ++i) {
+    std::vector<double> x = incumbent;
+    for (double& v : x) {
+      v = std::clamp(v + rng.normal(0.0, config_.perturbation_sd), 0.0, 1.0);
+    }
+    consider(std::move(x));
+  }
+  LINGXI_ASSERT(!best_x.empty());
+  return best_x;
+}
+
+void OnlineBayesOpt::update(const std::vector<double>& x, double y) {
+  LINGXI_ASSERT(x.size() == dims_);
+  gp_.observe(x, y);
+}
+
+}  // namespace lingxi::bayesopt

@@ -1,0 +1,29 @@
+// Contract-checking macros.
+//
+// LINGXI_ASSERT   — precondition / invariant check, active in all build types.
+//                   Violations indicate a programming error and abort.
+// LINGXI_DASSERT  — debug-only assert for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lingxi::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "lingxi: contract violation: (%s) at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace lingxi::detail
+
+#define LINGXI_ASSERT(expr)                                            \
+  do {                                                                 \
+    if (!(expr)) ::lingxi::detail::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (false)
+
+#ifdef NDEBUG
+#define LINGXI_DASSERT(expr) ((void)0)
+#else
+#define LINGXI_DASSERT(expr) LINGXI_ASSERT(expr)
+#endif

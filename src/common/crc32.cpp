@@ -1,0 +1,35 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace lingxi {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xedb88320u;  // reflected IEEE polynomial
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < len; ++i) crc = kTable[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  return ~crc;
+}
+
+std::uint32_t crc32(const void* data, std::size_t len) noexcept {
+  return crc32_update(0u, data, len);
+}
+
+}  // namespace lingxi

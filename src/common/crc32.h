@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected).
+//
+// Used by lingxi::logstore to checksum persisted state records so corrupt
+// or truncated files are detected at load time instead of poisoning the
+// per-user personalization state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lingxi {
+
+/// One-shot CRC-32 of `len` bytes at `data`.
+std::uint32_t crc32(const void* data, std::size_t len) noexcept;
+
+/// Incremental form: seed with 0, feed chunks, result is identical to
+/// the one-shot call over the concatenation.
+std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t len) noexcept;
+
+}  // namespace lingxi

@@ -1,0 +1,94 @@
+// Lightweight Expected<T> error channel.
+//
+// Recoverable failures (I/O, parse errors, bad configuration files) are
+// returned as values; exceptions are reserved for contract violations.
+// This mirrors std::expected (C++23), which is not yet available on the
+// pinned toolchain.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/assert.h"
+
+namespace lingxi {
+
+/// Error category + human-readable message.
+struct Error {
+  enum class Code {
+    kIo,            ///< file open/read/write failure
+    kCorrupt,       ///< checksum / magic / version mismatch in stored data
+    kParse,         ///< malformed text input
+    kInvalidArg,    ///< caller-supplied configuration rejected
+    kNotFound,      ///< requested record absent
+  };
+
+  Code code;
+  std::string message;
+
+  static Error io(std::string msg) { return {Code::kIo, std::move(msg)}; }
+  static Error corrupt(std::string msg) { return {Code::kCorrupt, std::move(msg)}; }
+  static Error parse(std::string msg) { return {Code::kParse, std::move(msg)}; }
+  static Error invalid_arg(std::string msg) { return {Code::kInvalidArg, std::move(msg)}; }
+  static Error not_found(std::string msg) { return {Code::kNotFound, std::move(msg)}; }
+};
+
+/// Holds either a T or an Error. Access to the wrong alternative asserts.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : v_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Expected(Error error) : v_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+
+  bool has_value() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  T& value() & {
+    LINGXI_ASSERT(has_value());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    LINGXI_ASSERT(has_value());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    LINGXI_ASSERT(has_value());
+    return std::get<T>(std::move(v_));
+  }
+
+  const Error& error() const {
+    LINGXI_ASSERT(!has_value());
+    return std::get<Error>(v_);
+  }
+
+  T value_or(T fallback) const& { return has_value() ? std::get<T>(v_) : std::move(fallback); }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Expected<void> analogue for operations with no result payload.
+class Status {
+ public:
+  Status() = default;                                     // success
+  Status(Error error) : error_(std::move(error)), ok_(false) {}  // NOLINT
+
+  bool ok() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+  const Error& error() const {
+    LINGXI_ASSERT(!ok_);
+    return error_;
+  }
+
+ private:
+  Error error_{Error::Code::kIo, {}};
+  bool ok_ = true;
+};
+
+}  // namespace lingxi

@@ -1,0 +1,44 @@
+// Streaming first/second-moment accumulation (Welford's algorithm).
+//
+// Used throughout the simulator and analytics code to aggregate metrics
+// without buffering every sample: bandwidth estimation windows, A/B daily
+// aggregates, Monte Carlo rollup, GP observation normalization.
+#pragma once
+
+#include <cstddef>
+
+namespace lingxi {
+
+/// Numerically stable running mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  /// Merge another accumulator (parallel reduction), Chan et al. update.
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  /// Mean of the samples; 0 when empty.
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const noexcept;
+  /// Square root of variance().
+  double stddev() const noexcept;
+  /// Population variance (divide by n); 0 when empty.
+  double population_variance() const noexcept;
+  /// Standard error of the mean; 0 when fewer than two samples.
+  double stderr_mean() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace lingxi

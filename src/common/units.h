@@ -1,0 +1,41 @@
+// Domain units and conversions.
+//
+// The streaming stack mixes kilobits-per-second (ladder bitrates, throughput),
+// bytes (segment sizes) and seconds (buffer, stall, durations). To keep call
+// sites readable without a heavyweight unit library we use doubles with
+// suffix-named helpers and centralize every conversion here.
+#pragma once
+
+namespace lingxi {
+
+/// Kilobits per second. All ladder bitrates and throughputs use this unit.
+using Kbps = double;
+/// Seconds. All durations (buffer, stall, segment length, RTT) use this unit.
+using Seconds = double;
+/// Bytes. Segment sizes on the wire.
+using Bytes = double;
+
+namespace units {
+
+constexpr double kBitsPerByte = 8.0;
+constexpr double kBitsPerKilobit = 1000.0;
+
+/// Size in bytes of `duration` seconds of media encoded at `bitrate` kbps.
+constexpr Bytes segment_bytes(Kbps bitrate, Seconds duration) {
+  return bitrate * kBitsPerKilobit / kBitsPerByte * duration;
+}
+
+/// Time to download `size` bytes at `throughput` kbps. throughput must be > 0.
+constexpr Seconds download_time(Bytes size, Kbps throughput) {
+  return size * kBitsPerByte / (throughput * kBitsPerKilobit);
+}
+
+/// Throughput in kbps achieved downloading `size` bytes in `time` seconds.
+constexpr Kbps throughput_kbps(Bytes size, Seconds time) {
+  return size * kBitsPerByte / kBitsPerKilobit / time;
+}
+
+constexpr Kbps mbps(double v) { return v * 1000.0; }
+
+}  // namespace units
+}  // namespace lingxi

@@ -1,0 +1,130 @@
+// LingXi: the user-level QoE adjustment controller (Algorithm 1).
+//
+// One LingXi instance accompanies one user. During playback it ingests
+// per-segment records (building the engagement state and the client-side
+// bandwidth distribution N(mu, sigma^2)). When the user has accumulated more
+// than `trigger_stall_threshold` stall events since the last optimization,
+// the next maybe_optimize() call runs one OBO round:
+//
+//   OBO.init(x*, N, S, E_player)
+//   while sample_time < T_s:
+//       x      <- OBO.next_candidate()
+//       R_exit <- EvaluateParameters(x, N, S, E_player)     // Monte Carlo
+//       OBO.update(x, R_exit); track the best x*
+//   ABR.update(x*)
+//
+// Deployment behaviours from §4 are implemented here too:
+//   * trigger threshold eta = 2 stall events (Fig. 8 trade-off);
+//   * pre-playback pruning — skip optimization when mu - 3*sigma > Q_max
+//     (stalls are statistically impossible, nothing to personalize);
+//   * virtual-playback pruning — inherited from sim::MonteCarloEvaluator;
+//   * durable long-term state via snapshot()/restore() (logstore).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "abr/abr.h"
+#include "bayesopt/obo.h"
+#include "logstore/state_store.h"
+#include "predictor/hybrid.h"
+#include "sim/monte_carlo.h"
+
+namespace lingxi::core {
+
+struct LingXiConfig {
+  abr::ParamSpace space;
+  abr::QoeParams default_params;
+  /// eta: stall events since the last optimization needed to trigger OBO.
+  std::size_t trigger_stall_threshold = 2;
+  /// T_s: candidate evaluations per OBO round.
+  std::size_t obo_rounds = 8;
+  sim::MonteCarloConfig monte_carlo;
+  sim::SessionSimulator::Config virtual_session;
+  bayesopt::OnlineBayesOpt::Config obo;
+  bool enable_preplay_pruning = true;
+  /// Temporal correlation assumed for rollout bandwidth. 0 reproduces the
+  /// paper's iid N(mu, sigma^2) draws (Eq. 3); positive values roll out an
+  /// AR(1) process with the same stationary distribution, which models the
+  /// sustained dips that actually cause stalls on real links.
+  double rollout_rho = 0.85;
+  /// Robust-control bias for rollouts: the virtual network's mean is
+  /// mu - rollout_pessimism * sigma. The client window lags session-level
+  /// network shifts, so evaluating candidates against a lower quantile keeps
+  /// over-aggressive parameters from looking safe.
+  double rollout_pessimism = 0.5;
+  /// "No Negative Influence" (Table 1): a challenger is adopted only when
+  /// its estimated exit rate undercuts the incumbent's estimate by this
+  /// relative margin, so Monte Carlo noise cannot ratchet the user onto
+  /// worse parameters. The incumbent is always evaluated first.
+  double adoption_margin = 0.2;
+  /// Rolling window for the client bandwidth distribution estimate.
+  std::size_t bandwidth_window = 64;
+  Seconds segment_duration = 1.0;
+  /// L(F) mode (§5.2): when non-empty, each optimization evaluates exactly
+  /// this fixed candidate list instead of OBO proposals. Empty = L(B), full
+  /// Bayesian optimization.
+  std::vector<abr::QoeParams> fixed_candidates;
+
+  LingXiConfig();
+};
+
+/// Counters for the ablation benches and deployment monitoring.
+struct LingXiStats {
+  std::uint64_t triggers = 0;             ///< threshold crossings observed
+  std::uint64_t optimizations_run = 0;    ///< OBO rounds actually executed
+  std::uint64_t pruned_preplay = 0;       ///< skipped via mu-3sigma rule
+  std::uint64_t mc_evaluations = 0;       ///< candidate evaluations
+  std::uint64_t mc_rollouts_pruned = 0;   ///< Monte Carlo early exits
+};
+
+class LingXi {
+ public:
+  /// `ladder` must match the videos served to this user.
+  LingXi(LingXiConfig config, predictor::HybridExitPredictor predictor,
+         trace::BitrateLadder ladder);
+
+  /// -- live playback hooks -------------------------------------------------
+  void begin_session();
+  /// Feed the segment just played (drives engagement state, bandwidth model
+  /// and the trigger counter).
+  void on_segment(const sim::SegmentRecord& segment);
+  /// The session ended; `exited_during_stall` marks a stall-driven exit
+  /// (feeds the stall-exit engagement channel).
+  void end_session(bool exited_during_stall);
+
+  /// -- optimization --------------------------------------------------------
+  /// True when the trigger condition (stall_count > eta) holds.
+  bool should_optimize() const noexcept;
+  /// Run one OBO round if triggered (Algorithm 1 lines 6-20). `abr` is the
+  /// live algorithm: used as the rollout prototype and updated in place with
+  /// the optimized parameters. `current_buffer` seeds the virtual player.
+  /// Returns the new parameters when an optimization ran.
+  std::optional<abr::QoeParams> maybe_optimize(abr::AbrAlgorithm& abr,
+                                               Seconds current_buffer, Rng& rng);
+
+  /// -- state ---------------------------------------------------------------
+  const abr::QoeParams& current_params() const noexcept { return current_params_; }
+  const predictor::EngagementState& engagement() const noexcept { return engagement_; }
+  const LingXiStats& stats() const noexcept { return stats_; }
+  /// Client bandwidth distribution estimate (mean, sd) in kbps.
+  std::pair<Kbps, Kbps> bandwidth_estimate() const;
+
+  logstore::UserState snapshot() const;
+  void restore(const logstore::UserState& state);
+
+ private:
+  LingXiConfig config_;
+  predictor::HybridExitPredictor predictor_;
+  trace::BitrateLadder ladder_;
+  predictor::EngagementState engagement_;
+  abr::QoeParams current_params_;
+  bool has_optimized_ = false;
+  std::size_t stalls_since_optimization_ = 0;
+  std::deque<Kbps> bandwidth_window_;
+  LingXiStats stats_;
+};
+
+}  // namespace lingxi::core

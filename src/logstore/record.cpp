@@ -1,0 +1,102 @@
+#include "logstore/record.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/crc32.h"
+
+namespace lingxi::logstore {
+namespace {
+
+constexpr char kMagic[4] = {'L', 'X', 'R', 'C'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kMaxPayload = 64u << 20;  // 64 MiB sanity bound
+
+}  // namespace
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<unsigned char>((v >> (8 * i)) & 0xffu));
+}
+
+void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<unsigned char>((v >> (8 * i)) & 0xffu));
+}
+
+void put_f64(std::vector<unsigned char>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+bool get_u32(const std::vector<unsigned char>& in, std::size_t& pos, std::uint32_t& v) {
+  if (pos + 4 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[pos + i]) << (8 * i);
+  pos += 4;
+  return true;
+}
+
+bool get_u64(const std::vector<unsigned char>& in, std::size_t& pos, std::uint64_t& v) {
+  if (pos + 8 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[pos + i]) << (8 * i);
+  pos += 8;
+  return true;
+}
+
+bool get_f64(const std::vector<unsigned char>& in, std::size_t& pos, double& v) {
+  std::uint64_t bits = 0;
+  if (!get_u64(in, pos, bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+void write_record(std::vector<unsigned char>& out,
+                  const std::vector<unsigned char>& payload) {
+  out.insert(out.end(), kMagic, kMagic + 4);
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32(out, crc32(payload.data(), payload.size()));
+}
+
+Expected<std::vector<unsigned char>> read_record(const std::vector<unsigned char>& bytes,
+                                                 std::size_t& pos) {
+  if (pos + 4 > bytes.size() || std::memcmp(bytes.data() + pos, kMagic, 4) != 0) {
+    return Error::corrupt("record magic mismatch");
+  }
+  pos += 4;
+  std::uint32_t version = 0, len = 0;
+  if (!get_u32(bytes, pos, version)) return Error::corrupt("truncated record header");
+  if (version != kVersion) return Error::corrupt("unsupported record version");
+  if (!get_u32(bytes, pos, len)) return Error::corrupt("truncated record header");
+  if (len > kMaxPayload) return Error::corrupt("record payload too large");
+  if (pos + len + 4 > bytes.size()) return Error::corrupt("truncated record payload");
+  std::vector<unsigned char> payload(bytes.begin() + static_cast<long>(pos),
+                                     bytes.begin() + static_cast<long>(pos + len));
+  pos += len;
+  std::uint32_t stored = 0;
+  get_u32(bytes, pos, stored);
+  if (stored != crc32(payload.data(), payload.size())) {
+    return Error::corrupt("record CRC mismatch");
+  }
+  return payload;
+}
+
+Status write_file(const std::string& path, const std::vector<unsigned char>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Error::io("cannot open for write: " + path);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f) return Error::io("write failed: " + path);
+  return {};
+}
+
+Expected<std::vector<unsigned char>> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Error::io("cannot open: " + path);
+  return std::vector<unsigned char>((std::istreambuf_iterator<char>(f)),
+                                    std::istreambuf_iterator<char>());
+}
+
+}  // namespace lingxi::logstore

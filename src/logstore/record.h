@@ -1,0 +1,37 @@
+// Framed binary records: the storage primitive behind the state store.
+//
+// Layout per record: magic "LXRC" | u32 version | u32 payload_len |
+// payload bytes | u32 crc32(payload). Readers verify magic, version,
+// length bounds and checksum, so truncated or bit-flipped files surface as
+// Error::kCorrupt instead of silently corrupt personalization state.
+// This replaces the paper's HDF5 long-term state files (§4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+
+namespace lingxi::logstore {
+
+/// Append one framed record to `out`.
+void write_record(std::vector<unsigned char>& out, const std::vector<unsigned char>& payload);
+
+/// Read the record starting at `pos` in `bytes`; advances `pos` past it.
+Expected<std::vector<unsigned char>> read_record(const std::vector<unsigned char>& bytes,
+                                                 std::size_t& pos);
+
+/// Little-endian primitive packing helpers shared by payload codecs.
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v);
+void put_u64(std::vector<unsigned char>& out, std::uint64_t v);
+void put_f64(std::vector<unsigned char>& out, double v);
+bool get_u32(const std::vector<unsigned char>& in, std::size_t& pos, std::uint32_t& v);
+bool get_u64(const std::vector<unsigned char>& in, std::size_t& pos, std::uint64_t& v);
+bool get_f64(const std::vector<unsigned char>& in, std::size_t& pos, double& v);
+
+/// Whole-file helpers.
+Status write_file(const std::string& path, const std::vector<unsigned char>& bytes);
+Expected<std::vector<unsigned char>> read_file(const std::string& path);
+
+}  // namespace lingxi::logstore

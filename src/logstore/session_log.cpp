@@ -1,0 +1,116 @@
+#include "logstore/session_log.h"
+
+#include "logstore/record.h"
+
+namespace lingxi::logstore {
+
+bool SessionLogEntry::operator==(const SessionLogEntry& other) const {
+  if (user_id != other.user_id || timestamp != other.timestamp ||
+      video_duration != other.video_duration || session.exited != other.session.exited ||
+      session.watch_time != other.session.watch_time ||
+      session.segments.size() != other.session.segments.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < session.segments.size(); ++i) {
+    const auto& a = session.segments[i];
+    const auto& b = other.session.segments[i];
+    if (a.level != b.level || a.bitrate != b.bitrate || a.size != b.size ||
+        a.throughput != b.throughput || a.download_time != b.download_time ||
+        a.stall_time != b.stall_time || a.buffer_after != b.buffer_after) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<unsigned char> encode_session(const SessionLogEntry& entry) {
+  std::vector<unsigned char> p;
+  put_u64(p, entry.user_id);
+  put_u64(p, entry.timestamp);
+  put_f64(p, entry.video_duration);
+  put_u32(p, entry.session.exited ? 1u : 0u);
+  put_f64(p, entry.session.watch_time);
+  put_f64(p, entry.session.startup_delay);
+  put_f64(p, entry.session.total_stall);
+  put_u32(p, static_cast<std::uint32_t>(entry.session.segments.size()));
+  for (const auto& seg : entry.session.segments) {
+    put_u32(p, static_cast<std::uint32_t>(seg.level));
+    put_f64(p, seg.position);
+    put_f64(p, seg.bitrate);
+    put_f64(p, seg.size);
+    put_f64(p, seg.throughput);
+    put_f64(p, seg.download_time);
+    put_f64(p, seg.stall_time);
+    put_f64(p, seg.buffer_before);
+    put_f64(p, seg.buffer_after);
+    put_f64(p, seg.cumulative_stall);
+    put_u32(p, static_cast<std::uint32_t>(seg.cumulative_stall_events));
+  }
+  return p;
+}
+
+Expected<SessionLogEntry> decode_session(const std::vector<unsigned char>& payload) {
+  SessionLogEntry e;
+  std::size_t pos = 0;
+  std::uint32_t exited = 0, count = 0;
+  if (!get_u64(payload, pos, e.user_id) || !get_u64(payload, pos, e.timestamp) ||
+      !get_f64(payload, pos, e.video_duration) || !get_u32(payload, pos, exited) ||
+      !get_f64(payload, pos, e.session.watch_time) ||
+      !get_f64(payload, pos, e.session.startup_delay) ||
+      !get_f64(payload, pos, e.session.total_stall) || !get_u32(payload, pos, count)) {
+    return Error::corrupt("truncated session header");
+  }
+  if (count > 1u << 20) return Error::corrupt("segment count out of range");
+  e.session.exited = exited != 0;
+  e.session.segments.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto& seg = e.session.segments[i];
+    seg.index = i;
+    std::uint32_t level = 0, events = 0;
+    const bool ok = get_u32(payload, pos, level) && get_f64(payload, pos, seg.position) &&
+                    get_f64(payload, pos, seg.bitrate) && get_f64(payload, pos, seg.size) &&
+                    get_f64(payload, pos, seg.throughput) &&
+                    get_f64(payload, pos, seg.download_time) &&
+                    get_f64(payload, pos, seg.stall_time) &&
+                    get_f64(payload, pos, seg.buffer_before) &&
+                    get_f64(payload, pos, seg.buffer_after) &&
+                    get_f64(payload, pos, seg.cumulative_stall) &&
+                    get_u32(payload, pos, events);
+    if (!ok) return Error::corrupt("truncated segment record");
+    seg.level = level;
+    seg.cumulative_stall_events = events;
+  }
+  if (pos != payload.size()) return Error::corrupt("trailing bytes in session payload");
+  return e;
+}
+
+void SessionLogWriter::append(const SessionLogEntry& entry) {
+  write_record(bytes_, encode_session(entry));
+  ++entries_;
+}
+
+Status SessionLogWriter::save(const std::string& path) const {
+  return write_file(path, bytes_);
+}
+
+Expected<std::vector<SessionLogEntry>> SessionLogReader::read_bytes(
+    const std::vector<unsigned char>& bytes) {
+  std::vector<SessionLogEntry> entries;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    auto payload = read_record(bytes, pos);
+    if (!payload) return payload.error();
+    auto entry = decode_session(*payload);
+    if (!entry) return entry.error();
+    entries.push_back(std::move(*entry));
+  }
+  return entries;
+}
+
+Expected<std::vector<SessionLogEntry>> SessionLogReader::load(const std::string& path) {
+  auto bytes = read_file(path);
+  if (!bytes) return bytes.error();
+  return read_bytes(*bytes);
+}
+
+}  // namespace lingxi::logstore

@@ -1,0 +1,104 @@
+#include "logstore/state_store.h"
+
+#include <utility>
+
+#include "logstore/record.h"
+
+namespace lingxi::logstore {
+namespace {
+
+void put_vec(std::vector<unsigned char>& out, const std::vector<double>& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (double x : v) put_f64(out, x);
+}
+
+bool get_vec(const std::vector<unsigned char>& in, std::size_t& pos, std::vector<double>& v) {
+  std::uint32_t n = 0;
+  if (!get_u32(in, pos, n)) return false;
+  if (n > 1024) return false;  // history vectors are capped at 8 in practice
+  v.resize(n);
+  for (auto& x : v) {
+    if (!get_f64(in, pos, x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void StateStore::put(std::uint64_t user_id, UserState state) {
+  states_[user_id] = std::move(state);
+}
+
+std::optional<UserState> StateStore::get(std::uint64_t user_id) const {
+  const auto it = states_.find(user_id);
+  if (it == states_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool StateStore::contains(std::uint64_t user_id) const {
+  return states_.find(user_id) != states_.end();
+}
+
+std::vector<unsigned char> StateStore::encode(std::uint64_t user_id, const UserState& state) {
+  std::vector<unsigned char> p;
+  put_u64(p, user_id);
+  put_vec(p, state.engagement.stall_durations);
+  put_vec(p, state.engagement.stall_intervals);
+  put_vec(p, state.engagement.stall_exit_intervals);
+  put_f64(p, state.engagement.total_watch_time);
+  put_u64(p, state.engagement.total_stall_events);
+  put_u64(p, state.engagement.total_stall_exits);
+  put_f64(p, state.best_params.stall_penalty);
+  put_f64(p, state.best_params.switch_penalty);
+  put_f64(p, state.best_params.hyb_beta);
+  put_u32(p, state.has_params ? 1u : 0u);
+  return p;
+}
+
+Expected<std::pair<std::uint64_t, UserState>> StateStore::decode(
+    const std::vector<unsigned char>& payload) {
+  std::size_t pos = 0;
+  std::uint64_t user_id = 0;
+  UserState s;
+  std::uint32_t has_params = 0;
+  const bool ok = get_u64(payload, pos, user_id) &&
+                  get_vec(payload, pos, s.engagement.stall_durations) &&
+                  get_vec(payload, pos, s.engagement.stall_intervals) &&
+                  get_vec(payload, pos, s.engagement.stall_exit_intervals) &&
+                  get_f64(payload, pos, s.engagement.total_watch_time) &&
+                  get_u64(payload, pos, s.engagement.total_stall_events) &&
+                  get_u64(payload, pos, s.engagement.total_stall_exits) &&
+                  get_f64(payload, pos, s.best_params.stall_penalty) &&
+                  get_f64(payload, pos, s.best_params.switch_penalty) &&
+                  get_f64(payload, pos, s.best_params.hyb_beta) &&
+                  get_u32(payload, pos, has_params);
+  if (!ok || pos != payload.size()) return Error::corrupt("malformed user state payload");
+  s.has_params = has_params != 0;
+  return std::make_pair(user_id, std::move(s));
+}
+
+Status StateStore::save(const std::string& path) const {
+  std::vector<unsigned char> bytes;
+  for (const auto& [id, state] : states_) {
+    write_record(bytes, encode(id, state));
+  }
+  return write_file(path, bytes);
+}
+
+Status StateStore::load(const std::string& path) {
+  auto bytes = read_file(path);
+  if (!bytes) return bytes.error();
+  std::unordered_map<std::uint64_t, UserState> loaded;
+  std::size_t pos = 0;
+  while (pos < bytes->size()) {
+    auto payload = read_record(*bytes, pos);
+    if (!payload) return payload.error();
+    auto entry = StateStore::decode(*payload);
+    if (!entry) return entry.error();
+    loaded[entry->first] = std::move(entry->second);
+  }
+  states_ = std::move(loaded);
+  return {};
+}
+
+}  // namespace lingxi::logstore

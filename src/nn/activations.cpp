@@ -1,0 +1,38 @@
+#include "nn/activations.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lingxi::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+  last_input_ = input;
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::max(0.0, out[i]);
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  LINGXI_ASSERT(grad_output.same_shape(last_input_));
+  Tensor grad_in = grad_output;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    if (last_input_[i] <= 0.0) grad_in[i] = 0.0;
+  }
+  return grad_in;
+}
+
+Tensor softmax(const Tensor& logits) {
+  LINGXI_ASSERT(logits.rank() == 1);
+  Tensor out = logits;
+  double mx = out[0];
+  for (std::size_t i = 1; i < out.size(); ++i) mx = std::max(mx, out[i]);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::exp(out[i] - mx);
+    sum += out[i];
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] /= sum;
+  return out;
+}
+
+}  // namespace lingxi::nn

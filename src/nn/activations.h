@@ -1,0 +1,20 @@
+// Activation layers and softmax helpers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace lingxi::nn {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor last_input_;
+};
+
+/// Numerically stable softmax over a rank-1 tensor.
+Tensor softmax(const Tensor& logits);
+
+}  // namespace lingxi::nn

@@ -1,0 +1,59 @@
+#include "nn/conv1d.h"
+
+namespace lingxi::nn {
+
+Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel, Rng& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      w_({out_channels, in_channels, kernel}),
+      b_({out_channels}),
+      gw_({out_channels, in_channels, kernel}),
+      gb_({out_channels}) {
+  LINGXI_ASSERT(kernel_ > 0);
+  he_init(w_, in_channels * kernel, rng);
+}
+
+Tensor Conv1D::forward(const Tensor& input) {
+  LINGXI_ASSERT(input.rank() == 2 && input.dim(0) == in_ch_);
+  const std::size_t len = input.dim(1);
+  LINGXI_ASSERT(len >= kernel_);
+  last_input_ = input;
+  const std::size_t out_len = len - kernel_ + 1;
+  Tensor out({out_ch_, out_len});
+  for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+    for (std::size_t t = 0; t < out_len; ++t) {
+      double acc = b_[oc];
+      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+        for (std::size_t k = 0; k < kernel_; ++k) {
+          acc += w_.at(oc, ic, k) * input.at(ic, t + k);
+        }
+      }
+      out.at(oc, t) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Conv1D::backward(const Tensor& grad_output) {
+  const std::size_t len = last_input_.dim(1);
+  const std::size_t out_len = len - kernel_ + 1;
+  LINGXI_ASSERT(grad_output.rank() == 2 && grad_output.dim(0) == out_ch_ &&
+                grad_output.dim(1) == out_len);
+  Tensor grad_in({in_ch_, len});
+  for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+    for (std::size_t t = 0; t < out_len; ++t) {
+      const double go = grad_output.at(oc, t);
+      gb_[oc] += go;
+      for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+        for (std::size_t k = 0; k < kernel_; ++k) {
+          gw_.at(oc, ic, k) += go * last_input_.at(ic, t + k);
+          grad_in.at(ic, t + k) += go * w_.at(oc, ic, k);
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace lingxi::nn

@@ -1,0 +1,45 @@
+#include "nn/dense.h"
+
+namespace lingxi::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      w_({out_features, in_features}),
+      b_({out_features}),
+      gw_({out_features, in_features}),
+      gb_({out_features}) {
+  he_init(w_, in_features, rng);
+}
+
+Tensor Dense::forward(const Tensor& input) {
+  LINGXI_ASSERT(input.rank() == 1 && input.dim(0) == in_);
+  last_input_ = input;
+  Tensor out({out_});
+  for (std::size_t o = 0; o < out_; ++o) {
+    double acc = b_[o];
+    const double* wrow = w_.data() + o * in_;
+    for (std::size_t i = 0; i < in_; ++i) acc += wrow[i] * input[i];
+    out[o] = acc;
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  LINGXI_ASSERT(grad_output.rank() == 1 && grad_output.dim(0) == out_);
+  LINGXI_ASSERT(last_input_.size() == in_);
+  Tensor grad_in({in_});
+  for (std::size_t o = 0; o < out_; ++o) {
+    const double go = grad_output[o];
+    gb_[o] += go;
+    double* gwrow = gw_.data() + o * in_;
+    const double* wrow = w_.data() + o * in_;
+    for (std::size_t i = 0; i < in_; ++i) {
+      gwrow[i] += go * last_input_[i];
+      grad_in[i] += go * wrow[i];
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace lingxi::nn

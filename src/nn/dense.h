@@ -1,0 +1,29 @@
+// Fully connected layer: y = W x + b.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace lingxi::nn {
+
+class Dense final : public Layer {
+ public:
+  /// Weights He-initialized from `rng`, biases zero.
+  Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::vector<Tensor*> parameters() override { return {&w_, &b_}; }
+  std::vector<Tensor*> gradients() override { return {&gw_, &gb_}; }
+
+  std::size_t in_features() const noexcept { return in_; }
+  std::size_t out_features() const noexcept { return out_; }
+
+ private:
+  std::size_t in_, out_;
+  Tensor w_, b_;    // [out, in], [out]
+  Tensor gw_, gb_;
+  Tensor last_input_;
+};
+
+}  // namespace lingxi::nn

@@ -1,0 +1,13 @@
+#include "nn/layer.h"
+
+#include <cmath>
+
+namespace lingxi::nn {
+
+void he_init(Tensor& weights, std::size_t fan_in, Rng& rng) {
+  LINGXI_ASSERT(fan_in > 0);
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in));
+  for (std::size_t i = 0; i < weights.size(); ++i) weights[i] = rng.uniform(-limit, limit);
+}
+
+}  // namespace lingxi::nn

@@ -1,0 +1,29 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/activations.h"
+
+namespace lingxi::nn {
+
+double softmax_cross_entropy(const Tensor& logits, std::size_t label, Tensor& grad_logits) {
+  LINGXI_ASSERT(logits.rank() == 1);
+  LINGXI_ASSERT(label < logits.size());
+  const Tensor probs = softmax(logits);
+  grad_logits = probs;
+  grad_logits[label] -= 1.0;
+  // Clamp to avoid -inf on a (numerically) zero probability.
+  return -std::log(std::max(probs[label], 1e-12));
+}
+
+Tensor policy_gradient(const Tensor& logits, std::size_t action, double advantage) {
+  LINGXI_ASSERT(logits.rank() == 1);
+  LINGXI_ASSERT(action < logits.size());
+  Tensor grad = softmax(logits);
+  grad[action] -= 1.0;
+  grad.scale(advantage);
+  return grad;
+}
+
+}  // namespace lingxi::nn

@@ -1,0 +1,61 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace lingxi::nn {
+
+Optimizer::Optimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads)
+    : params_(std::move(params)), grads_(std::move(grads)) {
+  LINGXI_ASSERT(params_.size() == grads_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    LINGXI_ASSERT(params_[i]->same_shape(*grads_[i]));
+  }
+}
+
+Sgd::Sgd(std::vector<Tensor*> params, std::vector<Tensor*> grads, double lr)
+    : Optimizer(std::move(params), std::move(grads)), lr_(lr) {
+  LINGXI_ASSERT(lr > 0.0);
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = *params_[i];
+    const Tensor& g = *grads_[i];
+    for (std::size_t j = 0; j < p.size(); ++j) p[j] -= lr_ * g[j];
+  }
+}
+
+Adam::Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads)
+    : Adam(std::move(params), std::move(grads), Config{}) {}
+
+Adam::Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads, Config config)
+    : Optimizer(std::move(params), std::move(grads)), config_(config) {
+  LINGXI_ASSERT(config_.lr > 0.0);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Tensor* p : params_) {
+    m_.emplace_back(p->shape());
+    v_.emplace_back(p->shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = *params_[i];
+    const Tensor& g = *grads_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      m[j] = config_.beta1 * m[j] + (1.0 - config_.beta1) * g[j];
+      v[j] = config_.beta2 * v[j] + (1.0 - config_.beta2) * g[j] * g[j];
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      p[j] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+}
+
+}  // namespace lingxi::nn

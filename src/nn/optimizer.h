@@ -1,0 +1,66 @@
+// Optimizers operating on (parameter, gradient) tensor pairs gathered from
+// layers. Gradients are accumulated by Layer::backward; `step()` applies the
+// update and the caller zeroes gradients between minibatches.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace lingxi::nn {
+
+class Optimizer {
+ public:
+  Optimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads);
+  virtual ~Optimizer() = default;
+  virtual void step() = 0;
+
+ protected:
+  std::vector<Tensor*> params_;
+  std::vector<Tensor*> grads_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor*> params, std::vector<Tensor*> grads, double lr);
+  void step() override;
+
+ private:
+  double lr_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  struct Config {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+  };
+  Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads);  // default config
+  Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads, Config config);
+  void step() override;
+
+ private:
+  Config config_;
+  std::vector<Tensor> m_, v_;
+  long t_ = 0;
+};
+
+/// Convenience: collect parameters/gradients from several layers.
+struct ParamSet {
+  std::vector<Tensor*> params;
+  std::vector<Tensor*> grads;
+
+  template <typename LayerT>
+  void add(LayerT& layer) {
+    for (Tensor* p : layer.parameters()) params.push_back(p);
+    for (Tensor* g : layer.gradients()) grads.push_back(g);
+  }
+
+  void zero_grad() {
+    for (Tensor* g : grads) g->fill(0.0);
+  }
+};
+
+}  // namespace lingxi::nn

@@ -1,0 +1,110 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/crc32.h"
+
+namespace lingxi::nn {
+namespace {
+
+constexpr char kMagic[4] = {'L', 'X', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void append(std::vector<unsigned char>& out, const T& v) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+bool read(const std::vector<unsigned char>& in, std::size_t& pos, T& v) {
+  if (pos + sizeof(T) > in.size()) return false;
+  std::memcpy(&v, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+std::vector<unsigned char> serialize_tensors(const std::vector<const Tensor*>& tensors) {
+  std::vector<unsigned char> out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  append(out, kVersion);
+  append(out, static_cast<std::uint32_t>(tensors.size()));
+  for (const Tensor* t : tensors) {
+    append(out, static_cast<std::uint32_t>(t->rank()));
+    for (std::size_t d = 0; d < t->rank(); ++d) {
+      append(out, static_cast<std::uint64_t>(t->dim(d)));
+    }
+    for (std::size_t i = 0; i < t->size(); ++i) append(out, (*t)[i]);
+  }
+  const std::uint32_t crc = crc32(out.data() + 4, out.size() - 4);
+  append(out, crc);
+  return out;
+}
+
+Expected<std::vector<Tensor>> deserialize_tensors(const std::vector<unsigned char>& bytes) {
+  if (bytes.size() < 4 + sizeof(std::uint32_t) * 2 + sizeof(std::uint32_t)) {
+    return Error::corrupt("tensor blob too small");
+  }
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return Error::corrupt("bad magic in tensor blob");
+  }
+  // Verify trailing CRC over everything between magic and CRC.
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(std::uint32_t),
+              sizeof(std::uint32_t));
+  const std::uint32_t computed =
+      crc32(bytes.data() + 4, bytes.size() - 4 - sizeof(std::uint32_t));
+  if (stored_crc != computed) return Error::corrupt("tensor blob CRC mismatch");
+
+  std::size_t pos = 4;
+  std::uint32_t version = 0, count = 0;
+  if (!read(bytes, pos, version)) return Error::corrupt("truncated header");
+  if (version != kVersion) return Error::corrupt("unsupported tensor blob version");
+  if (!read(bytes, pos, count)) return Error::corrupt("truncated header");
+
+  std::vector<Tensor> tensors;
+  tensors.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t rank = 0;
+    if (!read(bytes, pos, rank)) return Error::corrupt("truncated tensor rank");
+    if (rank == 0 || rank > 3) return Error::corrupt("tensor rank out of range");
+    std::vector<std::size_t> shape(rank);
+    std::size_t numel = 1;
+    for (auto& d : shape) {
+      std::uint64_t dim = 0;
+      if (!read(bytes, pos, dim)) return Error::corrupt("truncated tensor shape");
+      if (dim == 0 || dim > (1u << 24)) return Error::corrupt("tensor dim out of range");
+      d = static_cast<std::size_t>(dim);
+      numel *= d;
+    }
+    std::vector<double> data(numel);
+    for (auto& x : data) {
+      if (!read(bytes, pos, x)) return Error::corrupt("truncated tensor data");
+    }
+    tensors.emplace_back(std::move(shape), std::move(data));
+  }
+  return tensors;
+}
+
+Status save_tensors(const std::string& path, const std::vector<const Tensor*>& tensors) {
+  const auto bytes = serialize_tensors(tensors);
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Error::io("cannot open for write: " + path);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f) return Error::io("write failed: " + path);
+  return {};
+}
+
+Expected<std::vector<Tensor>> load_tensors(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Error::io("cannot open: " + path);
+  std::vector<unsigned char> bytes((std::istreambuf_iterator<char>(f)),
+                                   std::istreambuf_iterator<char>());
+  return deserialize_tensors(bytes);
+}
+
+}  // namespace lingxi::nn

@@ -1,0 +1,26 @@
+// Binary (de)serialization of tensor lists — model checkpoints.
+//
+// Format: magic "LXNN", u32 version, u32 tensor count, then per tensor
+// (u32 rank, u64 dims..., f64 data...), then CRC-32 of everything after the
+// magic. Fails loudly on any mismatch instead of loading garbage weights.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "nn/tensor.h"
+
+namespace lingxi::nn {
+
+/// Serialize tensors to an in-memory byte buffer.
+std::vector<unsigned char> serialize_tensors(const std::vector<const Tensor*>& tensors);
+
+/// Parse a byte buffer produced by serialize_tensors.
+Expected<std::vector<Tensor>> deserialize_tensors(const std::vector<unsigned char>& bytes);
+
+/// File convenience wrappers.
+Status save_tensors(const std::string& path, const std::vector<const Tensor*>& tensors);
+Expected<std::vector<Tensor>> load_tensors(const std::string& path);
+
+}  // namespace lingxi::nn

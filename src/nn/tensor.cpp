@@ -1,0 +1,65 @@
+#include "nn/tensor.h"
+
+#include <numeric>
+
+namespace lingxi::nn {
+namespace {
+
+std::size_t shape_size(const std::vector<std::size_t>& shape) {
+  LINGXI_ASSERT(!shape.empty());
+  std::size_t n = 1;
+  for (std::size_t d : shape) {
+    LINGXI_ASSERT(d > 0);
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<double> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  LINGXI_ASSERT(shape_size(shape_) == data_.size());
+}
+
+Tensor Tensor::vector(std::vector<double> values) {
+  LINGXI_ASSERT(!values.empty());
+  const std::size_t n = values.size();
+  return Tensor({n}, std::move(values));
+}
+
+void Tensor::fill(double v) noexcept {
+  for (double& x : data_) x = v;
+}
+
+void Tensor::add(const Tensor& other) {
+  LINGXI_ASSERT(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::scale(double s) noexcept {
+  for (double& x : data_) x *= s;
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  LINGXI_ASSERT(shape_size(new_shape) == data_.size());
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor concat(const std::vector<Tensor>& parts) {
+  LINGXI_ASSERT(!parts.empty());
+  std::size_t total = 0;
+  for (const Tensor& p : parts) total += p.size();
+  Tensor out({total});
+  std::size_t offset = 0;
+  for (const Tensor& p : parts) {
+    for (std::size_t i = 0; i < p.size(); ++i) out[offset + i] = p[i];
+    offset += p.size();
+  }
+  return out;
+}
+
+}  // namespace lingxi::nn

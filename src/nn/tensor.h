@@ -1,0 +1,81 @@
+// Dense row-major tensor (rank <= 3) for the small networks in this library:
+// the exit-rate predictor (5-branch 1D-CNN, §3.3) and the Pensieve policy.
+//
+// Sizes are tiny (hundreds to a few thousand parameters per layer), so the
+// implementation favors clarity and assert-heavy indexing over vectorized
+// kernels.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace lingxi::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::vector<std::size_t> shape, std::vector<double> data);
+
+  static Tensor zeros(std::vector<std::size_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor vector(std::vector<double> values);
+
+  const std::vector<std::size_t>& shape() const noexcept { return shape_; }
+  std::size_t rank() const noexcept { return shape_.size(); }
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t dim(std::size_t i) const {
+    LINGXI_DASSERT(i < shape_.size());
+    return shape_[i];
+  }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+  double& operator[](std::size_t i) {
+    LINGXI_DASSERT(i < data_.size());
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    LINGXI_DASSERT(i < data_.size());
+    return data_[i];
+  }
+
+  double& at(std::size_t i, std::size_t j) {
+    LINGXI_DASSERT(rank() == 2 && i < shape_[0] && j < shape_[1]);
+    return data_[i * shape_[1] + j];
+  }
+  double at(std::size_t i, std::size_t j) const {
+    LINGXI_DASSERT(rank() == 2 && i < shape_[0] && j < shape_[1]);
+    return data_[i * shape_[1] + j];
+  }
+  double& at(std::size_t i, std::size_t j, std::size_t k) {
+    LINGXI_DASSERT(rank() == 3 && i < shape_[0] && j < shape_[1] && k < shape_[2]);
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  double at(std::size_t i, std::size_t j, std::size_t k) const {
+    LINGXI_DASSERT(rank() == 3 && i < shape_[0] && j < shape_[1] && k < shape_[2]);
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+
+  void fill(double v) noexcept;
+  /// Element-wise in-place add. Shapes must match.
+  void add(const Tensor& other);
+  /// In-place scale.
+  void scale(double s) noexcept;
+
+  bool same_shape(const Tensor& other) const noexcept { return shape_ == other.shape_; }
+
+  /// View the same data as a flat vector (shape change only).
+  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<double> data_;
+};
+
+/// Concatenate rank-1 tensors into one long vector.
+Tensor concat(const std::vector<Tensor>& parts);
+
+}  // namespace lingxi::nn

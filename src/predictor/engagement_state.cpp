@@ -1,0 +1,100 @@
+#include "predictor/engagement_state.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lingxi::predictor {
+namespace {
+
+void push_capped(std::vector<double>& v, double x) {
+  v.push_back(x);
+  if (v.size() > kHistoryLen) v.erase(v.begin());
+}
+
+void fill_channel(nn::Tensor& t, std::size_t channel, const std::vector<double>& values,
+                  double scale) {
+  const std::size_t n = std::min(values.size(), kHistoryLen);
+  // Right-align: most recent sample in the last column.
+  for (std::size_t i = 0; i < n; ++i) {
+    t.at(channel, kHistoryLen - n + i) = values[values.size() - n + i] / scale;
+  }
+}
+
+/// Interval channels use a saturating recency encoding exp(-interval/scale):
+/// frequent events (short intervals) map near 1, rare ones near 0, and the
+/// zero padding of users with no events coincides with "never happens" —
+/// which is exactly the informative extreme. A raw interval/scale encoding
+/// leaves the personalization signal at 1e-2 magnitude, too weak for the
+/// stall-dominant channels not to drown it.
+void fill_recency_channel(nn::Tensor& t, std::size_t channel,
+                          const std::vector<double>& values, double scale) {
+  const std::size_t n = std::min(values.size(), kHistoryLen);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.at(channel, kHistoryLen - n + i) = std::exp(-values[values.size() - n + i] / scale);
+  }
+}
+
+}  // namespace
+
+EngagementState::EngagementState() : EngagementState(Config{}) {}
+
+EngagementState::EngagementState(Config config) : config_(config) {
+  LINGXI_ASSERT(config_.max_bitrate > 0.0);
+  LINGXI_ASSERT(config_.throughput_scale > 0.0);
+}
+
+void EngagementState::begin_session() {
+  bitrates_.clear();
+  throughputs_.clear();
+}
+
+void EngagementState::on_segment(const sim::SegmentRecord& segment, Seconds segment_duration) {
+  bitrates_.push_back(segment.bitrate / config_.max_bitrate);
+  throughputs_.push_back(segment.throughput / config_.throughput_scale);
+  if (bitrates_.size() > kHistoryLen) {
+    bitrates_.pop_front();
+    throughputs_.pop_front();
+  }
+  long_term_.total_watch_time += segment_duration;
+
+  if (segment.stall_time > config_.stall_event_threshold) {
+    push_capped(long_term_.stall_durations, segment.stall_time);
+    const Seconds now = long_term_.total_watch_time;
+    if (last_stall_at_ >= 0.0) {
+      push_capped(long_term_.stall_intervals, std::max(0.0, now - last_stall_at_));
+    }
+    last_stall_at_ = now;
+    ++long_term_.total_stall_events;
+  }
+}
+
+void EngagementState::on_stall_exit() {
+  const Seconds now = long_term_.total_watch_time;
+  if (last_stall_exit_at_ >= 0.0) {
+    push_capped(long_term_.stall_exit_intervals, std::max(0.0, now - last_stall_exit_at_));
+  }
+  last_stall_exit_at_ = now;
+  ++long_term_.total_stall_exits;
+}
+
+nn::Tensor EngagementState::features() const {
+  nn::Tensor t({kChannels, kHistoryLen});
+  fill_channel(t, 0, {bitrates_.begin(), bitrates_.end()}, 1.0);  // already normalized
+  fill_channel(t, 1, {throughputs_.begin(), throughputs_.end()}, 1.0);
+  fill_channel(t, 2, long_term_.stall_durations, config_.stall_scale);
+  fill_recency_channel(t, 3, long_term_.stall_intervals, config_.interval_scale);
+  fill_recency_channel(t, 4, long_term_.stall_exit_intervals,
+                       config_.exit_interval_scale);
+  return t;
+}
+
+void EngagementState::restore_long_term(LongTermState state) {
+  long_term_ = std::move(state);
+  // Interval anchors restart from the restored watch-time origin.
+  last_stall_at_ = long_term_.total_stall_events > 0 ? long_term_.total_watch_time : -1.0;
+  last_stall_exit_at_ = long_term_.total_stall_exits > 0 ? long_term_.total_watch_time : -1.0;
+}
+
+}  // namespace lingxi::predictor

@@ -1,0 +1,49 @@
+// The personalized stall-exit network (§3.3, Fig. 7).
+//
+// Architecture, verbatim from the paper: each of the five input dimensions
+// passes through its own 1D-CNN (1 -> 64 channels, kernel 1x4) over the
+// length-8 history; the five feature maps are merged (flatten + concat) and
+// fed to a 64-unit fully connected layer, then a 2-unit layer; softmax gives
+// [P(continue), P(exit)].
+#pragma once
+
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/dense.h"
+#include "nn/optimizer.h"
+#include "predictor/engagement_state.h"
+
+namespace lingxi::predictor {
+
+class StallExitNet {
+ public:
+  explicit StallExitNet(Rng& rng);
+
+  /// P(exit) for a 5x8 feature tensor.
+  double predict(const nn::Tensor& features);
+  /// Raw logits [continue, exit].
+  nn::Tensor logits(const nn::Tensor& features);
+  /// Backprop a gradient w.r.t. logits (accumulates parameter grads).
+  void backward(const nn::Tensor& grad_logits);
+
+  nn::ParamSet param_set();
+
+  /// Weight (de)serialization for checkpointing.
+  std::vector<const nn::Tensor*> weights() const;
+  /// Restore from tensors in the same order as weights(). Fails (returns
+  /// false) on shape mismatch.
+  bool load_weights(const std::vector<nn::Tensor>& tensors);
+
+ private:
+  std::vector<nn::Conv1D> branches_;  // one per input channel
+  std::vector<nn::ReLU> branch_relu_;
+  nn::Dense fc1_;
+  nn::ReLU relu1_;
+  nn::Dense fc2_;
+  // backward() bookkeeping
+  std::size_t conv_out_len_ = 0;
+};
+
+}  // namespace lingxi::predictor

@@ -1,0 +1,65 @@
+#include "predictor/hybrid.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace lingxi::predictor {
+
+HybridExitPredictor::HybridExitPredictor(std::shared_ptr<StallExitNet> net,
+                                         std::shared_ptr<const OverallStatsModel> os_model)
+    : HybridExitPredictor(std::move(net), std::move(os_model), Config{}) {}
+
+HybridExitPredictor::HybridExitPredictor(std::shared_ptr<StallExitNet> net,
+                                         std::shared_ptr<const OverallStatsModel> os_model,
+                                         Config config)
+    : net_(std::move(net)), os_model_(std::move(os_model)), config_(config) {
+  LINGXI_ASSERT(net_ != nullptr);
+  LINGXI_ASSERT(os_model_ != nullptr);
+  LINGXI_ASSERT(config_.nn_weight >= 0.0 && config_.nn_weight <= 1.0);
+}
+
+double HybridExitPredictor::predict(const EngagementState& state,
+                                    const sim::SegmentRecord& segment, SwitchType sw) const {
+  const double os = os_model_->predict(segment.level, sw);
+  if (segment.stall_time <= 0.05) return std::clamp(os, 0.0, 1.0);
+  const double nn_term = net_->predict(state.features());
+  // Personal empirical stall-exit rate, smoothed toward the prior so new
+  // users start population-typical.
+  const auto& lt = state.long_term();
+  const double personal =
+      (static_cast<double>(lt.total_stall_exits) + config_.prior_strength * config_.prior_rate) /
+      (static_cast<double>(lt.total_stall_events) + config_.prior_strength);
+  const double stall_term =
+      config_.nn_weight * nn_term + (1.0 - config_.nn_weight) * std::min(1.0, personal);
+  return std::clamp(stall_term + os, 0.0, 1.0);
+}
+
+PredictorExitModel::PredictorExitModel(HybridExitPredictor predictor,
+                                       EngagementState seed_state, Seconds segment_duration)
+    : predictor_(std::move(predictor)),
+      seed_state_(std::move(seed_state)),
+      state_(seed_state_),
+      segment_duration_(segment_duration) {
+  LINGXI_ASSERT(segment_duration_ > 0.0);
+}
+
+void PredictorExitModel::begin_session() {
+  state_ = seed_state_;  // S_sim <- S
+  state_.begin_session();
+  prev_valid_ = false;
+  prev_level_ = 0;
+}
+
+double PredictorExitModel::exit_probability(const sim::SegmentRecord& segment) {
+  state_.on_segment(segment, segment_duration_);
+  SwitchType sw = SwitchType::kNone;
+  if (prev_valid_ && segment.level != prev_level_) {
+    sw = segment.level > prev_level_ ? SwitchType::kUp : SwitchType::kDown;
+  }
+  prev_valid_ = true;
+  prev_level_ = segment.level;
+  return predictor_.predict(state_, segment, sw);
+}
+
+}  // namespace lingxi::predictor

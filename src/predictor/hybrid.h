@@ -1,0 +1,74 @@
+// Hybrid exit-rate predictor — Equation 4:
+//
+//   R_exit = NN(Stall) + OS(Quality, Smoothness)   if the segment stalled
+//          = OS(Quality, Smoothness)               otherwise
+//
+// The NN term personalizes the dominant (1e-1) stall effect from the user's
+// engagement history; the OS term pools the small (1e-3 / 1e-2) quality and
+// smoothness effects across the population.
+#pragma once
+
+#include <memory>
+
+#include "predictor/engagement_state.h"
+#include "predictor/exit_net.h"
+#include "predictor/os_model.h"
+
+namespace lingxi::predictor {
+
+class HybridExitPredictor {
+ public:
+  struct Config {
+    /// Blend between the learned stall term and the user's empirical
+    /// stall-exit frequency (exits per stall event, smoothed toward
+    /// `prior_rate`). The empirical term is the strongest personal signal —
+    /// it is computed directly from the engagement counters the state
+    /// already persists — while the net captures severity and context.
+    double nn_weight = 0.35;
+    double prior_rate = 0.25;
+    double prior_strength = 4.0;
+  };
+
+  /// Both components are shared: the OS model is population-level, the net
+  /// may be shared (global) or per-user (personalized fine-tune).
+  HybridExitPredictor(std::shared_ptr<StallExitNet> net,
+                      std::shared_ptr<const OverallStatsModel> os_model);
+  HybridExitPredictor(std::shared_ptr<StallExitNet> net,
+                      std::shared_ptr<const OverallStatsModel> os_model, Config config);
+
+  /// R_exit for the segment just downloaded. `state` must already include
+  /// this segment (EngagementState::on_segment called).
+  double predict(const EngagementState& state, const sim::SegmentRecord& segment,
+                 SwitchType sw) const;
+
+  StallExitNet& net() { return *net_; }
+  const OverallStatsModel& os_model() const { return *os_model_; }
+
+ private:
+  std::shared_ptr<StallExitNet> net_;
+  std::shared_ptr<const OverallStatsModel> os_model_;
+  Config config_;
+};
+
+/// Bridges the hybrid predictor into the session simulator / Monte Carlo
+/// engine as a sim::ExitModel. Clones the seed engagement state at every
+/// begin_session() so each rollout starts from the live user state
+/// (Algorithm 2 line 3: S_sim <- S).
+class PredictorExitModel final : public sim::ExitModel {
+ public:
+  PredictorExitModel(HybridExitPredictor predictor, EngagementState seed_state,
+                     Seconds segment_duration);
+
+  void begin_session() override;
+  double exit_probability(const sim::SegmentRecord& segment) override;
+
+ private:
+  HybridExitPredictor predictor_;
+  EngagementState seed_state_;
+  EngagementState state_;
+  Seconds segment_duration_;
+  bool prev_valid_ = false;
+  std::size_t prev_level_ = 0;
+};
+
+}  // namespace lingxi::predictor

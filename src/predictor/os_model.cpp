@@ -1,0 +1,47 @@
+#include "predictor/os_model.h"
+
+#include "common/assert.h"
+
+namespace lingxi::predictor {
+
+void OverallStatsModel::observe(std::size_t quality_level, SwitchType sw, bool exited) {
+  LINGXI_ASSERT(quality_level < kMaxLevels);
+  Bucket& b = buckets_[quality_level][static_cast<std::size_t>(sw)];
+  ++b.count;
+  if (exited) ++b.exits;
+  ++total_count_;
+  if (exited) ++total_exits_;
+}
+
+double OverallStatsModel::global_rate() const {
+  if (total_count_ == 0) return 0.05;  // neutral prior before any data
+  return static_cast<double>(total_exits_) / static_cast<double>(total_count_);
+}
+
+double OverallStatsModel::predict(std::size_t quality_level, SwitchType sw) const {
+  LINGXI_ASSERT(quality_level < kMaxLevels);
+  const Bucket& b = buckets_[quality_level][static_cast<std::size_t>(sw)];
+  // Laplace smoothing toward the global rate: (exits + k*g) / (count + k).
+  constexpr double kPrior = 50.0;
+  const double g = global_rate();
+  return (static_cast<double>(b.exits) + kPrior * g) /
+         (static_cast<double>(b.count) + kPrior);
+}
+
+void OverallStatsModel::fit_session(const sim::SessionResult& session) {
+  for (std::size_t i = 0; i < session.segments.size(); ++i) {
+    const bool exited_here = session.exited && i + 1 == session.segments.size();
+    observe(session.segments[i].level, switch_type(session, i), exited_here);
+  }
+}
+
+SwitchType switch_type(const sim::SessionResult& session, std::size_t segment_index) {
+  LINGXI_ASSERT(segment_index < session.segments.size());
+  if (segment_index == 0) return SwitchType::kNone;
+  const auto cur = session.segments[segment_index].level;
+  const auto prev = session.segments[segment_index - 1].level;
+  if (cur == prev) return SwitchType::kNone;
+  return cur > prev ? SwitchType::kUp : SwitchType::kDown;
+}
+
+}  // namespace lingxi::predictor

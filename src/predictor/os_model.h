@@ -1,0 +1,50 @@
+// Overall-statistics (OS) exit model for quality and smoothness (§3.3).
+//
+// Takeaway 1: quality and smoothness move exit rates at 1e-3 / 1e-2 —
+// too small to model per-user without drowning in content noise. The OS
+// model therefore pools the whole population: empirical exit frequencies
+// bucketed by (quality tier, switch type), with Laplace smoothing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/session.h"
+#include "trace/video.h"
+
+namespace lingxi::predictor {
+
+enum class SwitchType { kNone = 0, kUp = 1, kDown = 2 };
+
+class OverallStatsModel {
+ public:
+  /// Record one observed segment outcome (exited or not).
+  void observe(std::size_t quality_level, SwitchType sw, bool exited);
+
+  /// Smoothed P(exit | quality tier, switch type). Falls back to the global
+  /// rate for unseen buckets.
+  double predict(std::size_t quality_level, SwitchType sw) const;
+
+  /// Population-wide exit rate across all observations.
+  double global_rate() const;
+
+  std::uint64_t observations() const noexcept { return total_count_; }
+
+  /// Fit from complete sessions (convenience over per-segment observe()).
+  void fit_session(const sim::SessionResult& session);
+
+ private:
+  static constexpr std::size_t kMaxLevels = 8;
+  struct Bucket {
+    std::uint64_t exits = 0;
+    std::uint64_t count = 0;
+  };
+  std::array<std::array<Bucket, 3>, kMaxLevels> buckets_{};
+  std::uint64_t total_exits_ = 0;
+  std::uint64_t total_count_ = 0;
+};
+
+/// Classify the transition into this segment.
+SwitchType switch_type(const sim::SessionResult& session, std::size_t segment_index);
+
+}  // namespace lingxi::predictor

@@ -1,0 +1,69 @@
+#include "sim/monte_carlo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lingxi::sim {
+
+MonteCarloEvaluator::MonteCarloEvaluator(MonteCarloConfig mc_config,
+                                         SessionSimulator::Config session_config)
+    : mc_config_(mc_config), session_config_(session_config) {
+  LINGXI_ASSERT(mc_config_.samples > 0);
+  LINGXI_ASSERT(mc_config_.sample_duration > 0.0);
+}
+
+trace::Video MonteCarloEvaluator::make_virtual_video(const trace::BitrateLadder& ladder,
+                                                     Seconds segment_duration, Rng* rng,
+                                                     double vbr_sigma) const {
+  const auto segments = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(mc_config_.sample_duration / segment_duration)));
+  if (rng != nullptr && vbr_sigma > 0.0) {
+    return trace::Video::vbr(ladder, segments, segment_duration, vbr_sigma, *rng);
+  }
+  return trace::Video{ladder, segments, segment_duration};
+}
+
+MonteCarloResult MonteCarloEvaluator::evaluate(const trace::Video& virtual_video,
+                                               BitrateSelector& abr, ExitModel& exit_model,
+                                               trace::BandwidthModel& bandwidth,
+                                               Seconds initial_buffer,
+                                               double best_known_exit_rate, Rng& rng) const {
+  SessionSimulator::Config cfg = session_config_;
+  cfg.player.startup_buffer = std::max(0.0, initial_buffer);
+  const SessionSimulator sim(cfg);
+
+  MonteCarloResult result;
+  const std::size_t max_segments_per_sample = virtual_video.segment_count();
+
+  for (std::size_t m = 0; m < mc_config_.samples; ++m) {
+    auto bw = bandwidth.clone();  // independent stochastic rollout
+    const SessionResult session = sim.run(virtual_video, abr, *bw, &exit_model, rng);
+    result.watched_count += session.segments.size();
+    if (session.exited) ++result.exited_count;
+    ++result.samples_run;
+
+    if (mc_config_.enable_pruning && result.samples_run >= mc_config_.min_samples_before_prune &&
+        std::isfinite(best_known_exit_rate)) {
+      // Optimistic bound: every remaining sample watches the full virtual
+      // video and never exits.
+      const std::size_t remaining = mc_config_.samples - result.samples_run;
+      const double optimistic_watched = static_cast<double>(
+          result.watched_count + remaining * max_segments_per_sample);
+      const double lower_bound = static_cast<double>(result.exited_count) / optimistic_watched;
+      if (lower_bound > best_known_exit_rate) {
+        result.pruned = true;
+        break;
+      }
+    }
+  }
+
+  result.exit_rate = result.watched_count == 0
+                         ? 0.0
+                         : static_cast<double>(result.exited_count) /
+                               static_cast<double>(result.watched_count);
+  return result;
+}
+
+}  // namespace lingxi::sim

@@ -1,0 +1,55 @@
+#include "sim/player_env.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lingxi::sim {
+
+Seconds adaptive_buffer_max(const PlayerConfig& config, Kbps mean_bw, Kbps sd_bw) noexcept {
+  const Kbps effective = std::max(1.0, mean_bw - sd_bw);
+  const double scale = std::sqrt(config.reference_bandwidth / effective);
+  return std::clamp(config.base_buffer_max * scale, config.min_buffer_max,
+                    config.max_buffer_max);
+}
+
+PlayerEnv::PlayerEnv(PlayerConfig config)
+    : config_(config), buffer_(config.startup_buffer), buffer_max_(config.base_buffer_max) {
+  LINGXI_ASSERT(config_.rtt >= 0.0);
+  LINGXI_ASSERT(config_.base_buffer_max > 0.0);
+  LINGXI_ASSERT(config_.min_buffer_max > 0.0);
+  LINGXI_ASSERT(config_.max_buffer_max >= config_.min_buffer_max);
+  LINGXI_ASSERT(config_.startup_buffer >= 0.0);
+}
+
+StepResult PlayerEnv::step(Bytes size, Seconds duration, Kbps bandwidth) {
+  LINGXI_ASSERT(size > 0.0);
+  LINGXI_ASSERT(duration > 0.0);
+  LINGXI_ASSERT(bandwidth > 0.0);
+
+  StepResult r;
+  r.download_time = units::download_time(size, bandwidth);
+  // Starvation: the part of the download not covered by buffered media.
+  r.stall_time = std::max(0.0, r.download_time - buffer_);
+  // [B_k - d/C]_+ + L
+  const Seconds b_tmp = std::max(0.0, buffer_ - r.download_time) + duration;
+  // delta_t = [B_tmp - B_max]_+ + RTT
+  r.wait_time = std::max(0.0, b_tmp - buffer_max_) + config_.rtt;
+  // B_{k+1} = [B_tmp - delta_t]_+
+  buffer_ = std::max(0.0, b_tmp - r.wait_time);
+  r.buffer_after = buffer_;
+
+  total_stall_ += r.stall_time;
+  wall_clock_ += r.download_time + r.wait_time;
+  r.wall_clock_after = wall_clock_;
+  return r;
+}
+
+void PlayerEnv::update_buffer_max(Kbps mean_bw, Kbps sd_bw) noexcept {
+  buffer_max_ = adaptive_buffer_max(config_, mean_bw, sd_bw);
+}
+
+void PlayerEnv::set_buffer(Seconds b) noexcept { buffer_ = std::max(0.0, b); }
+
+}  // namespace lingxi::sim

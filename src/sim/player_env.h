@@ -1,0 +1,81 @@
+// Player environment: the buffer/stall dynamics of Equation 3.
+//
+//   C_k        ~ bandwidth model
+//   stall_k    = [d_k(Q_k)/C_k - B_k]_+
+//   B_tmp      = [B_k - d_k(Q_k)/C_k]_+ + L
+//   delta_t_k  = [B_tmp - B_max]_+ + RTT          (wait before next request)
+//   B_{k+1}    = [B_tmp - delta_t_k]_+
+//   B_max      = f(N(mu_C, sigma_C^2))            (bandwidth-adaptive cap)
+//
+// This is the paper's own model of the production player (§3.2), which in
+// turn follows the classic MPC formulation [Yin et al., SIGCOMM'15]. The
+// same environment is used both for "real" synthetic sessions and for
+// LingXi's Monte Carlo virtual playback — exactly as in the paper, where
+// Eq. 3 drives the rollouts.
+#pragma once
+
+#include "common/units.h"
+
+namespace lingxi::sim {
+
+/// Static player parameters.
+struct PlayerConfig {
+  Seconds rtt = 0.08;              ///< request round-trip time
+  Seconds base_buffer_max = 8.0;   ///< B_max at the reference bandwidth
+  Seconds min_buffer_max = 4.0;    ///< lower clamp for adaptive B_max
+  /// Upper clamp for adaptive B_max. Kept moderate: short-video players
+  /// bound prefetch (abandoned videos waste the bytes), and an oversized
+  /// buffer would neutralize buffer-relative ABR knobs like HYB's beta.
+  Seconds max_buffer_max = 12.0;
+  Kbps reference_bandwidth = 4300.0;  ///< bandwidth at which B_max == base
+  Seconds startup_buffer = 0.0;    ///< initial buffer level
+};
+
+/// B_max = f(N(mu, sigma^2)): the production player grows the buffer cap for
+/// bandwidth-constrained / bursty users (more headroom against stalls) and
+/// shrinks it when bandwidth comfortably exceeds the ladder top (less wasted
+/// prefetch on abandoned short videos). We implement
+///   B_max = clamp(base * sqrt(ref / mu_eff)),  mu_eff = max(mu - sigma, eps)
+/// which is monotone decreasing in effective bandwidth.
+Seconds adaptive_buffer_max(const PlayerConfig& config, Kbps mean_bw, Kbps sd_bw) noexcept;
+
+/// Outcome of downloading one segment.
+struct StepResult {
+  Seconds download_time = 0.0;  ///< d_k(Q_k) / C_k
+  Seconds stall_time = 0.0;     ///< playback starvation during the download
+  Seconds wait_time = 0.0;      ///< delta_t_k: cap-induced wait + RTT
+  Seconds buffer_after = 0.0;   ///< B_{k+1}
+  Seconds wall_clock_after = 0.0;
+};
+
+/// Mutable player state evolving per Eq. 3.
+class PlayerEnv {
+ public:
+  explicit PlayerEnv(PlayerConfig config);
+
+  /// Download a segment of `size` bytes / `duration` seconds of media at
+  /// throughput `bandwidth`; advances buffer and wall clock.
+  StepResult step(Bytes size, Seconds duration, Kbps bandwidth);
+
+  Seconds buffer() const noexcept { return buffer_; }
+  Seconds wall_clock() const noexcept { return wall_clock_; }
+  Seconds buffer_max() const noexcept { return buffer_max_; }
+  Seconds total_stall() const noexcept { return total_stall_; }
+  const PlayerConfig& config() const noexcept { return config_; }
+
+  /// Re-derive B_max from the current bandwidth distribution estimate
+  /// (the "online adjustment" in Eq. 3).
+  void update_buffer_max(Kbps mean_bw, Kbps sd_bw) noexcept;
+
+  /// Override buffer level (used to seed virtual playback from live state).
+  void set_buffer(Seconds b) noexcept;
+
+ private:
+  PlayerConfig config_;
+  Seconds buffer_;
+  Seconds buffer_max_;
+  Seconds wall_clock_ = 0.0;
+  Seconds total_stall_ = 0.0;
+};
+
+}  // namespace lingxi::sim

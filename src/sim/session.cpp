@@ -1,0 +1,120 @@
+#include "sim/session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/running_stats.h"
+
+namespace lingxi::sim {
+
+double qoe_lin(const SessionResult& session, const trace::BitrateLadder& ladder,
+               trace::QualityMetric metric, double stall_weight, double switch_weight) {
+  double quality = 0.0;
+  double stall = 0.0;
+  double smooth = 0.0;
+  for (std::size_t i = 0; i < session.segments.size(); ++i) {
+    const auto& seg = session.segments[i];
+    quality += ladder.quality(seg.level, metric);
+    stall += seg.stall_time;
+    if (i > 0) {
+      smooth += std::fabs(ladder.quality(seg.level, metric) -
+                          ladder.quality(session.segments[i - 1].level, metric));
+    }
+  }
+  return quality - stall_weight * stall - switch_weight * smooth;
+}
+
+SessionResult SessionSimulator::run(const trace::Video& video, BitrateSelector& abr,
+                                    trace::BandwidthModel& bandwidth, ExitModel* exit_model,
+                                    Rng& rng) const {
+  abr.reset();
+  if (exit_model != nullptr) exit_model->begin_session();
+
+  PlayerEnv env(config_.player);
+  SessionResult result;
+  result.segments.reserve(video.segment_count());
+
+  AbrObservation obs;
+  obs.video = &video;
+  obs.rtt = config_.player.rtt;
+
+  RunningStats bw_stats;
+  RunningStats bitrate_stats;
+  Seconds cumulative_stall = 0.0;
+  std::size_t stall_events = 0;
+
+  for (std::size_t k = 0; k < video.segment_count(); ++k) {
+    obs.buffer = env.buffer();
+    obs.buffer_max = env.buffer_max();
+    obs.next_segment = k;
+    obs.first_segment = (k == 0);
+
+    const std::size_t level = abr.select(obs);
+    LINGXI_ASSERT(level < video.ladder().levels());
+
+    const Kbps current_bw = bandwidth.sample(env.wall_clock(), rng);
+    const Bytes size = video.segment_size(k, level);
+
+    SegmentRecord seg;
+    seg.index = k;
+    seg.position = static_cast<double>(k) * video.segment_duration();
+    seg.level = level;
+    seg.bitrate = video.ladder().bitrate(level);
+    seg.size = size;
+    seg.throughput = current_bw;
+    seg.buffer_before = env.buffer();
+
+    const StepResult step = env.step(size, video.segment_duration(), current_bw);
+    seg.download_time = step.download_time;
+    seg.stall_time = step.stall_time;
+    seg.buffer_after = step.buffer_after;
+
+    // Segment 0's starvation is startup latency (time to first frame), not a
+    // rebuffer: playback has not begun yet.
+    if (k == 0 && config_.player.startup_buffer <= 0.0) {
+      result.startup_delay = step.stall_time;
+      seg.stall_time = 0.0;
+    }
+
+    if (seg.stall_time > config_.stall_event_threshold) ++stall_events;
+    cumulative_stall += seg.stall_time;
+    seg.cumulative_stall = cumulative_stall;
+    seg.cumulative_stall_events = stall_events;
+
+    // Maintain ABR-visible history.
+    obs.throughput_history.push_back(current_bw);
+    obs.download_time_history.push_back(step.download_time);
+    if (obs.throughput_history.size() > config_.throughput_window) {
+      obs.throughput_history.erase(obs.throughput_history.begin());
+      obs.download_time_history.erase(obs.download_time_history.begin());
+    }
+    obs.last_level = level;
+
+    bw_stats.add(current_bw);
+    if (config_.adaptive_buffer_max && bw_stats.count() >= 2) {
+      env.update_buffer_max(bw_stats.mean(), bw_stats.stddev());
+    }
+
+    if (k > 0 && level != result.segments.back().level) ++result.quality_switches;
+    bitrate_stats.add(seg.bitrate);
+    result.segments.push_back(seg);
+    result.watch_time += video.segment_duration();
+
+    if (exit_model != nullptr) {
+      const double p = exit_model->exit_probability(seg);
+      LINGXI_DASSERT(p >= 0.0 && p <= 1.0);
+      if (rng.bernoulli(p)) {
+        result.exited = true;
+        break;
+      }
+    }
+  }
+
+  result.total_stall = cumulative_stall;
+  result.stall_events = stall_events;
+  result.mean_bitrate = bitrate_stats.mean();
+  return result;
+}
+
+}  // namespace lingxi::sim

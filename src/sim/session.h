@@ -1,0 +1,121 @@
+// Session simulation: one video playback driven by a bitrate selector and
+// an exit model.
+//
+// The same loop serves two roles, matching the paper:
+//   * generating "real" synthetic sessions for the production-environment
+//     substitute (user models from lingxi::user decide exits), and
+//   * LingXi's Monte Carlo virtual playback (the exit-rate predictor supplies
+//     exit probabilities) — see monte_carlo.h.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/player_env.h"
+#include "trace/bandwidth.h"
+#include "trace/video.h"
+
+namespace lingxi::sim {
+
+/// Everything an ABR algorithm may look at before choosing the next level.
+struct AbrObservation {
+  Seconds buffer = 0.0;
+  Seconds buffer_max = 0.0;
+  std::size_t last_level = 0;          ///< level of the previous segment
+  bool first_segment = true;
+  /// Recent throughput samples, oldest first (window kept by the session).
+  std::vector<Kbps> throughput_history;
+  std::vector<Seconds> download_time_history;
+  const trace::Video* video = nullptr;  ///< for upcoming segment sizes
+  std::size_t next_segment = 0;
+  Seconds rtt = 0.0;
+};
+
+/// Per-segment playback record — the unit of the paper's trajectory logs.
+struct SegmentRecord {
+  std::size_t index = 0;
+  /// Media time at which this segment starts playing (seconds into the
+  /// session) — drives engagement-dependent exit behaviour.
+  Seconds position = 0.0;
+  std::size_t level = 0;
+  Kbps bitrate = 0.0;
+  Bytes size = 0.0;
+  Kbps throughput = 0.0;
+  Seconds download_time = 0.0;
+  Seconds stall_time = 0.0;
+  Seconds buffer_before = 0.0;
+  Seconds buffer_after = 0.0;
+  /// Cumulative stall time in the session up to and including this segment.
+  Seconds cumulative_stall = 0.0;
+  std::size_t cumulative_stall_events = 0;
+};
+
+/// Interface implemented by every ABR algorithm (lingxi::abr) — returns the
+/// ladder level for the next segment.
+class BitrateSelector {
+ public:
+  virtual ~BitrateSelector() = default;
+  virtual std::size_t select(const AbrObservation& obs) = 0;
+  /// Reset per-session state (throughput estimators etc.).
+  virtual void reset() {}
+};
+
+/// Interface implemented by user models and by the LingXi exit predictor
+/// bridge: probability that the viewer exits right after this segment.
+class ExitModel {
+ public:
+  virtual ~ExitModel() = default;
+  virtual void begin_session() {}
+  virtual double exit_probability(const SegmentRecord& segment) = 0;
+};
+
+/// Result of one simulated playback session.
+struct SessionResult {
+  std::vector<SegmentRecord> segments;
+  bool exited = false;              ///< user left before the video ended
+  Seconds watch_time = 0.0;         ///< media seconds actually watched
+  /// Time to first frame (the cold-start starvation of segment 0). Reported
+  /// separately from rebuffering, as production players do.
+  Seconds startup_delay = 0.0;
+  Seconds total_stall = 0.0;
+  std::size_t stall_events = 0;
+  std::size_t quality_switches = 0;
+  double mean_bitrate = 0.0;        ///< kbps averaged over watched segments
+  bool completed() const noexcept { return !exited; }
+};
+
+/// QoE_lin (Eq. 1) of a finished session:
+///   sum q(Q_k) - mu * sum stall_k - lambda * sum |q(Q_{k+1}) - q(Q_k)|.
+/// The paper uses lambda = 1; both weights are explicit here.
+double qoe_lin(const SessionResult& session, const trace::BitrateLadder& ladder,
+               trace::QualityMetric metric, double stall_weight, double switch_weight = 1.0);
+
+/// Simulates whole sessions.
+class SessionSimulator {
+ public:
+  struct Config {
+    PlayerConfig player;
+    std::size_t throughput_window = 8;  ///< history length exposed to the ABR
+    /// Stall shorter than this does not count as a user-visible stall event
+    /// (sub-perceptual rebuffer).
+    Seconds stall_event_threshold = 0.05;
+    /// Re-derive B_max from the running bandwidth estimate every segment.
+    bool adaptive_buffer_max = true;
+  };
+
+  explicit SessionSimulator(Config config) : config_(config) {}
+
+  /// Play `video` through `abr` over `bandwidth`; `exit_model` may be null
+  /// (never exits). Stops at video end or user exit.
+  SessionResult run(const trace::Video& video, BitrateSelector& abr,
+                    trace::BandwidthModel& bandwidth, ExitModel* exit_model, Rng& rng) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace lingxi::sim

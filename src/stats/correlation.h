@@ -1,0 +1,18 @@
+// Correlation coefficients.
+//
+// Fig. 14 of the paper reports Pearson correlations between per-user stall
+// exit rates and the HYB beta parameter (range -0.23 .. -0.52).
+#pragma once
+
+#include <span>
+
+namespace lingxi::stats {
+
+/// Pearson product-moment correlation. Requires xs.size() == ys.size() >= 2.
+/// Returns 0 when either series is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation (Pearson over average ranks; handles ties).
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace lingxi::stats

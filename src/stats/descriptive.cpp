@@ -1,0 +1,71 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lingxi::stats {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
+
+double stderr_mean(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  return stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+double min(std::span<const double> xs) noexcept {
+  LINGXI_DASSERT(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) noexcept {
+  LINGXI_DASSERT(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double sum(std::span<const double> xs) noexcept {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  LINGXI_ASSERT(!xs.empty());
+  LINGXI_ASSERT(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+std::vector<double> normalize_by_mean(std::span<const double> xs) {
+  std::vector<double> out(xs.begin(), xs.end());
+  const double m = mean(xs);
+  if (m == 0.0) return out;
+  for (double& x : out) x /= m;
+  return out;
+}
+
+}  // namespace lingxi::stats

@@ -1,0 +1,31 @@
+// Descriptive statistics over sample vectors.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lingxi::stats {
+
+double mean(std::span<const double> xs) noexcept;
+/// Unbiased sample variance; 0 for fewer than two samples.
+double variance(std::span<const double> xs) noexcept;
+double stddev(std::span<const double> xs) noexcept;
+/// Standard error of the mean; 0 for fewer than two samples.
+double stderr_mean(std::span<const double> xs) noexcept;
+double min(std::span<const double> xs) noexcept;
+double max(std::span<const double> xs) noexcept;
+double sum(std::span<const double> xs) noexcept;
+
+/// Linear-interpolation quantile, q in [0,1]. Requires non-empty input.
+/// The input need not be sorted (a sorted copy is made).
+double quantile(std::span<const double> xs, double q);
+
+/// Median = quantile(0.5).
+double median(std::span<const double> xs);
+
+/// Normalize values so their mean is 1 (used for "Norm." plots in the paper).
+/// Returns empty for empty input; if the mean is 0 returns the input copy.
+std::vector<double> normalize_by_mean(std::span<const double> xs);
+
+}  // namespace lingxi::stats

@@ -1,0 +1,20 @@
+#include "stats/did.h"
+
+#include "stats/descriptive.h"
+
+namespace lingxi::stats {
+
+DidResult difference_in_differences(std::span<const double> pre_diffs,
+                                    std::span<const double> post_diffs) {
+  const TTestResult tt = welch_t_test(post_diffs, pre_diffs);
+  DidResult r;
+  r.pre_gap = mean(pre_diffs);
+  r.post_gap = mean(post_diffs);
+  r.effect = tt.mean_diff;
+  r.stderr_effect = tt.stderr_diff;
+  r.t = tt.t;
+  r.p_two_sided = tt.p_two_sided;
+  return r;
+}
+
+}  // namespace lingxi::stats

@@ -1,0 +1,29 @@
+// Difference-in-differences estimator.
+//
+// The paper's §5.3 A/B methodology: 5 AA days measure the baseline gap
+// between experiment and control groups, 5 AB days measure the gap under
+// intervention; the treatment effect is the difference of those gaps.
+#pragma once
+
+#include <span>
+
+#include "stats/ttest.h"
+
+namespace lingxi::stats {
+
+struct DidResult {
+  double effect = 0.0;       ///< DiD point estimate (relative units of the input series)
+  double stderr_effect = 0.0;
+  double t = 0.0;
+  double p_two_sided = 1.0;
+  double pre_gap = 0.0;      ///< mean experiment-minus-control gap before intervention
+  double post_gap = 0.0;     ///< mean gap after intervention
+};
+
+/// `pre_diffs`  — daily (experiment - control)/control gaps before intervention.
+/// `post_diffs` — daily gaps after intervention.
+/// Each series needs at least two days.
+DidResult difference_in_differences(std::span<const double> pre_diffs,
+                                    std::span<const double> post_diffs);
+
+}  // namespace lingxi::stats

@@ -1,0 +1,58 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lingxi::stats {
+
+Ecdf::Ecdf(std::span<const double> sample) : sorted_(sample.begin(), sample.end()) {
+  LINGXI_ASSERT(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::inverse(double q) const {
+  LINGXI_ASSERT(q > 0.0 && q <= 1.0);
+  const auto n = static_cast<double>(sorted_.size());
+  auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+  idx = std::min(idx, sorted_.size() - 1);
+  return sorted_[idx];
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  LINGXI_ASSERT(hi > lo);
+  LINGXI_ASSERT(bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto raw = static_cast<long long>(std::floor((x - lo_) / w));
+  raw = std::clamp(raw, 0LL, static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(raw)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  LINGXI_ASSERT(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::density(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(bin_count(i)) / static_cast<double>(total_);
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  LINGXI_ASSERT(i < counts_.size());
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+}  // namespace lingxi::stats

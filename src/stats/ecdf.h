@@ -1,0 +1,53 @@
+// Empirical CDF and fixed-bin histograms.
+//
+// Several paper figures are CDFs (Fig. 2 bandwidth / stall counts,
+// Fig. 5(a) tolerable stall time, Fig. 8(a) daily stall counts per
+// bandwidth bucket); the benches evaluate this estimator at the paper's
+// x-axis points.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lingxi::stats {
+
+/// Empirical cumulative distribution function of a sample.
+class Ecdf {
+ public:
+  /// Builds from an arbitrary (unsorted) sample. Requires non-empty input.
+  explicit Ecdf(std::span<const double> sample);
+
+  /// P(X <= x) under the empirical distribution.
+  double operator()(double x) const noexcept;
+
+  /// Smallest sample value v with P(X <= v) >= q, q in (0, 1].
+  double inverse(double q) const;
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+  const std::vector<double>& sorted() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
+/// samples clamp to the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t total() const noexcept { return total_; }
+  /// Fraction of samples in bin i (0 when empty).
+  double density(std::size_t i) const;
+  double bin_center(std::size_t i) const;
+  std::size_t bins() const noexcept { return counts_.size(); }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace lingxi::stats

@@ -1,0 +1,34 @@
+#include "stats/regression.h"
+
+#include "common/assert.h"
+#include "stats/descriptive.h"
+
+namespace lingxi::stats {
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  LINGXI_ASSERT(xs.size() == ys.size());
+  LINGXI_ASSERT(xs.size() >= 2);
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  if (sxx == 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = my;
+    fit.r_squared = 0.0;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace lingxi::stats

@@ -1,0 +1,23 @@
+// Ordinary least-squares simple linear regression.
+//
+// Used for the trend lines in the Fig. 14 scatter plots (stall exit rate
+// vs. assigned ABR parameter).
+#pragma once
+
+#include <span>
+
+namespace lingxi::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+
+  double predict(double x) const noexcept { return slope * x + intercept; }
+};
+
+/// Fit y = slope*x + intercept. Requires sizes equal and >= 2.
+/// A constant x series yields slope 0 / intercept mean(y).
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace lingxi::stats

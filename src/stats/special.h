@@ -1,0 +1,22 @@
+// Special functions needed by the hypothesis tests.
+//
+// Self-contained implementations (log-gamma via Lanczos, regularized
+// incomplete beta via Lentz's continued fraction) so the statistics layer
+// has no external dependency.
+#pragma once
+
+namespace lingxi::stats {
+
+/// Natural log of the gamma function for x > 0.
+double lgamma_fn(double x) noexcept;
+
+/// Regularized incomplete beta function I_x(a, b) for a,b > 0, x in [0,1].
+double incomplete_beta(double a, double b, double x) noexcept;
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+double student_t_cdf(double t, double df) noexcept;
+
+/// Standard normal CDF.
+double normal_cdf(double z) noexcept;
+
+}  // namespace lingxi::stats

@@ -1,0 +1,49 @@
+#include "stats/ttest.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "stats/descriptive.h"
+#include "stats/special.h"
+
+namespace lingxi::stats {
+
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b) {
+  LINGXI_ASSERT(a.size() >= 2 && b.size() >= 2);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double va = variance(a) / na;
+  const double vb = variance(b) / nb;
+  TTestResult r;
+  r.mean_diff = mean(a) - mean(b);
+  r.stderr_diff = std::sqrt(va + vb);
+  if (r.stderr_diff == 0.0) {
+    r.t = 0.0;
+    r.df = na + nb - 2.0;
+    r.p_two_sided = r.mean_diff == 0.0 ? 1.0 : 0.0;
+    return r;
+  }
+  r.t = r.mean_diff / r.stderr_diff;
+  const double denom = va * va / (na - 1.0) + vb * vb / (nb - 1.0);
+  r.df = denom > 0.0 ? (va + vb) * (va + vb) / denom : na + nb - 2.0;
+  r.p_two_sided = 2.0 * (1.0 - student_t_cdf(std::fabs(r.t), r.df));
+  return r;
+}
+
+TTestResult one_sample_t_test(std::span<const double> xs, double mu0) {
+  LINGXI_ASSERT(xs.size() >= 2);
+  TTestResult r;
+  r.mean_diff = mean(xs) - mu0;
+  r.stderr_diff = stderr_mean(xs);
+  r.df = static_cast<double>(xs.size() - 1);
+  if (r.stderr_diff == 0.0) {
+    r.t = 0.0;
+    r.p_two_sided = r.mean_diff == 0.0 ? 1.0 : 0.0;
+    return r;
+  }
+  r.t = r.mean_diff / r.stderr_diff;
+  r.p_two_sided = 2.0 * (1.0 - student_t_cdf(std::fabs(r.t), r.df));
+  return r;
+}
+
+}  // namespace lingxi::stats

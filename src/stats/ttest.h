@@ -1,0 +1,26 @@
+// Welch's unequal-variance t-test.
+//
+// The paper reports its A/B results as "t = 3.395, p < 0.01" style
+// statistics over daily difference series; this is the estimator behind
+// those numbers.
+#pragma once
+
+#include <span>
+
+namespace lingxi::stats {
+
+struct TTestResult {
+  double t = 0.0;        ///< t statistic
+  double df = 0.0;       ///< Welch–Satterthwaite degrees of freedom
+  double p_two_sided = 1.0;
+  double mean_diff = 0.0;   ///< mean(a) - mean(b)
+  double stderr_diff = 0.0; ///< standard error of the difference
+};
+
+/// Two-sample Welch t-test. Each sample needs at least two observations.
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b);
+
+/// One-sample t-test of H0: mean(xs) == mu0. Needs at least two observations.
+TTestResult one_sample_t_test(std::span<const double> xs, double mu0);
+
+}  // namespace lingxi::stats

@@ -1,0 +1,109 @@
+#include "trace/bandwidth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lingxi::trace {
+
+ConstantBandwidth::ConstantBandwidth(Kbps rate) : rate_(rate) { LINGXI_ASSERT(rate > 0.0); }
+
+Kbps ConstantBandwidth::sample(Seconds, Rng&) { return rate_; }
+
+std::unique_ptr<BandwidthModel> ConstantBandwidth::clone() const {
+  return std::make_unique<ConstantBandwidth>(*this);
+}
+
+NormalBandwidth::NormalBandwidth(Kbps mean, Kbps sd, Kbps floor)
+    : mean_(mean), sd_(sd), floor_(floor) {
+  LINGXI_ASSERT(mean > 0.0);
+  LINGXI_ASSERT(sd >= 0.0);
+  LINGXI_ASSERT(floor > 0.0);
+}
+
+Kbps NormalBandwidth::sample(Seconds, Rng& rng) {
+  return std::max(floor_, rng.normal(mean_, sd_));
+}
+
+std::unique_ptr<BandwidthModel> NormalBandwidth::clone() const {
+  return std::make_unique<NormalBandwidth>(*this);
+}
+
+GaussMarkovBandwidth::GaussMarkovBandwidth(Config config)
+    : config_(config), state_(config.mean) {
+  LINGXI_ASSERT(config_.mean > 0.0);
+  LINGXI_ASSERT(config_.rho >= 0.0 && config_.rho < 1.0);
+  LINGXI_ASSERT(config_.noise_sd >= 0.0);
+  LINGXI_ASSERT(config_.floor > 0.0);
+}
+
+Kbps GaussMarkovBandwidth::sample(Seconds, Rng& rng) {
+  if (!started_) {
+    // Start from the stationary distribution so early segments are not biased
+    // toward the mean.
+    const double stationary_sd =
+        config_.noise_sd / std::sqrt(std::max(1e-9, 1.0 - config_.rho * config_.rho));
+    state_ = rng.normal(config_.mean, stationary_sd);
+    started_ = true;
+  } else {
+    state_ = config_.mean + config_.rho * (state_ - config_.mean) +
+             rng.normal(0.0, config_.noise_sd);
+  }
+  state_ = std::max(config_.floor, state_);
+  return state_;
+}
+
+std::unique_ptr<BandwidthModel> GaussMarkovBandwidth::clone() const {
+  auto copy = std::make_unique<GaussMarkovBandwidth>(config_);
+  return copy;  // fresh state: clone() is for independent rollouts
+}
+
+SteppedBandwidth::SteppedBandwidth(std::vector<Step> steps) : steps_(std::move(steps)) {
+  LINGXI_ASSERT(!steps_.empty());
+  LINGXI_ASSERT(steps_.front().start == 0.0);
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    LINGXI_ASSERT(steps_[i].rate > 0.0);
+    if (i > 0) LINGXI_ASSERT(steps_[i].start > steps_[i - 1].start);
+  }
+}
+
+Kbps SteppedBandwidth::sample(Seconds t, Rng&) {
+  Kbps rate = steps_.front().rate;
+  for (const Step& s : steps_) {
+    if (s.start <= t) rate = s.rate;
+    else break;
+  }
+  return rate;
+}
+
+std::unique_ptr<BandwidthModel> SteppedBandwidth::clone() const {
+  return std::make_unique<SteppedBandwidth>(*this);
+}
+
+TraceBandwidth::TraceBandwidth(std::vector<Point> points) : points_(std::move(points)) {
+  LINGXI_ASSERT(!points_.empty());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    LINGXI_ASSERT(points_[i].rate > 0.0);
+    if (i > 0) LINGXI_ASSERT(points_[i].time > points_[i - 1].time);
+  }
+}
+
+Kbps TraceBandwidth::sample(Seconds t, Rng&) {
+  const Seconds length = points_.back().time;
+  Seconds wrapped = t;
+  if (length > 0.0 && wrapped > length) wrapped = std::fmod(wrapped, length);
+  // Last point at or before `wrapped`.
+  Kbps rate = points_.front().rate;
+  for (const Point& p : points_) {
+    if (p.time <= wrapped) rate = p.rate;
+    else break;
+  }
+  return rate;
+}
+
+std::unique_ptr<BandwidthModel> TraceBandwidth::clone() const {
+  return std::make_unique<TraceBandwidth>(*this);
+}
+
+}  // namespace lingxi::trace

@@ -1,0 +1,113 @@
+// Bandwidth models.
+//
+// The algorithms only ever observe throughput samples, so any source that
+// produces a (time -> kbps) series can stand in for the paper's production
+// network logs. Implementations:
+//   * ConstantBandwidth   — degenerate, for unit tests
+//   * NormalBandwidth     — iid N(mu, sigma^2); exactly the model the paper
+//                           uses inside Monte Carlo rollouts (Eq. 3)
+//   * GaussMarkovBandwidth— AR(1) around a user mean; intra-session dynamics
+//                           for the synthetic production environment
+//   * SteppedBandwidth    — piecewise-constant schedule (outage injection)
+//   * TraceBandwidth      — replay of a recorded (time, kbps) trace, looping
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace lingxi::trace {
+
+/// Source of throughput samples. `sample(t)` returns the throughput the
+/// client would experience for a download starting at media time t.
+class BandwidthModel {
+ public:
+  virtual ~BandwidthModel() = default;
+  virtual Kbps sample(Seconds t, Rng& rng) = 0;
+  /// Fresh copy with independent internal state (AR(1) models are stateful).
+  virtual std::unique_ptr<BandwidthModel> clone() const = 0;
+};
+
+class ConstantBandwidth final : public BandwidthModel {
+ public:
+  explicit ConstantBandwidth(Kbps rate);
+  Kbps sample(Seconds t, Rng& rng) override;
+  std::unique_ptr<BandwidthModel> clone() const override;
+
+ private:
+  Kbps rate_;
+};
+
+/// iid normal samples, truncated below at `floor` so throughput stays positive.
+class NormalBandwidth final : public BandwidthModel {
+ public:
+  NormalBandwidth(Kbps mean, Kbps sd, Kbps floor = 10.0);
+  Kbps sample(Seconds t, Rng& rng) override;
+  std::unique_ptr<BandwidthModel> clone() const override;
+
+  Kbps mean() const noexcept { return mean_; }
+  Kbps sd() const noexcept { return sd_; }
+
+ private:
+  Kbps mean_, sd_, floor_;
+};
+
+/// AR(1): x_{k+1} = mean + rho * (x_k - mean) + noise. Produces the bursty
+/// but mean-reverting behaviour of real radio links.
+class GaussMarkovBandwidth final : public BandwidthModel {
+ public:
+  struct Config {
+    Kbps mean = 5000.0;
+    double rho = 0.9;        ///< correlation between consecutive samples
+    Kbps noise_sd = 800.0;   ///< innovation standard deviation
+    Kbps floor = 50.0;
+  };
+  explicit GaussMarkovBandwidth(Config config);
+  Kbps sample(Seconds t, Rng& rng) override;
+  std::unique_ptr<BandwidthModel> clone() const override;
+
+ private:
+  Config config_;
+  Kbps state_;
+  bool started_ = false;
+};
+
+/// Piecewise-constant schedule; each step is (start_time, rate). Steps must
+/// be sorted ascending and start at t=0. Used to inject outages/drops.
+class SteppedBandwidth final : public BandwidthModel {
+ public:
+  struct Step {
+    Seconds start;
+    Kbps rate;
+  };
+  explicit SteppedBandwidth(std::vector<Step> steps);
+  Kbps sample(Seconds t, Rng& rng) override;
+  std::unique_ptr<BandwidthModel> clone() const override;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+/// Replays a recorded trace of (timestamp, kbps) points with linear hold
+/// (sample at t takes the last point at or before t), looping at the end.
+class TraceBandwidth final : public BandwidthModel {
+ public:
+  struct Point {
+    Seconds time;
+    Kbps rate;
+  };
+  /// Requires a non-empty, time-sorted trace with positive rates.
+  explicit TraceBandwidth(std::vector<Point> points);
+  Kbps sample(Seconds t, Rng& rng) override;
+  std::unique_ptr<BandwidthModel> clone() const override;
+
+  Seconds span() const noexcept { return points_.back().time; }
+  const std::vector<Point>& points() const noexcept { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace lingxi::trace

@@ -1,0 +1,54 @@
+#include "trace/population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/assert.h"
+
+namespace lingxi::trace {
+
+std::unique_ptr<BandwidthModel> NetworkProfile::make_session_model() const {
+  GaussMarkovBandwidth::Config c;
+  c.mean = mean_bandwidth;
+  c.rho = rho;
+  // Innovation sd chosen so the stationary sd equals relative_sd * mean.
+  const double stationary_sd = relative_sd * mean_bandwidth;
+  c.noise_sd = stationary_sd * std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  c.floor = std::max(10.0, 0.05 * mean_bandwidth);
+  return std::make_unique<GaussMarkovBandwidth>(c);
+}
+
+PopulationModel::PopulationModel() : config_(Config{}) {}
+
+NetworkProfile PopulationModel::sample(Rng& rng) const {
+  NetworkProfile p;
+  const double mu = std::log(config_.median_bandwidth);
+  p.mean_bandwidth = std::clamp(rng.lognormal(mu, config_.sigma), config_.min_bandwidth,
+                                config_.max_bandwidth);
+  p.relative_sd = config_.relative_sd;
+  p.rho = config_.rho;
+  return p;
+}
+
+std::vector<NetworkProfile> PopulationModel::sample_many(std::size_t n, Rng& rng) const {
+  std::vector<NetworkProfile> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample(rng));
+  return out;
+}
+
+std::size_t bandwidth_bucket(Kbps bw, std::size_t bucket_count) noexcept {
+  LINGXI_DASSERT(bucket_count >= 2);
+  const auto bucket = static_cast<std::size_t>(std::max(0.0, bw) / 2000.0);
+  return std::min(bucket, bucket_count - 1);
+}
+
+std::string bucket_label(std::size_t bucket, std::size_t bucket_count) {
+  LINGXI_ASSERT(bucket < bucket_count);
+  const auto lo = bucket * 2;
+  if (bucket == bucket_count - 1) return std::to_string(lo) + "+ Mbps";
+  return std::to_string(lo) + "-" + std::to_string(lo + 2) + " Mbps";
+}
+
+}  // namespace lingxi::trace

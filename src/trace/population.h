@@ -1,0 +1,65 @@
+// Synthetic user-network population.
+//
+// Substitutes for the paper's production logs: per-user mean bandwidth is
+// lognormal across the population, calibrated so that ~10% of users sit below
+// the ladder's maximum bitrate (Fig. 2(a)) and intra-session dynamics follow
+// a Gauss–Markov process. Bandwidth buckets (0-2, 2-4, ... Mbps) mirror the
+// breakdowns in Figs. 8(a) and 13.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "trace/bandwidth.h"
+
+namespace lingxi::trace {
+
+/// A user's network situation for one day of simulation.
+struct NetworkProfile {
+  Kbps mean_bandwidth = 0.0;       ///< long-run mean throughput
+  double relative_sd = 0.25;       ///< intra-session sd / mean
+  double rho = 0.9;                ///< AR(1) correlation
+
+  /// Stateful intra-session model for one playback session.
+  std::unique_ptr<BandwidthModel> make_session_model() const;
+};
+
+/// Samples user network profiles from a lognormal population.
+class PopulationModel {
+ public:
+  struct Config {
+    /// Median of the per-user mean bandwidth distribution.
+    Kbps median_bandwidth = 12000.0;
+    /// Lognormal shape: sigma of log(mean bandwidth).
+    double sigma = 0.85;
+    Kbps min_bandwidth = 300.0;
+    Kbps max_bandwidth = 60000.0;
+    /// Default intra-session variability matches fixed/Wi-Fi-grade stability
+    /// (production: >90% stall-free days, Fig. 2(b)); low-bandwidth mobile
+    /// worlds override this upward.
+    double relative_sd = 0.15;
+    double rho = 0.9;
+  };
+
+  PopulationModel();  // default config
+  explicit PopulationModel(Config config) : config_(config) {}
+
+  NetworkProfile sample(Rng& rng) const;
+  std::vector<NetworkProfile> sample_many(std::size_t n, Rng& rng) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+/// Standard bandwidth buckets used by Figs. 8(a)/13: [0-2), [2-4), ... Mbps,
+/// with the last bucket open-ended. Returns the bucket index for `bw`.
+std::size_t bandwidth_bucket(Kbps bw, std::size_t bucket_count = 6) noexcept;
+/// Human-readable label, e.g. "2-4 Mbps" or "10+ Mbps".
+std::string bucket_label(std::size_t bucket, std::size_t bucket_count = 6);
+
+}  // namespace lingxi::trace

@@ -1,0 +1,53 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace lingxi::trace {
+
+Expected<std::vector<TraceBandwidth::Point>> parse_trace(const std::string& text) {
+  std::vector<TraceBandwidth::Point> points;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    double t = 0.0, kbps = 0.0;
+    if (!(ls >> t)) continue;  // blank / comment-only line
+    if (!(ls >> kbps)) {
+      return Error::parse("trace line " + std::to_string(lineno) + ": missing bandwidth");
+    }
+    if (kbps <= 0.0) {
+      return Error::parse("trace line " + std::to_string(lineno) + ": non-positive bandwidth");
+    }
+    if (!points.empty() && t <= points.back().time) {
+      return Error::parse("trace line " + std::to_string(lineno) + ": non-increasing time");
+    }
+    points.push_back({t, kbps});
+  }
+  if (points.empty()) return Error::parse("trace contains no data points");
+  return points;
+}
+
+Expected<std::vector<TraceBandwidth::Point>> load_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Error::io("cannot open trace file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_trace(ss.str());
+}
+
+Status save_trace_file(const std::string& path,
+                       const std::vector<TraceBandwidth::Point>& points) {
+  std::ofstream f(path);
+  if (!f) return Error::io("cannot open trace file for write: " + path);
+  f << "# lingxi bandwidth trace: <time_s> <kbps>\n";
+  for (const auto& p : points) f << p.time << ' ' << p.rate << '\n';
+  if (!f) return Error::io("write failed: " + path);
+  return {};
+}
+
+}  // namespace lingxi::trace

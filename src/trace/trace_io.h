@@ -1,0 +1,26 @@
+// Text trace file I/O.
+//
+// Format: one "<time_seconds> <kbps>" pair per line; '#' starts a comment.
+// This is the de-facto format of public ABR trace datasets (FCC / HSDPA
+// style), so recorded traces can be dropped in for the synthetic models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "trace/bandwidth.h"
+
+namespace lingxi::trace {
+
+/// Parse a trace from file. Fails with kIo / kParse.
+Expected<std::vector<TraceBandwidth::Point>> load_trace_file(const std::string& path);
+
+/// Parse a trace from an in-memory string (used by tests).
+Expected<std::vector<TraceBandwidth::Point>> parse_trace(const std::string& text);
+
+/// Write a trace to file.
+Status save_trace_file(const std::string& path,
+                       const std::vector<TraceBandwidth::Point>& points);
+
+}  // namespace lingxi::trace

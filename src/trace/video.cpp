@@ -1,0 +1,102 @@
+#include "trace/video.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lingxi::trace {
+
+const char* tier_name(QualityTier t) noexcept {
+  switch (t) {
+    case QualityTier::kLD: return "LD";
+    case QualityTier::kSD: return "SD";
+    case QualityTier::kHD: return "HD";
+    case QualityTier::kFullHD: return "Full HD";
+  }
+  return "?";
+}
+
+BitrateLadder::BitrateLadder(std::vector<Kbps> bitrates) : bitrates_(std::move(bitrates)) {
+  LINGXI_ASSERT(bitrates_.size() >= 2);
+  LINGXI_ASSERT(bitrates_.front() > 0.0);
+  LINGXI_ASSERT(std::is_sorted(bitrates_.begin(), bitrates_.end()));
+  for (std::size_t i = 1; i < bitrates_.size(); ++i) {
+    LINGXI_ASSERT(bitrates_[i] > bitrates_[i - 1]);
+  }
+}
+
+BitrateLadder BitrateLadder::default_ladder() {
+  return BitrateLadder{{350.0, 750.0, 1850.0, 4300.0}};
+}
+
+Kbps BitrateLadder::bitrate(std::size_t level) const {
+  LINGXI_ASSERT(level < bitrates_.size());
+  return bitrates_[level];
+}
+
+double BitrateLadder::quality(std::size_t level, QualityMetric metric) const {
+  const Kbps rate = bitrate(level);
+  switch (metric) {
+    case QualityMetric::kLinearMbps:
+      return rate / 1000.0;
+    case QualityMetric::kLog:
+      return std::log(rate / min_bitrate());
+    case QualityMetric::kLevel:
+      return static_cast<double>(level);
+  }
+  return 0.0;
+}
+
+double BitrateLadder::max_quality(QualityMetric metric) const {
+  return quality(levels() - 1, metric);
+}
+
+std::size_t BitrateLadder::highest_level_below(Kbps rate) const noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < bitrates_.size(); ++i) {
+    if (bitrates_[i] <= rate) best = i;
+  }
+  return best;
+}
+
+Video::Video(BitrateLadder ladder, std::size_t segments, Seconds segment_duration)
+    : ladder_(std::move(ladder)),
+      segments_(segments),
+      segment_duration_(segment_duration),
+      size_multiplier_(segments, 1.0) {
+  LINGXI_ASSERT(segments_ > 0);
+  LINGXI_ASSERT(segment_duration_ > 0.0);
+}
+
+Video Video::vbr(BitrateLadder ladder, std::size_t segments, Seconds segment_duration,
+                 double vbr_sigma, Rng& rng) {
+  LINGXI_ASSERT(vbr_sigma >= 0.0);
+  Video v{std::move(ladder), segments, segment_duration};
+  if (vbr_sigma > 0.0) {
+    for (auto& m : v.size_multiplier_) {
+      // Clamp so a single segment can never be pathologically large/small.
+      m = std::clamp(rng.lognormal(0.0, vbr_sigma), 0.5, 2.0);
+    }
+  }
+  return v;
+}
+
+Bytes Video::segment_size(std::size_t index, std::size_t level) const {
+  LINGXI_ASSERT(index < segments_);
+  return units::segment_bytes(ladder_.bitrate(level), segment_duration_) *
+         size_multiplier_[index];
+}
+
+Video VideoGenerator::sample(Rng& rng) const {
+  const double mu = std::log(config_.mean_duration) -
+                    0.5 * config_.duration_sigma * config_.duration_sigma;
+  Seconds duration =
+      std::clamp(rng.lognormal(mu, config_.duration_sigma), config_.min_duration,
+                 config_.max_duration);
+  const auto segments = static_cast<std::size_t>(
+      std::max(1.0, std::round(duration / config_.segment_duration)));
+  return Video::vbr(config_.ladder, segments, config_.segment_duration, config_.vbr_sigma, rng);
+}
+
+}  // namespace lingxi::trace

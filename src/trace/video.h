@@ -1,0 +1,114 @@
+// Video models: bitrate ladders, quality tiers, VBR segment sizes.
+//
+// The paper analyzes four quality tiers (LD / SD / HD / Full HD, §2.2) on a
+// short-video platform where segments are short and videos last tens of
+// seconds. `Video` holds the per-segment, per-level encoded sizes that the
+// player simulator downloads.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace lingxi::trace {
+
+/// Quality tier labels used across figures.
+enum class QualityTier { kLD = 0, kSD = 1, kHD = 2, kFullHD = 3 };
+
+const char* tier_name(QualityTier t) noexcept;
+
+/// How q(Q_k) in QoE_lin (Eq. 1) maps a ladder bitrate to a quality score.
+enum class QualityMetric {
+  kLinearMbps,  ///< q = bitrate / 1000 (Pensieve's linear QoE)
+  kLog,         ///< q = log(bitrate / min_bitrate) (diminishing returns)
+  kLevel,       ///< q = ladder index
+};
+
+/// An encoding ladder: ascending bitrates, one per quality level.
+class BitrateLadder {
+ public:
+  /// Requires at least two strictly ascending positive bitrates.
+  explicit BitrateLadder(std::vector<Kbps> bitrates);
+
+  /// The production-style default ladder used throughout the benches:
+  /// LD 350, SD 750, HD 1850, Full HD 4300 kbps.
+  static BitrateLadder default_ladder();
+
+  std::size_t levels() const noexcept { return bitrates_.size(); }
+  Kbps bitrate(std::size_t level) const;
+  Kbps min_bitrate() const noexcept { return bitrates_.front(); }
+  Kbps max_bitrate() const noexcept { return bitrates_.back(); }
+
+  /// Quality score q(level) under the chosen metric.
+  double quality(std::size_t level, QualityMetric metric) const;
+  /// Max quality value = q(top level); the paper sets the default stall
+  /// penalty mu to this value.
+  double max_quality(QualityMetric metric) const;
+
+  /// Highest level whose bitrate is <= `rate`; level 0 if none.
+  std::size_t highest_level_below(Kbps rate) const noexcept;
+
+  const std::vector<Kbps>& bitrates() const noexcept { return bitrates_; }
+
+ private:
+  std::vector<Kbps> bitrates_;
+};
+
+/// A concrete video: N segments of fixed duration, encoded at every ladder
+/// level with VBR size variation.
+class Video {
+ public:
+  /// Uniform-size (CBR) video.
+  Video(BitrateLadder ladder, std::size_t segments, Seconds segment_duration);
+
+  /// VBR video: per-segment sizes jitter around nominal with lognormal
+  /// multiplicative noise of `vbr_sigma` (0 = CBR).
+  static Video vbr(BitrateLadder ladder, std::size_t segments, Seconds segment_duration,
+                   double vbr_sigma, Rng& rng);
+
+  const BitrateLadder& ladder() const noexcept { return ladder_; }
+  std::size_t segment_count() const noexcept { return segments_; }
+  Seconds segment_duration() const noexcept { return segment_duration_; }
+  Seconds duration() const noexcept {
+    return segment_duration_ * static_cast<double>(segments_);
+  }
+
+  /// Encoded size in bytes of segment `index` at ladder `level`.
+  Bytes segment_size(std::size_t index, std::size_t level) const;
+
+ private:
+  BitrateLadder ladder_;
+  std::size_t segments_;
+  Seconds segment_duration_;
+  /// size_multiplier_[index] applied to every level of that segment
+  /// (scene complexity affects all renditions alike).
+  std::vector<double> size_multiplier_;
+};
+
+/// Samples short-platform videos: duration lognormal with the given mean,
+/// fixed segment duration, optional VBR jitter.
+class VideoGenerator {
+ public:
+  struct Config {
+    BitrateLadder ladder = BitrateLadder::default_ladder();
+    Seconds mean_duration = 45.0;    ///< average length of online videos
+    Seconds min_duration = 5.0;
+    Seconds max_duration = 300.0;
+    Seconds segment_duration = 1.0;  ///< short-video platforms use ~1s segments
+    double duration_sigma = 0.6;     ///< lognormal shape of duration spread
+    double vbr_sigma = 0.15;
+  };
+
+  explicit VideoGenerator(Config config) : config_(std::move(config)) {}
+
+  Video sample(Rng& rng) const;
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace lingxi::trace

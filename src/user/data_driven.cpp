@@ -1,0 +1,110 @@
+#include "user/data_driven.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lingxi::user {
+
+const char* archetype_name(StallArchetype a) noexcept {
+  switch (a) {
+    case StallArchetype::kSensitive: return "sensitive";
+    case StallArchetype::kThreshold: return "threshold";
+    case StallArchetype::kInsensitive: return "insensitive";
+  }
+  return "?";
+}
+
+DataDrivenUser::DataDrivenUser(Config config) : config_(config) {
+  LINGXI_ASSERT(config_.tolerance > 0.0);
+  LINGXI_ASSERT(config_.stall_scale > 0.0 && config_.stall_scale <= 1.0);
+  LINGXI_ASSERT(config_.base_content_rate >= 0.0 && config_.base_content_rate < 1.0);
+  LINGXI_ASSERT(config_.max_bitrate > 0.0);
+}
+
+void DataDrivenUser::begin_session() {
+  has_prev_ = false;
+  prev_level_ = 0;
+  prev_bitrate_ = 0.0;
+}
+
+double DataDrivenUser::stall_hazard(Seconds cumulative_stall, std::size_t stall_events) const {
+  if (cumulative_stall <= 0.0) return 0.0;
+  double h = 0.0;
+  switch (config_.stall_archetype) {
+    case StallArchetype::kSensitive:
+      // Steep linear ramp: saturates at ~1.5x tolerance.
+      h = config_.stall_scale * std::min(1.0, cumulative_stall / (1.5 * config_.tolerance));
+      break;
+    case StallArchetype::kThreshold: {
+      // Sharp logistic jump centered at the personal tolerance: exits are
+      // near-deterministic once the threshold is crossed (§2.3's
+      // "sensitive to threshold" users).
+      const double k = 5.0;  // steepness (1/s)
+      h = config_.stall_scale / (1.0 + std::exp(-k * (cumulative_stall - config_.tolerance)));
+      break;
+    }
+    case StallArchetype::kInsensitive:
+      // Shallow ramp, capped at 30% of scale.
+      h = std::min(0.3 * config_.stall_scale,
+                   0.05 * config_.stall_scale * cumulative_stall);
+      break;
+  }
+  if (stall_events > 1) {
+    h *= 1.0 + config_.multi_stall_bump * static_cast<double>(stall_events - 1);
+  }
+  return std::min(h, 1.0);
+}
+
+double DataDrivenUser::exit_probability(const sim::SegmentRecord& segment) {
+  double p = config_.base_content_rate;
+  // Quality term (1e-3 magnitude): dissatisfaction grows as bitrate drops.
+  p += config_.quality_coeff * (1.0 - std::min(1.0, segment.bitrate / config_.max_bitrate));
+  // Smoothness term (1e-2 magnitude).
+  if (has_prev_ && segment.level != prev_level_) {
+    double sw = config_.switch_coeff;
+    if (segment.bitrate < prev_bitrate_) sw *= 1.0 + config_.down_switch_bump;
+    p += sw;
+  }
+  // Stall term (1e-1 magnitude), only when this segment actually stalled:
+  // the hazard is tied to the stall event, not re-charged every segment.
+  if (segment.stall_time > 0.05) {
+    double h = stall_hazard(segment.cumulative_stall, segment.cumulative_stall_events);
+    // Compound effects (Fig. 4(d)): less stall tolerance at higher quality,
+    // more tolerance once the viewer is invested in the video.
+    h *= 1.0 + config_.quality_stall_interaction *
+                   std::min(1.0, segment.bitrate / config_.max_bitrate);
+    h *= 1.0 - config_.engagement_relief * std::min(1.0, segment.position / 20.0);
+    p += std::min(h, 1.0);
+  }
+  has_prev_ = true;
+  prev_level_ = segment.level;
+  prev_bitrate_ = segment.bitrate;
+  return std::clamp(p, 0.0, 1.0);
+}
+
+Seconds DataDrivenUser::tolerable_stall() const {
+  switch (config_.stall_archetype) {
+    case StallArchetype::kSensitive:
+      return config_.tolerance;  // hazard = scale/2 at theta (ramp midpoint)
+    case StallArchetype::kThreshold:
+      return config_.tolerance;  // logistic midpoint
+    case StallArchetype::kInsensitive:
+      // Hazard never reaches scale/2; report the cap point.
+      return std::max(config_.tolerance, 10.0);
+  }
+  return config_.tolerance;
+}
+
+std::unique_ptr<UserModel> DataDrivenUser::clone() const {
+  return std::make_unique<DataDrivenUser>(*this);
+}
+
+DataDrivenUser::Config DataDrivenUser::drifted(Seconds delta) const {
+  Config c = config_;
+  c.tolerance = std::max(0.5, c.tolerance + delta);
+  return c;
+}
+
+}  // namespace lingxi::user

@@ -1,0 +1,69 @@
+// Data-driven user model (§5.2 "Data-Driven Modeling", Fig. 5(b)).
+//
+// Per-segment exit hazard combining the paper's measured effect magnitudes
+// (Takeaway 1 — quality 1e-3, smoothness 1e-2, stall 1e-1):
+//
+//   p = base_content_rate                        (content, not QoS)
+//     + quality_coeff   * (1 - bitrate/max)      (~1e-3)
+//     + switch_coeff    * [switched] (+down bump)(~1e-2)
+//     + stall_response(cumulative stall)         (~1e-1, personalized)
+//
+// Three stall-response archetypes match the user cases in Fig. 5(b):
+//   * kSensitive   — hazard rises steeply and linearly from the first stall
+//   * kThreshold   — logistic jump around a personal tolerance theta
+//   * kInsensitive — shallow linear rise, capped low
+#pragma once
+
+#include "user/user_model.h"
+
+namespace lingxi::user {
+
+enum class StallArchetype { kSensitive, kThreshold, kInsensitive };
+
+const char* archetype_name(StallArchetype a) noexcept;
+
+class DataDrivenUser final : public UserModel {
+ public:
+  struct Config {
+    StallArchetype stall_archetype = StallArchetype::kThreshold;
+    Seconds tolerance = 4.0;        ///< theta: personal tolerable stall time
+    double stall_scale = 0.8;       ///< max stall-induced hazard
+    double base_content_rate = 0.045;
+    double quality_coeff = 2e-3;
+    double switch_coeff = 1.2e-2;
+    double down_switch_bump = 0.4;  ///< extra fraction for quality drops
+    double multi_stall_bump = 0.8;  ///< hazard multiplier per extra stall event
+    /// Compound effects (§2.2 Fig. 4(d)): stalls at higher quality are less
+    /// tolerated; prolonged engagement increases stall tolerance.
+    double quality_stall_interaction = 0.6;  ///< extra hazard fraction at top tier
+    double engagement_relief = 0.5;           ///< max hazard reduction deep in a session
+    Kbps max_bitrate = 4300.0;
+  };
+
+  explicit DataDrivenUser(Config config);
+
+  void begin_session() override;
+  double exit_probability(const sim::SegmentRecord& segment) override;
+
+  /// Stall time where the stall-induced hazard reaches half its scale.
+  Seconds tolerable_stall() const override;
+  std::string archetype() const override { return archetype_name(config_.stall_archetype); }
+  std::unique_ptr<UserModel> clone() const override;
+
+  /// The isolated stall hazard term (used by Fig. 5(b) to plot response
+  /// curves without content/quality noise).
+  double stall_hazard(Seconds cumulative_stall, std::size_t stall_events) const;
+
+  const Config& config() const noexcept { return config_; }
+  /// Day-to-day drift: returns a copy with `tolerance` shifted by delta,
+  /// clamped to >= 0.5s (temporal dynamics of §2.3).
+  Config drifted(Seconds delta) const;
+
+ private:
+  Config config_;
+  bool has_prev_ = false;
+  std::size_t prev_level_ = 0;
+  Kbps prev_bitrate_ = 0.0;
+};
+
+}  // namespace lingxi::user

@@ -1,0 +1,22 @@
+#include "user/rule_based.h"
+
+#include "common/assert.h"
+
+namespace lingxi::user {
+
+RuleBasedUser::RuleBasedUser(Config config) : config_(config) {
+  LINGXI_ASSERT(config_.stall_time_threshold >= 0.0);
+  LINGXI_ASSERT(config_.content_exit_rate >= 0.0 && config_.content_exit_rate <= 1.0);
+}
+
+double RuleBasedUser::exit_probability(const sim::SegmentRecord& segment) {
+  if (segment.cumulative_stall > config_.stall_time_threshold) return 1.0;
+  if (segment.cumulative_stall_events > config_.stall_count_threshold) return 1.0;
+  return config_.content_exit_rate;
+}
+
+std::unique_ptr<UserModel> RuleBasedUser::clone() const {
+  return std::make_unique<RuleBasedUser>(*this);
+}
+
+}  // namespace lingxi::user

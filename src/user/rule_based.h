@@ -1,0 +1,35 @@
+// Rule-based user (§5.2 "Rule-Based Modeling"): exits deterministically when
+// either cumulative stall time or stall count crosses its threshold. Both
+// thresholds sweep 2..9 in the paper, giving the 64-rule grid of Fig. 11.
+// A small content-driven per-segment exit probability models exits unrelated
+// to QoS (the short-video reality that most sessions end early regardless).
+#pragma once
+
+#include "user/user_model.h"
+
+namespace lingxi::user {
+
+class RuleBasedUser final : public UserModel {
+ public:
+  struct Config {
+    Seconds stall_time_threshold = 5.0;   ///< exit when cumulative stall exceeds
+    std::size_t stall_count_threshold = 5;  ///< exit when stall events exceed
+    double content_exit_rate = 0.0;       ///< QoS-independent exit probability/segment
+  };
+
+  explicit RuleBasedUser(Config config);
+
+  void begin_session() override {}
+  double exit_probability(const sim::SegmentRecord& segment) override;
+
+  Seconds tolerable_stall() const override { return config_.stall_time_threshold; }
+  std::string archetype() const override { return "rule"; }
+  std::unique_ptr<UserModel> clone() const override;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace lingxi::user

@@ -1,0 +1,4 @@
+#include "user/user_model.h"
+
+// Currently interface-only; the translation unit anchors the vtable.
+namespace lingxi::user {}

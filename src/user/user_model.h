@@ -1,0 +1,29 @@
+// User behaviour models — the "real users" of the synthetic production
+// environment.
+//
+// The paper validates LingXi pre-deployment against two families (§5.2):
+// deterministic rule-based users and data-driven users fitted from logs.
+// Both are sim::ExitModel implementations, so the same session simulator
+// drives them; additionally they expose ground-truth sensitivity so benches
+// can check that LingXi's inferred parameters track true user tolerance
+// (Figs. 5, 11, 14, 15).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/session.h"
+
+namespace lingxi::user {
+
+class UserModel : public sim::ExitModel {
+ public:
+  /// Ground-truth average stall time this user tolerates before the exit
+  /// probability becomes substantial (~0.5). Basis of Fig. 5(a).
+  virtual Seconds tolerable_stall() const = 0;
+  /// Archetype label ("sensitive" / "threshold" / "insensitive" / "rule").
+  virtual std::string archetype() const = 0;
+  virtual std::unique_ptr<UserModel> clone() const = 0;
+};
+
+}  // namespace lingxi::user

@@ -1,0 +1,67 @@
+#include "user/user_population.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lingxi::user {
+
+UserPopulation::UserPopulation() : config_(Config{}) {}
+
+UserPopulation::UserPopulation(Config config) : config_(config) {
+  const double archetype_sum = config_.sensitive_fraction + config_.threshold_fraction +
+                               config_.insensitive_fraction;
+  LINGXI_ASSERT(std::fabs(archetype_sum - 1.0) < 1e-9);
+  const double tolerance_sum = config_.low_tolerance_fraction + config_.mid_tolerance_fraction +
+                               config_.high_tolerance_fraction +
+                               config_.very_high_tolerance_fraction;
+  LINGXI_ASSERT(std::fabs(tolerance_sum - 1.0) < 1e-9);
+  LINGXI_ASSERT(config_.stable_fraction + config_.moderate_fraction <= 1.0);
+}
+
+DataDrivenUser::Config UserPopulation::sample_config(Rng& rng) const {
+  DataDrivenUser::Config c;
+  const std::size_t arche = rng.discrete({config_.sensitive_fraction,
+                                          config_.threshold_fraction,
+                                          config_.insensitive_fraction});
+  c.stall_archetype = static_cast<StallArchetype>(arche);
+
+  const std::size_t band = rng.discrete(
+      {config_.low_tolerance_fraction, config_.mid_tolerance_fraction,
+       config_.high_tolerance_fraction, config_.very_high_tolerance_fraction});
+  switch (band) {
+    case 0: c.tolerance = rng.uniform(0.5, 2.0); break;
+    case 1: c.tolerance = rng.uniform(2.0, 5.0); break;
+    case 2: c.tolerance = rng.uniform(5.0, 10.0); break;
+    default: c.tolerance = rng.uniform(10.0, 20.0); break;
+  }
+  // Mild heterogeneity in the non-stall terms.
+  c.base_content_rate = rng.uniform(0.035, 0.06);
+  c.stall_scale = rng.uniform(0.7, 0.95);
+  return c;
+}
+
+std::unique_ptr<DataDrivenUser> UserPopulation::sample(Rng& rng) const {
+  return std::make_unique<DataDrivenUser>(sample_config(rng));
+}
+
+std::vector<DataDrivenUser::Config> UserPopulation::sample_many(std::size_t n, Rng& rng) const {
+  std::vector<DataDrivenUser::Config> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample_config(rng));
+  return out;
+}
+
+Seconds UserPopulation::sample_drift(Rng& rng) const {
+  const double tail_fraction = 1.0 - config_.stable_fraction - config_.moderate_fraction;
+  const std::size_t band =
+      rng.discrete({config_.stable_fraction, config_.moderate_fraction, tail_fraction});
+  const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+  switch (band) {
+    case 0: return sign * rng.uniform(0.0, 1.0);
+    case 1: return sign * rng.uniform(2.0, 4.0);
+    default: return sign * (4.0 + rng.exponential(0.5));  // long tail beyond 4s
+  }
+}
+
+}  // namespace lingxi::user

@@ -1,0 +1,50 @@
+// User population sampling, calibrated to the paper's §2.3 findings:
+// ~20% of users tolerate almost no stall, ~20% tolerate more than 5s,
+// ~10% stay past 10s (Fig. 5(a) CDF); day-to-day tolerance drift is mostly
+// small with a 2-4s band for ~20% of users and a long tail.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "user/data_driven.h"
+
+namespace lingxi::user {
+
+class UserPopulation {
+ public:
+  struct Config {
+    // Archetype mixture (must sum to 1).
+    double sensitive_fraction = 0.35;
+    double threshold_fraction = 0.45;
+    double insensitive_fraction = 0.20;
+    // Tolerance mixture matched to Fig. 5(a): fractions and uniform ranges.
+    double low_tolerance_fraction = 0.20;   ///< 0.5 - 2 s
+    double mid_tolerance_fraction = 0.50;   ///< 2 - 5 s
+    double high_tolerance_fraction = 0.20;  ///< 5 - 10 s
+    double very_high_tolerance_fraction = 0.10;  ///< 10 - 20 s
+    // Day-to-day drift mixture (§2.3): stable / moderate / long tail.
+    double stable_fraction = 0.60;    ///< |drift| < 1 s
+    double moderate_fraction = 0.20;  ///< |drift| in 2-4 s
+    // Remainder: exponential long tail.
+  };
+
+  UserPopulation();  // default config
+  explicit UserPopulation(Config config);
+
+  /// Sample a fresh user.
+  DataDrivenUser::Config sample_config(Rng& rng) const;
+  std::unique_ptr<DataDrivenUser> sample(Rng& rng) const;
+  std::vector<DataDrivenUser::Config> sample_many(std::size_t n, Rng& rng) const;
+
+  /// Sample a day-over-day tolerance drift (signed seconds).
+  Seconds sample_drift(Rng& rng) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace lingxi::user

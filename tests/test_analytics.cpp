@@ -1,0 +1,172 @@
+// Unit tests for lingxi_analytics: metric accumulation and the population
+// experiment driver.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "abr/hyb.h"
+#include "analytics/experiment.h"
+#include "analytics/metrics.h"
+#include "common/rng.h"
+#include "predictor/exit_net.h"
+#include "predictor/os_model.h"
+
+namespace lingxi::analytics {
+namespace {
+
+sim::SessionResult make_session(double watch, double stall, double bitrate, bool exited,
+                                std::size_t stall_events = 1) {
+  sim::SessionResult s;
+  s.watch_time = watch;
+  s.total_stall = stall;
+  s.mean_bitrate = bitrate;
+  s.exited = exited;
+  s.stall_events = stall_events;
+  s.quality_switches = 2;
+  return s;
+}
+
+TEST(MetricAccumulator, BasicAggregation) {
+  MetricAccumulator m;
+  m.add(make_session(10.0, 1.0, 1000.0, false));
+  m.add(make_session(30.0, 3.0, 3000.0, true));
+  EXPECT_DOUBLE_EQ(m.total_watch_time(), 40.0);
+  EXPECT_DOUBLE_EQ(m.total_stall_time(), 4.0);
+  // Time-weighted bitrate: (1000*10 + 3000*30)/40 = 2500.
+  EXPECT_DOUBLE_EQ(m.mean_bitrate(), 2500.0);
+  EXPECT_DOUBLE_EQ(m.completion_rate(), 0.5);
+  EXPECT_EQ(m.sessions(), 2u);
+  EXPECT_EQ(m.stall_events(), 2u);
+  EXPECT_EQ(m.quality_switches(), 4u);
+  EXPECT_DOUBLE_EQ(m.stall_per_10k(), 1000.0);
+}
+
+TEST(MetricAccumulator, EmptyIsZero) {
+  MetricAccumulator m;
+  EXPECT_DOUBLE_EQ(m.mean_bitrate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.completion_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.stall_per_10k(), 0.0);
+}
+
+TEST(MetricAccumulator, MergeMatchesSequential) {
+  MetricAccumulator a, b, all;
+  const auto s1 = make_session(10.0, 1.0, 1000.0, false);
+  const auto s2 = make_session(20.0, 0.5, 2000.0, true);
+  a.add(s1);
+  b.add(s2);
+  all.add(s1);
+  all.add(s2);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total_watch_time(), all.total_watch_time());
+  EXPECT_DOUBLE_EQ(a.mean_bitrate(), all.mean_bitrate());
+  EXPECT_EQ(a.sessions(), all.sessions());
+}
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.users = 6;
+  cfg.days = 4;
+  cfg.sessions_per_user_day = 3;
+  cfg.intervention_day = 2;
+  cfg.video.mean_duration = 15.0;
+  cfg.network.median_bandwidth = 2500.0;  // stall-prone world
+  cfg.lingxi.obo_rounds = 2;
+  cfg.lingxi.monte_carlo.samples = 3;
+  cfg.lingxi.monte_carlo.sample_duration = 8.0;
+  return cfg;
+}
+
+std::function<predictor::HybridExitPredictor()> predictor_factory() {
+  // Shared across users, as in production (one global model).
+  auto net_rng = std::make_shared<Rng>(123);
+  return [net_rng]() {
+    auto net = std::make_shared<predictor::StallExitNet>(*net_rng);
+    auto os = std::make_shared<predictor::OverallStatsModel>();
+    return predictor::HybridExitPredictor(net, os);
+  };
+}
+
+TEST(PopulationExperiment, ShapesAreConsistent) {
+  const auto cfg = small_config();
+  PopulationExperiment exp(cfg, [] { return std::make_unique<abr::Hyb>(); },
+                           predictor_factory());
+  const auto control = exp.run(false, 7);
+  EXPECT_EQ(control.daily.size(), cfg.days);
+  EXPECT_EQ(control.user_days.size(), cfg.users * cfg.days);
+  for (const auto& day : control.daily) {
+    EXPECT_EQ(day.sessions(), cfg.users * cfg.sessions_per_user_day);
+    EXPECT_GT(day.total_watch_time(), 0.0);
+  }
+}
+
+TEST(PopulationExperiment, ControlParamsStayAtDefault) {
+  const auto cfg = small_config();
+  PopulationExperiment exp(cfg, [] { return std::make_unique<abr::Hyb>(); },
+                           predictor_factory());
+  const auto control = exp.run(false, 7);
+  for (const auto& rec : control.user_days) {
+    EXPECT_DOUBLE_EQ(rec.mean_beta, cfg.lingxi.default_params.hyb_beta);
+  }
+}
+
+TEST(PopulationExperiment, TreatmentAdjustsParamsOnlyAfterIntervention) {
+  const auto cfg = small_config();
+  PopulationExperiment exp(cfg, [] { return std::make_unique<abr::Hyb>(); },
+                           predictor_factory());
+  const auto treatment = exp.run(true, 7);
+  bool any_adjusted_post = false;
+  for (const auto& rec : treatment.user_days) {
+    if (rec.day < cfg.intervention_day) {
+      EXPECT_DOUBLE_EQ(rec.mean_beta, cfg.lingxi.default_params.hyb_beta)
+          << "user " << rec.user << " day " << rec.day;
+    } else if (rec.mean_beta != cfg.lingxi.default_params.hyb_beta) {
+      any_adjusted_post = true;
+    }
+  }
+  EXPECT_TRUE(any_adjusted_post);
+}
+
+TEST(PopulationExperiment, SameSeedIsReproducible) {
+  const auto cfg = small_config();
+  PopulationExperiment exp(cfg, [] { return std::make_unique<abr::Hyb>(); },
+                           predictor_factory());
+  const auto a = exp.run(false, 42);
+  const auto b = exp.run(false, 42);
+  for (std::size_t d = 0; d < cfg.days; ++d) {
+    EXPECT_DOUBLE_EQ(a.daily[d].total_watch_time(), b.daily[d].total_watch_time());
+    EXPECT_DOUBLE_EQ(a.daily[d].total_stall_time(), b.daily[d].total_stall_time());
+  }
+}
+
+TEST(PopulationExperiment, StallEventRecordingOptIn) {
+  auto cfg = small_config();
+  cfg.record_stall_events = true;
+  PopulationExperiment exp(cfg, [] { return std::make_unique<abr::Hyb>(); },
+                           predictor_factory());
+  const auto treatment = exp.run(true, 9);
+  // Low-bandwidth world: some stall events must have been recorded.
+  EXPECT_FALSE(treatment.stall_events.empty());
+  for (const auto& ev : treatment.stall_events) {
+    EXPECT_GT(ev.stall_time, 0.0);
+    EXPECT_GE(ev.param_beta_after, cfg.lingxi.space.beta_min);
+    EXPECT_LE(ev.param_beta_after, cfg.lingxi.space.beta_max);
+  }
+}
+
+TEST(RelativeDailyGap, ComputesPerDayRelativeDifference) {
+  ExperimentResult control, treatment;
+  control.daily.resize(2);
+  treatment.daily.resize(2);
+  control.daily[0].add(make_session(10.0, 1.0, 1000.0, false));
+  treatment.daily[0].add(make_session(11.0, 1.0, 1000.0, false));
+  control.daily[1].add(make_session(20.0, 1.0, 1000.0, false));
+  treatment.daily[1].add(make_session(19.0, 1.0, 1000.0, false));
+  const auto gaps =
+      relative_daily_gap(treatment, control, &MetricAccumulator::total_watch_time);
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_NEAR(gaps[0], 0.1, 1e-9);
+  EXPECT_NEAR(gaps[1], -0.05, 1e-9);
+}
+
+}  // namespace
+}  // namespace lingxi::analytics

@@ -1,0 +1,175 @@
+// Unit tests for lingxi_bayesopt: GP regression, acquisition functions and
+// the online Bayesian optimizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayesopt/acquisition.h"
+#include "bayesopt/gp.h"
+#include "bayesopt/obo.h"
+#include "common/rng.h"
+
+namespace lingxi::bayesopt {
+namespace {
+
+TEST(Gp, PriorBeforeObservations) {
+  GaussianProcess gp;
+  const auto p = gp.predict({0.5});
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_DOUBLE_EQ(p.variance, 1.0);  // default signal variance
+}
+
+TEST(Gp, InterpolatesObservations) {
+  GaussianProcess gp;
+  gp.observe({0.2}, 1.0);
+  gp.observe({0.8}, 3.0);
+  const auto at_first = gp.predict({0.2});
+  EXPECT_NEAR(at_first.mean, 1.0, 0.05);
+  EXPECT_LT(at_first.variance, 0.01);
+}
+
+TEST(Gp, VarianceGrowsAwayFromData) {
+  GaussianProcess gp;
+  gp.observe({0.5}, 2.0);
+  const auto near = gp.predict({0.52});
+  const auto far = gp.predict({0.0});
+  EXPECT_LT(near.variance, far.variance);
+}
+
+TEST(Gp, MeanRevertsToDataMeanFarAway) {
+  GaussianProcess gp;
+  gp.observe({0.4}, 10.0);
+  gp.observe({0.6}, 20.0);
+  // Far from data the posterior mean approaches the (centered) data mean.
+  const auto p = gp.predict({100.0});
+  EXPECT_NEAR(p.mean, 15.0, 1e-6);
+}
+
+TEST(Gp, BestTracksMinimum) {
+  GaussianProcess gp;
+  gp.observe({0.1}, 5.0);
+  gp.observe({0.7}, 2.0);
+  gp.observe({0.9}, 7.0);
+  EXPECT_DOUBLE_EQ(gp.best_y(), 2.0);
+  EXPECT_DOUBLE_EQ(gp.best_x()[0], 0.7);
+}
+
+TEST(Gp, MultiDimensional) {
+  GaussianProcess gp;
+  gp.observe({0.1, 0.9}, 1.0);
+  gp.observe({0.9, 0.1}, 3.0);
+  const auto p = gp.predict({0.1, 0.9});
+  EXPECT_NEAR(p.mean, 1.0, 0.1);
+}
+
+TEST(Gp, NoisyObservationsDoNotBreakCholesky) {
+  GpConfig cfg;
+  cfg.noise_variance = 0.01;
+  GaussianProcess gp(cfg);
+  Rng rng(1);
+  // Repeated x with different y would be singular without the noise term.
+  for (int i = 0; i < 20; ++i) gp.observe({0.5}, rng.normal(2.0, 0.1));
+  const auto p = gp.predict({0.5});
+  EXPECT_NEAR(p.mean, 2.0, 0.15);
+}
+
+TEST(Acquisition, EiZeroWhenCertainAndWorse) {
+  EXPECT_DOUBLE_EQ(expected_improvement(5.0, 0.0, 3.0), 0.0);
+}
+
+TEST(Acquisition, EiEqualsGapWhenCertainAndBetter) {
+  EXPECT_DOUBLE_EQ(expected_improvement(1.0, 0.0, 3.0), 2.0);
+}
+
+TEST(Acquisition, EiIncreasesWithVariance) {
+  const double lo = expected_improvement(3.0, 0.01, 3.0);
+  const double hi = expected_improvement(3.0, 1.0, 3.0);
+  EXPECT_GT(hi, lo);
+}
+
+TEST(Acquisition, PiBoundsAndMonotonicity) {
+  EXPECT_NEAR(probability_of_improvement(3.0, 1.0, 3.0), 0.5, 1e-9);
+  EXPECT_GT(probability_of_improvement(2.0, 1.0, 3.0), 0.5);
+  EXPECT_LT(probability_of_improvement(4.0, 1.0, 3.0), 0.5);
+  EXPECT_DOUBLE_EQ(probability_of_improvement(2.0, 0.0, 3.0), 1.0);
+}
+
+TEST(Acquisition, LcbPrefersLowMeanHighVariance) {
+  EXPECT_GT(lower_confidence_bound(1.0, 0.5), lower_confidence_bound(2.0, 0.5));
+  EXPECT_GT(lower_confidence_bound(1.0, 2.0), lower_confidence_bound(1.0, 0.5));
+}
+
+TEST(Obo, WarmStartEvaluatedFirst) {
+  OnlineBayesOpt obo(2);
+  obo.warm_start({0.25, 0.75});
+  Rng rng(2);
+  const auto x = obo.next_candidate(rng);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_DOUBLE_EQ(x[0], 0.25);
+  EXPECT_DOUBLE_EQ(x[1], 0.75);
+}
+
+TEST(Obo, CandidatesStayInUnitCube) {
+  OnlineBayesOpt obo(3);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const auto x = obo.next_candidate(rng);
+    for (double v : x) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    obo.update(x, rng.uniform());
+  }
+}
+
+TEST(Obo, FindsMinimumOfSmooth1dFunction) {
+  // f(x) = (x - 0.3)^2, minimum at 0.3.
+  auto f = [](double x) { return (x - 0.3) * (x - 0.3); };
+  OnlineBayesOpt obo(1);
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const auto x = obo.next_candidate(rng);
+    obo.update(x, f(x[0]));
+  }
+  EXPECT_NEAR(obo.best()[0], 0.3, 0.08);
+  EXPECT_LT(obo.best_value(), 0.01);
+}
+
+TEST(Obo, BeatsRandomSearchOnAverage) {
+  auto f = [](double x, double y) {
+    return (x - 0.7) * (x - 0.7) + (y - 0.2) * (y - 0.2);
+  };
+  const int kTrials = 10;
+  const int kBudget = 15;
+  double obo_total = 0.0, random_total = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng rng(100 + t);
+    OnlineBayesOpt obo(2);
+    for (int i = 0; i < kBudget; ++i) {
+      const auto x = obo.next_candidate(rng);
+      obo.update(x, f(x[0], x[1]));
+    }
+    obo_total += obo.best_value();
+
+    Rng rng2(200 + t);
+    double best_random = 1e9;
+    for (int i = 0; i < kBudget; ++i) {
+      best_random = std::min(best_random, f(rng2.uniform(), rng2.uniform()));
+    }
+    random_total += best_random;
+  }
+  EXPECT_LT(obo_total, random_total);
+}
+
+TEST(Obo, EvaluationCountTracked) {
+  OnlineBayesOpt obo(1);
+  Rng rng(5);
+  for (int i = 0; i < 5; ++i) {
+    const auto x = obo.next_candidate(rng);
+    obo.update(x, 1.0);
+  }
+  EXPECT_EQ(obo.evaluations(), 5u);
+}
+
+}  // namespace
+}  // namespace lingxi::bayesopt

@@ -1,0 +1,196 @@
+// Unit tests for lingxi_logstore: record framing, primitive codecs and the
+// durable per-user state store.
+#include <gtest/gtest.h>
+
+#include "logstore/record.h"
+#include "logstore/state_store.h"
+
+namespace lingxi::logstore {
+namespace {
+
+TEST(Record, RoundTrip) {
+  std::vector<unsigned char> payload{1, 2, 3, 4, 5};
+  std::vector<unsigned char> bytes;
+  write_record(bytes, payload);
+  std::size_t pos = 0;
+  const auto r = read_record(bytes, pos);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, payload);
+  EXPECT_EQ(pos, bytes.size());
+}
+
+TEST(Record, MultipleRecordsSequential) {
+  std::vector<unsigned char> bytes;
+  write_record(bytes, {10});
+  write_record(bytes, {20, 21});
+  std::size_t pos = 0;
+  const auto a = read_record(bytes, pos);
+  const auto b = read_record(bytes, pos);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->size(), 1u);
+  EXPECT_EQ(b->size(), 2u);
+  EXPECT_EQ(pos, bytes.size());
+}
+
+TEST(Record, EmptyPayloadAllowed) {
+  std::vector<unsigned char> bytes;
+  write_record(bytes, {});
+  std::size_t pos = 0;
+  const auto r = read_record(bytes, pos);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(Record, DetectsBitFlipInPayload) {
+  std::vector<unsigned char> bytes;
+  write_record(bytes, {1, 2, 3, 4});
+  bytes[13] ^= 0x01;  // somewhere inside the payload
+  std::size_t pos = 0;
+  const auto r = read_record(bytes, pos);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, Error::Code::kCorrupt);
+}
+
+TEST(Record, DetectsTruncation) {
+  std::vector<unsigned char> bytes;
+  write_record(bytes, {1, 2, 3, 4});
+  bytes.resize(bytes.size() - 2);
+  std::size_t pos = 0;
+  EXPECT_FALSE(read_record(bytes, pos).has_value());
+}
+
+TEST(Record, DetectsBadMagic) {
+  std::vector<unsigned char> bytes;
+  write_record(bytes, {1});
+  bytes[0] = 'Z';
+  std::size_t pos = 0;
+  EXPECT_FALSE(read_record(bytes, pos).has_value());
+}
+
+TEST(Primitives, RoundTripAllTypes) {
+  std::vector<unsigned char> buf;
+  put_u32(buf, 0xdeadbeefu);
+  put_u64(buf, 0x0123456789abcdefULL);
+  put_f64(buf, -3.14159);
+  std::size_t pos = 0;
+  std::uint32_t a = 0;
+  std::uint64_t b = 0;
+  double c = 0.0;
+  ASSERT_TRUE(get_u32(buf, pos, a));
+  ASSERT_TRUE(get_u64(buf, pos, b));
+  ASSERT_TRUE(get_f64(buf, pos, c));
+  EXPECT_EQ(a, 0xdeadbeefu);
+  EXPECT_EQ(b, 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(c, -3.14159);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Primitives, ReadPastEndFails) {
+  std::vector<unsigned char> buf{1, 2};
+  std::size_t pos = 0;
+  std::uint32_t v = 0;
+  EXPECT_FALSE(get_u32(buf, pos, v));
+}
+
+UserState sample_state() {
+  UserState s;
+  s.engagement.stall_durations = {1.5, 3.25};
+  s.engagement.stall_intervals = {42.0};
+  s.engagement.stall_exit_intervals = {100.0, 250.0, 400.0};
+  s.engagement.total_watch_time = 1234.5;
+  s.engagement.total_stall_events = 17;
+  s.engagement.total_stall_exits = 3;
+  s.best_params.stall_penalty = 9.5;
+  s.best_params.switch_penalty = 1.25;
+  s.best_params.hyb_beta = 0.65;
+  s.has_params = true;
+  return s;
+}
+
+TEST(StateStore, EncodeDecodeRoundTrip) {
+  const UserState s = sample_state();
+  const auto payload = StateStore::encode(77, s);
+  const auto decoded = StateStore::decode(payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->first, 77u);
+  EXPECT_EQ(decoded->second, s);
+}
+
+TEST(StateStore, DecodeRejectsTruncatedPayload) {
+  auto payload = StateStore::encode(1, sample_state());
+  payload.resize(payload.size() - 3);
+  EXPECT_FALSE(StateStore::decode(payload).has_value());
+}
+
+TEST(StateStore, DecodeRejectsTrailingGarbage) {
+  auto payload = StateStore::encode(1, sample_state());
+  payload.push_back(0xab);
+  EXPECT_FALSE(StateStore::decode(payload).has_value());
+}
+
+TEST(StateStore, PutGetContains) {
+  StateStore store;
+  EXPECT_FALSE(store.contains(5));
+  store.put(5, sample_state());
+  EXPECT_TRUE(store.contains(5));
+  const auto got = store.get(5);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, sample_state());
+  EXPECT_FALSE(store.get(6).has_value());
+}
+
+TEST(StateStore, OverwriteReplaces) {
+  StateStore store;
+  store.put(1, sample_state());
+  UserState other = sample_state();
+  other.best_params.hyb_beta = 0.4;
+  store.put(1, other);
+  EXPECT_DOUBLE_EQ(store.get(1)->best_params.hyb_beta, 0.4);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(StateStore, SaveLoadRoundTrip) {
+  StateStore store;
+  store.put(1, sample_state());
+  UserState s2 = sample_state();
+  s2.has_params = false;
+  s2.engagement.total_stall_events = 99;
+  store.put(2, s2);
+
+  const std::string path = ::testing::TempDir() + "/lingxi_state_store.bin";
+  ASSERT_TRUE(store.save(path).ok());
+
+  StateStore loaded;
+  ASSERT_TRUE(loaded.load(path).ok());
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(*loaded.get(1), sample_state());
+  EXPECT_EQ(*loaded.get(2), s2);
+}
+
+TEST(StateStore, LoadMissingFileIsIoError) {
+  StateStore store;
+  const auto status = store.load("/nonexistent/state.bin");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, Error::Code::kIo);
+}
+
+TEST(StateStore, LoadCorruptFileFailsAndPreservesNothingPartial) {
+  StateStore store;
+  store.put(1, sample_state());
+  const std::string path = ::testing::TempDir() + "/lingxi_state_corrupt.bin";
+  ASSERT_TRUE(store.save(path).ok());
+
+  // Flip a byte in the middle of the file.
+  auto bytes = read_file(path);
+  ASSERT_TRUE(bytes.has_value());
+  (*bytes)[bytes->size() / 2] ^= 0xff;
+  ASSERT_TRUE(write_file(path, *bytes).ok());
+
+  StateStore loaded;
+  EXPECT_FALSE(loaded.load(path).ok());
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+}  // namespace
+}  // namespace lingxi::logstore

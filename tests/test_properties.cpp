@@ -1,0 +1,404 @@
+// Parameterized property tests (TEST_P sweeps) across module invariants:
+// player dynamics, ABR decision validity, parameter-space round trips,
+// user-model hazards, GP posteriors, predictor outputs, serialization, and
+// the session log.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "abr/bba.h"
+#include "abr/bola.h"
+#include "abr/hyb.h"
+#include "abr/pensieve.h"
+#include "abr/rate_based.h"
+#include "abr/robust_mpc.h"
+#include "bayesopt/gp.h"
+#include "common/rng.h"
+#include "logstore/session_log.h"
+#include "predictor/exit_net.h"
+#include "sim/player_env.h"
+#include "sim/session.h"
+#include "stats/ecdf.h"
+#include "trace/bandwidth.h"
+#include "trace/video.h"
+#include "user/data_driven.h"
+
+namespace lingxi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PlayerEnv invariants over a (bandwidth, segment bitrate, buffer) grid.
+// ---------------------------------------------------------------------------
+
+using PlayerCase = std::tuple<double /*bandwidth*/, double /*bitrate*/, double /*buffer*/>;
+
+class PlayerEnvProperty : public ::testing::TestWithParam<PlayerCase> {};
+
+TEST_P(PlayerEnvProperty, Eq3InvariantsHold) {
+  const auto [bandwidth, bitrate, buffer0] = GetParam();
+  sim::PlayerConfig cfg;
+  cfg.startup_buffer = buffer0;
+  sim::PlayerEnv env(cfg);
+
+  const Bytes size = units::segment_bytes(bitrate, 1.0);
+  const auto r = env.step(size, 1.0, bandwidth);
+
+  // Download time is exactly size / bandwidth.
+  EXPECT_NEAR(r.download_time, units::download_time(size, bandwidth), 1e-12);
+  // Stall is the buffer shortfall, never negative.
+  EXPECT_NEAR(r.stall_time, std::max(0.0, r.download_time - buffer0), 1e-12);
+  // Buffer stays within [0, B_max].
+  EXPECT_GE(r.buffer_after, 0.0);
+  EXPECT_LE(r.buffer_after, env.buffer_max() + 1e-9);
+  // Wait always includes the RTT.
+  EXPECT_GE(r.wait_time, cfg.rtt - 1e-12);
+  // Wall clock advanced by download + wait.
+  EXPECT_NEAR(env.wall_clock(), r.download_time + r.wait_time, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PlayerEnvProperty,
+    ::testing::Combine(::testing::Values(200.0, 800.0, 2000.0, 10000.0),
+                       ::testing::Values(350.0, 750.0, 1850.0, 4300.0),
+                       ::testing::Values(0.0, 0.5, 4.0, 8.0)));
+
+// ---------------------------------------------------------------------------
+// Every ABR returns a valid ladder level for any sane observation, and is
+// deterministic given the same observation.
+// ---------------------------------------------------------------------------
+
+enum class AbrKind { kHyb, kBba, kBola, kRateBased, kMpc, kPensieve };
+
+using AbrCase = std::tuple<AbrKind, double /*buffer*/, double /*bandwidth*/>;
+
+class AbrValidity : public ::testing::TestWithParam<AbrCase> {
+ protected:
+  static std::unique_ptr<abr::AbrAlgorithm> make(AbrKind kind) {
+    static Rng rng(999);
+    switch (kind) {
+      case AbrKind::kHyb: return std::make_unique<abr::Hyb>();
+      case AbrKind::kBba: return std::make_unique<abr::Bba>();
+      case AbrKind::kBola: return std::make_unique<abr::Bola>();
+      case AbrKind::kRateBased: return std::make_unique<abr::RateBased>();
+      case AbrKind::kMpc: return std::make_unique<abr::RobustMpc>();
+      case AbrKind::kPensieve: return std::make_unique<abr::Pensieve>(4, rng);
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(AbrValidity, SelectsValidLevelDeterministically) {
+  const auto [kind, buffer, bandwidth] = GetParam();
+  const trace::Video video(trace::BitrateLadder::default_ladder(), 30, 1.0);
+  auto algo = make(kind);
+
+  sim::AbrObservation obs;
+  obs.video = &video;
+  obs.buffer = buffer;
+  obs.buffer_max = 8.0;
+  obs.next_segment = 3;
+  obs.first_segment = false;
+  obs.last_level = 1;
+  obs.throughput_history = {bandwidth, bandwidth * 0.9, bandwidth * 1.1};
+  obs.download_time_history = {0.5, 0.6, 0.4};
+
+  const std::size_t level = algo->select(obs);
+  EXPECT_LT(level, video.ladder().levels());
+  EXPECT_EQ(algo->select(obs), level);  // deterministic
+
+  // Clones behave identically.
+  EXPECT_EQ(algo->clone()->select(obs), level);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AbrValidity,
+    ::testing::Combine(::testing::Values(AbrKind::kHyb, AbrKind::kBba, AbrKind::kBola,
+                                         AbrKind::kRateBased, AbrKind::kMpc,
+                                         AbrKind::kPensieve),
+                       ::testing::Values(0.0, 2.0, 8.0),
+                       ::testing::Values(400.0, 2000.0, 9000.0)));
+
+// ---------------------------------------------------------------------------
+// ParamSpace: from_unit(to_unit(p)) == clamp(p) for every flag combination.
+// ---------------------------------------------------------------------------
+
+class ParamSpaceRoundTrip
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool, int>> {};
+
+TEST_P(ParamSpaceRoundTrip, UnitCubeRoundTrip) {
+  const auto [opt_stall, opt_switch, opt_beta, seed] = GetParam();
+  if (!opt_stall && !opt_switch && !opt_beta) GTEST_SKIP();
+  abr::ParamSpace space;
+  space.optimize_stall = opt_stall;
+  space.optimize_switch = opt_switch;
+  space.optimize_beta = opt_beta;
+
+  Rng rng(static_cast<std::uint64_t>(seed));
+  abr::QoeParams p;
+  p.stall_penalty = rng.uniform(space.stall_min, space.stall_max);
+  p.switch_penalty = rng.uniform(space.switch_min, space.switch_max);
+  p.hyb_beta = rng.uniform(space.beta_min, space.beta_max);
+
+  const auto u = space.to_unit(p);
+  ASSERT_EQ(u.size(), space.dimensions());
+  const abr::QoeParams q = space.from_unit(u, p);
+  EXPECT_NEAR(q.stall_penalty, p.stall_penalty, 1e-9);
+  EXPECT_NEAR(q.switch_penalty, p.switch_penalty, 1e-9);
+  EXPECT_NEAR(q.hyb_beta, p.hyb_beta, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ParamSpaceRoundTrip,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                                            ::testing::Bool(), ::testing::Range(1, 5)));
+
+// ---------------------------------------------------------------------------
+// DataDrivenUser: hazards are monotone in stall time and bounded, for every
+// archetype x tolerance combination.
+// ---------------------------------------------------------------------------
+
+using UserCase = std::tuple<user::StallArchetype, double /*tolerance*/>;
+
+class UserHazardProperty : public ::testing::TestWithParam<UserCase> {};
+
+TEST_P(UserHazardProperty, MonotoneAndBounded) {
+  const auto [archetype, tolerance] = GetParam();
+  user::DataDrivenUser::Config cfg;
+  cfg.stall_archetype = archetype;
+  cfg.tolerance = tolerance;
+  user::DataDrivenUser u(cfg);
+  double prev = -1.0;
+  for (double s = 0.0; s <= 25.0; s += 0.25) {
+    const double h = u.stall_hazard(s, 1);
+    EXPECT_GE(h, prev - 1e-12);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 1.0);
+    prev = h;
+  }
+  // More stall events never reduce the hazard.
+  EXPECT_GE(u.stall_hazard(5.0, 4), u.stall_hazard(5.0, 1) - 1e-12);
+}
+
+TEST_P(UserHazardProperty, ExitProbabilityIsProbability) {
+  const auto [archetype, tolerance] = GetParam();
+  user::DataDrivenUser::Config cfg;
+  cfg.stall_archetype = archetype;
+  cfg.tolerance = tolerance;
+  user::DataDrivenUser u(cfg);
+  u.begin_session();
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    sim::SegmentRecord seg;
+    seg.level = static_cast<std::size_t>(rng.uniform_int(0, 3));
+    seg.bitrate = trace::BitrateLadder::default_ladder().bitrate(seg.level);
+    seg.position = rng.uniform(0.0, 120.0);
+    seg.stall_time = rng.bernoulli(0.3) ? rng.uniform(0.1, 8.0) : 0.0;
+    seg.cumulative_stall = seg.stall_time + rng.uniform(0.0, 10.0);
+    seg.cumulative_stall_events = static_cast<std::size_t>(rng.uniform_int(0, 6));
+    const double p = u.exit_probability(seg);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UserHazardProperty,
+    ::testing::Combine(::testing::Values(user::StallArchetype::kSensitive,
+                                         user::StallArchetype::kThreshold,
+                                         user::StallArchetype::kInsensitive),
+                       ::testing::Values(1.0, 3.0, 6.0, 12.0)));
+
+// ---------------------------------------------------------------------------
+// Gaussian process: posterior interpolates data and variance is bounded by
+// the prior, across kernel hyperparameters.
+// ---------------------------------------------------------------------------
+
+using GpCase = std::tuple<double /*length_scale*/, double /*noise*/>;
+
+class GpPosteriorProperty : public ::testing::TestWithParam<GpCase> {};
+
+TEST_P(GpPosteriorProperty, PosteriorSaneAcrossHyperparameters) {
+  const auto [length_scale, noise] = GetParam();
+  bayesopt::GpConfig cfg;
+  cfg.length_scale = length_scale;
+  cfg.noise_variance = noise;
+  bayesopt::GaussianProcess gp(cfg);
+  Rng rng(7);
+  for (int i = 0; i < 12; ++i) {
+    const double x = rng.uniform();
+    gp.observe({x}, std::sin(6.0 * x));
+  }
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const auto p = gp.predict({x});
+    EXPECT_GE(p.variance, 0.0);
+    EXPECT_LE(p.variance, cfg.signal_variance + 1e-9);
+    EXPECT_TRUE(std::isfinite(p.mean));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, GpPosteriorProperty,
+                         ::testing::Combine(::testing::Values(0.05, 0.15, 0.3, 0.6),
+                                            ::testing::Values(1e-6, 1e-4, 1e-2)));
+
+// ---------------------------------------------------------------------------
+// Exit net: outputs are probabilities for any bounded input, across seeds.
+// ---------------------------------------------------------------------------
+
+class ExitNetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExitNetProperty, OutputsAreProbabilities) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  predictor::StallExitNet net(rng);
+  Rng data(static_cast<std::uint64_t>(GetParam()) * 31 + 1);
+  for (int i = 0; i < 25; ++i) {
+    nn::Tensor f({predictor::kChannels, predictor::kHistoryLen});
+    for (std::size_t j = 0; j < f.size(); ++j) f[j] = data.uniform(-1.0, 2.0);
+    const double p = net.predict(f);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_TRUE(std::isfinite(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExitNetProperty, ::testing::Range(1, 7));
+
+// ---------------------------------------------------------------------------
+// Session simulation conservation laws over (bandwidth model x video length).
+// ---------------------------------------------------------------------------
+
+using SessionCase = std::tuple<double /*mean bw*/, std::size_t /*segments*/>;
+
+class SessionConservation : public ::testing::TestWithParam<SessionCase> {};
+
+TEST_P(SessionConservation, AccountingConsistent) {
+  const auto [mean_bw, segments] = GetParam();
+  const trace::Video video(trace::BitrateLadder::default_ladder(), segments, 1.0);
+  trace::GaussMarkovBandwidth bw({.mean = mean_bw, .rho = 0.9, .noise_sd = mean_bw * 0.2});
+  abr::Hyb hyb;
+  const sim::SessionSimulator sim({});
+  Rng rng(11);
+  const auto result = sim.run(video, hyb, bw, nullptr, rng);
+
+  ASSERT_EQ(result.segments.size(), segments);
+  EXPECT_DOUBLE_EQ(result.watch_time, static_cast<double>(segments));
+  double stall_sum = 0.0;
+  std::size_t events = 0;
+  double bitrate_sum = 0.0;
+  for (const auto& seg : result.segments) {
+    stall_sum += seg.stall_time;
+    if (seg.stall_time > 0.05) ++events;
+    bitrate_sum += seg.bitrate;
+    EXPECT_GE(seg.buffer_after, 0.0);
+    EXPECT_GT(seg.throughput, 0.0);
+  }
+  EXPECT_NEAR(result.total_stall, stall_sum, 1e-9);
+  EXPECT_EQ(result.stall_events, events);
+  EXPECT_NEAR(result.mean_bitrate, bitrate_sum / static_cast<double>(segments), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SessionConservation,
+                         ::testing::Combine(::testing::Values(500.0, 1500.0, 6000.0),
+                                            ::testing::Values(std::size_t{5},
+                                                              std::size_t{30},
+                                                              std::size_t{120})));
+
+// ---------------------------------------------------------------------------
+// Session log: encode/decode round trip across session shapes.
+// ---------------------------------------------------------------------------
+
+class SessionLogRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SessionLogRoundTrip, RoundTripsThroughBytes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto segments = static_cast<std::size_t>(rng.uniform_int(1, 60));
+  const trace::Video video(trace::BitrateLadder::default_ladder(), segments, 1.0);
+  trace::GaussMarkovBandwidth bw({.mean = rng.uniform(400.0, 8000.0)});
+  abr::Bba bba;
+  const sim::SessionSimulator sim({});
+
+  logstore::SessionLogEntry entry;
+  entry.user_id = rng.next();
+  entry.timestamp = 1760000000 + static_cast<std::uint64_t>(GetParam());
+  entry.video_duration = video.duration();
+  entry.session = sim.run(video, bba, bw, nullptr, rng);
+
+  logstore::SessionLogWriter writer;
+  writer.append(entry);
+  ASSERT_EQ(writer.size(), 1u);
+  const auto read = logstore::SessionLogReader::read_bytes(writer.bytes());
+  ASSERT_TRUE(read.has_value());
+  ASSERT_EQ(read->size(), 1u);
+  EXPECT_EQ(read->front(), entry);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionLogRoundTrip, ::testing::Range(1, 9));
+
+TEST(SessionLog, MultipleEntriesAndFileRoundTrip) {
+  Rng rng(3);
+  const trace::Video video(trace::BitrateLadder::default_ladder(), 10, 1.0);
+  trace::ConstantBandwidth bw(2000.0);
+  abr::Hyb hyb;
+  const sim::SessionSimulator sim({});
+
+  logstore::SessionLogWriter writer;
+  for (int i = 0; i < 5; ++i) {
+    logstore::SessionLogEntry e;
+    e.user_id = static_cast<std::uint64_t>(i);
+    e.timestamp = 1700000000u + static_cast<std::uint64_t>(i);
+    e.video_duration = video.duration();
+    e.session = sim.run(video, hyb, bw, nullptr, rng);
+    writer.append(e);
+  }
+  const std::string path = ::testing::TempDir() + "/lingxi_session_log.bin";
+  ASSERT_TRUE(writer.save(path).ok());
+  const auto loaded = logstore::SessionLogReader::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 5u);
+  EXPECT_EQ((*loaded)[4].user_id, 4u);
+}
+
+TEST(SessionLog, CorruptionDetected) {
+  logstore::SessionLogWriter writer;
+  logstore::SessionLogEntry e;
+  e.user_id = 1;
+  sim::SegmentRecord seg;
+  seg.bitrate = 750.0;
+  e.session.segments.push_back(seg);
+  writer.append(e);
+  auto bytes = writer.bytes();
+  bytes[bytes.size() / 2] ^= 0x10;
+  EXPECT_FALSE(logstore::SessionLogReader::read_bytes(bytes).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// ECDF properties: monotone, 0/1 at the extremes, inverse is a quantile.
+// ---------------------------------------------------------------------------
+
+class EcdfProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EcdfProperty, MonotoneAndInverseConsistent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 17);
+  std::vector<double> xs;
+  const int n = 50 + GetParam() * 37;
+  for (int i = 0; i < n; ++i) xs.push_back(rng.normal(10.0, 4.0));
+  const stats::Ecdf cdf(xs);
+
+  double prev = 0.0;
+  for (double x = -10.0; x <= 30.0; x += 0.5) {
+    const double v = cdf(x);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const double xq = cdf.inverse(q);
+    EXPECT_GE(cdf(xq), q - 1e-12);  // quantile property
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcdfProperty, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace lingxi

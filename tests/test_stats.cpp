@@ -1,0 +1,261 @@
+// Unit tests for lingxi_stats: descriptive stats, special functions,
+// hypothesis tests, correlation, regression, ECDF, DiD.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "stats/did.h"
+#include "stats/ecdf.h"
+#include "stats/regression.h"
+#include "stats/special.h"
+#include "stats/ttest.h"
+
+namespace lingxi::stats {
+namespace {
+
+TEST(Descriptive, MeanAndVariance) {
+  std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(min(xs), 2.0);
+  EXPECT_DOUBLE_EQ(max(xs), 9.0);
+  EXPECT_DOUBLE_EQ(sum(xs), 40.0);
+}
+
+TEST(Descriptive, EmptyIsZero) {
+  std::vector<double> xs;
+  EXPECT_DOUBLE_EQ(mean(xs), 0.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+  EXPECT_DOUBLE_EQ(stderr_mean(xs), 0.0);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Descriptive, QuantileUnsortedInput) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Descriptive, NormalizeByMean) {
+  std::vector<double> xs{2.0, 4.0, 6.0};
+  const auto n = normalize_by_mean(xs);
+  EXPECT_DOUBLE_EQ(n[0], 0.5);
+  EXPECT_DOUBLE_EQ(n[1], 1.0);
+  EXPECT_DOUBLE_EQ(n[2], 1.5);
+}
+
+TEST(Special, LogGammaKnownValues) {
+  // lgamma(5) = log(4!) = log(24)
+  EXPECT_NEAR(lgamma_fn(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(lgamma_fn(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(lgamma_fn(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(Special, NormalCdf) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(Special, IncompleteBetaBoundsAndSymmetry) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+  // I_x(a,b) = 1 - I_{1-x}(b,a)
+  EXPECT_NEAR(incomplete_beta(2.5, 1.5, 0.3), 1.0 - incomplete_beta(1.5, 2.5, 0.7), 1e-10);
+  // I_0.5(a,a) = 0.5
+  EXPECT_NEAR(incomplete_beta(3.0, 3.0, 0.5), 0.5, 1e-10);
+}
+
+TEST(Special, StudentTCdfAgainstKnownValues) {
+  // t=0 is always 0.5.
+  EXPECT_NEAR(student_t_cdf(0.0, 5.0), 0.5, 1e-12);
+  // df=1 (Cauchy): CDF(1) = 0.75.
+  EXPECT_NEAR(student_t_cdf(1.0, 1.0), 0.75, 1e-9);
+  // Large df approaches the normal.
+  EXPECT_NEAR(student_t_cdf(1.96, 1e6), normal_cdf(1.96), 1e-4);
+  // Symmetry.
+  EXPECT_NEAR(student_t_cdf(-2.0, 7.0), 1.0 - student_t_cdf(2.0, 7.0), 1e-12);
+}
+
+TEST(TTest, IdenticalSamplesNotSignificant) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto r = welch_t_test(a, a);
+  EXPECT_NEAR(r.t, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_two_sided, 1.0, 1e-9);
+}
+
+TEST(TTest, ClearlySeparatedSamplesSignificant) {
+  std::vector<double> a{10.1, 10.2, 9.9, 10.0, 10.1};
+  std::vector<double> b{1.1, 0.9, 1.0, 1.2, 0.8};
+  const auto r = welch_t_test(a, b);
+  EXPECT_GT(r.t, 10.0);
+  EXPECT_LT(r.p_two_sided, 1e-6);
+  EXPECT_NEAR(r.mean_diff, 9.06, 1e-9);
+}
+
+TEST(TTest, KnownTValue) {
+  // Hand-checked Welch example.
+  std::vector<double> a{3.0, 4.0, 5.0, 6.0, 7.0};        // mean 5, var 2.5
+  std::vector<double> b{1.0, 2.0, 3.0, 4.0, 5.0};        // mean 3, var 2.5
+  const auto r = welch_t_test(a, b);
+  // t = 2 / sqrt(2.5/5 + 2.5/5) = 2.
+  EXPECT_NEAR(r.t, 2.0, 1e-12);
+  EXPECT_NEAR(r.df, 8.0, 1e-9);
+}
+
+TEST(TTest, OneSample) {
+  std::vector<double> xs{4.9, 5.1, 5.0, 5.2, 4.8};
+  const auto r = one_sample_t_test(xs, 5.0);
+  EXPECT_NEAR(r.mean_diff, 0.0, 1e-9);
+  EXPECT_GT(r.p_two_sided, 0.9);
+  const auto r2 = one_sample_t_test(xs, 3.0);
+  EXPECT_LT(r2.p_two_sided, 1e-4);
+}
+
+TEST(TTest, ZeroVarianceHandled) {
+  std::vector<double> a{2.0, 2.0, 2.0};
+  std::vector<double> b{2.0, 2.0, 2.0};
+  const auto r = welch_t_test(a, b);
+  EXPECT_DOUBLE_EQ(r.t, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+}
+
+TEST(Correlation, PerfectPositiveAndNegative) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  std::vector<double> z{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSeriesIsZero) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> c{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);
+}
+
+TEST(Correlation, IndependentSeriesNearZero) {
+  Rng rng(99);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.normal());
+    y.push_back(rng.normal());
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.05);
+}
+
+TEST(Correlation, SpearmanMonotonicNonlinear) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y{1.0, 8.0, 27.0, 64.0, 125.0};  // monotone, nonlinear
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  std::vector<double> x{1.0, 2.0, 2.0, 3.0};
+  std::vector<double> y{1.0, 2.0, 2.0, 3.0};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Regression, ExactLine) {
+  std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y{1.0, 3.0, 5.0, 7.0};
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.predict(10.0), 21.0, 1e-12);
+}
+
+TEST(Regression, ConstantXFallsBack) {
+  std::vector<double> x{2.0, 2.0, 2.0};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  const auto fit = linear_fit(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(Regression, NoisyLineRecoversSlope) {
+  Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    const double xi = rng.uniform(0.0, 10.0);
+    x.push_back(xi);
+    y.push_back(3.0 * xi - 2.0 + rng.normal(0.0, 0.5));
+  }
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.05);
+  EXPECT_NEAR(fit.intercept, -2.0, 0.2);
+  EXPECT_GT(fit.r_squared, 0.97);
+}
+
+TEST(Ecdf, StepValues) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Ecdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf(100.0), 1.0);
+}
+
+TEST(Ecdf, InverseQuantile) {
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  const Ecdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(1.0), 50.0);
+}
+
+TEST(Ecdf, UnsortedInputHandled) {
+  std::vector<double> xs{3.0, 1.0, 2.0};
+  const Ecdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf(1.5), 1.0 / 3.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(-5.0);  // clamps to bin 0
+  h.add(42.0);  // clamps to bin 4
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.density(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(Did, EffectIsPostMinusPreGap) {
+  std::vector<double> pre{0.001, -0.002, 0.0005, 0.0015, -0.001};
+  std::vector<double> post{0.0025, 0.0018, 0.0030, 0.0010, 0.0022};
+  const auto r = difference_in_differences(pre, post);
+  EXPECT_NEAR(r.pre_gap, mean(pre), 1e-12);
+  EXPECT_NEAR(r.post_gap, mean(post), 1e-12);
+  EXPECT_NEAR(r.effect, mean(post) - mean(pre), 1e-12);
+  EXPECT_LT(r.p_two_sided, 0.05);  // clear shift
+}
+
+TEST(Did, NoEffectWhenGapsMatch) {
+  std::vector<double> pre{0.01, 0.02, 0.015, 0.012};
+  std::vector<double> post{0.013, 0.018, 0.016, 0.01};
+  const auto r = difference_in_differences(pre, post);
+  EXPECT_NEAR(r.effect, mean(post) - mean(pre), 1e-12);
+  EXPECT_GT(r.p_two_sided, 0.4);
+}
+
+}  // namespace
+}  // namespace lingxi::stats

@@ -1,0 +1,306 @@
+// Unit tests for lingxi_trace: ladders, videos, bandwidth models,
+// population sampling, trace file I/O.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "trace/bandwidth.h"
+#include "trace/population.h"
+#include "trace/trace_io.h"
+#include "trace/video.h"
+
+namespace lingxi::trace {
+namespace {
+
+TEST(BitrateLadder, DefaultLadderShape) {
+  const auto ladder = BitrateLadder::default_ladder();
+  EXPECT_EQ(ladder.levels(), 4u);
+  EXPECT_DOUBLE_EQ(ladder.min_bitrate(), 350.0);
+  EXPECT_DOUBLE_EQ(ladder.max_bitrate(), 4300.0);
+}
+
+TEST(BitrateLadder, QualityMetricsMonotone) {
+  const auto ladder = BitrateLadder::default_ladder();
+  for (auto metric : {QualityMetric::kLinearMbps, QualityMetric::kLog, QualityMetric::kLevel}) {
+    for (std::size_t l = 1; l < ladder.levels(); ++l) {
+      EXPECT_GT(ladder.quality(l, metric), ladder.quality(l - 1, metric));
+    }
+  }
+}
+
+TEST(BitrateLadder, LinearQualityIsMbps) {
+  const auto ladder = BitrateLadder::default_ladder();
+  EXPECT_DOUBLE_EQ(ladder.quality(3, QualityMetric::kLinearMbps), 4.3);
+  EXPECT_DOUBLE_EQ(ladder.max_quality(QualityMetric::kLinearMbps), 4.3);
+}
+
+TEST(BitrateLadder, LogQualityZeroAtBottom) {
+  const auto ladder = BitrateLadder::default_ladder();
+  EXPECT_DOUBLE_EQ(ladder.quality(0, QualityMetric::kLog), 0.0);
+}
+
+TEST(BitrateLadder, HighestLevelBelow) {
+  const auto ladder = BitrateLadder::default_ladder();
+  EXPECT_EQ(ladder.highest_level_below(100.0), 0u);   // below all -> lowest
+  EXPECT_EQ(ladder.highest_level_below(350.0), 0u);
+  EXPECT_EQ(ladder.highest_level_below(800.0), 1u);
+  EXPECT_EQ(ladder.highest_level_below(4300.0), 3u);
+  EXPECT_EQ(ladder.highest_level_below(1e9), 3u);
+}
+
+TEST(TierNames, AllDistinct) {
+  EXPECT_STREQ(tier_name(QualityTier::kLD), "LD");
+  EXPECT_STREQ(tier_name(QualityTier::kFullHD), "Full HD");
+}
+
+TEST(Video, CbrSegmentSizes) {
+  const Video v(BitrateLadder::default_ladder(), 10, 1.0);
+  EXPECT_EQ(v.segment_count(), 10u);
+  EXPECT_DOUBLE_EQ(v.duration(), 10.0);
+  // 1s at 350 kbps = 43750 bytes.
+  EXPECT_DOUBLE_EQ(v.segment_size(0, 0), 43750.0);
+  EXPECT_DOUBLE_EQ(v.segment_size(9, 3), 537500.0);
+}
+
+TEST(Video, VbrMultiplierBounded) {
+  Rng rng(1);
+  const Video v = Video::vbr(BitrateLadder::default_ladder(), 200, 1.0, 0.3, rng);
+  const double nominal = 43750.0;
+  bool saw_variation = false;
+  for (std::size_t i = 0; i < v.segment_count(); ++i) {
+    const double ratio = v.segment_size(i, 0) / nominal;
+    EXPECT_GE(ratio, 0.5);
+    EXPECT_LE(ratio, 2.0);
+    if (std::fabs(ratio - 1.0) > 0.01) saw_variation = true;
+  }
+  EXPECT_TRUE(saw_variation);
+}
+
+TEST(Video, VbrZeroSigmaIsCbr) {
+  Rng rng(2);
+  const Video v = Video::vbr(BitrateLadder::default_ladder(), 10, 1.0, 0.0, rng);
+  for (std::size_t i = 0; i < v.segment_count(); ++i) {
+    EXPECT_DOUBLE_EQ(v.segment_size(i, 2), v.segment_size(0, 2));
+  }
+}
+
+TEST(Video, VbrScalesAllLevelsTogether) {
+  Rng rng(3);
+  const Video v = Video::vbr(BitrateLadder::default_ladder(), 20, 1.0, 0.2, rng);
+  for (std::size_t i = 0; i < v.segment_count(); ++i) {
+    const double r0 = v.segment_size(i, 0) / 43750.0;
+    const double r3 = v.segment_size(i, 3) / 537500.0;
+    EXPECT_NEAR(r0, r3, 1e-9);
+  }
+}
+
+TEST(VideoGenerator, DurationsWithinBounds) {
+  VideoGenerator::Config cfg;
+  cfg.min_duration = 5.0;
+  cfg.max_duration = 120.0;
+  const VideoGenerator gen(cfg);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const Video v = gen.sample(rng);
+    EXPECT_GE(v.duration(), 5.0 - 1e-9);
+    EXPECT_LE(v.duration(), 120.0 + 1e-9);
+  }
+}
+
+TEST(VideoGenerator, MeanDurationRoughlyMatches) {
+  VideoGenerator::Config cfg;
+  cfg.mean_duration = 45.0;
+  const VideoGenerator gen(cfg);
+  Rng rng(5);
+  double total = 0.0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) total += gen.sample(rng).duration();
+  EXPECT_NEAR(total / n, 45.0, 6.0);  // clamping trims the lognormal tails
+}
+
+TEST(ConstantBandwidth, AlwaysSame) {
+  ConstantBandwidth bw(1234.0);
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(bw.sample(i * 1.0, rng), 1234.0);
+}
+
+TEST(NormalBandwidth, MeanAndFloor) {
+  NormalBandwidth bw(1000.0, 400.0, 50.0);
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const Kbps s = bw.sample(0.0, rng);
+    EXPECT_GE(s, 50.0);
+    sum += s;
+  }
+  // Truncation at the floor biases the mean slightly upward.
+  EXPECT_NEAR(sum / n, 1000.0, 30.0);
+}
+
+TEST(GaussMarkovBandwidth, MeanReversion) {
+  GaussMarkovBandwidth::Config cfg;
+  cfg.mean = 3000.0;
+  cfg.rho = 0.8;
+  cfg.noise_sd = 300.0;
+  GaussMarkovBandwidth bw(cfg);
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += bw.sample(0.0, rng);
+  EXPECT_NEAR(sum / n, 3000.0, 60.0);
+}
+
+TEST(GaussMarkovBandwidth, ConsecutiveSamplesCorrelated) {
+  GaussMarkovBandwidth::Config cfg;
+  cfg.mean = 3000.0;
+  cfg.rho = 0.95;
+  cfg.noise_sd = 200.0;
+  GaussMarkovBandwidth bw(cfg);
+  Rng rng(9);
+  double prev = bw.sample(0.0, rng);
+  double num = 0.0, den = 0.0;
+  double mean_est = 3000.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double cur = bw.sample(0.0, rng);
+    num += (prev - mean_est) * (cur - mean_est);
+    den += (prev - mean_est) * (prev - mean_est);
+    prev = cur;
+  }
+  EXPECT_GT(num / den, 0.85);
+}
+
+TEST(GaussMarkovBandwidth, RespectsFloor) {
+  GaussMarkovBandwidth::Config cfg;
+  cfg.mean = 100.0;
+  cfg.rho = 0.5;
+  cfg.noise_sd = 500.0;
+  cfg.floor = 50.0;
+  GaussMarkovBandwidth bw(cfg);
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(bw.sample(0.0, rng), 50.0);
+}
+
+TEST(SteppedBandwidth, Schedule) {
+  SteppedBandwidth bw({{0.0, 1000.0}, {10.0, 200.0}, {20.0, 5000.0}});
+  Rng rng(11);
+  EXPECT_DOUBLE_EQ(bw.sample(0.0, rng), 1000.0);
+  EXPECT_DOUBLE_EQ(bw.sample(9.99, rng), 1000.0);
+  EXPECT_DOUBLE_EQ(bw.sample(10.0, rng), 200.0);
+  EXPECT_DOUBLE_EQ(bw.sample(15.0, rng), 200.0);
+  EXPECT_DOUBLE_EQ(bw.sample(25.0, rng), 5000.0);
+}
+
+TEST(TraceBandwidth, HoldAndLoop) {
+  TraceBandwidth bw({{0.0, 100.0}, {5.0, 200.0}, {10.0, 300.0}});
+  Rng rng(12);
+  EXPECT_DOUBLE_EQ(bw.sample(0.0, rng), 100.0);
+  EXPECT_DOUBLE_EQ(bw.sample(4.0, rng), 100.0);
+  EXPECT_DOUBLE_EQ(bw.sample(5.0, rng), 200.0);
+  EXPECT_DOUBLE_EQ(bw.sample(10.0, rng), 300.0);
+  // Loops: t=12 wraps to t=2.
+  EXPECT_DOUBLE_EQ(bw.sample(12.0, rng), 100.0);
+  EXPECT_DOUBLE_EQ(bw.sample(16.0, rng), 200.0);
+}
+
+TEST(BandwidthClone, IndependentState) {
+  GaussMarkovBandwidth::Config cfg;
+  GaussMarkovBandwidth bw(cfg);
+  Rng rng(13);
+  bw.sample(0.0, rng);
+  auto copy = bw.clone();
+  // Clone starts fresh; both must keep producing valid samples.
+  EXPECT_GT(copy->sample(0.0, rng), 0.0);
+  EXPECT_GT(bw.sample(0.0, rng), 0.0);
+}
+
+TEST(TraceIo, ParseValid) {
+  const auto r = parse_trace("0 1000\n1.5 2000 # comment\n# full comment line\n3 1500\n");
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_DOUBLE_EQ((*r)[1].time, 1.5);
+  EXPECT_DOUBLE_EQ((*r)[1].rate, 2000.0);
+}
+
+TEST(TraceIo, RejectsNonIncreasingTime) {
+  const auto r = parse_trace("0 1000\n0 2000\n");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, Error::Code::kParse);
+}
+
+TEST(TraceIo, RejectsNonPositiveRate) {
+  const auto r = parse_trace("0 1000\n1 -5\n");
+  ASSERT_FALSE(r.has_value());
+}
+
+TEST(TraceIo, RejectsMissingRate) {
+  const auto r = parse_trace("0\n");
+  ASSERT_FALSE(r.has_value());
+}
+
+TEST(TraceIo, RejectsEmpty) {
+  const auto r = parse_trace("# nothing here\n");
+  ASSERT_FALSE(r.has_value());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/lingxi_trace_test.txt";
+  std::vector<TraceBandwidth::Point> points{{0.0, 500.0}, {2.0, 1500.0}, {4.0, 800.0}};
+  ASSERT_TRUE(save_trace_file(path, points).ok());
+  const auto r = load_trace_file(path);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_DOUBLE_EQ((*r)[2].rate, 800.0);
+}
+
+TEST(TraceIo, MissingFileIsIoError) {
+  const auto r = load_trace_file("/nonexistent/dir/trace.txt");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, Error::Code::kIo);
+}
+
+TEST(Population, SamplesWithinBounds) {
+  PopulationModel model;
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) {
+    const auto p = model.sample(rng);
+    EXPECT_GE(p.mean_bandwidth, model.config().min_bandwidth);
+    EXPECT_LE(p.mean_bandwidth, model.config().max_bandwidth);
+  }
+}
+
+TEST(Population, RoughlyTenPercentBelowMaxBitrate) {
+  // Fig. 2(a): ~10% of users sit below the ladder's max bitrate (4300 kbps).
+  PopulationModel model;
+  Rng rng(15);
+  int below = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample(rng).mean_bandwidth < 4300.0) ++below;
+  }
+  const double frac = static_cast<double>(below) / n;
+  EXPECT_GT(frac, 0.05);
+  EXPECT_LT(frac, 0.20);
+}
+
+TEST(Population, SessionModelUsable) {
+  PopulationModel model;
+  Rng rng(16);
+  const auto profile = model.sample(rng);
+  auto session = profile.make_session_model();
+  for (int i = 0; i < 100; ++i) EXPECT_GT(session->sample(0.0, rng), 0.0);
+}
+
+TEST(BandwidthBuckets, IndexAndLabels) {
+  EXPECT_EQ(bandwidth_bucket(0.0), 0u);
+  EXPECT_EQ(bandwidth_bucket(1999.0), 0u);
+  EXPECT_EQ(bandwidth_bucket(2000.0), 1u);
+  EXPECT_EQ(bandwidth_bucket(9999.0), 4u);
+  EXPECT_EQ(bandwidth_bucket(50000.0), 5u);
+  EXPECT_EQ(bucket_label(0), "0-2 Mbps");
+  EXPECT_EQ(bucket_label(5), "10+ Mbps");
+}
+
+}  // namespace
+}  // namespace lingxi::trace

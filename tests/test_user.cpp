@@ -1,0 +1,264 @@
+// Unit tests for lingxi_user: rule-based and data-driven user models and
+// the population sampler (calibration against §2.3 / Fig. 5(a)).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "user/data_driven.h"
+#include "user/rule_based.h"
+#include "user/user_population.h"
+
+namespace lingxi::user {
+namespace {
+
+sim::SegmentRecord make_segment(Seconds cum_stall, std::size_t stall_events,
+                                Seconds stall_now = 0.0, std::size_t level = 2,
+                                Kbps bitrate = 1850.0) {
+  sim::SegmentRecord seg;
+  seg.level = level;
+  seg.bitrate = bitrate;
+  seg.stall_time = stall_now;
+  seg.cumulative_stall = cum_stall;
+  seg.cumulative_stall_events = stall_events;
+  return seg;
+}
+
+// -- RuleBasedUser ----------------------------------------------------------
+
+TEST(RuleBasedUser, ExitsWhenStallTimeCrossesThreshold) {
+  RuleBasedUser::Config cfg;
+  cfg.stall_time_threshold = 5.0;
+  cfg.stall_count_threshold = 100;
+  RuleBasedUser u(cfg);
+  EXPECT_DOUBLE_EQ(u.exit_probability(make_segment(4.9, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(u.exit_probability(make_segment(5.0, 1)), 0.0);  // not strictly greater
+  EXPECT_DOUBLE_EQ(u.exit_probability(make_segment(5.1, 1)), 1.0);
+}
+
+TEST(RuleBasedUser, ExitsWhenStallCountCrossesThreshold) {
+  RuleBasedUser::Config cfg;
+  cfg.stall_time_threshold = 1e9;
+  cfg.stall_count_threshold = 3;
+  RuleBasedUser u(cfg);
+  EXPECT_DOUBLE_EQ(u.exit_probability(make_segment(0.5, 3)), 0.0);
+  EXPECT_DOUBLE_EQ(u.exit_probability(make_segment(0.5, 4)), 1.0);
+}
+
+TEST(RuleBasedUser, ContentExitRateApplies) {
+  RuleBasedUser::Config cfg;
+  cfg.content_exit_rate = 0.05;
+  RuleBasedUser u(cfg);
+  EXPECT_DOUBLE_EQ(u.exit_probability(make_segment(0.0, 0)), 0.05);
+}
+
+TEST(RuleBasedUser, ToleranceReportsThreshold) {
+  RuleBasedUser::Config cfg;
+  cfg.stall_time_threshold = 7.0;
+  RuleBasedUser u(cfg);
+  EXPECT_DOUBLE_EQ(u.tolerable_stall(), 7.0);
+  EXPECT_EQ(u.archetype(), "rule");
+}
+
+TEST(RuleBasedUser, CloneIndependent) {
+  RuleBasedUser::Config cfg;
+  cfg.stall_time_threshold = 2.0;
+  RuleBasedUser u(cfg);
+  auto copy = u.clone();
+  EXPECT_DOUBLE_EQ(copy->tolerable_stall(), 2.0);
+}
+
+// -- DataDrivenUser -----------------------------------------------------------
+
+TEST(DataDrivenUser, StallHazardMonotoneInStallTime) {
+  for (auto arch : {StallArchetype::kSensitive, StallArchetype::kThreshold,
+                    StallArchetype::kInsensitive}) {
+    DataDrivenUser::Config cfg;
+    cfg.stall_archetype = arch;
+    cfg.tolerance = 4.0;
+    DataDrivenUser u(cfg);
+    double prev = -1.0;
+    for (double s = 0.0; s <= 20.0; s += 0.5) {
+      const double h = u.stall_hazard(s, 1);
+      EXPECT_GE(h, prev) << archetype_name(arch) << " at " << s;
+      EXPECT_GE(h, 0.0);
+      EXPECT_LE(h, 1.0);
+      prev = h;
+    }
+  }
+}
+
+TEST(DataDrivenUser, SensitiveRisesFasterThanInsensitive) {
+  DataDrivenUser::Config scfg, icfg;
+  scfg.stall_archetype = StallArchetype::kSensitive;
+  icfg.stall_archetype = StallArchetype::kInsensitive;
+  scfg.tolerance = icfg.tolerance = 4.0;
+  DataDrivenUser sensitive(scfg), insensitive(icfg);
+  for (double s : {2.0, 4.0, 8.0}) {
+    EXPECT_GT(sensitive.stall_hazard(s, 1), insensitive.stall_hazard(s, 1));
+  }
+}
+
+TEST(DataDrivenUser, ThresholdJumpsAroundTolerance) {
+  DataDrivenUser::Config cfg;
+  cfg.stall_archetype = StallArchetype::kThreshold;
+  cfg.tolerance = 5.0;
+  cfg.stall_scale = 0.8;
+  DataDrivenUser u(cfg);
+  EXPECT_LT(u.stall_hazard(2.0, 1), 0.1);
+  EXPECT_NEAR(u.stall_hazard(5.0, 1), 0.4, 0.05);  // midpoint = scale/2
+  EXPECT_GT(u.stall_hazard(9.0, 1), 0.7);
+}
+
+TEST(DataDrivenUser, MultiStallBumpIncreasesHazard) {
+  DataDrivenUser::Config cfg;
+  cfg.stall_archetype = StallArchetype::kThreshold;
+  cfg.tolerance = 3.0;
+  DataDrivenUser u(cfg);
+  EXPECT_GT(u.stall_hazard(3.0, 3), u.stall_hazard(3.0, 1));
+}
+
+TEST(DataDrivenUser, ZeroStallZeroHazard) {
+  DataDrivenUser u(DataDrivenUser::Config{});
+  EXPECT_DOUBLE_EQ(u.stall_hazard(0.0, 0), 0.0);
+}
+
+TEST(DataDrivenUser, QualityEffectSmall) {
+  // Takeaway 1: quality effect ~1e-3.
+  DataDrivenUser::Config cfg;
+  cfg.base_content_rate = 0.05;
+  DataDrivenUser u(cfg);
+  u.begin_session();
+  const double p_top = u.exit_probability(make_segment(0.0, 0, 0.0, 3, 4300.0));
+  u.begin_session();
+  const double p_low = u.exit_probability(make_segment(0.0, 0, 0.0, 0, 350.0));
+  EXPECT_GT(p_low, p_top);
+  EXPECT_LT(p_low - p_top, 0.01);
+  EXPECT_GT(p_low - p_top, 0.0005);
+}
+
+TEST(DataDrivenUser, SwitchEffectMediumAndDownSwitchWorse) {
+  DataDrivenUser::Config cfg;
+  DataDrivenUser u(cfg);
+  // No-switch baseline: same level twice.
+  u.begin_session();
+  u.exit_probability(make_segment(0.0, 0, 0.0, 2, 1850.0));
+  const double p_same = u.exit_probability(make_segment(0.0, 0, 0.0, 2, 1850.0));
+  // Up-switch.
+  u.begin_session();
+  u.exit_probability(make_segment(0.0, 0, 0.0, 1, 750.0));
+  const double p_up = u.exit_probability(make_segment(0.0, 0, 0.0, 2, 1850.0));
+  // Down-switch.
+  u.begin_session();
+  u.exit_probability(make_segment(0.0, 0, 0.0, 3, 4300.0));
+  const double p_down = u.exit_probability(make_segment(0.0, 0, 0.0, 2, 1850.0));
+  EXPECT_GT(p_up, p_same);
+  EXPECT_GT(p_down, p_up);
+  EXPECT_NEAR(p_up - p_same, cfg.switch_coeff, 5e-3);
+}
+
+TEST(DataDrivenUser, StallDominates) {
+  // Takeaway 1: stall effect ~1e-1 dwarfs quality/smoothness.
+  DataDrivenUser::Config cfg;
+  cfg.stall_archetype = StallArchetype::kSensitive;
+  cfg.tolerance = 2.0;
+  DataDrivenUser u(cfg);
+  u.begin_session();
+  const double p_stall = u.exit_probability(make_segment(4.0, 1, 4.0));
+  u.begin_session();
+  const double p_clean = u.exit_probability(make_segment(0.0, 0, 0.0));
+  EXPECT_GT(p_stall - p_clean, 0.1);
+}
+
+TEST(DataDrivenUser, BeginSessionResetsSwitchTracking) {
+  DataDrivenUser u(DataDrivenUser::Config{});
+  u.begin_session();
+  u.exit_probability(make_segment(0.0, 0, 0.0, 3, 4300.0));
+  u.begin_session();
+  // First segment of a new session is never a "switch".
+  const double p = u.exit_probability(make_segment(0.0, 0, 0.0, 0, 350.0));
+  DataDrivenUser fresh(DataDrivenUser::Config{});
+  fresh.begin_session();
+  const double p_fresh = fresh.exit_probability(make_segment(0.0, 0, 0.0, 0, 350.0));
+  EXPECT_DOUBLE_EQ(p, p_fresh);
+}
+
+TEST(DataDrivenUser, DriftedShiftsToleranceAndClamps) {
+  DataDrivenUser::Config cfg;
+  cfg.tolerance = 3.0;
+  DataDrivenUser u(cfg);
+  EXPECT_DOUBLE_EQ(u.drifted(2.0).tolerance, 5.0);
+  EXPECT_DOUBLE_EQ(u.drifted(-10.0).tolerance, 0.5);
+}
+
+TEST(DataDrivenUser, ArchetypeNames) {
+  EXPECT_STREQ(archetype_name(StallArchetype::kSensitive), "sensitive");
+  EXPECT_STREQ(archetype_name(StallArchetype::kThreshold), "threshold");
+  EXPECT_STREQ(archetype_name(StallArchetype::kInsensitive), "insensitive");
+}
+
+// -- UserPopulation ------------------------------------------------------------
+
+TEST(UserPopulation, ToleranceDistributionMatchesFig5a) {
+  const UserPopulation pop;
+  Rng rng(1);
+  int low = 0, over5 = 0, over10 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto cfg = pop.sample_config(rng);
+    if (cfg.tolerance < 2.0) ++low;
+    if (cfg.tolerance > 5.0) ++over5;
+    if (cfg.tolerance > 10.0) ++over10;
+  }
+  // ~20% minimal tolerance, ~30% above 5s (high+very high), ~10% above 10s.
+  EXPECT_NEAR(low / static_cast<double>(n), 0.20, 0.02);
+  EXPECT_NEAR(over5 / static_cast<double>(n), 0.30, 0.02);
+  EXPECT_NEAR(over10 / static_cast<double>(n), 0.10, 0.015);
+}
+
+TEST(UserPopulation, ArchetypeMixtureRespected) {
+  UserPopulation::Config cfg;
+  cfg.sensitive_fraction = 1.0;
+  cfg.threshold_fraction = 0.0;
+  cfg.insensitive_fraction = 0.0;
+  const UserPopulation pop(cfg);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(pop.sample_config(rng).stall_archetype, StallArchetype::kSensitive);
+  }
+}
+
+TEST(UserPopulation, DriftMixture) {
+  const UserPopulation pop;
+  Rng rng(3);
+  int stable = 0, moderate = 0, tail = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double d = std::fabs(pop.sample_drift(rng));
+    if (d < 1.0) ++stable;
+    else if (d >= 2.0 && d <= 4.0) ++moderate;
+    else if (d > 4.0) ++tail;
+  }
+  EXPECT_NEAR(stable / static_cast<double>(n), 0.60, 0.02);
+  EXPECT_NEAR(moderate / static_cast<double>(n), 0.20, 0.02);
+  EXPECT_GT(tail, 0);
+}
+
+TEST(UserPopulation, SampleManyCount) {
+  const UserPopulation pop;
+  Rng rng(4);
+  EXPECT_EQ(pop.sample_many(17, rng).size(), 17u);
+}
+
+TEST(UserPopulation, SampledUsersAreUsable) {
+  const UserPopulation pop;
+  Rng rng(5);
+  auto u = pop.sample(rng);
+  u->begin_session();
+  const double p = u->exit_probability(make_segment(1.0, 1, 1.0));
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+}  // namespace
+}  // namespace lingxi::user
