@@ -11,11 +11,11 @@
 #include <vector>
 
 #include "abr/hyb.h"
-#include "analytics/experiment.h"
 #include "bayesopt/obo.h"
 #include "bench_util.h"
 #include "common/running_stats.h"
 #include "core/lingxi.h"
+#include "sim/fleet_runner.h"
 #include "sim/monte_carlo.h"
 #include "trace/bandwidth.h"
 #include "trace/video.h"
@@ -95,37 +95,37 @@ void ablate_pruning(const bench::TrainedPredictor& predictor) {
 
 void ablate_trigger(const bench::TrainedPredictor& predictor) {
   bench::print_header("Ablation 3: trigger threshold eta");
-  std::printf("%-6s %-16s %-14s %-14s\n", "eta", "optimizations", "stall (s)",
-              "watch (s)");
+  std::printf("%-6s %-16s %-16s %-14s %-14s\n", "eta", "optimizations",
+              "adjusted u-days", "stall (s)", "watch (s)");
   for (std::size_t eta : {0, 1, 2, 4, 8}) {
-    analytics::ExperimentConfig cfg;
-    cfg.users = 40;
-    cfg.days = 3;
-    cfg.sessions_per_user_day = 8;
-    cfg.intervention_day = 0;
-    cfg.network.median_bandwidth = 1800.0;
-    cfg.network.sigma = 0.5;
-    cfg.lingxi.trigger_stall_threshold = eta;
-    cfg.lingxi.obo_rounds = 4;
-    cfg.lingxi.monte_carlo.samples = 6;
+    sim::FleetConfig fleet;
+    fleet.users = 40;
+    fleet.days = 3;
+    fleet.sessions_per_user_day = 8;
+    fleet.threads = 0;  // result is thread-count independent
+    fleet.enable_lingxi = true;
+    fleet.drift_user_tolerance = true;
+    // Low-bandwidth, high-variability world: the eta sweep is only
+    // informative when stalls actually happen.
+    fleet.network.median_bandwidth = 1300.0;
+    fleet.network.sigma = 0.5;
+    fleet.network.relative_sd = 0.45;
+    fleet.session_jitter_sigma = 0.4;
+    // Match the production A/B setup (§5.3): search HYB's beta only.
+    fleet.lingxi.space.optimize_stall = false;
+    fleet.lingxi.space.optimize_switch = false;
+    fleet.lingxi.space.optimize_beta = true;
+    fleet.lingxi.trigger_stall_threshold = eta;
+    fleet.lingxi.obo_rounds = 4;
+    fleet.lingxi.monte_carlo.samples = 6;
 
-    analytics::PopulationExperiment experiment(
-        cfg, [] { return std::make_unique<abr::Hyb>(); },
-        [&] { return predictor.make(); });
-    const auto result = experiment.run(true, 12345);
-    double stall = 0.0, watch = 0.0;
-    for (const auto& day : result.daily) {
-      stall += day.total_stall_time();
-      watch += day.total_watch_time();
-    }
-    // Optimization count is not directly surfaced per experiment; the
-    // trigger threshold's effect shows in the stall/watch outcome and in
-    // how often parameters moved off the default.
-    std::size_t adjusted_user_days = 0;
-    for (const auto& rec : result.user_days) {
-      if (rec.mean_beta != cfg.lingxi.default_params.hyb_beta) ++adjusted_user_days;
-    }
-    std::printf("%-6zu %-16zu %-14.1f %-14.1f\n", eta, adjusted_user_days, stall, watch);
+    sim::FleetRunner runner(fleet, [] { return std::make_unique<abr::Hyb>(); });
+    runner.set_predictor_factory([&] { return predictor.make(); });
+    const sim::FleetAccumulator result = runner.run(12345);
+    std::printf("%-6zu %-16llu %-16llu %-14.1f %-14.1f\n", eta,
+                static_cast<unsigned long long>(result.lingxi_optimizations),
+                static_cast<unsigned long long>(result.adjusted_user_days),
+                result.total_stall_time(), result.total_watch_time());
   }
   std::printf("(small eta = more frequent personalization; eta=2 is the paper's "
               "compromise)\n");

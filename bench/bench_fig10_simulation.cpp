@@ -9,6 +9,11 @@
 // for two user-model families (rule-based 8x8 threshold grid, data-driven
 // archetype users) and two baseline ABRs (RobustMPC, Pensieve).
 //
+// Every panel cell is one sim::FleetRunner fleet: the runner shards the user
+// population across worker threads and the merged result is bitwise
+// independent of the thread count, so this bench reports identical numbers
+// on a laptop and a 64-core box.
+//
 // Expected shape: fixed parameters barely move the completion rate; L(F)
 // clearly improves on the best fixed parameters; L(B) improves further.
 #include <algorithm>
@@ -21,7 +26,7 @@
 #include "abr/robust_mpc.h"
 #include "bench_util.h"
 #include "common/running_stats.h"
-#include "core/lingxi.h"
+#include "sim/fleet_runner.h"
 #include "sim/session.h"
 #include "trace/population.h"
 #include "trace/video.h"
@@ -47,6 +52,8 @@ trace::PopulationModel::Config network_config() {
   cfg.median_bandwidth = 1300.0;
   cfg.sigma = 0.4;
   cfg.relative_sd = 0.45;
+  // Cap of the per-session jittered mean (see session_jitter_sigma below).
+  cfg.max_bandwidth = 30000.0;
   return cfg;
 }
 
@@ -56,123 +63,81 @@ trace::VideoGenerator::Config video_config() {
   return cfg;
 }
 
-using AbrFactory = std::function<std::unique_ptr<abr::AbrAlgorithm>()>;
-using UserFactory = std::function<std::unique_ptr<user::UserModel>(Rng&)>;
+using AbrFactory = sim::FleetRunner::AbrFactory;
+using UserFactory = sim::FleetRunner::UserFactory;
 
-/// Session-level nonstationarity: a user's sessions happen on different
-/// networks (cellular commute, home Wi-Fi, ...), so the session mean jitters
-/// around the user's long-run mean. This is what gives *online* re-tuning an
-/// edge over any per-user fixed parameter.
-std::unique_ptr<trace::BandwidthModel> session_bandwidth(const trace::NetworkProfile& profile,
-                                                         Rng& rng) {
-  trace::NetworkProfile jittered = profile;
-  jittered.mean_bandwidth =
-      std::clamp(profile.mean_bandwidth * rng.lognormal(0.0, 0.5), 300.0, 30000.0);
-  return jittered.make_session_model();
+/// Base fleet shared by the fixed-parameter and LingXi arms. The session
+/// jitter models session-level nonstationarity: a user's sessions happen on
+/// different networks (cellular commute, home Wi-Fi, ...), which is what
+/// gives *online* re-tuning an edge over any per-user fixed parameter.
+sim::FleetConfig base_fleet(std::size_t users) {
+  sim::FleetConfig fleet;
+  fleet.users = users;
+  fleet.days = 1;
+  fleet.sessions_per_user_day = kSessionsPerUser;
+  fleet.warmup_sessions = kWarmupSessions;
+  fleet.threads = 0;  // all cores; the merged result does not depend on this
+  fleet.network = network_config();
+  fleet.video = video_config();
+  fleet.session_jitter_sigma = 0.5;
+  return fleet;
 }
 
-/// Completion rate with fixed QoE parameters over a set of users.
-double run_fixed(const AbrFactory& make_abr, const abr::QoeParams& params,
-                 const std::vector<UserFactory>& users, std::uint64_t seed) {
-  const trace::PopulationModel networks(network_config());
-  const trace::VideoGenerator videos(video_config());
-  const sim::SessionSimulator simulator({});
-  std::size_t completed = 0, total = 0;
-  for (std::size_t u = 0; u < users.size(); ++u) {
-    Rng rng(seed + u * 7919);
-    auto user_model = users[u](rng);
-    const auto profile = networks.sample(rng);
-    auto abr_algo = make_abr();
-    abr_algo->set_params(params);
-    for (std::size_t s = 0; s < kSessionsPerUser; ++s) {
-      const trace::Video video = videos.sample(rng);
-      auto bw = session_bandwidth(profile, rng);
-      const auto session = simulator.run(video, *abr_algo, *bw, user_model.get(), rng);
-      if (s >= kWarmupSessions) {
-        completed += session.completed() ? 1 : 0;
-        ++total;
-      }
-    }
-  }
-  return static_cast<double>(completed) / static_cast<double>(total);
+/// Completion rate with fixed QoE parameters over the user panel.
+double run_fixed(const AbrFactory& make_abr, const UserFactory& users,
+                 std::size_t user_count, const abr::QoeParams& params,
+                 std::uint64_t seed) {
+  sim::FleetConfig fleet = base_fleet(user_count);
+  fleet.enable_lingxi = false;
+  fleet.fixed_params = params;
+  sim::FleetRunner runner(fleet, make_abr);
+  runner.set_user_factory(users);
+  return runner.run(seed).measured_completion_rate();
 }
 
 /// Completion rate with LingXi adjusting parameters online.
 /// `fixed_candidates` empty = L(B); non-empty = L(F).
-double run_lingxi(const AbrFactory& make_abr, const bench::TrainedPredictor& predictor,
+double run_lingxi(const AbrFactory& make_abr, const UserFactory& users,
+                  std::size_t user_count, const bench::TrainedPredictor& predictor,
                   const std::vector<abr::QoeParams>& fixed_candidates,
-                  const std::vector<UserFactory>& users, std::uint64_t seed) {
-  const trace::PopulationModel networks(network_config());
-  const trace::VideoGenerator videos(video_config());
-  const sim::SessionSimulator simulator({});
+                  std::uint64_t seed) {
+  sim::FleetConfig fleet = base_fleet(user_count);
+  fleet.enable_lingxi = true;
+  fleet.lingxi.space.optimize_stall = true;
+  fleet.lingxi.space.optimize_switch = true;
+  fleet.lingxi.space.optimize_beta = false;
+  fleet.lingxi.obo_rounds = 10;
+  fleet.lingxi.obo.bootstrap_samples = 1;  // the warm start already seeds the GP
+  fleet.lingxi.monte_carlo.samples = 32;
+  fleet.lingxi.monte_carlo.sample_duration = 30.0;
+  fleet.lingxi.fixed_candidates = fixed_candidates;
 
-  core::LingXiConfig cfg;
-  cfg.space.optimize_stall = true;
-  cfg.space.optimize_switch = true;
-  cfg.space.optimize_beta = false;
-  cfg.obo_rounds = 10;
-  cfg.obo.bootstrap_samples = 1;  // the warm start already seeds the GP
-  cfg.monte_carlo.samples = 32;
-  cfg.monte_carlo.sample_duration = 30.0;
-  cfg.fixed_candidates = fixed_candidates;
-
-  std::size_t completed = 0, total = 0;
-  for (std::size_t u = 0; u < users.size(); ++u) {
-    Rng rng(seed + u * 7919);
-    auto user_model = users[u](rng);
-    const auto profile = networks.sample(rng);
-    auto abr_algo = make_abr();
-    abr_algo->set_params(cfg.default_params);
-    core::LingXi lingxi(cfg, predictor.make(), video_config().ladder);
-
-    for (std::size_t s = 0; s < kSessionsPerUser; ++s) {
-      const trace::Video video = videos.sample(rng);
-      auto bw = session_bandwidth(profile, rng);
-      lingxi.begin_session();
-      const auto session = simulator.run(video, *abr_algo, *bw, user_model.get(), rng);
-      if (s >= kWarmupSessions) {
-        completed += session.completed() ? 1 : 0;
-        ++total;
-      }
-      for (const auto& seg : session.segments) lingxi.on_segment(seg);
-      const bool stall_exit = session.exited && !session.segments.empty() &&
-                              session.segments.back().stall_time > 0.05;
-      lingxi.end_session(stall_exit);
-      const Seconds buffer =
-          session.segments.empty() ? 0.0 : session.segments.back().buffer_after;
-      lingxi.maybe_optimize(*abr_algo, buffer, rng);
-    }
-  }
-  return static_cast<double>(completed) / static_cast<double>(total);
+  sim::FleetRunner runner(fleet, make_abr);
+  runner.set_user_factory(users);
+  runner.set_predictor_factory([&predictor] { return predictor.make(); });
+  return runner.run(seed).measured_completion_rate();
 }
 
-std::vector<UserFactory> rule_based_users() {
-  std::vector<UserFactory> users;
-  for (int count_thr = 2; count_thr <= 9; ++count_thr) {
-    for (int time_thr = 2; time_thr <= 9; ++time_thr) {
-      users.push_back([count_thr, time_thr](Rng&) -> std::unique_ptr<user::UserModel> {
-        user::RuleBasedUser::Config cfg;
-        cfg.stall_count_threshold = static_cast<std::size_t>(count_thr);
-        cfg.stall_time_threshold = static_cast<double>(time_thr);
-        cfg.content_exit_rate = kContentExitRate;
-        return std::make_unique<user::RuleBasedUser>(cfg);
-      });
-    }
-  }
-  return users;
+UserFactory rule_based_users() {
+  return [](std::size_t user_index, Rng&) -> std::unique_ptr<user::UserModel> {
+    // 8x8 grid over (stall count threshold, stall time threshold) in 2..9.
+    const int count_thr = 2 + static_cast<int>(user_index / 8 % 8);
+    const int time_thr = 2 + static_cast<int>(user_index % 8);
+    user::RuleBasedUser::Config cfg;
+    cfg.stall_count_threshold = static_cast<std::size_t>(count_thr);
+    cfg.stall_time_threshold = static_cast<double>(time_thr);
+    cfg.content_exit_rate = kContentExitRate;
+    return std::make_unique<user::RuleBasedUser>(cfg);
+  };
 }
 
-std::vector<UserFactory> data_driven_users(std::size_t n) {
-  std::vector<UserFactory> users;
+UserFactory data_driven_users() {
   const user::UserPopulation population;
-  for (std::size_t i = 0; i < n; ++i) {
-    users.push_back([i, population](Rng& rng) -> std::unique_ptr<user::UserModel> {
-      auto cfg = population.sample_config(rng);
-      cfg.base_content_rate = kContentExitRate;
-      return std::make_unique<user::DataDrivenUser>(cfg);
-    });
-  }
-  return users;
+  return [population](std::size_t, Rng& rng) -> std::unique_ptr<user::UserModel> {
+    auto cfg = population.sample_config(rng);
+    cfg.base_content_rate = kContentExitRate;
+    return std::make_unique<user::DataDrivenUser>(cfg);
+  };
 }
 
 std::vector<abr::QoeParams> lf_candidates() {
@@ -190,7 +155,8 @@ std::vector<abr::QoeParams> lf_candidates() {
 
 /// Fit the hybrid predictor on logs from THIS panel's world (user family +
 /// network), as the production predictor is fitted on production logs.
-bench::TrainedPredictor train_matched_predictor(const std::vector<UserFactory>& users,
+bench::TrainedPredictor train_matched_predictor(const UserFactory& users,
+                                                std::size_t user_count,
                                                 std::uint64_t seed) {
   Rng rng(seed);
   bench::TrainedPredictor out;
@@ -205,8 +171,8 @@ bench::TrainedPredictor train_matched_predictor(const std::vector<UserFactory>& 
     gen.network = network_config();
     gen.video = video_config();
     std::size_t next = 0;
-    gen.user_factory = [&users, next](Rng& user_rng) mutable {
-      return users[next++ % users.size()](user_rng);
+    gen.user_factory = [&users, user_count, next](Rng& user_rng) mutable {
+      return users(next++ % user_count, user_rng);
     };
     return gen;
   };
@@ -228,9 +194,9 @@ bench::TrainedPredictor train_matched_predictor(const std::vector<UserFactory>& 
   return out;
 }
 
-void run_panel(const char* title, const AbrFactory& make_abr,
-               const std::vector<UserFactory>& users,
-               const bench::TrainedPredictor& predictor, std::uint64_t seed) {
+void run_panel(const char* title, const AbrFactory& make_abr, const UserFactory& users,
+               std::size_t user_count, const bench::TrainedPredictor& predictor,
+               std::uint64_t seed) {
   bench::print_header(title);
   std::printf("%-14s", "stall param");
   for (int sw = 0; sw <= 4; ++sw) std::printf("Sw:%-8d", sw);
@@ -244,7 +210,7 @@ void run_panel(const char* title, const AbrFactory& make_abr,
       abr::QoeParams p;
       p.stall_penalty = stall;
       p.switch_penalty = static_cast<double>(sw);
-      const double rate = run_fixed(make_abr, p, users, seed);
+      const double rate = run_fixed(make_abr, users, user_count, p, seed);
       fixed_all.add(rate);
       best_fixed = std::max(best_fixed, rate);
       std::printf("%-11.4f", rate);
@@ -252,8 +218,8 @@ void run_panel(const char* title, const AbrFactory& make_abr,
     std::printf("\n");
   }
 
-  const double lf = run_lingxi(make_abr, predictor, lf_candidates(), users, seed);
-  const double lb = run_lingxi(make_abr, predictor, {}, users, seed);
+  const double lf = run_lingxi(make_abr, users, user_count, predictor, lf_candidates(), seed);
+  const double lb = run_lingxi(make_abr, users, user_count, predictor, {}, seed);
   std::printf("\nfixed params: mean %.4f, range [%.4f, %.4f]\n", fixed_all.mean(),
               fixed_all.min(), fixed_all.max());
   std::printf("L(F) fixed candidates : %.4f (%+.1f%% vs best fixed, %+.1f%% vs mean)\n",
@@ -315,11 +281,13 @@ int main() {
   }
 
   const auto rule_users = rule_based_users();
-  const auto data_users = data_driven_users(40);
+  const auto data_users = data_driven_users();
+  constexpr std::size_t kRuleUserCount = 64;
+  constexpr std::size_t kDataUserCount = 40;
 
   std::printf("fitting per-world exit-rate predictors...\n");
-  const auto rule_predictor = train_matched_predictor(rule_users, 404);
-  const auto data_predictor = train_matched_predictor(data_users, 405);
+  const auto rule_predictor = train_matched_predictor(rule_users, kRuleUserCount, 404);
+  const auto data_predictor = train_matched_predictor(data_users, kDataUserCount, 405);
 
   // Horizon 4 keeps the 4^H sequence enumeration fast enough for the sweep
   // without changing MPC's qualitative behaviour.
@@ -333,12 +301,12 @@ int main() {
   };
 
   run_panel("Figure 10(a): rule-based users x RobustMPC", make_mpc, rule_users,
-            rule_predictor, 1);
+            kRuleUserCount, rule_predictor, 1);
   run_panel("Figure 10(b): rule-based users x Pensieve", make_pensieve, rule_users,
-            rule_predictor, 2);
+            kRuleUserCount, rule_predictor, 2);
   run_panel("Figure 10(c): data-driven users x RobustMPC", make_mpc, data_users,
-            data_predictor, 3);
+            kDataUserCount, data_predictor, 3);
   run_panel("Figure 10(d): data-driven users x Pensieve", make_pensieve, data_users,
-            data_predictor, 4);
+            kDataUserCount, data_predictor, 4);
   return 0;
 }

@@ -1,0 +1,101 @@
+// Fleet scaling: sessions/sec of sim::FleetRunner at 1/2/4/8 worker threads.
+//
+// Two fleets are measured:
+//   * a raw-simulation fleet (no LingXi) — pure session-loop throughput;
+//   * a LingXi treatment fleet — adds the OBO + Monte Carlo optimization
+//     load, the shape of the Fig. 10-12 experiments.
+//
+// For each fleet the merged FleetAccumulator checksum must be identical at
+// every thread count: sharding is a pure function of the user count, every
+// random stream derives from (seed, user, day, session), and the accumulator
+// is integer-valued, so the merge is exact. A checksum mismatch is a bug.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "abr/hyb.h"
+#include "bench_util.h"
+#include "sim/fleet_runner.h"
+
+using namespace lingxi;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+void run_scaling(const char* title, const sim::FleetConfig& base,
+                 const sim::FleetRunner::PredictorFactory& predictor_factory,
+                 std::uint64_t seed) {
+  bench::print_header(title);
+  std::printf("%-10s %-12s %-14s %-12s %-10s\n", "threads", "wall (s)", "sessions/s",
+              "speedup", "checksum");
+
+  double serial_rate = 0.0;
+  std::uint32_t reference_checksum = 0;
+  bool checksums_match = true;
+
+  for (std::size_t threads : {1, 2, 4, 8}) {
+    sim::FleetConfig cfg = base;
+    cfg.threads = threads;
+    sim::FleetRunner runner(cfg, [] { return std::make_unique<abr::Hyb>(); });
+    if (predictor_factory) runner.set_predictor_factory(predictor_factory);
+
+    const auto start = std::chrono::steady_clock::now();
+    const sim::FleetAccumulator result = runner.run(seed);
+    const double wall = seconds_since(start);
+
+    const double rate = wall > 0.0 ? static_cast<double>(result.sessions) / wall : 0.0;
+    if (threads == 1) {
+      serial_rate = rate;
+      reference_checksum = result.checksum();
+    }
+    checksums_match = checksums_match && result.checksum() == reference_checksum;
+    std::printf("%-10zu %-12.3f %-14.0f %-12.2f 0x%08x\n", threads, wall, rate,
+                serial_rate > 0.0 ? rate / serial_rate : 0.0, result.checksum());
+  }
+  std::printf("merged metrics bitwise identical across thread counts: %s\n",
+              checksums_match ? "yes" : "NO — DETERMINISM BUG");
+}
+
+}  // namespace
+
+int main() {
+  sim::FleetConfig raw;
+  raw.users = 256;
+  raw.days = 2;
+  raw.sessions_per_user_day = 12;
+  raw.users_per_shard = 8;
+  raw.enable_lingxi = false;
+  raw.drift_user_tolerance = true;
+  raw.session_jitter_sigma = 0.3;
+  raw.network.median_bandwidth = 2500.0;
+  raw.network.sigma = 0.6;
+  raw.video.mean_duration = 40.0;
+  run_scaling("Fleet scaling: raw session simulation (256 users x 2 days x 12 sessions)",
+              raw, nullptr, 7);
+
+  std::printf("\ntraining shared exit-rate predictor for the LingXi fleet...\n");
+  const auto predictor = bench::train_predictor(91, 0.25);
+
+  sim::FleetConfig treated;
+  treated.users = 64;
+  treated.days = 2;
+  treated.sessions_per_user_day = 8;
+  treated.users_per_shard = 4;
+  treated.enable_lingxi = true;
+  treated.drift_user_tolerance = true;
+  treated.network.median_bandwidth = 1500.0;
+  treated.network.sigma = 0.5;
+  treated.network.relative_sd = 0.35;
+  treated.lingxi.space.optimize_stall = false;
+  treated.lingxi.space.optimize_switch = false;
+  treated.lingxi.space.optimize_beta = true;
+  treated.lingxi.obo_rounds = 4;
+  treated.lingxi.monte_carlo.samples = 8;
+  run_scaling("Fleet scaling: LingXi treatment fleet (64 users x 2 days x 8 sessions)",
+              treated, [&] { return predictor.make(); }, 11);
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Configure, build and test — the tier-1 verify, as run by CI.
+#
+# Usage: scripts/ci.sh [Debug|Release]   (default Release)
+set -euo pipefail
+
+BUILD_TYPE="${1:-Release}"
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${ROOT}/build-ci-${BUILD_TYPE,,}"
+
+cmake -B "${BUILD_DIR}" -S "${ROOT}" -DCMAKE_BUILD_TYPE="${BUILD_TYPE}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"

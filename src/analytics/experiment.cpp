@@ -10,27 +10,10 @@ namespace {
 
 constexpr Seconds kStallThreshold = 0.05;
 
-/// A stall-driven exit: the user left at the stalled segment or the next one
-/// (the paper's stall-exit definition, §5.5.1).
-bool exited_during_stall(const sim::SessionResult& session) {
-  if (!session.exited || session.segments.empty()) return false;
-  const std::size_t n = session.segments.size();
-  if (session.segments[n - 1].stall_time > kStallThreshold) return true;
-  return n >= 2 && session.segments[n - 2].stall_time > kStallThreshold;
-}
-
 /// Count stall events that were followed by an exit (0 or 1 per session —
 /// the session ends at the exit).
 std::size_t stall_exit_count(const sim::SessionResult& session) {
-  return exited_during_stall(session) ? 1u : 0u;
-}
-
-std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
-  std::uint64_t x = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^ (b * 0xc2b2ae3d27d4eb4fULL);
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdULL;
-  x ^= x >> 33;
-  return x;
+  return sim::exited_during_stall(session, kStallThreshold) ? 1u : 0u;
 }
 
 }  // namespace
@@ -127,7 +110,7 @@ ExperimentResult PopulationExperiment::run(bool treatment, std::uint64_t seed) c
           // history when the intervention starts.
           lingxi->begin_session();
           for (const auto& seg : session.segments) lingxi->on_segment(seg);
-          lingxi->end_session(exited_during_stall(session));
+          lingxi->end_session(sim::exited_during_stall(session, kStallThreshold));
 
           if (lingxi_active) {
             const Seconds buffer_seed =

@@ -21,6 +21,14 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 
 }  // namespace
 
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t x = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^ (b * 0xc2b2ae3d27d4eb4fULL);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
   // splitmix64 expansion guarantees a non-zero state for any seed.
   std::uint64_t s = seed;

@@ -12,6 +12,13 @@
 
 namespace lingxi {
 
+/// Derive a stream seed from (seed, a, b) via splitmix64-style mixing.
+/// Shared by the population drivers (PopulationExperiment, FleetRunner) so
+/// "user u, purpose b" always names the same stream: determinism depends on
+/// the derivation, never on execution order. Distinct (a, b) pairs must be
+/// used for distinct purposes — callers tag the high bits of `b`.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) noexcept;
+
 /// xoshiro256++ PRNG with convenience samplers.
 ///
 /// `fork()` derives an independent substream, which lets a parent component

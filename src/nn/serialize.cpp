@@ -5,16 +5,26 @@
 
 #include "common/crc32.h"
 
+// GCC 12's stringop-overflow/overread analysis misfires on the inlined
+// std::vector growth paths in this file at -O2 (GCC PR 105329 and friends);
+// the diagnostics point into libstdc++, not user code. Scoped here so the
+// rest of the tree keeps the real diagnostics under -Werror.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#pragma GCC diagnostic ignored "-Wstringop-overread"
+#endif
+
 namespace lingxi::nn {
 namespace {
 
-constexpr char kMagic[4] = {'L', 'X', 'N', 'N'};
+constexpr unsigned char kMagic[4] = {'L', 'X', 'N', 'N'};
 constexpr std::uint32_t kVersion = 1;
 
 template <typename T>
 void append(std::vector<unsigned char>& out, const T& v) {
-  const auto* p = reinterpret_cast<const unsigned char*>(&v);
-  out.insert(out.end(), p, p + sizeof(T));
+  const std::size_t pos = out.size();
+  out.resize(pos + sizeof(T));
+  std::memcpy(out.data() + pos, &v, sizeof(T));
 }
 
 template <typename T>
@@ -29,7 +39,9 @@ bool read(const std::vector<unsigned char>& in, std::size_t& pos, T& v) {
 
 std::vector<unsigned char> serialize_tensors(const std::vector<const Tensor*>& tensors) {
   std::vector<unsigned char> out;
-  out.insert(out.end(), kMagic, kMagic + 4);
+  // Byte-wise append: GCC 12 misdiagnoses a 4-byte range insert here as a
+  // stringop-overflow at -O2.
+  for (unsigned char c : kMagic) out.push_back(c);
   append(out, kVersion);
   append(out, static_cast<std::uint32_t>(tensors.size()));
   for (const Tensor* t : tensors) {

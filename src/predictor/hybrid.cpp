@@ -19,6 +19,10 @@ HybridExitPredictor::HybridExitPredictor(std::shared_ptr<StallExitNet> net,
   LINGXI_ASSERT(config_.nn_weight >= 0.0 && config_.nn_weight <= 1.0);
 }
 
+HybridExitPredictor HybridExitPredictor::with_private_net() const {
+  return {std::make_shared<StallExitNet>(*net_), os_model_, config_};
+}
+
 double HybridExitPredictor::predict(const EngagementState& state,
                                     const sim::SegmentRecord& segment, SwitchType sw) const {
   const double os = os_model_->predict(segment.level, sw);

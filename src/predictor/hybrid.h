@@ -44,6 +44,12 @@ class HybridExitPredictor {
   StallExitNet& net() { return *net_; }
   const OverallStatsModel& os_model() const { return *os_model_; }
 
+  /// Copy of this predictor whose net is deep-copied instead of shared.
+  /// predict() runs forward passes that cache per-layer activations, so a
+  /// shared net must not be used from multiple threads; fleet workers take a
+  /// private copy per user (the OS model stays shared — it is const here).
+  HybridExitPredictor with_private_net() const;
+
  private:
   std::shared_ptr<StallExitNet> net_;
   std::shared_ptr<const OverallStatsModel> os_model_;

@@ -1,0 +1,296 @@
+#include "sim/fleet_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/crc32.h"
+#include "user/data_driven.h"
+
+namespace lingxi::sim {
+namespace {
+
+// Purpose tags for mix_seed's third argument: the high bits name the stream
+// kind so a drift stream can never alias a session stream for any
+// (day, session) combination. The low 48 bits carry (day << 16) | session
+// for sessions, or the day for drift.
+constexpr std::uint64_t kPopulationStream = 0ULL << 48;
+constexpr std::uint64_t kDriftStream = 1ULL << 48;
+constexpr std::uint64_t kSessionStream = 2ULL << 48;
+
+std::int64_t to_ticks(double value, double scale) {
+  return static_cast<std::int64_t>(std::llround(value * scale));
+}
+
+}  // namespace
+
+void FleetAccumulator::add_session(const SessionResult& session, bool measured) {
+  ++sessions;
+  if (session.completed()) ++completed;
+  if (measured) {
+    ++measured_sessions;
+    if (session.completed()) ++measured_completed;
+  }
+  stall_events += session.stall_events;
+  if (exited_during_stall(session)) ++stall_exits;
+  quality_switches += session.quality_switches;
+
+  watch_ticks += to_ticks(session.watch_time, kTicksPerSecond);
+  stall_ticks += to_ticks(session.total_stall, kTicksPerSecond);
+  startup_ticks += to_ticks(session.startup_delay, kTicksPerSecond);
+  bitrate_time_ticks +=
+      to_ticks(session.mean_bitrate * session.watch_time, kBitrateTicksPerKbpsSec);
+}
+
+void FleetAccumulator::add_lingxi_stats(const core::LingXiStats& stats) {
+  lingxi_triggers += stats.triggers;
+  lingxi_optimizations += stats.optimizations_run;
+  lingxi_pruned_preplay += stats.pruned_preplay;
+  lingxi_mc_evaluations += stats.mc_evaluations;
+  lingxi_mc_rollouts_pruned += stats.mc_rollouts_pruned;
+}
+
+void FleetAccumulator::merge(const FleetAccumulator& other) {
+  sessions += other.sessions;
+  completed += other.completed;
+  measured_sessions += other.measured_sessions;
+  measured_completed += other.measured_completed;
+  stall_events += other.stall_events;
+  stall_exits += other.stall_exits;
+  quality_switches += other.quality_switches;
+  users += other.users;
+  watch_ticks += other.watch_ticks;
+  stall_ticks += other.stall_ticks;
+  startup_ticks += other.startup_ticks;
+  bitrate_time_ticks += other.bitrate_time_ticks;
+  lingxi_triggers += other.lingxi_triggers;
+  lingxi_optimizations += other.lingxi_optimizations;
+  lingxi_pruned_preplay += other.lingxi_pruned_preplay;
+  lingxi_mc_evaluations += other.lingxi_mc_evaluations;
+  lingxi_mc_rollouts_pruned += other.lingxi_mc_rollouts_pruned;
+  adjusted_user_days += other.adjusted_user_days;
+}
+
+double FleetAccumulator::total_watch_time() const noexcept {
+  return static_cast<double>(watch_ticks) / kTicksPerSecond;
+}
+
+double FleetAccumulator::total_stall_time() const noexcept {
+  return static_cast<double>(stall_ticks) / kTicksPerSecond;
+}
+
+double FleetAccumulator::total_startup_delay() const noexcept {
+  return static_cast<double>(startup_ticks) / kTicksPerSecond;
+}
+
+double FleetAccumulator::mean_bitrate() const noexcept {
+  if (watch_ticks == 0) return 0.0;
+  const double kbps_seconds =
+      static_cast<double>(bitrate_time_ticks) / kBitrateTicksPerKbpsSec;
+  return kbps_seconds / total_watch_time();
+}
+
+double FleetAccumulator::completion_rate() const noexcept {
+  return sessions == 0 ? 0.0
+                       : static_cast<double>(completed) / static_cast<double>(sessions);
+}
+
+double FleetAccumulator::measured_completion_rate() const noexcept {
+  return measured_sessions == 0 ? 0.0
+                                : static_cast<double>(measured_completed) /
+                                      static_cast<double>(measured_sessions);
+}
+
+double FleetAccumulator::exit_rate() const noexcept {
+  return sessions == 0 ? 0.0
+                       : static_cast<double>(sessions - completed) /
+                             static_cast<double>(sessions);
+}
+
+double FleetAccumulator::stall_exit_rate() const noexcept {
+  return stall_events == 0
+             ? 0.0
+             : static_cast<double>(stall_exits) / static_cast<double>(stall_events);
+}
+
+double FleetAccumulator::stall_per_10k() const noexcept {
+  return watch_ticks == 0
+             ? 0.0
+             : 1e4 * static_cast<double>(stall_ticks) / static_cast<double>(watch_ticks);
+}
+
+std::uint32_t FleetAccumulator::checksum() const {
+  // Serialize the integer state in declaration order. Field values, not the
+  // struct bytes, so padding can never leak in.
+  const std::uint64_t fields[] = {
+      sessions,
+      completed,
+      measured_sessions,
+      measured_completed,
+      stall_events,
+      stall_exits,
+      quality_switches,
+      users,
+      static_cast<std::uint64_t>(watch_ticks),
+      static_cast<std::uint64_t>(stall_ticks),
+      static_cast<std::uint64_t>(startup_ticks),
+      static_cast<std::uint64_t>(bitrate_time_ticks),
+      lingxi_triggers,
+      lingxi_optimizations,
+      lingxi_pruned_preplay,
+      lingxi_mc_evaluations,
+      lingxi_mc_rollouts_pruned,
+      adjusted_user_days,
+  };
+  return crc32(reinterpret_cast<const unsigned char*>(fields), sizeof(fields));
+}
+
+FleetRunner::FleetRunner(FleetConfig config, AbrFactory abr_factory)
+    : config_(std::move(config)), abr_factory_(std::move(abr_factory)) {
+  LINGXI_ASSERT(abr_factory_ != nullptr);
+  LINGXI_ASSERT(config_.days > 0 && config_.days < (1ULL << 32));
+  LINGXI_ASSERT(config_.sessions_per_user_day > 0);
+  // Session index must fit the 16-bit slot of the session stream key.
+  LINGXI_ASSERT(config_.sessions_per_user_day < (1ULL << 16));
+  LINGXI_ASSERT(config_.users_per_shard > 0);
+  const user::UserPopulation population(config_.population);
+  user_factory_ = [population](std::size_t, Rng& rng) {
+    return population.sample(rng);
+  };
+}
+
+void FleetRunner::set_user_factory(UserFactory factory) {
+  LINGXI_ASSERT(factory != nullptr);
+  user_factory_ = std::move(factory);
+}
+
+void FleetRunner::set_predictor_factory(PredictorFactory factory) {
+  predictor_factory_ = std::move(factory);
+}
+
+void FleetRunner::simulate_user(std::size_t user_index, std::uint64_t seed,
+                                const FleetWorld& world, FleetAccumulator& acc) const {
+  Rng pop_rng(mix_seed(seed, user_index, kPopulationStream));
+  const std::unique_ptr<user::UserModel> base_user = user_factory_(user_index, pop_rng);
+  LINGXI_ASSERT(base_user != nullptr);
+  const trace::NetworkProfile profile = world.networks.sample(pop_rng);
+
+  auto abr = abr_factory_();
+  const abr::QoeParams start_params =
+      config_.enable_lingxi ? config_.lingxi.default_params : config_.fixed_params;
+  abr->set_params(start_params);
+
+  std::unique_ptr<core::LingXi> lingxi;
+  if (config_.enable_lingxi) {
+    LINGXI_ASSERT(predictor_factory_ != nullptr);
+    // Deep-copy the net: predict() runs forward passes whose layer caches
+    // are not shareable across worker threads.
+    lingxi = std::make_unique<core::LingXi>(
+        config_.lingxi, predictor_factory_().with_private_net(), config_.video.ladder);
+  }
+
+  std::size_t session_index = 0;
+  for (std::size_t day = 0; day < config_.days; ++day) {
+    // Day-to-day tolerance drift (§2.3) for data-driven users; rule-based
+    // users have no drift notion and replay their base behaviour.
+    std::unique_ptr<user::UserModel> day_user;
+    if (config_.drift_user_tolerance && day > 0) {
+      if (const auto* dd = dynamic_cast<const user::DataDrivenUser*>(base_user.get())) {
+        Rng drift_rng(mix_seed(seed, user_index, kDriftStream | day));
+        day_user = std::make_unique<user::DataDrivenUser>(
+            dd->drifted(world.population.sample_drift(drift_rng)));
+      }
+    }
+    if (!day_user) day_user = base_user->clone();
+
+    for (std::size_t s = 0; s < config_.sessions_per_user_day; ++s, ++session_index) {
+      Rng session_rng(mix_seed(
+          seed, user_index,
+          kSessionStream | (static_cast<std::uint64_t>(day) << 16) | (s + 1)));
+      const trace::Video video = world.videos.sample(session_rng);
+
+      trace::NetworkProfile session_profile = profile;
+      if (config_.session_jitter_sigma > 0.0) {
+        session_profile.mean_bandwidth =
+            std::clamp(profile.mean_bandwidth *
+                           session_rng.lognormal(0.0, config_.session_jitter_sigma),
+                       config_.network.min_bandwidth, config_.network.max_bandwidth);
+      }
+      auto bandwidth = session_profile.make_session_model();
+
+      if (lingxi) lingxi->begin_session();
+      const SessionResult session =
+          world.simulator.run(video, *abr, *bandwidth, day_user.get(), session_rng);
+      acc.add_session(session, session_index >= config_.warmup_sessions);
+
+      if (lingxi) {
+        for (const auto& seg : session.segments) lingxi->on_segment(seg);
+        lingxi->end_session(exited_during_stall(session));
+        const Seconds buffer_seed =
+            session.segments.empty() ? 0.0 : session.segments.back().buffer_after;
+        lingxi->maybe_optimize(*abr, buffer_seed, session_rng);
+      }
+    }
+
+    if (lingxi && abr->params() != config_.lingxi.default_params) {
+      ++acc.adjusted_user_days;
+    }
+  }
+
+  if (lingxi) acc.add_lingxi_stats(lingxi->stats());
+  ++acc.users;
+}
+
+FleetAccumulator FleetRunner::run(std::uint64_t seed) const {
+  FleetAccumulator merged;
+  if (config_.users == 0) return merged;
+
+  // Immutable config-derived context, built once and read concurrently by
+  // every worker instead of being reconstructed per user.
+  const FleetWorld world{trace::PopulationModel(config_.network),
+                         trace::VideoGenerator(config_.video),
+                         SessionSimulator(config_.session),
+                         user::UserPopulation(config_.population)};
+
+  const std::size_t shard_count =
+      (config_.users + config_.users_per_shard - 1) / config_.users_per_shard;
+  std::vector<FleetAccumulator> shards(shard_count);
+
+  std::atomic<std::size_t> next_shard{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t shard = next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= shard_count) return;
+      const std::size_t first = shard * config_.users_per_shard;
+      const std::size_t last = std::min(first + config_.users_per_shard, config_.users);
+      for (std::size_t u = first; u < last; ++u) {
+        simulate_user(u, seed, world, shards[shard]);
+      }
+    }
+  };
+
+  std::size_t pool = config_.threads != 0
+                         ? config_.threads
+                         : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  pool = std::min(pool, shard_count);
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  // Fixed left-to-right merge in shard order. With the integer accumulator
+  // any merge tree gives the same bits; the fixed order keeps that true even
+  // if a float field is ever added.
+  for (const auto& shard : shards) merged.merge(shard);
+  return merged;
+}
+
+}  // namespace lingxi::sim

@@ -1,0 +1,171 @@
+// FleetRunner: population-scale simulation of user fleets.
+//
+// The Fig. 10-12 experiments roll core::LingXi forward over whole user
+// populations, day by day and session by session. FleetRunner is the shared
+// substrate for those experiments: it samples N users, shards them into
+// fixed-size contiguous blocks, and dispatches the shards to a pool of
+// worker threads (an LSQ-style work queue: many short heterogeneous jobs,
+// one dispatcher, idle workers pull the next shard).
+//
+// Determinism is independent of the thread count by construction:
+//   * every per-user random stream is derived only from (seed, user index,
+//     day, session) — never from thread identity or execution order;
+//   * sharding is a pure function of the user count, not of the pool size;
+//   * per-shard results go into FleetAccumulator, whose state is integer
+//     (fixed-point) so that merging is exactly associative and commutative.
+// Hence the merged result is bitwise identical at 1, 4 or 64 threads, which
+// is what makes the parallel fleet usable for paired A/B comparisons.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "abr/abr.h"
+#include "common/rng.h"
+#include "core/lingxi.h"
+#include "predictor/hybrid.h"
+#include "sim/session.h"
+#include "trace/population.h"
+#include "trace/video.h"
+#include "user/user_model.h"
+#include "user/user_population.h"
+
+namespace lingxi::sim {
+
+/// Immutable config-derived simulation context shared (read-only) by all
+/// fleet workers.
+struct FleetWorld {
+  trace::PopulationModel networks;
+  trace::VideoGenerator videos;
+  SessionSimulator simulator;
+  user::UserPopulation population;
+};
+
+/// Mergeable aggregate over simulated sessions.
+///
+/// All state is integral: times are stored in microsecond ticks and the
+/// bitrate-time product in kbps-milliseconds, quantized once per session at
+/// add_session() time. Integer addition is exactly associative and
+/// commutative, so any shard partitioning and any merge tree produce the
+/// same bits — the property the fleet tests assert and the scaling bench
+/// checksums. (Bounds: ~5e10 session-seconds of watch time before the
+/// bitrate-time product can overflow 63 bits at ladder-top bitrates.)
+struct FleetAccumulator {
+  static constexpr double kTicksPerSecond = 1e6;       ///< time resolution
+  static constexpr double kBitrateTicksPerKbpsSec = 1e3;
+
+  // Session tallies.
+  std::uint64_t sessions = 0;
+  std::uint64_t completed = 0;           ///< sessions the user watched to the end
+  std::uint64_t measured_sessions = 0;   ///< sessions past the warmup window
+  std::uint64_t measured_completed = 0;
+  std::uint64_t stall_events = 0;
+  std::uint64_t stall_exits = 0;         ///< stall-driven exits (§5.5.1)
+  std::uint64_t quality_switches = 0;
+  std::uint64_t users = 0;
+
+  // Fixed-point sums.
+  std::int64_t watch_ticks = 0;          ///< microseconds of media watched
+  std::int64_t stall_ticks = 0;          ///< microseconds stalled
+  std::int64_t startup_ticks = 0;        ///< microseconds of startup delay
+  std::int64_t bitrate_time_ticks = 0;   ///< kbps-milliseconds (rate x watch)
+
+  // LingXi counters summed over users (zero for control fleets).
+  std::uint64_t lingxi_triggers = 0;
+  std::uint64_t lingxi_optimizations = 0;
+  std::uint64_t lingxi_pruned_preplay = 0;
+  std::uint64_t lingxi_mc_evaluations = 0;
+  std::uint64_t lingxi_mc_rollouts_pruned = 0;
+  std::uint64_t adjusted_user_days = 0;  ///< user-days ending off the default params
+
+  void add_session(const SessionResult& session, bool measured);
+  void add_lingxi_stats(const core::LingXiStats& stats);
+  void merge(const FleetAccumulator& other);
+
+  // Derived metrics (same definitions as analytics::MetricAccumulator).
+  double total_watch_time() const noexcept;
+  double total_stall_time() const noexcept;
+  double total_startup_delay() const noexcept;
+  /// Watch-time-weighted mean bitrate (kbps).
+  double mean_bitrate() const noexcept;
+  double completion_rate() const noexcept;
+  double measured_completion_rate() const noexcept;
+  /// Sessions the user abandoned / all sessions.
+  double exit_rate() const noexcept;
+  /// Stall-driven exits per stall event.
+  double stall_exit_rate() const noexcept;
+  /// Stall seconds per 10000 watch seconds (the unit of Fig. 3(b)).
+  double stall_per_10k() const noexcept;
+
+  /// CRC32 over the raw integer state in field order — a cheap bitwise
+  /// identity probe for "same result regardless of thread count".
+  std::uint32_t checksum() const;
+};
+
+struct FleetConfig {
+  std::size_t users = 100;
+  std::size_t days = 1;
+  std::size_t sessions_per_user_day = 12;
+  /// Per-user sessions (counted across days) excluded from measured_*:
+  /// LingXi needs history before its first optimization, and steady-state
+  /// comparisons exclude cold start.
+  std::size_t warmup_sessions = 0;
+  /// Worker pool size; 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 1;
+  /// Shard granularity in users. Purely a scheduling knob: results are
+  /// identical for any value; smaller shards balance heterogeneous users
+  /// better, larger shards amortize per-shard setup.
+  std::size_t users_per_shard = 8;
+  /// Treatment switch: run LingXi per user (config `lingxi`) vs pinning
+  /// `fixed_params` on the ABR.
+  bool enable_lingxi = false;
+  /// Day-to-day tolerance drift for data-driven users (§2.3).
+  bool drift_user_tolerance = false;
+  /// Lognormal sigma jittering each session's mean bandwidth around the
+  /// user's profile (cellular commute vs home Wi-Fi); 0 disables.
+  double session_jitter_sigma = 0.0;
+  abr::QoeParams fixed_params;
+  user::UserPopulation::Config population;
+  trace::PopulationModel::Config network;
+  trace::VideoGenerator::Config video;
+  core::LingXiConfig lingxi;
+  SessionSimulator::Config session;
+};
+
+class FleetRunner {
+ public:
+  using AbrFactory = std::function<std::unique_ptr<abr::AbrAlgorithm>()>;
+  /// Builds the user model for one user. Invoked once per user with an Rng
+  /// derived from (seed, user index); must be callable concurrently.
+  using UserFactory =
+      std::function<std::unique_ptr<user::UserModel>(std::size_t user_index, Rng& rng)>;
+  using PredictorFactory = std::function<predictor::HybridExitPredictor()>;
+
+  /// Default user factory: sample from `config.population`.
+  FleetRunner(FleetConfig config, AbrFactory abr_factory);
+
+  /// Override user sampling (e.g. the Fig. 10 rule-based 8x8 grid).
+  void set_user_factory(UserFactory factory);
+  /// Required when `config.enable_lingxi`. Invoked once per user from worker
+  /// threads; the returned predictor's net is deep-copied before use, so a
+  /// factory handing out a shared net is safe.
+  void set_predictor_factory(PredictorFactory factory);
+
+  /// Simulate the whole fleet. Bitwise-deterministic for a given seed,
+  /// independent of `config().threads`.
+  FleetAccumulator run(std::uint64_t seed) const;
+
+  const FleetConfig& config() const noexcept { return config_; }
+
+ private:
+  void simulate_user(std::size_t user_index, std::uint64_t seed,
+                     const FleetWorld& world, FleetAccumulator& acc) const;
+
+  FleetConfig config_;
+  AbrFactory abr_factory_;
+  UserFactory user_factory_;
+  PredictorFactory predictor_factory_;
+};
+
+}  // namespace lingxi::sim

@@ -8,6 +8,13 @@
 
 namespace lingxi::sim {
 
+bool exited_during_stall(const SessionResult& session, Seconds stall_threshold) noexcept {
+  if (!session.exited || session.segments.empty()) return false;
+  const std::size_t n = session.segments.size();
+  if (session.segments[n - 1].stall_time > stall_threshold) return true;
+  return n >= 2 && session.segments[n - 2].stall_time > stall_threshold;
+}
+
 double qoe_lin(const SessionResult& session, const trace::BitrateLadder& ladder,
                trace::QualityMetric metric, double stall_weight, double switch_weight) {
   double quality = 0.0;

@@ -86,6 +86,11 @@ struct SessionResult {
   bool completed() const noexcept { return !exited; }
 };
 
+/// A stall-driven exit (§5.5.1): the user left at the stalled segment or the
+/// one right after it. `stall_threshold` filters sub-perceptual rebuffers.
+bool exited_during_stall(const SessionResult& session,
+                         Seconds stall_threshold = 0.05) noexcept;
+
 /// QoE_lin (Eq. 1) of a finished session:
 ///   sum q(Q_k) - mu * sum stall_k - lambda * sum |q(Q_{k+1}) - q(Q_k)|.
 /// The paper uses lambda = 1; both weights are explicit here.

@@ -1,0 +1,457 @@
+// Minimal GoogleTest-compatible shim — fallback when neither a system
+// GoogleTest nor network access for FetchContent is available.
+//
+// Covers exactly the API surface the lingxi suites use:
+//   TEST, TEST_P, INSTANTIATE_TEST_SUITE_P, ::testing::TestWithParam<T>,
+//   ::testing::{Values, Bool, Range, Combine}, GTEST_SKIP, TempDir,
+//   EXPECT_/ASSERT_{TRUE,FALSE,EQ,NE,LT,LE,GT,GE}, EXPECT_NEAR,
+//   EXPECT_DOUBLE_EQ, EXPECT_STREQ, RUN_ALL_TESTS, InitGoogleTest.
+// No fixtures with SetUp/TearDown, no matchers, no death tests.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+class Test {
+ public:
+  virtual ~Test() = default;
+  virtual void TestBody() = 0;
+};
+
+namespace internal {
+
+struct TestCase {
+  std::string suite;
+  std::string name;
+  std::function<void()> run;
+};
+
+struct Registry {
+  std::vector<TestCase> tests;
+  // Deferred hooks that expand parameterized suites into plain test cases.
+  std::vector<std::function<void(Registry&)>> expanders;
+  bool current_failed = false;
+  bool current_skipped = false;
+
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+};
+
+inline bool add_test(const char* suite, const char* name, std::function<void()> run) {
+  Registry::instance().tests.push_back({suite, name, std::move(run)});
+  return true;
+}
+
+inline void report_failure(const char* file, int line, const std::string& message) {
+  std::printf("%s:%d: Failure\n%s\n", file, line, message.c_str());
+  Registry::instance().current_failed = true;
+}
+
+// Print a value on assertion failure; fall back for non-streamable types.
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+template <typename T>
+std::string describe(const T& value) {
+  if constexpr (IsStreamable<T>::value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else if constexpr (std::is_enum_v<T>) {
+    std::ostringstream os;
+    os << static_cast<long long>(value);
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+// nullopt = check passed; otherwise the failure summary.
+using CheckResult = std::optional<std::string>;
+
+template <typename A, typename B, typename Op>
+CheckResult check_binary(const char* expr_a, const char* expr_b, const char* op_name,
+                         const A& a, const B& b, Op op) {
+  if (op(a, b)) return std::nullopt;
+  std::ostringstream os;
+  os << "Expected: (" << expr_a << ") " << op_name << " (" << expr_b << ")\n"
+     << "  Actual: " << describe(a) << " vs " << describe(b);
+  return os.str();
+}
+
+inline CheckResult check_bool(const char* expr, bool value, bool expected) {
+  if (value == expected) return std::nullopt;
+  std::ostringstream os;
+  os << "Value of: " << expr << "\n  Actual: " << (value ? "true" : "false")
+     << "\nExpected: " << (expected ? "true" : "false");
+  return os.str();
+}
+
+inline CheckResult check_near(const char* expr_a, const char* expr_b, double a, double b,
+                              double tol) {
+  if (std::fabs(a - b) <= tol) return std::nullopt;
+  std::ostringstream os;
+  os << "The difference between " << expr_a << " and " << expr_b << " is "
+     << std::fabs(a - b) << ", which exceeds " << tol << "\n  " << expr_a << " = " << a
+     << "\n  " << expr_b << " = " << b;
+  return os.str();
+}
+
+// GoogleTest's EXPECT_DOUBLE_EQ: equal within 4 ULPs.
+inline CheckResult check_double_eq(const char* expr_a, const char* expr_b, double a,
+                                   double b) {
+  bool equal = a == b;
+  if (!equal && !std::isnan(a) && !std::isnan(b)) {
+    const double eps = std::fabs(std::nexttoward(a, b) - a);
+    equal = std::fabs(a - b) <= 4.0 * eps;
+  }
+  if (equal) return std::nullopt;
+  std::ostringstream os;
+  os << "Expected double equality of " << expr_a << " and " << expr_b
+     << "\n  Actual: " << a << " vs " << b;
+  return os.str();
+}
+
+inline CheckResult check_streq(const char* expr_a, const char* expr_b, const char* a,
+                               const char* b) {
+  const bool equal = (a == nullptr && b == nullptr) ||
+                     (a != nullptr && b != nullptr && std::strcmp(a, b) == 0);
+  if (equal) return std::nullopt;
+  std::ostringstream os;
+  os << "Expected equality of C strings:\n  " << expr_a << " = \"" << (a ? a : "(null)")
+     << "\"\n  " << expr_b << " = \"" << (b ? b : "(null)") << "\"";
+  return os.str();
+}
+
+// --- parameterized test machinery -----------------------------------------
+
+// Generators materialize to std::vector<P> for the fixture's ParamType P.
+template <typename... Ts>
+struct ValuesGen {
+  std::tuple<Ts...> values;
+  template <typename P>
+  std::vector<P> materialize() const {
+    std::vector<P> out;
+    std::apply([&out](const auto&... v) { (out.push_back(static_cast<P>(v)), ...); },
+               values);
+    return out;
+  }
+};
+
+struct BoolGen {
+  template <typename P>
+  std::vector<P> materialize() const {
+    return {static_cast<P>(false), static_cast<P>(true)};
+  }
+};
+
+struct RangeGen {
+  long long lo, hi, step;
+  template <typename P>
+  std::vector<P> materialize() const {
+    std::vector<P> out;
+    for (long long v = lo; v < hi; v += step) out.push_back(static_cast<P>(v));
+    return out;
+  }
+};
+
+template <typename... Gens>
+struct CombineGen {
+  std::tuple<Gens...> gens;
+
+  template <typename P>
+  std::vector<P> materialize() const {
+    return expand<P>(std::make_index_sequence<sizeof...(Gens)>{});
+  }
+
+ private:
+  template <typename P, std::size_t... I>
+  std::vector<P> expand(std::index_sequence<I...>) const {
+    auto vecs = std::make_tuple(
+        std::get<I>(gens).template materialize<std::tuple_element_t<I, P>>()...);
+    const std::size_t sizes[] = {std::get<I>(vecs).size()...};
+    std::vector<P> out;
+    for (std::size_t s : sizes) {
+      if (s == 0) return out;
+    }
+    std::size_t idx[sizeof...(Gens)] = {};
+    for (;;) {
+      out.push_back(P(std::get<I>(vecs)[idx[I]]...));
+      std::size_t d = sizeof...(Gens);
+      for (;;) {
+        if (d == 0) return out;
+        --d;
+        if (++idx[d] < sizes[d]) break;
+        idx[d] = 0;
+      }
+    }
+  }
+};
+
+// Per-fixture registry: TEST_P bodies and INSTANTIATE generators meet here.
+template <typename Fixture>
+struct ParamRegistry {
+  using Param = typename Fixture::ParamType;
+
+  struct Body {
+    std::string name;
+    std::function<std::unique_ptr<Fixture>()> make;
+  };
+
+  std::vector<Body> bodies;
+
+  static ParamRegistry& instance() {
+    static ParamRegistry r;
+    return r;
+  }
+
+  static bool add_body(const char* name, std::function<std::unique_ptr<Fixture>()> make) {
+    instance().bodies.push_back({name, std::move(make)});
+    return true;
+  }
+
+  static bool add_instantiation(const char* prefix, const char* fixture_name,
+                                std::vector<Param> params) {
+    auto shared = std::make_shared<std::vector<Param>>(std::move(params));
+    std::string suite = std::string(prefix) + "/" + fixture_name;
+    Registry::instance().expanders.push_back([shared, suite](Registry& reg) {
+      auto& self = instance();
+      for (const auto& body : self.bodies) {
+        for (std::size_t i = 0; i < shared->size(); ++i) {
+          auto make = body.make;
+          reg.tests.push_back({suite, body.name + "/" + std::to_string(i),
+                               [make, shared, i] {
+                                 auto t = make();
+                                 t->set_param(&(*shared)[i]);
+                                 t->TestBody();
+                               }});
+        }
+      }
+    });
+    return true;
+  }
+};
+
+}  // namespace internal
+
+/// Streamed user message appended to an assertion failure:
+///   EXPECT_LT(x, y) << "context " << x;
+class Message {
+ public:
+  template <typename T>
+  Message& operator<<(const T& value) {
+    os_ << internal::describe(value);
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+namespace internal {
+
+/// Receives the streamed Message and emits the failure (gtest's trick to let
+/// assertion macros end in a streamable expression).
+class AssertHelper {
+ public:
+  AssertHelper(const char* file, int line, std::string summary)
+      : file_(file), line_(line), summary_(std::move(summary)) {}
+  void operator=(const Message& message) const {
+    std::string text = summary_;
+    const std::string extra = message.str();
+    if (!extra.empty()) text += "\n" + extra;
+    report_failure(file_, line_, text);
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::string summary_;
+};
+
+}  // namespace internal
+
+template <typename T>
+class TestWithParam : public Test {
+ public:
+  using ParamType = T;
+  const T& GetParam() const { return *param_; }
+  void set_param(const T* p) { param_ = p; }
+
+ private:
+  const T* param_ = nullptr;
+};
+
+template <typename... Ts>
+internal::ValuesGen<std::decay_t<Ts>...> Values(Ts&&... values) {
+  return {std::make_tuple(std::forward<Ts>(values)...)};
+}
+
+inline internal::BoolGen Bool() { return {}; }
+
+inline internal::RangeGen Range(long long lo, long long hi, long long step = 1) {
+  return {lo, hi, step};
+}
+
+template <typename... Gens>
+internal::CombineGen<std::decay_t<Gens>...> Combine(Gens&&... gens) {
+  return {std::make_tuple(std::forward<Gens>(gens)...)};
+}
+
+inline std::string TempDir() { return "/tmp/"; }
+
+inline void InitGoogleTest(int* = nullptr, char** = nullptr) {}
+
+}  // namespace testing
+
+inline int RUN_ALL_TESTS() {
+  auto& reg = ::testing::internal::Registry::instance();
+  for (auto& expand : reg.expanders) expand(reg);
+  reg.expanders.clear();
+
+  std::size_t passed = 0, skipped = 0;
+  std::vector<std::string> failures;
+  for (const auto& test : reg.tests) {
+    const std::string full = test.suite + "." + test.name;
+    std::printf("[ RUN      ] %s\n", full.c_str());
+    reg.current_failed = false;
+    reg.current_skipped = false;
+    test.run();
+    if (reg.current_failed) {
+      failures.push_back(full);
+      std::printf("[  FAILED  ] %s\n", full.c_str());
+    } else if (reg.current_skipped) {
+      ++skipped;
+      std::printf("[  SKIPPED ] %s\n", full.c_str());
+    } else {
+      ++passed;
+      std::printf("[       OK ] %s\n", full.c_str());
+    }
+  }
+  std::printf("[==========] %zu tests: %zu passed, %zu skipped, %zu failed\n",
+              reg.tests.size(), passed, skipped, failures.size());
+  for (const auto& f : failures) std::printf("[  FAILED  ] %s\n", f.c_str());
+  return failures.empty() ? 0 : 1;
+}
+
+// --- test definition macros -------------------------------------------------
+
+#define MINIGTEST_CLASS_NAME(suite, name) suite##_##name##_MiniTest
+
+#define TEST(suite, name)                                                         \
+  class MINIGTEST_CLASS_NAME(suite, name) : public ::testing::Test {              \
+   public:                                                                        \
+    void TestBody() override;                                                     \
+  };                                                                              \
+  static const bool minigtest_reg_##suite##_##name [[maybe_unused]] =             \
+      ::testing::internal::add_test(#suite, #name, [] {                           \
+        MINIGTEST_CLASS_NAME(suite, name) t;                                      \
+        t.TestBody();                                                             \
+      });                                                                         \
+  void MINIGTEST_CLASS_NAME(suite, name)::TestBody()
+
+#define TEST_P(fixture, name)                                                     \
+  class MINIGTEST_CLASS_NAME(fixture, name) : public fixture {                    \
+   public:                                                                        \
+    void TestBody() override;                                                     \
+  };                                                                              \
+  static const bool minigtest_preg_##fixture##_##name [[maybe_unused]] =          \
+      ::testing::internal::ParamRegistry<fixture>::add_body(                      \
+          #name, []() -> std::unique_ptr<fixture> {                               \
+            return std::make_unique<MINIGTEST_CLASS_NAME(fixture, name)>();       \
+          });                                                                     \
+  void MINIGTEST_CLASS_NAME(fixture, name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, fixture, generator)                      \
+  static const bool minigtest_inst_##prefix##_##fixture [[maybe_unused]] =        \
+      ::testing::internal::ParamRegistry<fixture>::add_instantiation(             \
+          #prefix, #fixture,                                                      \
+          (generator).materialize<typename fixture::ParamType>())
+
+#define GTEST_SKIP()                                                              \
+  return (void)(::testing::internal::Registry::instance().current_skipped = true)
+
+// --- assertion macros -------------------------------------------------------
+//
+// Each macro ends in `AssertHelper = Message()` so callers can stream extra
+// context (`EXPECT_LT(a, b) << "..."`). `on_fail` is empty for EXPECT_ and
+// `return` for ASSERT_. The switch wrapper avoids dangling-else capture.
+
+#define MINIGTEST_CHECK_(result_expr, on_fail)                                    \
+  switch (0)                                                                      \
+  case 0:                                                                         \
+  default:                                                                        \
+    if (const ::testing::internal::CheckResult minigtest_result = (result_expr);  \
+        !minigtest_result)                                                        \
+      ;                                                                           \
+    else                                                                          \
+      on_fail ::testing::internal::AssertHelper(__FILE__, __LINE__,               \
+                                                *minigtest_result) =              \
+          ::testing::Message()
+
+#define MINIGTEST_BINARY_(a, b, opname, op, on_fail)                              \
+  MINIGTEST_CHECK_(                                                               \
+      ::testing::internal::check_binary(                                          \
+          #a, #b, opname, (a), (b),                                               \
+          [](const auto& x, const auto& y) { return x op y; }),                   \
+      on_fail)
+
+#define EXPECT_EQ(a, b) MINIGTEST_BINARY_(a, b, "==", ==, )
+#define EXPECT_NE(a, b) MINIGTEST_BINARY_(a, b, "!=", !=, )
+#define EXPECT_LT(a, b) MINIGTEST_BINARY_(a, b, "<", <, )
+#define EXPECT_LE(a, b) MINIGTEST_BINARY_(a, b, "<=", <=, )
+#define EXPECT_GT(a, b) MINIGTEST_BINARY_(a, b, ">", >, )
+#define EXPECT_GE(a, b) MINIGTEST_BINARY_(a, b, ">=", >=, )
+#define ASSERT_EQ(a, b) MINIGTEST_BINARY_(a, b, "==", ==, return)
+#define ASSERT_NE(a, b) MINIGTEST_BINARY_(a, b, "!=", !=, return)
+#define ASSERT_LT(a, b) MINIGTEST_BINARY_(a, b, "<", <, return)
+#define ASSERT_LE(a, b) MINIGTEST_BINARY_(a, b, "<=", <=, return)
+#define ASSERT_GT(a, b) MINIGTEST_BINARY_(a, b, ">", >, return)
+#define ASSERT_GE(a, b) MINIGTEST_BINARY_(a, b, ">=", >=, return)
+
+#define EXPECT_TRUE(x) MINIGTEST_CHECK_(::testing::internal::check_bool(#x, bool(x), true), )
+#define EXPECT_FALSE(x) \
+  MINIGTEST_CHECK_(::testing::internal::check_bool(#x, bool(x), false), )
+#define ASSERT_TRUE(x) \
+  MINIGTEST_CHECK_(::testing::internal::check_bool(#x, bool(x), true), return)
+#define ASSERT_FALSE(x) \
+  MINIGTEST_CHECK_(::testing::internal::check_bool(#x, bool(x), false), return)
+
+#define EXPECT_NEAR(a, b, tol)                                                    \
+  MINIGTEST_CHECK_(::testing::internal::check_near(#a, #b, static_cast<double>(a), \
+                                                   static_cast<double>(b),        \
+                                                   static_cast<double>(tol)),     \
+                   )
+#define ASSERT_NEAR(a, b, tol)                                                    \
+  MINIGTEST_CHECK_(::testing::internal::check_near(#a, #b, static_cast<double>(a), \
+                                                   static_cast<double>(b),        \
+                                                   static_cast<double>(tol)),     \
+                   return)
+
+#define EXPECT_DOUBLE_EQ(a, b)                                                    \
+  MINIGTEST_CHECK_(::testing::internal::check_double_eq(                          \
+                       #a, #b, static_cast<double>(a), static_cast<double>(b)),   \
+                   )
+
+#define EXPECT_STREQ(a, b) \
+  MINIGTEST_CHECK_(::testing::internal::check_streq(#a, #b, (a), (b)), )

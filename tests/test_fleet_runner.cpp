@@ -1,0 +1,201 @@
+// FleetRunner: thread-count-independent determinism, exact shard-merge
+// algebra, and degenerate fleet shapes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "abr/hyb.h"
+#include "predictor/exit_net.h"
+#include "predictor/hybrid.h"
+#include "predictor/os_model.h"
+#include "sim/fleet_runner.h"
+
+namespace lingxi {
+namespace {
+
+sim::FleetConfig small_fleet() {
+  sim::FleetConfig cfg;
+  cfg.users = 24;
+  cfg.days = 2;
+  cfg.sessions_per_user_day = 4;
+  cfg.users_per_shard = 3;
+  cfg.drift_user_tolerance = true;
+  cfg.session_jitter_sigma = 0.3;
+  cfg.network.median_bandwidth = 1500.0;
+  cfg.network.sigma = 0.5;
+  cfg.network.relative_sd = 0.4;
+  cfg.video.mean_duration = 20.0;
+  return cfg;
+}
+
+sim::FleetRunner::AbrFactory hyb_factory() {
+  return [] { return std::make_unique<abr::Hyb>(); };
+}
+
+/// Small untrained-but-deterministic predictor for LingXi fleets.
+sim::FleetRunner::PredictorFactory test_predictor_factory() {
+  Rng rng(1234);
+  auto net = std::make_shared<predictor::StallExitNet>(rng);
+  auto os_model = std::make_shared<predictor::OverallStatsModel>();
+  for (int i = 0; i < 200; ++i) {
+    os_model->observe(1, predictor::SwitchType::kNone, i % 9 == 0);
+  }
+  return [net, os_model] { return predictor::HybridExitPredictor(net, os_model); };
+}
+
+sim::FleetAccumulator run_with_threads(sim::FleetConfig cfg, std::size_t threads,
+                                       std::uint64_t seed, bool lingxi = false) {
+  cfg.threads = threads;
+  cfg.enable_lingxi = lingxi;
+  if (lingxi) {
+    cfg.lingxi.space.optimize_stall = false;
+    cfg.lingxi.space.optimize_switch = false;
+    cfg.lingxi.space.optimize_beta = true;
+    cfg.lingxi.obo_rounds = 2;
+    cfg.lingxi.monte_carlo.samples = 4;
+  }
+  sim::FleetRunner runner(cfg, hyb_factory());
+  if (lingxi) runner.set_predictor_factory(test_predictor_factory());
+  return runner.run(seed);
+}
+
+void expect_identical(const sim::FleetAccumulator& a, const sim::FleetAccumulator& b) {
+  EXPECT_EQ(a.checksum(), b.checksum());
+  EXPECT_EQ(a.sessions, b.sessions);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.stall_events, b.stall_events);
+  EXPECT_EQ(a.stall_exits, b.stall_exits);
+  EXPECT_EQ(a.watch_ticks, b.watch_ticks);
+  EXPECT_EQ(a.stall_ticks, b.stall_ticks);
+  EXPECT_EQ(a.bitrate_time_ticks, b.bitrate_time_ticks);
+  EXPECT_EQ(a.lingxi_optimizations, b.lingxi_optimizations);
+  EXPECT_EQ(a.adjusted_user_days, b.adjusted_user_days);
+}
+
+TEST(FleetRunner, DeterministicAcrossThreadCounts) {
+  const auto reference = run_with_threads(small_fleet(), 1, 42);
+  EXPECT_GT(reference.sessions, 0u);
+  for (std::size_t threads : {2, 3, 8, 16}) {
+    expect_identical(reference, run_with_threads(small_fleet(), threads, 42));
+  }
+}
+
+TEST(FleetRunner, DeterministicAcrossThreadCountsWithLingXi) {
+  sim::FleetConfig cfg = small_fleet();
+  cfg.users = 8;
+  cfg.users_per_shard = 2;
+  cfg.network.median_bandwidth = 1000.0;  // stalls so the trigger fires
+  const auto reference = run_with_threads(cfg, 1, 7, /*lingxi=*/true);
+  EXPECT_GT(reference.lingxi_triggers, 0u);
+  for (std::size_t threads : {2, 4}) {
+    expect_identical(reference, run_with_threads(cfg, threads, 7, /*lingxi=*/true));
+  }
+}
+
+TEST(FleetRunner, ShardSizeDoesNotChangeTheResult) {
+  sim::FleetConfig cfg = small_fleet();
+  const auto reference = run_with_threads(cfg, 2, 9);
+  for (std::size_t shard_users : {1, 5, 24, 1000}) {
+    sim::FleetConfig alt = cfg;
+    alt.users_per_shard = shard_users;
+    expect_identical(reference, run_with_threads(alt, 2, 9));
+  }
+}
+
+TEST(FleetRunner, DifferentSeedsDiffer) {
+  const auto a = run_with_threads(small_fleet(), 2, 1);
+  const auto b = run_with_threads(small_fleet(), 2, 2);
+  EXPECT_NE(a.checksum(), b.checksum());
+}
+
+TEST(FleetAccumulator, MergeIsAssociativeAndCommutative) {
+  sim::FleetConfig cfg = small_fleet();
+  cfg.users = 6;
+  const auto a = run_with_threads(cfg, 1, 101);
+  const auto b = run_with_threads(cfg, 1, 202);
+  const auto c = run_with_threads(cfg, 1, 303);
+
+  // (a + b) + c
+  sim::FleetAccumulator left = a;
+  left.merge(b);
+  left.merge(c);
+  // a + (b + c)
+  sim::FleetAccumulator bc = b;
+  bc.merge(c);
+  sim::FleetAccumulator right = a;
+  right.merge(bc);
+  // c + b + a
+  sim::FleetAccumulator reversed = c;
+  reversed.merge(b);
+  reversed.merge(a);
+
+  expect_identical(left, right);
+  expect_identical(left, reversed);
+  EXPECT_EQ(left.sessions, a.sessions + b.sessions + c.sessions);
+  EXPECT_EQ(left.users, a.users + b.users + c.users);
+}
+
+TEST(FleetAccumulator, MergeWithEmptyIsIdentity) {
+  const auto a = run_with_threads(small_fleet(), 1, 5);
+  sim::FleetAccumulator merged = a;
+  merged.merge(sim::FleetAccumulator{});
+  expect_identical(a, merged);
+}
+
+TEST(FleetRunner, EmptyFleet) {
+  sim::FleetConfig cfg = small_fleet();
+  cfg.users = 0;
+  sim::FleetRunner runner(cfg, hyb_factory());
+  const auto result = runner.run(77);
+  EXPECT_EQ(result.sessions, 0u);
+  EXPECT_EQ(result.users, 0u);
+  EXPECT_DOUBLE_EQ(result.completion_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(result.exit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(result.mean_bitrate(), 0.0);
+  EXPECT_EQ(result.checksum(), sim::FleetAccumulator{}.checksum());
+}
+
+TEST(FleetRunner, SingleUserFleet) {
+  sim::FleetConfig cfg = small_fleet();
+  cfg.users = 1;
+  cfg.days = 3;
+  cfg.sessions_per_user_day = 5;
+  cfg.threads = 4;  // more workers than shards must be harmless
+  sim::FleetRunner runner(cfg, hyb_factory());
+  const auto result = runner.run(13);
+  EXPECT_EQ(result.users, 1u);
+  EXPECT_EQ(result.sessions, 15u);
+  EXPECT_GT(result.total_watch_time(), 0.0);
+}
+
+TEST(FleetRunner, WarmupWindowExcludesEarlySessions) {
+  sim::FleetConfig cfg = small_fleet();
+  cfg.users = 4;
+  cfg.days = 1;
+  cfg.sessions_per_user_day = 6;
+  cfg.warmup_sessions = 2;
+  sim::FleetRunner runner(cfg, hyb_factory());
+  const auto result = runner.run(21);
+  EXPECT_EQ(result.sessions, 24u);
+  EXPECT_EQ(result.measured_sessions, 16u);  // (6 - 2) x 4 users
+  EXPECT_LE(result.measured_completed, result.completed);
+}
+
+TEST(FleetRunner, CustomUserFactoryReceivesUserIndex) {
+  sim::FleetConfig cfg = small_fleet();
+  cfg.users = 5;
+  cfg.days = 1;
+  cfg.drift_user_tolerance = false;
+  sim::FleetRunner runner(cfg, hyb_factory());
+  runner.set_user_factory([](std::size_t user_index, Rng&) {
+    user::DataDrivenUser::Config ucfg;
+    ucfg.tolerance = 1.0 + static_cast<double>(user_index);
+    return std::make_unique<user::DataDrivenUser>(ucfg);
+  });
+  const auto result = runner.run(3);
+  EXPECT_EQ(result.users, 5u);
+  EXPECT_EQ(result.sessions, 20u);
+}
+
+}  // namespace
+}  // namespace lingxi

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <tuple>
 
@@ -18,6 +19,7 @@
 #include "common/rng.h"
 #include "logstore/session_log.h"
 #include "predictor/exit_net.h"
+#include "sim/monte_carlo.h"
 #include "sim/player_env.h"
 #include "sim/session.h"
 #include "stats/ecdf.h"
@@ -399,6 +401,91 @@ TEST_P(EcdfProperty, MonotoneAndInverseConsistent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EcdfProperty, ::testing::Range(1, 8));
+
+// ---------------------------------------------------------------------------
+// Monte Carlo pruning soundness: early exit may only trigger when even an
+// exit-free completion of the remaining rollouts could not beat the best
+// known exit rate — so pruning can never flip the sign of a candidate
+// comparison versus the unpruned evaluator.
+// ---------------------------------------------------------------------------
+
+class McPruningProperty : public ::testing::TestWithParam<int> {
+ public:
+  static sim::MonteCarloConfig mc_config(bool pruning) {
+    sim::MonteCarloConfig mc;
+    mc.samples = 24;
+    mc.sample_duration = 20.0;
+    mc.enable_pruning = pruning;
+    mc.min_samples_before_prune = 4;
+    return mc;
+  }
+
+  /// Evaluate a HYB candidate with the given beta from a fixed seed. The Rng
+  /// is re-seeded per call so pruned and unpruned runs draw identical
+  /// rollouts up to the prune point.
+  static sim::MonteCarloResult evaluate(double beta, bool pruning, double best_known,
+                                        std::uint64_t seed) {
+    const sim::MonteCarloEvaluator eval(mc_config(pruning), {});
+    const auto video =
+        eval.make_virtual_video(trace::BitrateLadder::default_ladder(), 1.0);
+    abr::Hyb hyb;
+    abr::QoeParams params;
+    params.hyb_beta = beta;
+    hyb.set_params(params);
+    // Stall-sensitive user over a weak link: exits actually happen, so the
+    // comparison is non-trivial.
+    user::DataDrivenUser::Config ucfg;
+    ucfg.stall_archetype = user::StallArchetype::kSensitive;
+    ucfg.tolerance = 1.5;
+    user::DataDrivenUser exit_model(ucfg);
+    trace::NormalBandwidth bandwidth(650.0, 280.0);
+    Rng rng(seed);
+    return eval.evaluate(video, hyb, exit_model, bandwidth, 1.0, best_known, rng);
+  }
+};
+
+TEST_P(McPruningProperty, PruningPreservesComparisonSign) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  constexpr double kIncumbentBeta = 0.5;
+  constexpr double kChallengerBeta = 0.95;
+  const double incumbent =
+      evaluate(kIncumbentBeta, false, std::numeric_limits<double>::infinity(), seed)
+          .exit_rate;
+  const double challenger_full =
+      evaluate(kChallengerBeta, false, std::numeric_limits<double>::infinity(), seed + 1)
+          .exit_rate;
+
+  // Challenger judged against the incumbent's unpruned rate, and against
+  // tighter/looser thresholds around it.
+  for (double best_known : {incumbent, incumbent * 0.5, incumbent * 0.25,
+                            incumbent * 2.0, 1e-3}) {
+    if (best_known <= 0.0) continue;
+    const auto pruned = evaluate(kChallengerBeta, true, best_known, seed + 1);
+    EXPECT_EQ(pruned.exit_rate < best_known, challenger_full < best_known)
+        << "best_known=" << best_known << " pruned=" << pruned.exit_rate
+        << " full=" << challenger_full << " was_pruned=" << pruned.pruned;
+    // A run that was NOT pruned must reproduce the unpruned estimate.
+    if (!pruned.pruned) {
+      EXPECT_DOUBLE_EQ(pruned.exit_rate, challenger_full);
+      EXPECT_EQ(pruned.samples_run, mc_config(true).samples);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McPruningProperty, ::testing::Range(1, 11));
+
+TEST(McPruning, EngagesAgainstUnbeatableBaseline) {
+  // With a near-zero best-known exit rate, a bad candidate must prune early.
+  bool any_pruned = false;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto result = McPruningProperty::evaluate(0.95, true, 1e-4, seed);
+    any_pruned = any_pruned || result.pruned;
+    if (result.pruned) {
+      EXPECT_LT(result.samples_run, McPruningProperty::mc_config(true).samples);
+    }
+  }
+  EXPECT_TRUE(any_pruned);
+}
 
 }  // namespace
 }  // namespace lingxi
