@@ -1,23 +1,27 @@
 // Figure 11: "Heatmap of Stall Parameters under Different Sensitivities"
-// (§5.2 Detailed Analysis).
+// (§5.2 Detailed Analysis) — on the fleet telemetry pipeline.
 //
 // For every rule-based user in the 8x8 (stall count threshold x stall time
-// threshold) grid, runs LingXi L(B) on top of RobustMPC / Pensieve and
-// reports the mean stall parameter LingXi converged to, averaged over
-// several users per cell. Expected shape: the right side (higher exit
+// threshold) grid, runs a small LingXi L(B) fleet on top of RobustMPC /
+// Pensieve with telemetry capture, archives it, and reports the mean stall
+// parameter LingXi converged to — computed by scanning the archive's
+// measured session records (an ArchiveReader range query, not live state).
+// Each cell also replays its archive and checks the accumulator checksum
+// against the live run. Expected shape: the right side (higher exit
 // thresholds = more stall-tolerant users) carries smaller stall parameters —
 // darker in the paper's heatmap.
 #include <cstdio>
+#include <filesystem>
+#include <functional>
 #include <memory>
 
 #include "abr/pensieve.h"
 #include "abr/robust_mpc.h"
 #include "bench_util.h"
 #include "common/running_stats.h"
-#include "core/lingxi.h"
-#include "sim/session.h"
-#include "trace/population.h"
-#include "trace/video.h"
+#include "sim/fleet_runner.h"
+#include "telemetry/capture.h"
+#include "telemetry/replay.h"
 #include "user/rule_based.h"
 
 using namespace lingxi;
@@ -44,49 +48,77 @@ user::RuleBasedUser::Config rule_config(int count_thr, int time_thr) {
   return ucfg;
 }
 
-double mean_chosen_stall_param(abr::AbrAlgorithm& abr_algo,
-                               const bench::TrainedPredictor& predictor, int count_thr,
-                               int time_thr, std::uint64_t seed) {
-  const trace::PopulationModel networks(network_config());
-  const trace::VideoGenerator videos({});
-  const sim::SessionSimulator simulator({});
+struct CellStats {
+  double mean_stall_param = 0.0;
+  bool checksum_match = false;
+};
 
-  core::LingXiConfig cfg;
-  cfg.space.optimize_stall = true;
-  cfg.space.optimize_switch = true;
-  cfg.space.optimize_beta = false;
-  cfg.obo_rounds = 8;
-  cfg.monte_carlo.samples = 24;
-  cfg.monte_carlo.sample_duration = 25.0;
+/// One grid cell: simulate a kUsersPerCell-user LingXi fleet once, archive
+/// it, and answer the "what stall parameter did LingXi settle on" query from
+/// the archive alone.
+CellStats run_cell(const sim::FleetRunner::AbrFactory& abr_factory,
+                   const bench::TrainedPredictor& predictor, int count_thr, int time_thr,
+                   std::uint64_t seed, const std::string& dir) {
+  sim::FleetConfig cfg;
+  cfg.users = kUsersPerCell;
+  cfg.days = 1;
+  cfg.sessions_per_user_day = kSessions;
+  cfg.warmup_sessions = kWarmup;
+  cfg.users_per_shard = 1;
+  cfg.threads = 0;
+  cfg.enable_lingxi = true;
+  cfg.network = network_config();
+  cfg.lingxi.space.optimize_stall = true;
+  cfg.lingxi.space.optimize_switch = true;
+  cfg.lingxi.space.optimize_beta = false;
+  cfg.lingxi.obo_rounds = 8;
+  cfg.lingxi.monte_carlo.samples = 24;
+  cfg.lingxi.monte_carlo.sample_duration = 25.0;
 
-  RunningStats chosen;
-  for (std::size_t u = 0; u < kUsersPerCell; ++u) {
-    Rng rng(seed + u * 104729);
-    user::RuleBasedUser user_model(rule_config(count_thr, time_thr));
-    const auto profile = networks.sample(rng);
-    core::LingXi lingxi(cfg, predictor.make(), trace::BitrateLadder::default_ladder());
-    abr_algo.set_params(cfg.default_params);
+  sim::FleetRunner runner(cfg, abr_factory);
+  runner.set_user_factory([count_thr, time_thr](std::size_t, Rng&) {
+    return std::make_unique<user::RuleBasedUser>(rule_config(count_thr, time_thr));
+  });
+  runner.set_predictor_factory([&predictor] { return predictor.make(); });
+  telemetry::ShardedCapture capture;
+  runner.set_telemetry_sink(&capture);
+  const sim::FleetAccumulator live = runner.run(seed);
 
-    for (std::size_t s = 0; s < kSessions; ++s) {
-      const trace::Video video = videos.sample(rng);
-      auto bw = profile.make_session_model();
-      lingxi.begin_session();
-      const auto session = simulator.run(video, abr_algo, *bw, &user_model, rng);
-      for (const auto& seg : session.segments) lingxi.on_segment(seg);
-      const bool stall_exit = session.exited && !session.segments.empty() &&
-                              session.segments.back().stall_time > 0.05;
-      lingxi.end_session(stall_exit);
-      const Seconds buffer =
-          session.segments.empty() ? 0.0 : session.segments.back().buffer_after;
-      lingxi.maybe_optimize(abr_algo, buffer, rng);
-      if (s >= kWarmup) chosen.add(abr_algo.params().stall_penalty);
-    }
+  CellStats cell;
+  const telemetry::FleetArchive archive = capture.finish();
+  if (auto s = archive.write(dir); !s) {
+    std::fprintf(stderr, "archive write failed: %s\n", s.error().message.c_str());
+    return cell;
   }
-  return chosen.mean();
+
+  const auto reader = telemetry::ArchiveReader::open(dir);
+  if (!reader) {
+    std::fprintf(stderr, "archive open failed: %s\n", reader.error().message.c_str());
+    return cell;
+  }
+  // The Fig. 11 query: mean LingXi-chosen stall penalty over measured
+  // (post-warmup) sessions, straight off the archived session records.
+  RunningStats chosen;
+  const auto status =
+      reader->scan([&](const telemetry::ArchiveSessionRecord& rec) {
+        if (rec.measured) chosen.add(rec.params_after.stall_penalty);
+      },
+                   nullptr);
+  if (!status.ok()) {
+    std::fprintf(stderr, "archive scan failed: %s\n", status.error().message.c_str());
+    return cell;
+  }
+  cell.mean_stall_param = chosen.mean();
+
+  const auto replayed = telemetry::Replay::run(*reader);
+  cell.checksum_match =
+      replayed.has_value() && replayed->fleet.checksum() == live.checksum();
+  return cell;
 }
 
-void heatmap(const char* title, abr::AbrAlgorithm& abr_algo,
-             const bench::TrainedPredictor& predictor, std::uint64_t seed) {
+void heatmap(const char* title, const sim::FleetRunner::AbrFactory& abr_factory,
+             const bench::TrainedPredictor& predictor, std::uint64_t seed,
+             const std::string& archive_root, std::size_t& matches, std::size_t& cells) {
   bench::print_header(title);
   std::printf("rows: stall-time threshold (s); cols: stall-count threshold\n");
   std::printf("%-8s", "");
@@ -96,13 +128,16 @@ void heatmap(const char* title, abr::AbrAlgorithm& abr_algo,
   for (int time_thr = 2; time_thr <= 9; ++time_thr) {
     std::printf("%-8d", time_thr);
     for (int count_thr = 2; count_thr <= 9; ++count_thr) {
-      const double p = mean_chosen_stall_param(
-          abr_algo, predictor, count_thr, time_thr,
-          seed + static_cast<std::uint64_t>(time_thr * 100 + count_thr));
+      const CellStats cell = run_cell(
+          abr_factory, predictor, count_thr, time_thr,
+          seed + static_cast<std::uint64_t>(time_thr * 100 + count_thr),
+          archive_root + "/cell");
+      ++cells;
+      if (cell.checksum_match) ++matches;
       // "Left" = least tolerant quadrant, "right" = most tolerant.
-      if (count_thr <= 5 && time_thr <= 5) left_sum += p;
-      if (count_thr > 5 && time_thr > 5) right_sum += p;
-      std::printf("%-8.2f", p);
+      if (count_thr <= 5 && time_thr <= 5) left_sum += cell.mean_stall_param;
+      if (count_thr > 5 && time_thr > 5) right_sum += cell.mean_stall_param;
+      std::printf("%-8.2f", cell.mean_stall_param);
     }
     std::printf("\n");
   }
@@ -124,10 +159,15 @@ int main() {
   const auto predictor =
       bench::train_predictor_for_world(rule_factory, network_config(), {}, 606);
 
+  const std::string archive_root =
+      (std::filesystem::temp_directory_path() / "lingxi_fig11_archives").string();
+  std::size_t matches = 0, cells = 0;
+
   abr::RobustMpc::Config mpc_cfg;
   mpc_cfg.horizon = 4;
-  abr::RobustMpc mpc(mpc_cfg);
-  heatmap("Figure 11(a): RobustMPC", mpc, predictor, 10000);
+  heatmap("Figure 11(a): RobustMPC",
+          [mpc_cfg] { return std::make_unique<abr::RobustMpc>(mpc_cfg); }, predictor,
+          10000, archive_root, matches, cells);
 
   Rng prng(707);
   abr::Pensieve pensieve(4, prng);
@@ -145,6 +185,11 @@ int main() {
     const trace::PopulationModel networks(train_cfg);
     abr::train_pensieve(pensieve, videos, networks, tcfg, prng);
   }
-  heatmap("Figure 11(b): Pensieve", pensieve, predictor, 20000);
-  return 0;
+  heatmap("Figure 11(b): Pensieve",
+          [pensieve] { return std::make_unique<abr::Pensieve>(pensieve); }, predictor,
+          20000, archive_root, matches, cells);
+
+  std::printf("\nreplay-vs-live accumulator checksums: %zu/%zu cells MATCH\n", matches,
+              cells);
+  return matches == cells ? 0 : 1;
 }

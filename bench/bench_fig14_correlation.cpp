@@ -1,20 +1,26 @@
 // Figure 14: "The Relationship between Stall Exit Rate and ABR Parameter"
-// (§5.5.1).
+// (§5.5.1) — on the fleet telemetry pipeline.
 //
-// For each of six post-deployment days, scatter (per-user stall exit rate,
-// LingXi-assigned beta) over users with enough stall events, fit a least
-// squares trend line and report the Pearson correlation. The paper finds a
-// robust negative correlation (-0.23 .. -0.52): users who exit on stalls get
-// lower (more conservative) beta.
+// The post-deployment population is simulated ONCE on sim::FleetRunner with
+// capture enabled; the per-user-day (stall exit rate, LingXi-assigned beta)
+// records are then recomputed by telemetry::Replay from the archive, and the
+// replayed accumulator checksum is verified against the live run. For each
+// of six days, fit a least squares trend line and report the Pearson
+// correlation. The paper finds a robust negative correlation (-0.23 ..
+// -0.52): users who exit on stalls get lower (more conservative) beta.
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <vector>
 
 #include "abr/hyb.h"
-#include "analytics/experiment.h"
 #include "bench_util.h"
+#include "sim/fleet_runner.h"
 #include "stats/correlation.h"
 #include "stats/regression.h"
+#include "telemetry/capture.h"
+#include "telemetry/replay.h"
 
 using namespace lingxi;
 
@@ -22,29 +28,54 @@ int main() {
   std::printf("training shared exit-rate predictor...\n");
   const auto predictor = bench::train_predictor(111, 0.7);
 
-  analytics::ExperimentConfig cfg;
+  sim::FleetConfig cfg;
   cfg.users = 220;
   cfg.days = 6;
   cfg.sessions_per_user_day = 12;
   cfg.intervention_day = 0;  // post-deployment view
+  cfg.threads = 0;
+  cfg.enable_lingxi = true;
+  cfg.drift_user_tolerance = true;
   cfg.network.median_bandwidth = 1200.0;  // stall-heavy so exit rates have support
   cfg.network.relative_sd = 0.45;
   cfg.network.sigma = 0.5;
   cfg.lingxi.obo_rounds = 5;
   cfg.lingxi.monte_carlo.samples = 8;
+  cfg.lingxi.space.optimize_stall = false;
+  cfg.lingxi.space.optimize_switch = false;
+  cfg.lingxi.space.optimize_beta = true;
 
-  analytics::PopulationExperiment experiment(
-      cfg, [] { return std::make_unique<abr::Hyb>(); },
-      [&] { return predictor.make(); });
-  const auto treatment = experiment.run(true, 777);
+  telemetry::ShardedCapture capture;
+  sim::FleetRunner runner(cfg, [] { return std::make_unique<abr::Hyb>(); });
+  runner.set_predictor_factory([&predictor] { return predictor.make(); });
+  runner.set_telemetry_sink(&capture);
+  std::printf("simulating the fleet once (capture on)...\n");
+  const sim::FleetAccumulator live = runner.run(777);
 
-  bench::print_header("Figure 14: daily stall-exit-rate vs beta correlation");
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "lingxi_fig14_archive").string();
+  const telemetry::FleetArchive archive = capture.finish();
+  if (auto s = archive.write(dir); !s) {
+    std::fprintf(stderr, "archive write failed: %s\n", s.error().message.c_str());
+    return 1;
+  }
+  const auto replayed = telemetry::Replay::run(dir);
+  if (!replayed) {
+    std::fprintf(stderr, "replay failed: %s\n", replayed.error().message.c_str());
+    return 1;
+  }
+  const bool match = replayed->fleet.checksum() == live.checksum();
+  std::printf("archived %llu sessions -> %s; replay checksum %s\n",
+              static_cast<unsigned long long>(live.sessions), dir.c_str(),
+              match ? "MATCH" : "MISMATCH");
+
+  bench::print_header("Figure 14: daily stall-exit-rate vs beta correlation (replayed)");
   // The paper computes exit rates only for users with >10 stalls/day; our
   // sessions-per-day is smaller, so the support threshold scales down.
   constexpr double kMinStallEvents = 5.0;
   for (std::size_t day = 0; day < cfg.days; ++day) {
     std::vector<double> exit_rates, betas;
-    for (const auto& rec : treatment.user_days) {
+    for (const auto& rec : replayed->user_days) {
       if (rec.day != day || rec.stall_events < kMinStallEvents) continue;
       exit_rates.push_back(rec.stall_exit_rate());
       betas.push_back(rec.mean_beta);
@@ -60,5 +91,5 @@ int main() {
                 day + 1, exit_rates.size(), corr, fit.intercept, fit.slope);
   }
   std::printf("\n(paper: Pearson correlation between -0.23 and -0.52, negative slope)\n");
-  return 0;
+  return match ? 0 : 1;
 }

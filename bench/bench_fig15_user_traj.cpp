@@ -1,20 +1,28 @@
-// Figure 15: "The Details of User Updates to the ABR Parameter" (§5.5.2).
+// Figure 15: "The Details of User Updates to the ABR Parameter" (§5.5.2) —
+// on the fleet telemetry pipeline.
 //
 // Per-stall-event trajectories for four representative users — two with high
 // stall tolerance, two stall-sensitive — showing stall time, whether the
-// user exited, and the beta parameter after LingXi's update. Expected
-// narrative: tolerant users stabilize in the upper beta range; sensitive
-// users converge to the lower range, with dips after exit bursts.
+// user exited, and the beta parameter after LingXi's update. The fleet is
+// simulated ONCE with capture enabled; the stall-event trajectories are then
+// reconstructed by telemetry::Replay from the per-segment traces in the
+// archive (ground-truth tolerance comes from the per-user summary records),
+// and the replayed accumulator checksum is verified against the live run.
+// Expected narrative: tolerant users stabilize in the upper beta range;
+// sensitive users converge to the lower range, with dips after exit bursts.
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "abr/hyb.h"
-#include "analytics/experiment.h"
 #include "bench_util.h"
 #include "common/running_stats.h"
+#include "sim/fleet_runner.h"
+#include "telemetry/capture.h"
+#include "telemetry/replay.h"
 
 using namespace lingxi;
 
@@ -22,26 +30,52 @@ int main() {
   std::printf("training shared exit-rate predictor...\n");
   const auto predictor = bench::train_predictor(222, 0.7);
 
-  analytics::ExperimentConfig cfg;
+  sim::FleetConfig cfg;
   cfg.users = 60;
   cfg.days = 5;
   cfg.sessions_per_user_day = 12;
   cfg.intervention_day = 0;
-  cfg.record_stall_events = true;
+  cfg.threads = 0;
+  cfg.enable_lingxi = true;
+  cfg.drift_user_tolerance = true;
   cfg.network.median_bandwidth = 1200.0;  // stall-heavy
   cfg.network.relative_sd = 0.45;
   cfg.network.sigma = 0.4;
   cfg.lingxi.obo_rounds = 5;
   cfg.lingxi.monte_carlo.samples = 8;
+  cfg.lingxi.space.optimize_stall = false;
+  cfg.lingxi.space.optimize_switch = false;
+  cfg.lingxi.space.optimize_beta = true;
 
-  analytics::PopulationExperiment experiment(
-      cfg, [] { return std::make_unique<abr::Hyb>(); },
-      [&] { return predictor.make(); });
-  const auto result = experiment.run(true, 4242);
+  telemetry::ShardedCapture capture;
+  sim::FleetRunner runner(cfg, [] { return std::make_unique<abr::Hyb>(); });
+  runner.set_predictor_factory([&predictor] { return predictor.make(); });
+  runner.set_telemetry_sink(&capture);
+  std::printf("simulating the fleet once (capture on)...\n");
+  const sim::FleetAccumulator live = runner.run(4242);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "lingxi_fig15_archive").string();
+  const telemetry::FleetArchive archive = capture.finish();
+  if (auto s = archive.write(dir); !s) {
+    std::fprintf(stderr, "archive write failed: %s\n", s.error().message.c_str());
+    return 1;
+  }
+  telemetry::Replay::Options opts;
+  opts.collect_stall_events = true;
+  const auto replayed = telemetry::Replay::run(dir, opts);
+  if (!replayed) {
+    std::fprintf(stderr, "replay failed: %s\n", replayed.error().message.c_str());
+    return 1;
+  }
+  const bool match = replayed->fleet.checksum() == live.checksum();
+  std::printf("archived %llu sessions -> %s; replay checksum %s\n",
+              static_cast<unsigned long long>(live.sessions), dir.c_str(),
+              match ? "MATCH" : "MISMATCH");
 
   // Group stall events per user; keep users with enough events to plot.
   std::map<std::size_t, std::vector<analytics::StallEventRecord>> by_user;
-  for (const auto& ev : result.stall_events) by_user[ev.user].push_back(ev);
+  for (const auto& ev : replayed->stall_events) by_user[ev.user].push_back(ev);
 
   struct Candidate {
     std::size_t user;
@@ -94,5 +128,5 @@ int main() {
                 tol_beta.mean(), sens_beta.mean());
     std::printf("(expect tolerant >= sensitive: the Fig. 15 classification behaviour)\n");
   }
-  return 0;
+  return match ? 0 : 1;
 }

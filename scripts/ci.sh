@@ -1,5 +1,10 @@
 #!/usr/bin/env bash
-# Configure, build and test — the tier-1 verify, as run by CI.
+# Configure, build and test — the tier-1 verify, as run by CI — followed by a
+# small telemetry capture->replay round-trip smoke (Fig. 12 A/B on 64 users):
+# the bench simulates both arms once, archives them, recomputes the DiD
+# series from the archives, and exits non-zero unless the replayed
+# accumulators bitwise-match the live runs. The archives and the bench JSON
+# land in ${BUILD_DIR}/smoke/ so CI can upload them as workflow artifacts.
 #
 # Usage: scripts/ci.sh [Debug|Release]   (default Release)
 set -euo pipefail
@@ -11,3 +16,12 @@ BUILD_DIR="${ROOT}/build-ci-${BUILD_TYPE,,}"
 cmake -B "${BUILD_DIR}" -S "${ROOT}" -DCMAKE_BUILD_TYPE="${BUILD_TYPE}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+SMOKE_DIR="${BUILD_DIR}/smoke"
+rm -rf "${SMOKE_DIR}"
+mkdir -p "${SMOKE_DIR}"
+"${BUILD_DIR}/bench/bench_fig12_ab_test" \
+  --users 64 --days 4 \
+  --archive-dir "${SMOKE_DIR}/fig12-archives" \
+  --json "${SMOKE_DIR}/fig12.json"
+echo "capture->replay smoke OK: $(ls "${SMOKE_DIR}/fig12-archives")"

@@ -149,18 +149,24 @@ ExperimentResult PopulationExperiment::run(bool treatment, std::uint64_t seed) c
   return result;
 }
 
-std::vector<double> relative_daily_gap(const ExperimentResult& treatment,
-                                       const ExperimentResult& control,
+std::vector<double> relative_daily_gap(const std::vector<MetricAccumulator>& treatment,
+                                       const std::vector<MetricAccumulator>& control,
                                        double (MetricAccumulator::*metric)() const) {
-  LINGXI_ASSERT(treatment.daily.size() == control.daily.size());
+  LINGXI_ASSERT(treatment.size() == control.size());
   std::vector<double> gaps;
-  gaps.reserve(control.daily.size());
-  for (std::size_t d = 0; d < control.daily.size(); ++d) {
-    const double c = (control.daily[d].*metric)();
-    const double t = (treatment.daily[d].*metric)();
+  gaps.reserve(control.size());
+  for (std::size_t d = 0; d < control.size(); ++d) {
+    const double c = (control[d].*metric)();
+    const double t = (treatment[d].*metric)();
     gaps.push_back(c != 0.0 ? (t - c) / c : 0.0);
   }
   return gaps;
+}
+
+std::vector<double> relative_daily_gap(const ExperimentResult& treatment,
+                                       const ExperimentResult& control,
+                                       double (MetricAccumulator::*metric)() const) {
+  return relative_daily_gap(treatment.daily, control.daily, metric);
 }
 
 }  // namespace lingxi::analytics

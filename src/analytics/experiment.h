@@ -104,6 +104,11 @@ class PopulationExperiment {
 };
 
 /// Relative per-day gaps (treatment - control) / control for a metric series.
+/// The vector overload also serves day series replayed from telemetry
+/// archives (telemetry::Replay).
+std::vector<double> relative_daily_gap(const std::vector<MetricAccumulator>& treatment,
+                                       const std::vector<MetricAccumulator>& control,
+                                       double (MetricAccumulator::*metric)() const);
 std::vector<double> relative_daily_gap(const ExperimentResult& treatment,
                                        const ExperimentResult& control,
                                        double (MetricAccumulator::*metric)() const);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,12 @@ void write_record(std::vector<unsigned char>& out, const std::vector<unsigned ch
 /// Read the record starting at `pos` in `bytes`; advances `pos` past it.
 Expected<std::vector<unsigned char>> read_record(const std::vector<unsigned char>& bytes,
                                                  std::size_t& pos);
+
+/// Streaming variant: read the next framed record from `in` without loading
+/// the rest of the file. Callers detect a clean end-of-stream with
+/// `in.peek() == EOF` before calling; a stream that ends mid-record is
+/// reported as Error::kCorrupt.
+Expected<std::vector<unsigned char>> read_record(std::istream& in);
 
 /// Little-endian primitive packing helpers shared by payload codecs.
 void put_u32(std::vector<unsigned char>& out, std::uint32_t v);

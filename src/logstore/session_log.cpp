@@ -8,6 +8,9 @@ bool SessionLogEntry::operator==(const SessionLogEntry& other) const {
   if (user_id != other.user_id || timestamp != other.timestamp ||
       video_duration != other.video_duration || session.exited != other.session.exited ||
       session.watch_time != other.session.watch_time ||
+      session.stall_events != other.session.stall_events ||
+      session.quality_switches != other.session.quality_switches ||
+      session.mean_bitrate != other.session.mean_bitrate ||
       session.segments.size() != other.session.segments.size()) {
     return false;
   }
@@ -32,6 +35,9 @@ std::vector<unsigned char> encode_session(const SessionLogEntry& entry) {
   put_f64(p, entry.session.watch_time);
   put_f64(p, entry.session.startup_delay);
   put_f64(p, entry.session.total_stall);
+  put_u32(p, static_cast<std::uint32_t>(entry.session.stall_events));
+  put_u32(p, static_cast<std::uint32_t>(entry.session.quality_switches));
+  put_f64(p, entry.session.mean_bitrate);
   put_u32(p, static_cast<std::uint32_t>(entry.session.segments.size()));
   for (const auto& seg : entry.session.segments) {
     put_u32(p, static_cast<std::uint32_t>(seg.level));
@@ -52,16 +58,20 @@ std::vector<unsigned char> encode_session(const SessionLogEntry& entry) {
 Expected<SessionLogEntry> decode_session(const std::vector<unsigned char>& payload) {
   SessionLogEntry e;
   std::size_t pos = 0;
-  std::uint32_t exited = 0, count = 0;
+  std::uint32_t exited = 0, stall_events = 0, switches = 0, count = 0;
   if (!get_u64(payload, pos, e.user_id) || !get_u64(payload, pos, e.timestamp) ||
       !get_f64(payload, pos, e.video_duration) || !get_u32(payload, pos, exited) ||
       !get_f64(payload, pos, e.session.watch_time) ||
       !get_f64(payload, pos, e.session.startup_delay) ||
-      !get_f64(payload, pos, e.session.total_stall) || !get_u32(payload, pos, count)) {
+      !get_f64(payload, pos, e.session.total_stall) ||
+      !get_u32(payload, pos, stall_events) || !get_u32(payload, pos, switches) ||
+      !get_f64(payload, pos, e.session.mean_bitrate) || !get_u32(payload, pos, count)) {
     return Error::corrupt("truncated session header");
   }
   if (count > 1u << 20) return Error::corrupt("segment count out of range");
   e.session.exited = exited != 0;
+  e.session.stall_events = stall_events;
+  e.session.quality_switches = switches;
   e.session.segments.resize(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     auto& seg = e.session.segments[i];

@@ -2,9 +2,10 @@
 // analyses (§2.2's 1.5M playback trajectories).
 //
 // A SessionLogWriter appends one framed record (logstore/record.h) per
-// playback session: user id, timestamp, video length, watch time, exit flag,
-// and the full per-segment trace (level, bitrate, size, throughput, download
-// time, stall time, buffer). SessionLogReader streams them back. All figures
+// playback session: user id, timestamp, video length, the session aggregates
+// (watch time, exit flag, stall/switch counts, mean bitrate) and the full
+// per-segment trace (level, bitrate, size, throughput, download time, stall
+// time, buffer). SessionLogReader streams them back. All figures
 // that bin per-segment exit behaviour (Fig. 3/4) can be regenerated from
 // such a log instead of live simulation.
 #pragma once

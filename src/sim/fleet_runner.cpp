@@ -4,11 +4,13 @@
 #include <atomic>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <thread>
 #include <vector>
 
 #include "common/assert.h"
 #include "common/crc32.h"
+#include "telemetry/sink.h"
 #include "user/data_driven.h"
 
 namespace lingxi::sim {
@@ -42,8 +44,14 @@ void FleetAccumulator::add_session(const SessionResult& session, bool measured) 
   watch_ticks += to_ticks(session.watch_time, kTicksPerSecond);
   stall_ticks += to_ticks(session.total_stall, kTicksPerSecond);
   startup_ticks += to_ticks(session.startup_delay, kTicksPerSecond);
-  bitrate_time_ticks +=
+  const std::int64_t bitrate_time =
       to_ticks(session.mean_bitrate * session.watch_time, kBitrateTicksPerKbpsSec);
+  // Guard the documented ~5e10 session-second bound on the kbps-ms product:
+  // past it the fixed-point sum would wrap and silently corrupt mean_bitrate.
+  LINGXI_DASSERT(bitrate_time >= 0);
+  LINGXI_DASSERT(bitrate_time_ticks <=
+                 std::numeric_limits<std::int64_t>::max() - bitrate_time);
+  bitrate_time_ticks += bitrate_time;
 }
 
 void FleetAccumulator::add_lingxi_stats(const core::LingXiStats& stats) {
@@ -194,6 +202,7 @@ void FleetRunner::simulate_user(std::size_t user_index, std::uint64_t seed,
   }
 
   std::size_t session_index = 0;
+  std::uint64_t adjusted_days = 0;
   for (std::size_t day = 0; day < config_.days; ++day) {
     // Day-to-day tolerance drift (§2.3) for data-driven users; rule-based
     // users have no drift notion and replay their base behaviour.
@@ -206,6 +215,10 @@ void FleetRunner::simulate_user(std::size_t user_index, std::uint64_t seed,
       }
     }
     if (!day_user) day_user = base_user->clone();
+
+    // AA period of the A/B protocol: before intervention_day the ABR stays
+    // pinned to the defaults while LingXi only accumulates engagement.
+    const bool lingxi_active = lingxi && day >= config_.intervention_day;
 
     for (std::size_t s = 0; s < config_.sessions_per_user_day; ++s, ++session_index) {
       Rng session_rng(mix_seed(
@@ -222,31 +235,59 @@ void FleetRunner::simulate_user(std::size_t user_index, std::uint64_t seed,
       }
       auto bandwidth = session_profile.make_session_model();
 
-      if (lingxi) lingxi->begin_session();
+      if (lingxi) {
+        lingxi->begin_session();
+        if (!lingxi_active) abr->set_params(config_.lingxi.default_params);
+      }
       const SessionResult session =
           world.simulator.run(video, *abr, *bandwidth, day_user.get(), session_rng);
-      acc.add_session(session, session_index >= config_.warmup_sessions);
+      const bool measured = session_index >= config_.warmup_sessions;
+      acc.add_session(session, measured);
 
       if (lingxi) {
         for (const auto& seg : session.segments) lingxi->on_segment(seg);
         lingxi->end_session(exited_during_stall(session));
-        const Seconds buffer_seed =
-            session.segments.empty() ? 0.0 : session.segments.back().buffer_after;
-        lingxi->maybe_optimize(*abr, buffer_seed, session_rng);
+        if (lingxi_active) {
+          const Seconds buffer_seed =
+              session.segments.empty() ? 0.0 : session.segments.back().buffer_after;
+          lingxi->maybe_optimize(*abr, buffer_seed, session_rng);
+        }
+      }
+
+      if (sink_) {
+        telemetry::SessionContext ctx;
+        ctx.user_index = user_index;
+        ctx.day = day;
+        ctx.session_in_day = s;
+        ctx.measured = measured;
+        ctx.video_duration = video.duration();
+        ctx.params_after = abr->params();
+        sink_->record_session(ctx, session);
       }
     }
 
     if (lingxi && abr->params() != config_.lingxi.default_params) {
-      ++acc.adjusted_user_days;
+      ++adjusted_days;
     }
   }
 
+  acc.adjusted_user_days += adjusted_days;
   if (lingxi) acc.add_lingxi_stats(lingxi->stats());
   ++acc.users;
+
+  if (sink_) {
+    telemetry::UserTelemetry user;
+    user.user_index = user_index;
+    user.tolerable_stall = base_user->tolerable_stall();
+    user.adjusted_days = adjusted_days;
+    if (lingxi) user.stats = lingxi->stats();
+    sink_->record_user(user);
+  }
 }
 
 FleetAccumulator FleetRunner::run(std::uint64_t seed) const {
   FleetAccumulator merged;
+  if (sink_) sink_->begin_fleet(config_, seed);
   if (config_.users == 0) return merged;
 
   // Immutable config-derived context, built once and read concurrently by

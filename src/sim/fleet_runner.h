@@ -31,6 +31,10 @@
 #include "user/user_model.h"
 #include "user/user_population.h"
 
+namespace lingxi::telemetry {
+class TelemetrySink;
+}
+
 namespace lingxi::sim {
 
 /// Immutable config-derived simulation context shared (read-only) by all
@@ -120,6 +124,12 @@ struct FleetConfig {
   /// Treatment switch: run LingXi per user (config `lingxi`) vs pinning
   /// `fixed_params` on the ABR.
   bool enable_lingxi = false;
+  /// First day (0-based) on which LingXi may optimize. Before it the ABR is
+  /// pinned to `lingxi.default_params` while engagement history still
+  /// accrues — the AA period of the Fig. 12 difference-in-differences
+  /// protocol. 0 (default) activates LingXi immediately; >= days gives a
+  /// pure AA run.
+  std::size_t intervention_day = 0;
   /// Day-to-day tolerance drift for data-driven users (§2.3).
   bool drift_user_tolerance = false;
   /// Lognormal sigma jittering each session's mean bandwidth around the
@@ -152,6 +162,11 @@ class FleetRunner {
   /// factory handing out a shared net is safe.
   void set_predictor_factory(PredictorFactory factory);
 
+  /// Optional capture plane (telemetry/sink.h): the sink observes every
+  /// completed session plus a per-user summary, from worker threads. Not
+  /// owned; must outlive run(). Pass nullptr to detach.
+  void set_telemetry_sink(telemetry::TelemetrySink* sink) { sink_ = sink; }
+
   /// Simulate the whole fleet. Bitwise-deterministic for a given seed,
   /// independent of `config().threads`.
   FleetAccumulator run(std::uint64_t seed) const;
@@ -166,6 +181,7 @@ class FleetRunner {
   AbrFactory abr_factory_;
   UserFactory user_factory_;
   PredictorFactory predictor_factory_;
+  telemetry::TelemetrySink* sink_ = nullptr;
 };
 
 }  // namespace lingxi::sim

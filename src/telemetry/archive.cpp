@@ -1,0 +1,374 @@
+#include "telemetry/archive.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/crc32.h"
+#include "logstore/record.h"
+
+namespace lingxi::telemetry {
+namespace {
+
+// Shard record type tags (leading u32 of every shard record payload).
+constexpr std::uint32_t kSessionRecord = 1;
+constexpr std::uint32_t kUserRecord = 2;
+
+// Fixed prefix of a kSessionRecord: type, user, day, session_in_day,
+// measured, three QoE parameters. Range scans decode only this much before
+// deciding whether to decode the embedded trajectory.
+struct SessionPrefix {
+  std::uint64_t user = 0;
+  std::uint32_t day = 0;
+  std::uint32_t session_in_day = 0;
+  std::uint32_t measured = 0;
+  abr::QoeParams params;
+  std::size_t end = 0;  ///< offset of the embedded SessionLogEntry payload
+};
+
+bool decode_session_prefix(const std::vector<unsigned char>& payload, SessionPrefix& out) {
+  std::size_t pos = 4;  // past the type tag
+  const bool ok = logstore::get_u64(payload, pos, out.user) &&
+                  logstore::get_u32(payload, pos, out.day) &&
+                  logstore::get_u32(payload, pos, out.session_in_day) &&
+                  logstore::get_u32(payload, pos, out.measured) &&
+                  logstore::get_f64(payload, pos, out.params.stall_penalty) &&
+                  logstore::get_f64(payload, pos, out.params.switch_penalty) &&
+                  logstore::get_f64(payload, pos, out.params.hyb_beta);
+  out.end = pos;
+  return ok;
+}
+
+Expected<ArchiveSessionRecord> decode_session_record(
+    const std::vector<unsigned char>& payload) {
+  SessionPrefix prefix;
+  if (!decode_session_prefix(payload, prefix)) {
+    return Error::corrupt("truncated session record prefix");
+  }
+  auto entry = logstore::decode_session(std::vector<unsigned char>(
+      payload.begin() + static_cast<long>(prefix.end), payload.end()));
+  if (!entry) return entry.error();
+  ArchiveSessionRecord rec;
+  rec.user = prefix.user;
+  rec.day = prefix.day;
+  rec.session_in_day = prefix.session_in_day;
+  rec.measured = prefix.measured != 0;
+  rec.params_after = prefix.params;
+  rec.entry = std::move(*entry);
+  return rec;
+}
+
+Expected<ArchiveUserRecord> decode_user_record(const std::vector<unsigned char>& payload) {
+  ArchiveUserRecord rec;
+  std::size_t pos = 4;  // past the type tag
+  const bool ok = logstore::get_u64(payload, pos, rec.user) &&
+                  logstore::get_f64(payload, pos, rec.tolerable_stall) &&
+                  logstore::get_u64(payload, pos, rec.adjusted_days) &&
+                  logstore::get_u64(payload, pos, rec.stats.triggers) &&
+                  logstore::get_u64(payload, pos, rec.stats.optimizations_run) &&
+                  logstore::get_u64(payload, pos, rec.stats.pruned_preplay) &&
+                  logstore::get_u64(payload, pos, rec.stats.mc_evaluations) &&
+                  logstore::get_u64(payload, pos, rec.stats.mc_rollouts_pruned);
+  if (!ok || pos != payload.size()) return Error::corrupt("malformed user record");
+  return rec;
+}
+
+std::uint32_t record_type(const std::vector<unsigned char>& payload) {
+  std::size_t pos = 0;
+  std::uint32_t type = 0;
+  if (!logstore::get_u32(payload, pos, type)) return 0;
+  return type;
+}
+
+}  // namespace
+
+std::vector<unsigned char> ArchiveManifest::encode() const {
+  std::vector<unsigned char> p;
+  logstore::put_u32(p, kArchiveFormatVersion);
+  logstore::put_u64(p, seed);
+  logstore::put_u32(p, config_digest);
+  logstore::put_u64(p, users);
+  logstore::put_u64(p, days);
+  logstore::put_u64(p, sessions_per_user_day);
+  logstore::put_u64(p, warmup_sessions);
+  logstore::put_u64(p, intervention_day);
+  logstore::put_u32(p, enable_lingxi ? 1u : 0u);
+  logstore::put_u64(p, users_per_shard);
+  logstore::put_u64(p, shards.size());
+  for (const auto& shard : shards) {
+    logstore::put_u64(p, shard.first_user);
+    logstore::put_u64(p, shard.user_count);
+    logstore::put_u64(p, shard.record_count);
+    logstore::put_u64(p, shard.byte_count);
+  }
+  return p;
+}
+
+Expected<ArchiveManifest> ArchiveManifest::decode(const std::vector<unsigned char>& payload) {
+  ArchiveManifest m;
+  std::size_t pos = 0;
+  std::uint32_t format = 0, lingxi_flag = 0;
+  std::uint64_t shard_count = 0;
+  const bool ok = logstore::get_u32(payload, pos, format) &&
+                  logstore::get_u64(payload, pos, m.seed) &&
+                  logstore::get_u32(payload, pos, m.config_digest) &&
+                  logstore::get_u64(payload, pos, m.users) &&
+                  logstore::get_u64(payload, pos, m.days) &&
+                  logstore::get_u64(payload, pos, m.sessions_per_user_day) &&
+                  logstore::get_u64(payload, pos, m.warmup_sessions) &&
+                  logstore::get_u64(payload, pos, m.intervention_day) &&
+                  logstore::get_u32(payload, pos, lingxi_flag) &&
+                  logstore::get_u64(payload, pos, m.users_per_shard) &&
+                  logstore::get_u64(payload, pos, shard_count);
+  if (!ok) return Error::corrupt("truncated archive manifest");
+  if (format != kArchiveFormatVersion) {
+    return Error::corrupt("unsupported archive format version");
+  }
+  if (shard_count > (1u << 20)) return Error::corrupt("shard count out of range");
+  m.enable_lingxi = lingxi_flag != 0;
+  m.shards.resize(shard_count);
+  for (auto& shard : m.shards) {
+    if (!logstore::get_u64(payload, pos, shard.first_user) ||
+        !logstore::get_u64(payload, pos, shard.user_count) ||
+        !logstore::get_u64(payload, pos, shard.record_count) ||
+        !logstore::get_u64(payload, pos, shard.byte_count)) {
+      return Error::corrupt("truncated shard index");
+    }
+  }
+  if (pos != payload.size()) return Error::corrupt("trailing bytes in archive manifest");
+  return m;
+}
+
+std::uint32_t config_digest(const sim::FleetConfig& config) {
+  // The result-shaping scalar knobs of every sub-config, in declaration
+  // order; scheduling knobs (threads, users_per_shard) deliberately excluded
+  // so equal results hash equal. Custom user/abr/predictor factories are
+  // code, not config, and cannot be hashed — archives produced with
+  // different factories but equal configs share a digest.
+  std::vector<unsigned char> p;
+  logstore::put_u64(p, config.users);
+  logstore::put_u64(p, config.days);
+  logstore::put_u64(p, config.sessions_per_user_day);
+  logstore::put_u64(p, config.warmup_sessions);
+  logstore::put_u64(p, config.intervention_day);
+  logstore::put_u32(p, config.enable_lingxi ? 1u : 0u);
+  logstore::put_u32(p, config.drift_user_tolerance ? 1u : 0u);
+  logstore::put_f64(p, config.session_jitter_sigma);
+  for (const abr::QoeParams* params : {&config.fixed_params, &config.lingxi.default_params}) {
+    logstore::put_f64(p, params->stall_penalty);
+    logstore::put_f64(p, params->switch_penalty);
+    logstore::put_f64(p, params->hyb_beta);
+  }
+  // Population mixture (user::UserPopulation::Config).
+  for (double f : {config.population.sensitive_fraction, config.population.threshold_fraction,
+                   config.population.insensitive_fraction,
+                   config.population.low_tolerance_fraction,
+                   config.population.mid_tolerance_fraction,
+                   config.population.high_tolerance_fraction,
+                   config.population.very_high_tolerance_fraction,
+                   config.population.stable_fraction, config.population.moderate_fraction}) {
+    logstore::put_f64(p, f);
+  }
+  // Network world (trace::PopulationModel::Config).
+  for (double f : {config.network.median_bandwidth, config.network.sigma,
+                   config.network.min_bandwidth, config.network.max_bandwidth,
+                   config.network.relative_sd, config.network.rho}) {
+    logstore::put_f64(p, f);
+  }
+  // Video world (trace::VideoGenerator::Config), ladder included.
+  for (Kbps bitrate : config.video.ladder.bitrates()) logstore::put_f64(p, bitrate);
+  for (double f : {config.video.mean_duration, config.video.min_duration,
+                   config.video.max_duration, config.video.segment_duration,
+                   config.video.duration_sigma, config.video.vbr_sigma}) {
+    logstore::put_f64(p, f);
+  }
+  // LingXi controller knobs that move the assigned parameters.
+  logstore::put_u32(p, config.lingxi.space.optimize_stall ? 1u : 0u);
+  logstore::put_u32(p, config.lingxi.space.optimize_switch ? 1u : 0u);
+  logstore::put_u32(p, config.lingxi.space.optimize_beta ? 1u : 0u);
+  for (double f : {config.lingxi.space.stall_min, config.lingxi.space.stall_max,
+                   config.lingxi.space.switch_min, config.lingxi.space.switch_max,
+                   config.lingxi.space.beta_min, config.lingxi.space.beta_max}) {
+    logstore::put_f64(p, f);
+  }
+  logstore::put_u64(p, config.lingxi.trigger_stall_threshold);
+  logstore::put_u64(p, config.lingxi.obo_rounds);
+  logstore::put_u64(p, config.lingxi.monte_carlo.samples);
+  logstore::put_f64(p, config.lingxi.monte_carlo.sample_duration);
+  logstore::put_u32(p, config.lingxi.enable_preplay_pruning ? 1u : 0u);
+  logstore::put_f64(p, config.lingxi.rollout_rho);
+  logstore::put_f64(p, config.lingxi.rollout_pessimism);
+  logstore::put_f64(p, config.lingxi.adoption_margin);
+  // Session simulator / player.
+  const sim::SessionSimulator::Config& session = config.session;
+  logstore::put_u64(p, session.throughput_window);
+  logstore::put_f64(p, session.stall_event_threshold);
+  logstore::put_u32(p, session.adaptive_buffer_max ? 1u : 0u);
+  for (double f : {session.player.rtt, session.player.base_buffer_max,
+                   session.player.min_buffer_max, session.player.max_buffer_max,
+                   session.player.reference_bandwidth, session.player.startup_buffer}) {
+    logstore::put_f64(p, f);
+  }
+  return crc32(p.data(), p.size());
+}
+
+std::string manifest_filename() { return "manifest.lxa"; }
+
+std::string shard_filename(std::size_t shard_index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%04zu.lxs", shard_index);
+  return buf;
+}
+
+std::vector<unsigned char> encode_session_record(const ArchiveSessionRecord& rec) {
+  std::vector<unsigned char> p;
+  logstore::put_u32(p, kSessionRecord);
+  logstore::put_u64(p, rec.user);
+  logstore::put_u32(p, rec.day);
+  logstore::put_u32(p, rec.session_in_day);
+  logstore::put_u32(p, rec.measured ? 1u : 0u);
+  logstore::put_f64(p, rec.params_after.stall_penalty);
+  logstore::put_f64(p, rec.params_after.switch_penalty);
+  logstore::put_f64(p, rec.params_after.hyb_beta);
+  const auto entry = logstore::encode_session(rec.entry);
+  p.insert(p.end(), entry.begin(), entry.end());
+  return p;
+}
+
+std::vector<unsigned char> encode_user_record(const ArchiveUserRecord& rec) {
+  std::vector<unsigned char> p;
+  logstore::put_u32(p, kUserRecord);
+  logstore::put_u64(p, rec.user);
+  logstore::put_f64(p, rec.tolerable_stall);
+  logstore::put_u64(p, rec.adjusted_days);
+  logstore::put_u64(p, rec.stats.triggers);
+  logstore::put_u64(p, rec.stats.optimizations_run);
+  logstore::put_u64(p, rec.stats.pruned_preplay);
+  logstore::put_u64(p, rec.stats.mc_evaluations);
+  logstore::put_u64(p, rec.stats.mc_rollouts_pruned);
+  return p;
+}
+
+Status FleetArchive::write(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Error::io("cannot create archive directory: " + dir);
+  std::vector<unsigned char> manifest_bytes;
+  logstore::write_record(manifest_bytes, manifest.encode());
+  if (auto s = logstore::write_file(dir + "/" + manifest_filename(), manifest_bytes); !s) {
+    return s;
+  }
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (auto s = logstore::write_file(dir + "/" + shard_filename(i), shards[i]); !s) {
+      return s;
+    }
+  }
+  return {};
+}
+
+std::uint32_t FleetArchive::checksum() const {
+  const auto manifest_payload = manifest.encode();
+  std::uint32_t crc = crc32(manifest_payload.data(), manifest_payload.size());
+  for (const auto& shard : shards) {
+    // Chain per-shard CRCs through a fixed 8-byte block instead of copying
+    // shard bytes: crc32(crc_so_far || crc32(shard)).
+    std::vector<unsigned char> link;
+    logstore::put_u32(link, crc);
+    logstore::put_u32(link, crc32(shard.data(), shard.size()));
+    crc = crc32(link.data(), link.size());
+  }
+  return crc;
+}
+
+std::uint64_t FleetArchive::total_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  return total;
+}
+
+Expected<ArchiveReader> ArchiveReader::open(const std::string& dir) {
+  auto bytes = logstore::read_file(dir + "/" + manifest_filename());
+  if (!bytes) return bytes.error();
+  std::size_t pos = 0;
+  auto payload = logstore::read_record(*bytes, pos);
+  if (!payload) return payload.error();
+  if (pos != bytes->size()) return Error::corrupt("trailing bytes after archive manifest");
+  auto manifest = ArchiveManifest::decode(*payload);
+  if (!manifest) return manifest.error();
+  return ArchiveReader(dir, std::move(*manifest));
+}
+
+Status ArchiveReader::scan(const SessionCallback& on_session,
+                           const UserCallback& on_user) const {
+  return scan_users(0, manifest_.users == 0 ? 0 : manifest_.users - 1, on_session, on_user);
+}
+
+Status ArchiveReader::scan_users(std::uint64_t first_user, std::uint64_t last_user,
+                                 const SessionCallback& on_session,
+                                 const UserCallback& on_user) const {
+  for (std::size_t i = 0; i < manifest_.shards.size(); ++i) {
+    const auto& shard = manifest_.shards[i];
+    if (shard.user_count == 0) continue;
+    const std::uint64_t shard_last = shard.first_user + shard.user_count - 1;
+    if (shard_last < first_user || shard.first_user > last_user) continue;
+    if (auto s = scan_shard(i, first_user, last_user, 0, ~0u, on_session, on_user); !s) {
+      return s;
+    }
+  }
+  return {};
+}
+
+Status ArchiveReader::scan_days(std::uint32_t first_day, std::uint32_t last_day,
+                                const SessionCallback& on_session) const {
+  for (std::size_t i = 0; i < manifest_.shards.size(); ++i) {
+    if (auto s = scan_shard(i, 0, ~0ULL, first_day, last_day, on_session, nullptr); !s) {
+      return s;
+    }
+  }
+  return {};
+}
+
+Status ArchiveReader::scan_shard(std::size_t shard_index, std::uint64_t first_user,
+                                 std::uint64_t last_user, std::uint32_t first_day,
+                                 std::uint32_t last_day, const SessionCallback& on_session,
+                                 const UserCallback& on_user) const {
+  const std::string path = dir_ + "/" + shard_filename(shard_index);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error::io("cannot open archive shard: " + path);
+  std::uint64_t records = 0;
+  while (in.peek() != std::char_traits<char>::eof()) {
+    auto payload = logstore::read_record(in);
+    if (!payload) return payload.error();
+    ++records;
+    switch (record_type(*payload)) {
+      case kSessionRecord: {
+        SessionPrefix prefix;
+        if (!decode_session_prefix(*payload, prefix)) {
+          return Error::corrupt("truncated session record prefix");
+        }
+        if (prefix.user < first_user || prefix.user > last_user) break;
+        if (prefix.day < first_day || prefix.day > last_day) break;
+        if (!on_session) break;
+        auto rec = decode_session_record(*payload);
+        if (!rec) return rec.error();
+        on_session(*rec);
+        break;
+      }
+      case kUserRecord: {
+        auto rec = decode_user_record(*payload);
+        if (!rec) return rec.error();
+        if (rec->user < first_user || rec->user > last_user) break;
+        if (on_user) on_user(*rec);
+        break;
+      }
+      default:
+        return Error::corrupt("unknown telemetry record type");
+    }
+  }
+  if (records != manifest_.shards[shard_index].record_count) {
+    return Error::corrupt("shard record count disagrees with manifest: " + path);
+  }
+  return {};
+}
+
+}  // namespace lingxi::telemetry

@@ -1,0 +1,59 @@
+// Sharded session capture: the TelemetrySink that builds fleet archives.
+//
+// ShardedCapture buffers encoded records per user — the finest shard, which
+// makes concurrent capture lock-free: FleetRunner drives each user from
+// exactly one worker, so each buffer has a single writer and the buffer
+// table itself is pre-sized in begin_fleet() before any worker starts.
+// finish() then merges the buffers in deterministic ascending user order and
+// regroups them into archive shard files of `users_per_shard` users each.
+//
+// Consequently the archive bytes depend only on (fleet config, seed, archive
+// users_per_shard) — never on the thread count or the runner's scheduling
+// shard size. That is what lets one capture serve any number of replays as
+// the ground truth for paired comparisons.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/archive.h"
+#include "telemetry/sink.h"
+
+namespace lingxi::telemetry {
+
+class ShardedCapture final : public TelemetrySink {
+ public:
+  struct Config {
+    /// Users per archive shard file (archive granularity; independent of the
+    /// runner's scheduling shard size).
+    std::size_t users_per_shard = 64;
+  };
+
+  ShardedCapture();
+  explicit ShardedCapture(Config config);
+
+  // TelemetrySink -----------------------------------------------------------
+  void begin_fleet(const sim::FleetConfig& config, std::uint64_t seed) override;
+  void record_session(const SessionContext& ctx,
+                      const sim::SessionResult& session) override;
+  void record_user(const UserTelemetry& user) override;
+
+  /// Merge the per-user buffers into the final archive. Call after
+  /// FleetRunner::run() returns; the capture can then be reused via a new
+  /// begin_fleet().
+  FleetArchive finish() const;
+
+  std::size_t session_count() const noexcept;
+
+ private:
+  struct UserBuffer {
+    std::vector<unsigned char> bytes;  ///< framed records, chronological
+    std::uint64_t records = 0;
+  };
+
+  Config config_;
+  ArchiveManifest manifest_;  ///< shard index filled in by finish()
+  std::vector<UserBuffer> users_;
+};
+
+}  // namespace lingxi::telemetry

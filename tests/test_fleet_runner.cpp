@@ -181,6 +181,52 @@ TEST(FleetRunner, WarmupWindowExcludesEarlySessions) {
   EXPECT_LE(result.measured_completed, result.completed);
 }
 
+TEST(FleetRunner, PureAaRunMatchesControlSessionForSession) {
+  // With intervention_day == days, LingXi observes but never optimizes: the
+  // session-level results must equal a control fleet pinned to the same
+  // defaults (the paired AA property of the Fig. 12 protocol).
+  sim::FleetConfig cfg = small_fleet();
+  cfg.users = 8;
+  cfg.users_per_shard = 2;
+  cfg.network.median_bandwidth = 1000.0;
+  cfg.intervention_day = cfg.days;  // pure AA
+  cfg.fixed_params = cfg.lingxi.default_params;
+
+  sim::FleetConfig control_cfg = cfg;
+  control_cfg.enable_lingxi = false;
+  sim::FleetRunner control(control_cfg, hyb_factory());
+  const auto control_acc = control.run(77);
+
+  sim::FleetConfig aa_cfg = cfg;
+  aa_cfg.enable_lingxi = true;
+  aa_cfg.lingxi.space.optimize_beta = true;
+  sim::FleetRunner aa(aa_cfg, hyb_factory());
+  aa.set_predictor_factory(test_predictor_factory());
+  const auto aa_acc = aa.run(77);
+
+  EXPECT_EQ(aa_acc.lingxi_optimizations, 0u);
+  EXPECT_EQ(aa_acc.adjusted_user_days, 0u);
+  EXPECT_EQ(aa_acc.sessions, control_acc.sessions);
+  EXPECT_EQ(aa_acc.completed, control_acc.completed);
+  EXPECT_EQ(aa_acc.stall_events, control_acc.stall_events);
+  EXPECT_EQ(aa_acc.watch_ticks, control_acc.watch_ticks);
+  EXPECT_EQ(aa_acc.stall_ticks, control_acc.stall_ticks);
+  EXPECT_EQ(aa_acc.bitrate_time_ticks, control_acc.bitrate_time_ticks);
+}
+
+TEST(FleetRunner, InterventionDayLimitsAdjustedDays) {
+  sim::FleetConfig cfg = small_fleet();
+  cfg.users = 8;
+  cfg.users_per_shard = 2;
+  cfg.network.median_bandwidth = 1000.0;
+  cfg.intervention_day = 1;  // day 0 is AA
+  const auto acc = run_with_threads(cfg, 2, 7, /*lingxi=*/true);
+  // Pre-intervention days are pinned to the defaults, so at most the
+  // post-intervention days can end adjusted.
+  EXPECT_LE(acc.adjusted_user_days,
+            cfg.users * (cfg.days - cfg.intervention_day));
+}
+
 TEST(FleetRunner, CustomUserFactoryReceivesUserIndex) {
   sim::FleetConfig cfg = small_fleet();
   cfg.users = 5;

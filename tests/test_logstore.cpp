@@ -1,8 +1,12 @@
-// Unit tests for lingxi_logstore: record framing, primitive codecs and the
-// durable per-user state store.
+// Unit tests for lingxi_logstore: record framing (in-memory and streaming),
+// primitive codecs, session-log error paths and the durable per-user state
+// store.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "logstore/record.h"
+#include "logstore/session_log.h"
 #include "logstore/state_store.h"
 
 namespace lingxi::logstore {
@@ -68,6 +72,49 @@ TEST(Record, DetectsBadMagic) {
   EXPECT_FALSE(read_record(bytes, pos).has_value());
 }
 
+TEST(Record, DetectsBadVersion) {
+  std::vector<unsigned char> bytes;
+  write_record(bytes, {1, 2, 3});
+  bytes[4] = 0x63;  // version is the little-endian u32 right after the magic
+  std::size_t pos = 0;
+  const auto r = read_record(bytes, pos);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, Error::Code::kCorrupt);
+}
+
+TEST(Record, StreamingRoundTrip) {
+  std::vector<unsigned char> bytes;
+  write_record(bytes, {10});
+  write_record(bytes, {20, 21});
+  std::istringstream in(std::string(bytes.begin(), bytes.end()));
+  const auto a = read_record(in);
+  const auto b = read_record(in);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->size(), 1u);
+  EXPECT_EQ(b->size(), 2u);
+  EXPECT_EQ(in.peek(), std::char_traits<char>::eof());
+}
+
+TEST(Record, StreamingDetectsTruncationAndBitFlip) {
+  std::vector<unsigned char> bytes;
+  write_record(bytes, {1, 2, 3, 4});
+  {
+    std::istringstream in(std::string(bytes.begin(), bytes.end() - 2));
+    const auto r = read_record(in);
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.error().code, Error::Code::kCorrupt);
+  }
+  {
+    auto flipped = bytes;
+    flipped[13] ^= 0x01;
+    std::istringstream in(std::string(flipped.begin(), flipped.end()));
+    const auto r = read_record(in);
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.error().code, Error::Code::kCorrupt);
+  }
+}
+
 TEST(Primitives, RoundTripAllTypes) {
   std::vector<unsigned char> buf;
   put_u32(buf, 0xdeadbeefu);
@@ -91,6 +138,79 @@ TEST(Primitives, ReadPastEndFails) {
   std::size_t pos = 0;
   std::uint32_t v = 0;
   EXPECT_FALSE(get_u32(buf, pos, v));
+}
+
+SessionLogEntry sample_entry() {
+  SessionLogEntry e;
+  e.user_id = 9;
+  e.timestamp = 86401;
+  e.video_duration = 30.0;
+  e.session.exited = true;
+  e.session.watch_time = 12.5;
+  e.session.startup_delay = 0.8;
+  e.session.total_stall = 2.25;
+  e.session.stall_events = 3;
+  e.session.quality_switches = 4;
+  e.session.mean_bitrate = 1850.0;
+  sim::SegmentRecord seg;
+  seg.level = 2;
+  seg.bitrate = 1850.0;
+  seg.stall_time = 1.5;
+  seg.buffer_after = 3.0;
+  e.session.segments = {seg};
+  return e;
+}
+
+TEST(SessionLog, CodecPreservesSessionAggregates) {
+  const SessionLogEntry e = sample_entry();
+  const auto decoded = decode_session(encode_session(e));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, e);
+  EXPECT_EQ(decoded->session.stall_events, 3u);
+  EXPECT_EQ(decoded->session.quality_switches, 4u);
+  EXPECT_DOUBLE_EQ(decoded->session.mean_bitrate, 1850.0);
+}
+
+TEST(SessionLog, LoadRejectsTruncatedFile) {
+  SessionLogWriter writer;
+  writer.append(sample_entry());
+  const std::string path = ::testing::TempDir() + "/lingxi_session_trunc.bin";
+  ASSERT_TRUE(writer.save(path).ok());
+  auto bytes = read_file(path);
+  ASSERT_TRUE(bytes.has_value());
+  bytes->resize(bytes->size() - 5);
+  ASSERT_TRUE(write_file(path, *bytes).ok());
+  const auto loaded = SessionLogReader::load(path);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.error().code, Error::Code::kCorrupt);
+}
+
+TEST(SessionLog, LoadRejectsFlippedCrcByte) {
+  SessionLogWriter writer;
+  writer.append(sample_entry());
+  const std::string path = ::testing::TempDir() + "/lingxi_session_crc.bin";
+  ASSERT_TRUE(writer.save(path).ok());
+  auto bytes = read_file(path);
+  ASSERT_TRUE(bytes.has_value());
+  bytes->back() ^= 0xff;  // last byte of the trailing CRC
+  ASSERT_TRUE(write_file(path, *bytes).ok());
+  const auto loaded = SessionLogReader::load(path);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.error().code, Error::Code::kCorrupt);
+}
+
+TEST(SessionLog, LoadRejectsBadRecordVersion) {
+  SessionLogWriter writer;
+  writer.append(sample_entry());
+  const std::string path = ::testing::TempDir() + "/lingxi_session_version.bin";
+  ASSERT_TRUE(writer.save(path).ok());
+  auto bytes = read_file(path);
+  ASSERT_TRUE(bytes.has_value());
+  (*bytes)[4] = 0x63;  // record version field
+  ASSERT_TRUE(write_file(path, *bytes).ok());
+  const auto loaded = SessionLogReader::load(path);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.error().code, Error::Code::kCorrupt);
 }
 
 UserState sample_state() {

@@ -1,0 +1,366 @@
+// Telemetry subsystem: capture determinism (archive bytes independent of
+// thread count and runner shard size), replay fidelity (bitwise accumulator
+// reconstruction), archive range scans, and corruption detection.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+
+#include "abr/hyb.h"
+#include "logstore/record.h"
+#include "predictor/exit_net.h"
+#include "predictor/os_model.h"
+#include "sim/fleet_runner.h"
+#include "telemetry/capture.h"
+#include "telemetry/replay.h"
+
+namespace lingxi {
+namespace {
+
+sim::FleetConfig small_fleet() {
+  sim::FleetConfig cfg;
+  cfg.users = 24;
+  cfg.days = 2;
+  cfg.sessions_per_user_day = 4;
+  cfg.users_per_shard = 3;
+  cfg.warmup_sessions = 2;
+  cfg.drift_user_tolerance = true;
+  cfg.session_jitter_sigma = 0.3;
+  cfg.network.median_bandwidth = 1500.0;
+  cfg.network.sigma = 0.5;
+  cfg.network.relative_sd = 0.4;
+  cfg.video.mean_duration = 20.0;
+  return cfg;
+}
+
+sim::FleetRunner::AbrFactory hyb_factory() {
+  return [] { return std::make_unique<abr::Hyb>(); };
+}
+
+sim::FleetRunner::PredictorFactory test_predictor_factory() {
+  Rng rng(1234);
+  auto net = std::make_shared<predictor::StallExitNet>(rng);
+  auto os_model = std::make_shared<predictor::OverallStatsModel>();
+  for (int i = 0; i < 200; ++i) {
+    os_model->observe(1, predictor::SwitchType::kNone, i % 9 == 0);
+  }
+  return [net, os_model] { return predictor::HybridExitPredictor(net, os_model); };
+}
+
+sim::FleetConfig lingxi_fleet() {
+  sim::FleetConfig cfg = small_fleet();
+  cfg.users = 8;
+  cfg.users_per_shard = 2;
+  cfg.network.median_bandwidth = 1000.0;  // stalls so the trigger fires
+  cfg.enable_lingxi = true;
+  cfg.lingxi.space.optimize_stall = false;
+  cfg.lingxi.space.optimize_switch = false;
+  cfg.lingxi.space.optimize_beta = true;
+  cfg.lingxi.obo_rounds = 2;
+  cfg.lingxi.monte_carlo.samples = 4;
+  return cfg;
+}
+
+/// Run the fleet with a capture attached; returns the archive and optionally
+/// the live accumulator.
+telemetry::FleetArchive capture_fleet(sim::FleetConfig cfg, std::size_t threads,
+                                      std::uint64_t seed,
+                                      sim::FleetAccumulator* live = nullptr) {
+  cfg.threads = threads;
+  telemetry::ShardedCapture capture;
+  sim::FleetRunner runner(cfg, hyb_factory());
+  if (cfg.enable_lingxi) runner.set_predictor_factory(test_predictor_factory());
+  runner.set_telemetry_sink(&capture);
+  const auto acc = runner.run(seed);
+  if (live) *live = acc;
+  return capture.finish();
+}
+
+void expect_identical_archives(const telemetry::FleetArchive& a,
+                               const telemetry::FleetArchive& b) {
+  EXPECT_EQ(a.checksum(), b.checksum());
+  EXPECT_EQ(a.manifest.encode(), b.manifest.encode());
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (std::size_t i = 0; i < a.shards.size(); ++i) {
+    EXPECT_EQ(a.shards[i], b.shards[i]) << "shard " << i;
+  }
+}
+
+void expect_identical_accumulators(const sim::FleetAccumulator& a,
+                                   const sim::FleetAccumulator& b) {
+  EXPECT_EQ(a.checksum(), b.checksum());
+  EXPECT_EQ(a.sessions, b.sessions);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.measured_sessions, b.measured_sessions);
+  EXPECT_EQ(a.measured_completed, b.measured_completed);
+  EXPECT_EQ(a.stall_events, b.stall_events);
+  EXPECT_EQ(a.stall_exits, b.stall_exits);
+  EXPECT_EQ(a.quality_switches, b.quality_switches);
+  EXPECT_EQ(a.users, b.users);
+  EXPECT_EQ(a.watch_ticks, b.watch_ticks);
+  EXPECT_EQ(a.stall_ticks, b.stall_ticks);
+  EXPECT_EQ(a.startup_ticks, b.startup_ticks);
+  EXPECT_EQ(a.bitrate_time_ticks, b.bitrate_time_ticks);
+  EXPECT_EQ(a.lingxi_triggers, b.lingxi_triggers);
+  EXPECT_EQ(a.lingxi_optimizations, b.lingxi_optimizations);
+  EXPECT_EQ(a.lingxi_mc_evaluations, b.lingxi_mc_evaluations);
+  EXPECT_EQ(a.adjusted_user_days, b.adjusted_user_days);
+}
+
+std::string fresh_dir(const std::string& name) {
+  return ::testing::TempDir() + "/lingxi_telemetry_" + name;
+}
+
+TEST(ShardedCapture, ArchiveBytesIndependentOfThreadCount) {
+  const auto reference = capture_fleet(small_fleet(), 1, 42);
+  EXPECT_GT(reference.total_bytes(), 0u);
+  for (std::size_t threads : {2, 8}) {
+    expect_identical_archives(reference, capture_fleet(small_fleet(), threads, 42));
+  }
+}
+
+TEST(ShardedCapture, ArchiveBytesIndependentOfRunnerShardSize) {
+  const auto reference = capture_fleet(small_fleet(), 2, 42);
+  for (std::size_t shard_users : {1, 5, 24, 1000}) {
+    sim::FleetConfig cfg = small_fleet();
+    cfg.users_per_shard = shard_users;
+    expect_identical_archives(reference, capture_fleet(cfg, 2, 42));
+  }
+}
+
+TEST(ShardedCapture, ArchiveBytesIndependentOfThreadCountWithLingXi) {
+  const auto reference = capture_fleet(lingxi_fleet(), 1, 7);
+  for (std::size_t threads : {2, 4}) {
+    expect_identical_archives(reference, capture_fleet(lingxi_fleet(), threads, 7));
+  }
+}
+
+TEST(ShardedCapture, DifferentSeedsProduceDifferentArchives) {
+  EXPECT_NE(capture_fleet(small_fleet(), 2, 1).checksum(),
+            capture_fleet(small_fleet(), 2, 2).checksum());
+}
+
+TEST(ShardedCapture, ShardFilesFollowArchiveGranularity) {
+  sim::FleetConfig cfg = small_fleet();
+  cfg.threads = 2;
+  telemetry::ShardedCapture capture({/*users_per_shard=*/10});
+  sim::FleetRunner runner(cfg, hyb_factory());
+  runner.set_telemetry_sink(&capture);
+  runner.run(3);
+  const auto archive = capture.finish();
+  ASSERT_EQ(archive.shards.size(), 3u);  // 24 users / 10 per shard
+  EXPECT_EQ(archive.manifest.shards[0].user_count, 10u);
+  EXPECT_EQ(archive.manifest.shards[2].user_count, 4u);
+  EXPECT_EQ(archive.manifest.shards[1].first_user, 10u);
+  // records per user: sessions + one user summary
+  const std::uint64_t per_user = cfg.days * cfg.sessions_per_user_day + 1;
+  EXPECT_EQ(archive.manifest.shards[0].record_count, 10 * per_user);
+  EXPECT_EQ(capture.session_count(), cfg.users * cfg.days * cfg.sessions_per_user_day);
+}
+
+TEST(Replay, AccumulatorBitwiseMatchesLiveRun) {
+  sim::FleetAccumulator live;
+  const auto archive = capture_fleet(small_fleet(), 4, 99, &live);
+  const std::string dir = fresh_dir("replay_plain");
+  ASSERT_TRUE(archive.write(dir).ok());
+  const auto replayed = telemetry::Replay::run(dir);
+  ASSERT_TRUE(replayed.has_value()) << replayed.error().message;
+  expect_identical_accumulators(live, replayed->fleet);
+}
+
+TEST(Replay, AccumulatorBitwiseMatchesLiveRunWithLingXi) {
+  sim::FleetAccumulator live;
+  const auto archive = capture_fleet(lingxi_fleet(), 3, 7, &live);
+  EXPECT_GT(live.lingxi_triggers, 0u);
+  const std::string dir = fresh_dir("replay_lingxi");
+  ASSERT_TRUE(archive.write(dir).ok());
+  const auto replayed = telemetry::Replay::run(dir);
+  ASSERT_TRUE(replayed.has_value()) << replayed.error().message;
+  expect_identical_accumulators(live, replayed->fleet);
+}
+
+TEST(Replay, DailyMetricsAndUserDaysCoverTheFleet) {
+  sim::FleetAccumulator live;
+  const sim::FleetConfig cfg = small_fleet();
+  const auto archive = capture_fleet(cfg, 2, 11, &live);
+  const std::string dir = fresh_dir("replay_metrics");
+  ASSERT_TRUE(archive.write(dir).ok());
+  telemetry::Replay::Options opts;
+  opts.collect_watch_times = true;
+  const auto replayed = telemetry::Replay::run(dir, opts);
+  ASSERT_TRUE(replayed.has_value()) << replayed.error().message;
+
+  ASSERT_EQ(replayed->daily.size(), cfg.days);
+  std::size_t daily_sessions = 0;
+  double daily_watch = 0.0;
+  for (const auto& day : replayed->daily) {
+    daily_sessions += day.sessions();
+    daily_watch += day.total_watch_time();
+  }
+  EXPECT_EQ(daily_sessions, live.sessions);
+  EXPECT_NEAR(daily_watch, live.total_watch_time(), 1e-6 * daily_watch + 1e-9);
+
+  EXPECT_EQ(replayed->user_days.size(), cfg.users * cfg.days);
+  EXPECT_EQ(replayed->watch_times.size(), live.sessions);
+  std::uint64_t binned = 0;
+  for (const auto& bin : replayed->exit_by_stall) binned += bin.sessions;
+  EXPECT_EQ(binned, live.sessions);
+}
+
+TEST(ArchiveReader, PerUserScanReturnsOnlyThatUser) {
+  const auto archive = capture_fleet(small_fleet(), 2, 5);
+  const std::string dir = fresh_dir("scan_user");
+  ASSERT_TRUE(archive.write(dir).ok());
+  auto reader = telemetry::ArchiveReader::open(dir);
+  ASSERT_TRUE(reader.has_value()) << reader.error().message;
+
+  std::size_t sessions = 0, users = 0;
+  const auto status = reader->scan_users(
+      5, 5,
+      [&](const telemetry::ArchiveSessionRecord& rec) {
+        EXPECT_EQ(rec.user, 5u);
+        EXPECT_EQ(rec.entry.user_id, 5u);
+        ++sessions;
+      },
+      [&](const telemetry::ArchiveUserRecord& rec) {
+        EXPECT_EQ(rec.user, 5u);
+        ++users;
+      });
+  ASSERT_TRUE(status.ok()) << status.error().message;
+  const sim::FleetConfig cfg = small_fleet();
+  EXPECT_EQ(sessions, cfg.days * cfg.sessions_per_user_day);
+  EXPECT_EQ(users, 1u);
+}
+
+TEST(ArchiveReader, PerDayScanReturnsOnlyThatDay) {
+  const auto archive = capture_fleet(small_fleet(), 2, 5);
+  const std::string dir = fresh_dir("scan_day");
+  ASSERT_TRUE(archive.write(dir).ok());
+  auto reader = telemetry::ArchiveReader::open(dir);
+  ASSERT_TRUE(reader.has_value()) << reader.error().message;
+
+  std::size_t sessions = 0;
+  const auto status =
+      reader->scan_days(1, 1, [&](const telemetry::ArchiveSessionRecord& rec) {
+        EXPECT_EQ(rec.day, 1u);
+        EXPECT_EQ(rec.entry.timestamp, 86400u + rec.session_in_day);
+        ++sessions;
+      });
+  ASSERT_TRUE(status.ok()) << status.error().message;
+  const sim::FleetConfig cfg = small_fleet();
+  EXPECT_EQ(sessions, cfg.users * cfg.sessions_per_user_day);
+}
+
+TEST(ArchiveReader, MissingManifestIsIoError) {
+  const auto opened = telemetry::ArchiveReader::open(fresh_dir("nonexistent"));
+  ASSERT_FALSE(opened.has_value());
+  EXPECT_EQ(opened.error().code, Error::Code::kIo);
+}
+
+TEST(ArchiveReader, DetectsFlippedByteInShard) {
+  const auto archive = capture_fleet(small_fleet(), 1, 13);
+  const std::string dir = fresh_dir("flip");
+  ASSERT_TRUE(archive.write(dir).ok());
+  const std::string shard_path = dir + "/" + telemetry::shard_filename(0);
+  auto bytes = logstore::read_file(shard_path);
+  ASSERT_TRUE(bytes.has_value());
+  (*bytes)[bytes->size() / 2] ^= 0x01;
+  ASSERT_TRUE(logstore::write_file(shard_path, *bytes).ok());
+
+  const auto replayed = telemetry::Replay::run(dir);
+  ASSERT_FALSE(replayed.has_value());
+  EXPECT_EQ(replayed.error().code, Error::Code::kCorrupt);
+}
+
+TEST(ArchiveReader, DetectsTruncatedShard) {
+  const auto archive = capture_fleet(small_fleet(), 1, 13);
+  const std::string dir = fresh_dir("trunc");
+  ASSERT_TRUE(archive.write(dir).ok());
+  const std::string shard_path = dir + "/" + telemetry::shard_filename(0);
+  auto bytes = logstore::read_file(shard_path);
+  ASSERT_TRUE(bytes.has_value());
+  bytes->resize(bytes->size() - 7);
+  ASSERT_TRUE(logstore::write_file(shard_path, *bytes).ok());
+
+  const auto replayed = telemetry::Replay::run(dir);
+  ASSERT_FALSE(replayed.has_value());
+  EXPECT_EQ(replayed.error().code, Error::Code::kCorrupt);
+}
+
+TEST(ArchiveReader, RejectsBadManifestVersion) {
+  const auto archive = capture_fleet(small_fleet(), 1, 13);
+  const std::string dir = fresh_dir("badversion");
+  ASSERT_TRUE(archive.write(dir).ok());
+  // Re-frame the manifest with its format_version field (leading u32 of the
+  // payload) clobbered; the record CRC is recomputed so only the version
+  // check can reject it.
+  auto payload = archive.manifest.encode();
+  payload[0] = 0x63;
+  std::vector<unsigned char> framed;
+  logstore::write_record(framed, payload);
+  ASSERT_TRUE(
+      logstore::write_file(dir + "/" + telemetry::manifest_filename(), framed).ok());
+
+  const auto opened = telemetry::ArchiveReader::open(dir);
+  ASSERT_FALSE(opened.has_value());
+  EXPECT_EQ(opened.error().code, Error::Code::kCorrupt);
+}
+
+TEST(Replay, RejectsManifestDayCountDisagreeingWithShards) {
+  const auto archive = capture_fleet(small_fleet(), 1, 13);
+  const std::string dir = fresh_dir("daymismatch");
+  ASSERT_TRUE(archive.write(dir).ok());
+  // Rewrite the manifest claiming one day fewer than the shards contain.
+  telemetry::ArchiveManifest manifest = archive.manifest;
+  manifest.days -= 1;
+  std::vector<unsigned char> framed;
+  logstore::write_record(framed, manifest.encode());
+  ASSERT_TRUE(
+      logstore::write_file(dir + "/" + telemetry::manifest_filename(), framed).ok());
+
+  const auto replayed = telemetry::Replay::run(dir);
+  ASSERT_FALSE(replayed.has_value());
+  EXPECT_EQ(replayed.error().code, Error::Code::kCorrupt);
+}
+
+TEST(ArchiveManifest, EncodeDecodeRoundTrip) {
+  const auto archive = capture_fleet(small_fleet(), 1, 21);
+  const auto decoded = telemetry::ArchiveManifest::decode(archive.manifest.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seed, 21u);
+  EXPECT_EQ(decoded->users, archive.manifest.users);
+  EXPECT_EQ(decoded->config_digest, archive.manifest.config_digest);
+  ASSERT_EQ(decoded->shards.size(), archive.manifest.shards.size());
+  EXPECT_EQ(decoded->shards.back().byte_count, archive.manifest.shards.back().byte_count);
+}
+
+TEST(ArchiveManifest, ConfigDigestIgnoresSchedulingKnobs) {
+  sim::FleetConfig a = small_fleet();
+  sim::FleetConfig b = small_fleet();
+  b.threads = 16;
+  b.users_per_shard = 1;
+  EXPECT_EQ(telemetry::config_digest(a), telemetry::config_digest(b));
+  b.users += 1;
+  EXPECT_NE(telemetry::config_digest(a), telemetry::config_digest(b));
+}
+
+TEST(Replay, StallEventsCarryGroundTruthTolerance) {
+  sim::FleetConfig cfg = lingxi_fleet();
+  sim::FleetAccumulator live;
+  const auto archive = capture_fleet(cfg, 2, 17, &live);
+  const std::string dir = fresh_dir("stall_events");
+  ASSERT_TRUE(archive.write(dir).ok());
+  telemetry::Replay::Options opts;
+  opts.collect_stall_events = true;
+  const auto replayed = telemetry::Replay::run(dir, opts);
+  ASSERT_TRUE(replayed.has_value()) << replayed.error().message;
+  ASSERT_GT(replayed->stall_events.size(), 0u);
+  for (const auto& ev : replayed->stall_events) {
+    EXPECT_GT(ev.stall_time, 0.05);
+    EXPECT_GT(ev.user_tolerance, 0.0);  // patched in from the user summary
+    EXPECT_LT(ev.user, cfg.users);
+  }
+}
+
+}  // namespace
+}  // namespace lingxi
