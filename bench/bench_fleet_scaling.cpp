@@ -1,16 +1,26 @@
-// Fleet scaling: sessions/sec of sim::FleetRunner at 1/2/4/8 worker threads.
+// Fleet scaling: sessions/sec of sim::FleetRunner at 1/2/4/8 worker threads,
+// and batched vs scalar predictor inference on the LingXi fleet.
 //
-// Two fleets are measured:
+// Three sections:
 //   * a raw-simulation fleet (no LingXi) — pure session-loop throughput;
-//   * a LingXi treatment fleet — adds the OBO + Monte Carlo optimization
-//     load, the shape of the Fig. 10-12 experiments.
+//   * a LingXi treatment fleet with the scalar predictor path (monte_carlo
+//     batch_size 1) — the Fig. 10-12 experiment shape;
+//   * the same fleet with batched inference (--batch N, default 16): Monte
+//     Carlo rollouts advance in lockstep and the stall-exit net evaluates
+//     whole waves per forward.
 //
-// For each fleet the merged FleetAccumulator checksum must be identical at
-// every thread count: sharding is a pure function of the user count, every
-// random stream derives from (seed, user, day, session), and the accumulator
-// is integer-valued, so the merge is exact. A checksum mismatch is a bug.
+// Checksum contract: within a section the merged FleetAccumulator checksum
+// must be identical at every thread count, and the batched section must
+// reproduce the scalar section's checksum bit for bit (any batch size, any
+// thread count). A mismatch is a determinism bug and exits non-zero — CI
+// runs this binary as the batched-path smoke.
+//
+// Flags: --batch N (lockstep batch, default 16), --smoke (shrunk configs +
+// {1,2} threads for CI).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -26,18 +36,22 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
-void run_scaling(const char* title, const sim::FleetConfig& base,
-                 const sim::FleetRunner::PredictorFactory& predictor_factory,
-                 std::uint64_t seed) {
+struct ScalingRun {
+  std::vector<double> rates;  ///< sessions/sec per thread count
+  std::uint32_t checksum = 0;
+  bool checksums_match = true;
+};
+
+ScalingRun run_scaling(const char* title, const sim::FleetConfig& base,
+                       const sim::FleetRunner::PredictorFactory& predictor_factory,
+                       std::uint64_t seed, const std::vector<std::size_t>& thread_counts) {
   bench::print_header(title);
   std::printf("%-10s %-12s %-14s %-12s %-10s\n", "threads", "wall (s)", "sessions/s",
               "speedup", "checksum");
 
+  ScalingRun out;
   double serial_rate = 0.0;
-  std::uint32_t reference_checksum = 0;
-  bool checksums_match = true;
-
-  for (std::size_t threads : {1, 2, 4, 8}) {
+  for (std::size_t threads : thread_counts) {
     sim::FleetConfig cfg = base;
     cfg.threads = threads;
     sim::FleetRunner runner(cfg, [] { return std::make_unique<abr::Hyb>(); });
@@ -48,23 +62,40 @@ void run_scaling(const char* title, const sim::FleetConfig& base,
     const double wall = seconds_since(start);
 
     const double rate = wall > 0.0 ? static_cast<double>(result.sessions) / wall : 0.0;
-    if (threads == 1) {
+    out.rates.push_back(rate);
+    if (threads == thread_counts.front()) {
       serial_rate = rate;
-      reference_checksum = result.checksum();
+      out.checksum = result.checksum();
     }
-    checksums_match = checksums_match && result.checksum() == reference_checksum;
+    out.checksums_match = out.checksums_match && result.checksum() == out.checksum;
     std::printf("%-10zu %-12.3f %-14.0f %-12.2f 0x%08x\n", threads, wall, rate,
                 serial_rate > 0.0 ? rate / serial_rate : 0.0, result.checksum());
   }
   std::printf("merged metrics bitwise identical across thread counts: %s\n",
-              checksums_match ? "yes" : "NO — DETERMINISM BUG");
+              out.checksums_match ? "yes" : "NO — DETERMINISM BUG");
+  return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::size_t batch = 16;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--batch N] [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  const std::vector<std::size_t> thread_counts =
+      smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
+
   sim::FleetConfig raw;
-  raw.users = 256;
+  raw.users = smoke ? 64 : 256;
   raw.days = 2;
   raw.sessions_per_user_day = 12;
   raw.users_per_shard = 8;
@@ -74,14 +105,16 @@ int main() {
   raw.network.median_bandwidth = 2500.0;
   raw.network.sigma = 0.6;
   raw.video.mean_duration = 40.0;
-  run_scaling("Fleet scaling: raw session simulation (256 users x 2 days x 12 sessions)",
-              raw, nullptr, 7);
+  std::printf("raw fleet: %zu users x %zu days x %zu sessions\n", raw.users, raw.days,
+              raw.sessions_per_user_day);
+  run_scaling("Fleet scaling: raw session simulation", raw, nullptr, 7, thread_counts);
 
   std::printf("\ntraining shared exit-rate predictor for the LingXi fleet...\n");
-  const auto predictor = bench::train_predictor(91, 0.25);
+  const auto predictor = bench::train_predictor(91, smoke ? 0.1 : 0.25);
+  const auto predictor_factory = [&] { return predictor.make(); };
 
   sim::FleetConfig treated;
-  treated.users = 64;
+  treated.users = smoke ? 16 : 64;
   treated.days = 2;
   treated.sessions_per_user_day = 8;
   treated.users_per_shard = 4;
@@ -94,8 +127,35 @@ int main() {
   treated.lingxi.space.optimize_switch = false;
   treated.lingxi.space.optimize_beta = true;
   treated.lingxi.obo_rounds = 4;
-  treated.lingxi.monte_carlo.samples = 8;
-  run_scaling("Fleet scaling: LingXi treatment fleet (64 users x 2 days x 8 sessions)",
-              treated, [&] { return predictor.make(); }, 11);
+  treated.lingxi.monte_carlo.samples = 16;
+  std::printf("lingxi fleet: %zu users x %zu days x %zu sessions, %zu MC samples\n",
+              treated.users, treated.days, treated.sessions_per_user_day,
+              treated.lingxi.monte_carlo.samples);
+
+  treated.predictor_batch = 1;
+  const ScalingRun scalar = run_scaling("Fleet scaling: LingXi fleet, scalar inference",
+                                        treated, predictor_factory, 11, thread_counts);
+
+  treated.predictor_batch = batch;
+  char title[96];
+  std::snprintf(title, sizeof(title),
+                "Fleet scaling: LingXi fleet, batched inference (batch %zu)", batch);
+  const ScalingRun batched =
+      run_scaling(title, treated, predictor_factory, 11, thread_counts);
+
+  bench::print_header("Batched vs scalar (same seed, same checksum contract)");
+  std::printf("%-10s %-16s %-16s %-10s\n", "threads", "scalar sess/s", "batched sess/s",
+              "speedup");
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    std::printf("%-10zu %-16.0f %-16.0f %-10.2f\n", thread_counts[i], scalar.rates[i],
+                batched.rates[i],
+                scalar.rates[i] > 0.0 ? batched.rates[i] / scalar.rates[i] : 0.0);
+  }
+  const bool parity = scalar.checksum == batched.checksum;
+  std::printf("scalar checksum 0x%08x, batched checksum 0x%08x: %s\n", scalar.checksum,
+              batched.checksum,
+              parity ? "bitwise identical" : "MISMATCH — PARITY BUG");
+
+  if (!scalar.checksums_match || !batched.checksums_match || !parity) return 1;
   return 0;
 }

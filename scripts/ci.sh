@@ -1,10 +1,17 @@
 #!/usr/bin/env bash
-# Configure, build and test — the tier-1 verify, as run by CI — followed by a
-# small telemetry capture->replay round-trip smoke (Fig. 12 A/B on 64 users):
-# the bench simulates both arms once, archives them, recomputes the DiD
-# series from the archives, and exits non-zero unless the replayed
-# accumulators bitwise-match the live runs. The archives and the bench JSON
-# land in ${BUILD_DIR}/smoke/ so CI can upload them as workflow artifacts.
+# Configure, build and test — the tier-1 verify, as run by CI — followed by:
+#   * the CTest label matrix: the `nn` label (batched-inference parity layer)
+#     and the `fleet` label (FleetRunner substrate + experiment drivers) are
+#     re-run explicitly, so a label regression fails loudly on every push;
+#   * the batched-path smoke: bench_fleet_scaling --batch 64 runs the LingXi
+#     fleet with scalar and batched predictor inference at several thread
+#     counts and exits non-zero unless every FleetAccumulator checksum is
+#     bitwise identical — the scalar/batched parity contract;
+#   * a telemetry capture->replay round-trip smoke (Fig. 12 A/B on 64
+#     users): simulate both arms once, archive them, recompute the DiD
+#     series from the archives, and exit non-zero unless the replayed
+#     accumulators bitwise-match the live runs. The archives and the bench
+#     JSON land in ${BUILD_DIR}/smoke/ so CI uploads them as artifacts.
 #
 # Usage: scripts/ci.sh [Debug|Release]   (default Release)
 set -euo pipefail
@@ -17,9 +24,22 @@ cmake -B "${BUILD_DIR}" -S "${ROOT}" -DCMAKE_BUILD_TYPE="${BUILD_TYPE}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
+# CTest label matrix (cheap re-runs). --no-tests=error is what actually
+# catches label wiring drift: a label matching zero tests would otherwise
+# exit 0 and silently disable the gate.
+for label in nn fleet; do
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error -L "${label}"
+done
+
 SMOKE_DIR="${BUILD_DIR}/smoke"
 rm -rf "${SMOKE_DIR}"
 mkdir -p "${SMOKE_DIR}"
+
+# Batched-inference parity smoke (non-zero exit on any checksum mismatch).
+"${BUILD_DIR}/bench/bench_fleet_scaling" --batch 64 --smoke \
+  | tee "${SMOKE_DIR}/fleet_scaling.txt"
+echo "batched-path smoke OK"
+
 "${BUILD_DIR}/bench/bench_fig12_ab_test" \
   --users 64 --days 4 \
   --archive-dir "${SMOKE_DIR}/fig12-archives" \

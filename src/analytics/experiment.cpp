@@ -1,9 +1,8 @@
 #include "analytics/experiment.h"
 
-#include <cmath>
-
 #include "common/assert.h"
-#include "user/data_driven.h"
+#include "sim/fleet_runner.h"
+#include "telemetry/sink.h"
 
 namespace lingxi::analytics {
 namespace {
@@ -15,6 +14,101 @@ constexpr Seconds kStallThreshold = 0.05;
 std::size_t stall_exit_count(const sim::SessionResult& session) {
   return sim::exited_during_stall(session, kStallThreshold) ? 1u : 0u;
 }
+
+/// In-memory telemetry sink assembling an ExperimentResult from FleetRunner
+/// worker callbacks. Per-user buffers are written without locks — the
+/// FleetRunner contract guarantees calls for one user come from a single
+/// worker in (day, session) order — and merged in user order afterwards, so
+/// the assembled result is identical at any thread count.
+class ExperimentSink final : public telemetry::TelemetrySink {
+ public:
+  ExperimentSink(const ExperimentConfig& config, bool treatment)
+      : config_(config), treatment_(treatment), users_(config.users) {
+    for (auto& user : users_) user.days.resize(config_.days);
+  }
+
+  void begin_fleet(const sim::FleetConfig&, std::uint64_t) override {}
+
+  void record_session(const telemetry::SessionContext& ctx,
+                      const sim::SessionResult& session) override {
+    UserBuffer& user = users_[ctx.user_index];
+    DayBuffer& day = user.days[ctx.day];
+    day.metrics.add(session);
+
+    UserDayRecord& rec = day.rec;
+    rec.watch_time += session.watch_time;
+    rec.stall_time += session.total_stall;
+    rec.stall_events += static_cast<double>(session.stall_events);
+    rec.stall_exits += static_cast<double>(stall_exit_count(session));
+    for (const auto& seg : session.segments) {
+      day.bw_sum += seg.throughput;
+      ++day.bw_count;
+    }
+    day.param_beta_sum += ctx.params_after.hyb_beta;
+    day.param_stall_sum += ctx.params_after.stall_penalty;
+
+    if (config_.record_stall_events && treatment_ && ctx.day >= config_.intervention_day) {
+      for (const auto& seg : session.segments) {
+        if (seg.stall_time > kStallThreshold) {
+          StallEventRecord ev;
+          ev.user = ctx.user_index;
+          ev.event_index = user.stall_event_counter++;
+          ev.stall_time = seg.stall_time;
+          ev.param_beta_after = ctx.params_after.hyb_beta;
+          ev.param_stall_after = ctx.params_after.stall_penalty;
+          ev.exited = session.exited && seg.index + 2 >= session.segments.size();
+          ev.user_tolerance = ctx.user_tolerance;
+          user.stall_events.push_back(ev);
+        }
+      }
+    }
+  }
+
+  void record_user(const telemetry::UserTelemetry&) override {}
+
+  /// Deterministic user-order merge into the public result shape.
+  ExperimentResult finish() {
+    ExperimentResult result;
+    result.daily.resize(config_.days);
+    const double sessions = static_cast<double>(config_.sessions_per_user_day);
+    for (std::size_t u = 0; u < users_.size(); ++u) {
+      UserBuffer& user = users_[u];
+      for (std::size_t d = 0; d < config_.days; ++d) {
+        DayBuffer& day = user.days[d];
+        result.daily[d].merge(day.metrics);
+        day.rec.user = u;
+        day.rec.day = d;
+        day.rec.mean_beta = day.param_beta_sum / sessions;
+        day.rec.mean_stall_penalty = day.param_stall_sum / sessions;
+        day.rec.mean_bandwidth =
+            day.bw_count > 0 ? day.bw_sum / static_cast<double>(day.bw_count) : 0.0;
+        result.user_days.push_back(day.rec);
+      }
+      result.stall_events.insert(result.stall_events.end(), user.stall_events.begin(),
+                                 user.stall_events.end());
+    }
+    return result;
+  }
+
+ private:
+  struct DayBuffer {
+    MetricAccumulator metrics;
+    UserDayRecord rec;
+    double param_beta_sum = 0.0;
+    double param_stall_sum = 0.0;
+    double bw_sum = 0.0;
+    std::size_t bw_count = 0;
+  };
+  struct UserBuffer {
+    std::vector<DayBuffer> days;
+    std::vector<StallEventRecord> stall_events;
+    std::size_t stall_event_counter = 0;
+  };
+
+  const ExperimentConfig& config_;
+  bool treatment_;
+  std::vector<UserBuffer> users_;
+};
 
 }  // namespace
 
@@ -37,116 +131,33 @@ PopulationExperiment::PopulationExperiment(
 }
 
 ExperimentResult PopulationExperiment::run(bool treatment, std::uint64_t seed) const {
-  ExperimentResult result;
-  result.daily.resize(config_.days);
+  // One fleet run per arm. Population, network and per-session worlds derive
+  // from (seed, user, day, session) streams inside the runner, so control
+  // and treatment arms are paired for a given seed: the treatment series
+  // differs from control only through LingXi's parameter changes — the
+  // variance-reduction analogue of the paper's 30M-user population.
+  sim::FleetConfig fleet;
+  fleet.users = config_.users;
+  fleet.days = config_.days;
+  fleet.sessions_per_user_day = config_.sessions_per_user_day;
+  fleet.threads = config_.threads;
+  fleet.enable_lingxi = treatment;
+  fleet.intervention_day = treatment ? config_.intervention_day : 0;
+  fleet.drift_user_tolerance = config_.drift_user_tolerance;
+  fleet.predictor_batch = config_.predictor_batch;
+  fleet.fixed_params = config_.lingxi.default_params;  // control arm pins defaults
+  fleet.population = config_.population;
+  fleet.network = config_.network;
+  fleet.video = config_.video;
+  fleet.lingxi = config_.lingxi;
+  fleet.session = config_.session;
 
-  const user::UserPopulation population(config_.population);
-  const trace::PopulationModel networks(config_.network);
-  const trace::VideoGenerator videos(config_.video);
-  const sim::SessionSimulator simulator(config_.session);
-  const trace::BitrateLadder& ladder = config_.video.ladder;
-
-  for (std::size_t u = 0; u < config_.users; ++u) {
-    // Population draws are arm-independent (paired experiment): same user
-    // and network on both arms for a given seed.
-    Rng pop_rng(mix_seed(seed, u, 0));
-    const user::DataDrivenUser::Config base_user = population.sample_config(pop_rng);
-    const trace::NetworkProfile profile = networks.sample(pop_rng);
-
-    auto abr = abr_factory_();
-    const abr::QoeParams default_params = config_.lingxi.default_params;
-    abr->set_params(default_params);
-
-    std::unique_ptr<core::LingXi> lingxi;
-    if (treatment) {
-      lingxi = std::make_unique<core::LingXi>(config_.lingxi, make_predictor_(), ladder);
-    }
-
-    std::size_t user_stall_event_counter = 0;
-
-    for (std::size_t day = 0; day < config_.days; ++day) {
-      // Day-to-day tolerance drift, identical across arms.
-      user::DataDrivenUser::Config day_user_cfg = base_user;
-      if (config_.drift_user_tolerance && day > 0) {
-        Rng drift_rng(mix_seed(seed, u, 100 + day));
-        day_user_cfg.tolerance =
-            std::max(0.5, base_user.tolerance + population.sample_drift(drift_rng));
-      }
-      user::DataDrivenUser user_model(day_user_cfg);
-
-      const bool lingxi_active = treatment && day >= config_.intervention_day;
-
-      UserDayRecord rec;
-      rec.user = u;
-      rec.day = day;
-      double param_beta_sum = 0.0, param_stall_sum = 0.0, bw_sum = 0.0;
-      std::size_t bw_count = 0;
-
-      for (std::size_t s = 0; s < config_.sessions_per_user_day; ++s) {
-        // Paired arms: both arms replay the same per-session world (video,
-        // bandwidth path, exit coin flips), so the treatment series differs
-        // from control only through LingXi's parameter changes. This is the
-        // variance-reduction analogue of the paper's 30M-user population.
-        Rng session_rng(mix_seed(seed, u, (day << 16) | (s + 1)));
-        const trace::Video video = videos.sample(session_rng);
-        auto bw = profile.make_session_model();
-
-        if (!lingxi_active) abr->set_params(default_params);
-        const sim::SessionResult session =
-            simulator.run(video, *abr, *bw, &user_model, session_rng);
-
-        result.daily[day].add(session);
-        rec.watch_time += session.watch_time;
-        rec.stall_time += session.total_stall;
-        rec.stall_events += static_cast<double>(session.stall_events);
-        rec.stall_exits += static_cast<double>(stall_exit_count(session));
-        for (const auto& seg : session.segments) {
-          bw_sum += seg.throughput;
-          ++bw_count;
-        }
-
-        if (treatment) {
-          // Engagement state accumulates from day 0 so the predictor has
-          // history when the intervention starts.
-          lingxi->begin_session();
-          for (const auto& seg : session.segments) lingxi->on_segment(seg);
-          lingxi->end_session(sim::exited_during_stall(session, kStallThreshold));
-
-          if (lingxi_active) {
-            const Seconds buffer_seed =
-                session.segments.empty() ? 0.0 : session.segments.back().buffer_after;
-            lingxi->maybe_optimize(*abr, buffer_seed, session_rng);
-          }
-        }
-
-        if (config_.record_stall_events && treatment && lingxi_active) {
-          for (const auto& seg : session.segments) {
-            if (seg.stall_time > kStallThreshold) {
-              StallEventRecord ev;
-              ev.user = u;
-              ev.event_index = user_stall_event_counter++;
-              ev.stall_time = seg.stall_time;
-              ev.param_beta_after = abr->params().hyb_beta;
-              ev.param_stall_after = abr->params().stall_penalty;
-              ev.exited = session.exited && seg.index + 2 >= session.segments.size();
-              ev.user_tolerance = day_user_cfg.tolerance;
-              result.stall_events.push_back(ev);
-            }
-          }
-        }
-
-        param_beta_sum += abr->params().hyb_beta;
-        param_stall_sum += abr->params().stall_penalty;
-      }
-
-      rec.mean_beta = param_beta_sum / static_cast<double>(config_.sessions_per_user_day);
-      rec.mean_stall_penalty =
-          param_stall_sum / static_cast<double>(config_.sessions_per_user_day);
-      rec.mean_bandwidth = bw_count > 0 ? bw_sum / static_cast<double>(bw_count) : 0.0;
-      result.user_days.push_back(rec);
-    }
-  }
-  return result;
+  sim::FleetRunner runner(fleet, abr_factory_);
+  if (treatment) runner.set_predictor_factory(make_predictor_);
+  ExperimentSink sink(config_, treatment);
+  runner.set_telemetry_sink(&sink);
+  runner.run(seed);
+  return sink.finish();
 }
 
 std::vector<double> relative_daily_gap(const std::vector<MetricAccumulator>& treatment,

@@ -8,6 +8,12 @@
 // `intervention_day` (AA period before, AB period after), exactly mirroring
 // the difference-in-differences protocol of Fig. 12.
 //
+// The driver is a thin shell over sim::FleetRunner: each arm is one fleet
+// run (control pins the default parameters, treatment enables LingXi), and
+// an in-memory telemetry sink assembles the ExperimentResult from the
+// runner's worker callbacks. Results are deterministic for a given seed and
+// independent of `threads` / `predictor_batch` — the FleetRunner guarantees.
+//
 // The driver records:
 //   * per-day aggregate metrics (watch time, bitrate, stall) per arm,
 //   * per-user-per-day records (assigned parameter, stall exit rate, mean
@@ -40,6 +46,13 @@ struct ExperimentConfig {
   std::size_t intervention_day = 5;
   bool drift_user_tolerance = true;
   bool record_stall_events = false;
+  /// FleetRunner worker pool driving each arm (0 = hardware concurrency).
+  /// Purely a throughput knob: results are identical at any value. Note the
+  /// predictor factory is invoked from worker threads when > 1.
+  std::size_t threads = 1;
+  /// Lockstep batch for LingXi's Monte Carlo rollouts (0 = keep
+  /// `lingxi.monte_carlo.batch_size`); results identical at any value.
+  std::size_t predictor_batch = 0;
 
   user::UserPopulation::Config population;
   trace::PopulationModel::Config network;

@@ -1,0 +1,80 @@
+#include "analytics/fig13.h"
+
+#include <cstdio>
+
+#include "common/running_stats.h"
+#include "trace/population.h"
+
+namespace lingxi::analytics {
+namespace {
+
+constexpr std::size_t kBuckets = 6;
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+}  // namespace
+
+Fig13Result summarize_fig13(const ExperimentResult& control,
+                            const ExperimentResult& treatment) {
+  RunningStats beta[kBuckets];
+  double control_stall[kBuckets] = {};
+  double treatment_stall[kBuckets] = {};
+  for (const auto& rec : treatment.user_days) {
+    const std::size_t b = trace::bandwidth_bucket(rec.mean_bandwidth);
+    beta[b].add(rec.mean_beta);
+    treatment_stall[b] += rec.stall_time;
+  }
+  for (const auto& rec : control.user_days) {
+    control_stall[trace::bandwidth_bucket(rec.mean_bandwidth)] += rec.stall_time;
+  }
+
+  Fig13Result result;
+  result.buckets.resize(kBuckets);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    Fig13Bucket& bucket = result.buckets[b];
+    bucket.bucket = b;
+    bucket.label = trace::bucket_label(b);
+    bucket.user_days = beta[b].count();
+    bucket.mean_beta = beta[b].empty() ? 0.0 : beta[b].mean();
+    bucket.sd_beta = beta[b].empty() ? 0.0 : beta[b].stddev();
+    bucket.control_stall = control_stall[b];
+    bucket.treatment_stall = treatment_stall[b];
+  }
+  return result;
+}
+
+Fig13Result run_fig13(const PopulationExperiment& experiment, std::uint64_t seed) {
+  const ExperimentResult control = experiment.run(false, seed);
+  const ExperimentResult treatment = experiment.run(true, seed);
+  return summarize_fig13(control, treatment);
+}
+
+std::string to_json(const Fig13Result& result) {
+  std::string out = "{\n  \"buckets\": [\n";
+  for (std::size_t i = 0; i < result.buckets.size(); ++i) {
+    const Fig13Bucket& b = result.buckets[i];
+    out += "    {\"bucket\": ";
+    append_number(out, static_cast<double>(b.bucket));
+    out += ", \"label\": \"" + b.label + "\", \"user_days\": ";
+    append_number(out, static_cast<double>(b.user_days));
+    out += ", \"mean_beta\": ";
+    append_number(out, b.mean_beta);
+    out += ", \"sd_beta\": ";
+    append_number(out, b.sd_beta);
+    out += ", \"control_stall\": ";
+    append_number(out, b.control_stall);
+    out += ", \"treatment_stall\": ";
+    append_number(out, b.treatment_stall);
+    out += ", \"stall_diff_pct\": ";
+    append_number(out, b.stall_diff_pct());
+    out += i + 1 < result.buckets.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace lingxi::analytics

@@ -1,0 +1,54 @@
+// Figure 13 computation — "LingXi Performance under Different BW" (§5.4).
+//
+// Buckets the experiment's per-user-day records by mean bandwidth:
+//   (a) the LingXi-assigned beta (mean, SD) per bucket — beta grows with
+//       bandwidth (conservative when stalls threaten, aggressive when they
+//       don't);
+//   (b) relative stall-time change treatment-vs-control per bucket — large
+//       reductions in the low-bandwidth long tail, ~0 at high bandwidth.
+//
+// Shared by bench_fig13_lowbw and tests/test_fig13_regression.cpp, which
+// locks the FleetRunner-backed driver to a committed golden fixture.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytics/experiment.h"
+
+namespace lingxi::analytics {
+
+struct Fig13Bucket {
+  std::size_t bucket = 0;
+  std::string label;
+  /// Treatment user-days landing in the bucket.
+  std::size_t user_days = 0;
+  double mean_beta = 0.0;
+  double sd_beta = 0.0;
+  double control_stall = 0.0;    ///< summed stall seconds, control arm
+  double treatment_stall = 0.0;  ///< summed stall seconds, treatment arm
+
+  /// Relative stall-time change (%); 0 when the control bucket saw no stall.
+  double stall_diff_pct() const noexcept {
+    return control_stall > 0.0
+               ? (treatment_stall - control_stall) / control_stall * 100.0
+               : 0.0;
+  }
+};
+
+struct Fig13Result {
+  std::vector<Fig13Bucket> buckets;  ///< one per bandwidth bucket, in order
+};
+
+/// Run both arms of `experiment` (paired on `seed`) and bucket the records.
+Fig13Result run_fig13(const PopulationExperiment& experiment, std::uint64_t seed);
+
+/// Bucket pre-computed arm results (for callers that need the raw arms too).
+Fig13Result summarize_fig13(const ExperimentResult& control,
+                            const ExperimentResult& treatment);
+
+/// Deterministic JSON rendering — the golden-fixture format.
+std::string to_json(const Fig13Result& result);
+
+}  // namespace lingxi::analytics

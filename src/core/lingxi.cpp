@@ -105,6 +105,13 @@ std::optional<abr::QoeParams> LingXi::maybe_optimize(abr::AbrAlgorithm& abr,
   abr::QoeParams best_params = current_params_;
   double incumbent_exit = std::numeric_limits<double>::infinity();
 
+  // One exit-model factory for every candidate: each Monte Carlo rollout
+  // gets a private PredictorExitModel seeded from the live engagement state
+  // (Algorithm 2 line 3), and with monte_carlo.batch_size > 1 the rollouts
+  // advance in lockstep with the predictor forwards batched across them.
+  const predictor::BatchPredictorExitEvaluator exit_eval(predictor_, engagement_,
+                                                         config_.segment_duration);
+
   const bool fixed_mode = !config_.fixed_candidates.empty();
   // Round 0 always evaluates the incumbent (the OBO warm start does this
   // implicitly; in fixed-candidate mode we prepend it).
@@ -122,19 +129,18 @@ std::optional<abr::QoeParams> LingXi::maybe_optimize(abr::AbrAlgorithm& abr,
       candidate = config_.space.from_unit(x, config_.default_params);
     }
 
-    // Independent rollout ABR carrying the candidate objective.
+    // Rollout prototype carrying the candidate objective; each rollout
+    // clones it.
     auto rollout_abr = abr.clone();
     rollout_abr->set_params(candidate);
 
-    predictor::PredictorExitModel exit_model(predictor_, engagement_,
-                                             config_.segment_duration);
     // The incumbent round is never pruned: its estimate is the adoption
     // baseline and must be complete.
     const double prune_bound =
         round == 0 ? std::numeric_limits<double>::infinity() : best_exit;
     const sim::MonteCarloResult mc =
-        evaluator.evaluate(virtual_video, *rollout_abr, exit_model, *bandwidth_model,
-                           current_buffer, prune_bound, rng);
+        evaluator.evaluate_rollouts(virtual_video, *rollout_abr, exit_eval,
+                                    *bandwidth_model, current_buffer, prune_bound, rng);
     ++stats_.mc_evaluations;
     if (mc.pruned) ++stats_.mc_rollouts_pruned;
 

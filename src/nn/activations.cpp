@@ -35,4 +35,26 @@ Tensor softmax(const Tensor& logits) {
   return out;
 }
 
+void relu_rows(BatchView x) noexcept {
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    double* row = x.row(r);
+    for (std::size_t i = 0; i < x.cols; ++i) row[i] = std::max(0.0, row[i]);
+  }
+}
+
+void softmax_rows(BatchView x) noexcept {
+  LINGXI_DASSERT(x.rows == 0 || x.cols >= 1);
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    double* row = x.row(r);
+    double mx = row[0];
+    for (std::size_t i = 1; i < x.cols; ++i) mx = std::max(mx, row[i]);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < x.cols; ++i) {
+      row[i] = std::exp(row[i] - mx);
+      sum += row[i];
+    }
+    for (std::size_t i = 0; i < x.cols; ++i) row[i] /= sum;
+  }
+}
+
 }  // namespace lingxi::nn

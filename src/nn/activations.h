@@ -17,4 +17,13 @@ class ReLU final : public Layer {
 /// Numerically stable softmax over a rank-1 tensor.
 Tensor softmax(const Tensor& logits);
 
+/// In-place batched ReLU over every row of the view. Bitwise identical per
+/// element to ReLU::forward.
+void relu_rows(BatchView x) noexcept;
+
+/// In-place row-wise numerically stable softmax. Per-row operation order
+/// matches softmax() exactly, so each row is bitwise identical to the scalar
+/// path. Rows must be non-empty (cols >= 1).
+void softmax_rows(BatchView x) noexcept;
+
 }  // namespace lingxi::nn

@@ -35,6 +35,32 @@ Tensor Conv1D::forward(const Tensor& input) {
   return out;
 }
 
+void Conv1D::forward_batch(ConstBatchView in, BatchView out) const {
+  LINGXI_ASSERT(in.rows == out.rows);
+  LINGXI_ASSERT(in_ch_ > 0 && in.cols % in_ch_ == 0);
+  const std::size_t len = in.cols / in_ch_;
+  LINGXI_ASSERT(len >= kernel_);
+  const std::size_t out_len = len - kernel_ + 1;
+  LINGXI_ASSERT(out.cols == out_ch_ * out_len);
+  for (std::size_t b = 0; b < in.rows; ++b) {
+    const double* src = in.row(b);
+    double* dst = out.row(b);
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      const double* wbase = w_.data() + oc * in_ch_ * kernel_;
+      const double bias = b_[oc];
+      for (std::size_t t = 0; t < out_len; ++t) {
+        double acc = bias;
+        for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+          const double* wk = wbase + ic * kernel_;
+          const double* xk = src + ic * len + t;
+          for (std::size_t k = 0; k < kernel_; ++k) acc += wk[k] * xk[k];
+        }
+        dst[oc * out_len + t] = acc;
+      }
+    }
+  }
+}
+
 Tensor Conv1D::backward(const Tensor& grad_output) {
   const std::size_t len = last_input_.dim(1);
   const std::size_t out_len = len - kernel_ + 1;

@@ -15,6 +15,13 @@ class Conv1D final : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
 
+  /// Batched inference: each input row holds one [in_channels, L] input
+  /// flattened row-major (L = in.cols / in_channels), each output row the
+  /// matching [out_channels, L-K+1] feature map. The accumulation order per
+  /// output element matches forward() exactly, so every row is bitwise
+  /// identical to the scalar path. Inference only (no backward caches).
+  void forward_batch(ConstBatchView in, BatchView out) const;
+
   std::vector<Tensor*> parameters() override { return {&w_, &b_}; }
   std::vector<Tensor*> gradients() override { return {&gw_, &gb_}; }
 

@@ -13,6 +13,15 @@ class Dense final : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
 
+  /// Batched inference: out.row(b) = W in.row(b) + b for every row. Blocked
+  /// over batch rows so each weight row is streamed once per block instead of
+  /// once per item (the 64x1600 fc1 weight matrix of the stall-exit net does
+  /// not fit in L1/L2, so weight traffic dominates the scalar path). The
+  /// per-output accumulation order matches forward() exactly, making each
+  /// output row bitwise identical to the scalar path. Inference only: does
+  /// not touch the backward() caches, safe on a const layer.
+  void forward_batch(ConstBatchView in, BatchView out) const;
+
   std::vector<Tensor*> parameters() override { return {&w_, &b_}; }
   std::vector<Tensor*> gradients() override { return {&gw_, &gb_}; }
 

@@ -78,4 +78,53 @@ class Tensor {
 /// Concatenate rank-1 tensors into one long vector.
 Tensor concat(const std::vector<Tensor>& parts);
 
+/// Non-owning view of a batch: `rows` feature rows of width `cols`, with row
+/// r starting at data + r * stride (stride >= cols). This is the batched
+/// counterpart of passing one rank-1/rank-2 tensor per item: layers expose
+/// forward_batch(ConstBatchView, BatchView) overloads whose per-row results
+/// are bitwise identical to their scalar forward(). rows == 0 (the empty
+/// batch) is valid — every batched kernel is a no-op on it.
+struct ConstBatchView {
+  const double* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t stride = 0;  ///< doubles between consecutive rows
+
+  ConstBatchView() = default;
+  ConstBatchView(const double* d, std::size_t r, std::size_t c) : ConstBatchView(d, r, c, c) {}
+  ConstBatchView(const double* d, std::size_t r, std::size_t c, std::size_t s)
+      : data(d), rows(r), cols(c), stride(s) {
+    LINGXI_DASSERT(stride >= cols);
+    LINGXI_DASSERT(rows == 0 || data != nullptr);
+  }
+
+  const double* row(std::size_t r) const {
+    LINGXI_DASSERT(r < rows);
+    return data + r * stride;
+  }
+};
+
+/// Mutable variant of ConstBatchView.
+struct BatchView {
+  double* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t stride = 0;
+
+  BatchView() = default;
+  BatchView(double* d, std::size_t r, std::size_t c) : BatchView(d, r, c, c) {}
+  BatchView(double* d, std::size_t r, std::size_t c, std::size_t s)
+      : data(d), rows(r), cols(c), stride(s) {
+    LINGXI_DASSERT(stride >= cols);
+    LINGXI_DASSERT(rows == 0 || data != nullptr);
+  }
+
+  double* row(std::size_t r) const {
+    LINGXI_DASSERT(r < rows);
+    return data + r * stride;
+  }
+
+  operator ConstBatchView() const { return {data, rows, cols, stride}; }
+};
+
 }  // namespace lingxi::nn

@@ -13,12 +13,11 @@ void push_capped(std::vector<double>& v, double x) {
   if (v.size() > kHistoryLen) v.erase(v.begin());
 }
 
-void fill_channel(nn::Tensor& t, std::size_t channel, const std::vector<double>& values,
-                  double scale) {
+// Right-align: most recent sample in the last column of the length-8 row.
+void fill_row(double* row, const std::vector<double>& values, double scale) {
   const std::size_t n = std::min(values.size(), kHistoryLen);
-  // Right-align: most recent sample in the last column.
   for (std::size_t i = 0; i < n; ++i) {
-    t.at(channel, kHistoryLen - n + i) = values[values.size() - n + i] / scale;
+    row[kHistoryLen - n + i] = values[values.size() - n + i] / scale;
   }
 }
 
@@ -28,11 +27,10 @@ void fill_channel(nn::Tensor& t, std::size_t channel, const std::vector<double>&
 /// which is exactly the informative extreme. A raw interval/scale encoding
 /// leaves the personalization signal at 1e-2 magnitude, too weak for the
 /// stall-dominant channels not to drown it.
-void fill_recency_channel(nn::Tensor& t, std::size_t channel,
-                          const std::vector<double>& values, double scale) {
+void fill_recency_row(double* row, const std::vector<double>& values, double scale) {
   const std::size_t n = std::min(values.size(), kHistoryLen);
   for (std::size_t i = 0; i < n; ++i) {
-    t.at(channel, kHistoryLen - n + i) = std::exp(-values[values.size() - n + i] / scale);
+    row[kHistoryLen - n + i] = std::exp(-values[values.size() - n + i] / scale);
   }
 }
 
@@ -67,6 +65,7 @@ void EngagementState::on_segment(const sim::SegmentRecord& segment, Seconds segm
     }
     last_stall_at_ = now;
     ++long_term_.total_stall_events;
+    long_term_rows_valid_ = false;
   }
 }
 
@@ -77,16 +76,36 @@ void EngagementState::on_stall_exit() {
   }
   last_stall_exit_at_ = now;
   ++long_term_.total_stall_exits;
+  long_term_rows_valid_ = false;
+}
+
+void EngagementState::refresh_long_term_rows() const {
+  if (long_term_rows_valid_) return;
+  long_term_rows_.fill(0.0);
+  fill_row(long_term_rows_.data(), long_term_.stall_durations, config_.stall_scale);
+  fill_recency_row(long_term_rows_.data() + kHistoryLen, long_term_.stall_intervals,
+                   config_.interval_scale);
+  fill_recency_row(long_term_rows_.data() + 2 * kHistoryLen,
+                   long_term_.stall_exit_intervals, config_.exit_interval_scale);
+  long_term_rows_valid_ = true;
+}
+
+void EngagementState::write_features(double* dst) const {
+  std::fill(dst, dst + 2 * kHistoryLen, 0.0);
+  // Short-term channels straight from the deques (bitrate/throughput are
+  // normalized at push time), right-aligned like every channel.
+  const std::size_t n = bitrates_.size();  // capped at kHistoryLen
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[kHistoryLen - n + i] = bitrates_[i];
+    dst[2 * kHistoryLen - n + i] = throughputs_[i];
+  }
+  refresh_long_term_rows();
+  std::copy(long_term_rows_.begin(), long_term_rows_.end(), dst + 2 * kHistoryLen);
 }
 
 nn::Tensor EngagementState::features() const {
   nn::Tensor t({kChannels, kHistoryLen});
-  fill_channel(t, 0, {bitrates_.begin(), bitrates_.end()}, 1.0);  // already normalized
-  fill_channel(t, 1, {throughputs_.begin(), throughputs_.end()}, 1.0);
-  fill_channel(t, 2, long_term_.stall_durations, config_.stall_scale);
-  fill_recency_channel(t, 3, long_term_.stall_intervals, config_.interval_scale);
-  fill_recency_channel(t, 4, long_term_.stall_exit_intervals,
-                       config_.exit_interval_scale);
+  write_features(t.data());
   return t;
 }
 
@@ -95,6 +114,7 @@ void EngagementState::restore_long_term(LongTermState state) {
   // Interval anchors restart from the restored watch-time origin.
   last_stall_at_ = long_term_.total_stall_events > 0 ? long_term_.total_watch_time : -1.0;
   last_stall_exit_at_ = long_term_.total_stall_exits > 0 ? long_term_.total_watch_time : -1.0;
+  long_term_rows_valid_ = false;
 }
 
 }  // namespace lingxi::predictor

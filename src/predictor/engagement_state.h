@@ -13,6 +13,7 @@
 // lingxi::logstore on app exit, §4 Seamless Integration).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -64,6 +65,13 @@ class EngagementState {
   /// Build the 5x8 normalized input tensor.
   nn::Tensor features() const;
 
+  /// Write the same 5x8 features (row-major, kChannels * kHistoryLen
+  /// doubles) into `dst` without allocating — the batched-assembly path.
+  /// Channels 2-4 derive only from the long-term event vectors, which change
+  /// on stall / stall-exit events rather than per segment, so their rows are
+  /// cached and re-derived lazily instead of being rebuilt on every predict.
+  void write_features(double* dst) const;
+
   const LongTermState& long_term() const noexcept { return long_term_; }
   void restore_long_term(LongTermState state);
 
@@ -71,12 +79,18 @@ class EngagementState {
   Seconds watch_time() const noexcept { return long_term_.total_watch_time; }
 
  private:
+  void refresh_long_term_rows() const;
+
   Config config_;
   LongTermState long_term_;
   std::deque<double> bitrates_;     // short-term
   std::deque<double> throughputs_;  // short-term
   Seconds last_stall_at_ = -1.0;    // watch-time timestamp of last stall
   Seconds last_stall_exit_at_ = -1.0;
+  // Cached channels 2-4 of the feature matrix, invalidated when the
+  // long-term event vectors change.
+  mutable std::array<double, 3 * kHistoryLen> long_term_rows_{};
+  mutable bool long_term_rows_valid_ = false;
 };
 
 }  // namespace lingxi::predictor

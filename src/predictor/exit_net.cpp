@@ -59,6 +59,41 @@ double StallExitNet::predict(const nn::Tensor& features) {
   return probs[1];
 }
 
+void StallExitNet::predict_batch(nn::ConstBatchView features, double* out,
+                                 BatchWorkspace* ws) const {
+  if (features.rows == 0) return;
+  LINGXI_ASSERT(features.cols == kChannels * kHistoryLen);
+  BatchWorkspace local;
+  BatchWorkspace& w = ws != nullptr ? *ws : local;
+  const std::size_t batch = features.rows;
+  constexpr std::size_t kBranchCols = kConvChannels * kConvOutLen;
+  w.merged.resize(batch * kMergedSize);
+  w.hidden.resize(batch * kFc1Size);
+  w.logits.resize(batch * 2);
+
+  // Each branch convolves channel c of every row ([1, 8] inputs, strided
+  // straight out of the feature matrix) and writes its [64, 5] map into the
+  // channel-c block of the merged matrix — the same (branch, oc, t) layout
+  // the scalar path produces via reshape + concat.
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    const nn::ConstBatchView channel(features.data + c * kHistoryLen, batch, kHistoryLen,
+                                     features.stride);
+    const nn::BatchView block(w.merged.data() + c * kBranchCols, batch, kBranchCols,
+                              kMergedSize);
+    branches_[c].forward_batch(channel, block);
+    nn::relu_rows(block);
+  }
+
+  const nn::BatchView merged(w.merged.data(), batch, kMergedSize);
+  const nn::BatchView hidden(w.hidden.data(), batch, kFc1Size);
+  fc1_.forward_batch(merged, hidden);
+  nn::relu_rows(hidden);
+  const nn::BatchView logit_rows(w.logits.data(), batch, 2);
+  fc2_.forward_batch(hidden, logit_rows);
+  nn::softmax_rows(logit_rows);
+  for (std::size_t b = 0; b < batch; ++b) out[b] = logit_rows.row(b)[1];
+}
+
 nn::ParamSet StallExitNet::param_set() {
   nn::ParamSet set;
   for (auto& b : branches_) set.add(b);

@@ -25,6 +25,25 @@ class StallExitNet {
   double predict(const nn::Tensor& features);
   /// Raw logits [continue, exit].
   nn::Tensor logits(const nn::Tensor& features);
+
+  /// Reusable scratch for predict_batch: the merged / hidden / logit
+  /// matrices, kept by callers that evaluate many batches (one lockstep
+  /// Monte Carlo step each) so the buffers are allocated once.
+  struct BatchWorkspace {
+    std::vector<double> merged;
+    std::vector<double> hidden;
+    std::vector<double> logits;
+  };
+
+  /// Batched P(exit): each row of `features` is one 5x8 feature matrix
+  /// flattened row-major (the layout EngagementState::write_features emits).
+  /// Writes features.rows probabilities to `out`. Every row is bitwise
+  /// identical to predict() on the same features — the batched path reorders
+  /// no accumulation (see nn::Dense::forward_batch). Inference only: no
+  /// layer caches are touched, so this is const and safe on a net shared
+  /// across rollouts. `ws` may be null; passing one amortizes scratch.
+  void predict_batch(nn::ConstBatchView features, double* out,
+                     BatchWorkspace* ws = nullptr) const;
   /// Backprop a gradient w.r.t. logits (accumulates parameter grads).
   void backward(const nn::Tensor& grad_logits);
 

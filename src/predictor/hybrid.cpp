@@ -23,11 +23,25 @@ HybridExitPredictor HybridExitPredictor::with_private_net() const {
   return {std::make_shared<StallExitNet>(*net_), os_model_, config_};
 }
 
+namespace {
+/// Sub-perceptual stalls skip the personalized stall term entirely.
+constexpr Seconds kNnStallThreshold = 0.05;
+}  // namespace
+
 double HybridExitPredictor::predict(const EngagementState& state,
                                     const sim::SegmentRecord& segment, SwitchType sw) const {
-  const double os = os_model_->predict(segment.level, sw);
-  if (segment.stall_time <= 0.05) return std::clamp(os, 0.0, 1.0);
-  const double nn_term = net_->predict(state.features());
+  return predict(ExitQuery{&state, segment.level, segment.stall_time, sw});
+}
+
+double HybridExitPredictor::predict(const ExitQuery& query) const {
+  const double os = os_model_->predict(query.level, query.sw);
+  if (query.stall_time <= kNnStallThreshold) return std::clamp(os, 0.0, 1.0);
+  const double nn_term = net_->predict(query.state->features());
+  return combine(*query.state, nn_term, os);
+}
+
+double HybridExitPredictor::combine(const EngagementState& state, double nn_term,
+                                    double os) const {
   // Personal empirical stall-exit rate, smoothed toward the prior so new
   // users start population-typical.
   const auto& lt = state.long_term();
@@ -37,6 +51,37 @@ double HybridExitPredictor::predict(const EngagementState& state,
   const double stall_term =
       config_.nn_weight * nn_term + (1.0 - config_.nn_weight) * std::min(1.0, personal);
   return std::clamp(stall_term + os, 0.0, 1.0);
+}
+
+void HybridExitPredictor::predict_batch(std::size_t count, const ExitQuery* queries,
+                                        double* out, BatchScratch* scratch) const {
+  BatchScratch local;
+  BatchScratch& s = scratch != nullptr ? *scratch : local;
+
+  // Gather the stalled queries' feature matrices; only they need the net.
+  s.stalled.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (queries[i].stall_time > kNnStallThreshold) s.stalled.push_back(i);
+  }
+  constexpr std::size_t kFeatureLen = kChannels * kHistoryLen;
+  s.features.resize(s.stalled.size() * kFeatureLen);
+  for (std::size_t j = 0; j < s.stalled.size(); ++j) {
+    queries[s.stalled[j]].state->write_features(s.features.data() + j * kFeatureLen);
+  }
+  s.nn_terms.resize(s.stalled.size());
+  net_->predict_batch({s.features.data(), s.stalled.size(), kFeatureLen},
+                      s.nn_terms.data(), &s.net);
+
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const ExitQuery& q = queries[i];
+    const double os = os_model_->predict(q.level, q.sw);
+    if (q.stall_time <= kNnStallThreshold) {
+      out[i] = std::clamp(os, 0.0, 1.0);
+    } else {
+      out[i] = combine(*q.state, s.nn_terms[j++], os);
+    }
+  }
 }
 
 PredictorExitModel::PredictorExitModel(HybridExitPredictor predictor,
@@ -56,6 +101,10 @@ void PredictorExitModel::begin_session() {
 }
 
 double PredictorExitModel::exit_probability(const sim::SegmentRecord& segment) {
+  return predictor_.predict(prepare(segment));
+}
+
+HybridExitPredictor::ExitQuery PredictorExitModel::prepare(const sim::SegmentRecord& segment) {
   state_.on_segment(segment, segment_duration_);
   SwitchType sw = SwitchType::kNone;
   if (prev_valid_ && segment.level != prev_level_) {
@@ -63,7 +112,34 @@ double PredictorExitModel::exit_probability(const sim::SegmentRecord& segment) {
   }
   prev_valid_ = true;
   prev_level_ = segment.level;
-  return predictor_.predict(state_, segment, sw);
+  return {&state_, segment.level, segment.stall_time, sw};
+}
+
+std::unique_ptr<sim::ExitModel> BatchPredictorExitEvaluator::make_model() const {
+  return std::make_unique<PredictorExitModel>(predictor_, seed_state_, segment_duration_);
+}
+
+bool BatchPredictorExitEvaluator::prepare(sim::ExitModel& model,
+                                          const sim::SegmentRecord& segment,
+                                          double& out) const {
+  // Safe: the contract restricts `model` to our make_model() instances.
+  const HybridExitPredictor::ExitQuery query =
+      static_cast<PredictorExitModel&>(model).prepare(segment);
+  if (query.stall_time <= kNnStallThreshold) {
+    out = predictor_.predict(query);  // OS-only path, no net forward
+    return true;
+  }
+  scratch_.queries.push_back(query);
+  return false;
+}
+
+std::size_t BatchPredictorExitEvaluator::flush(double* out) const {
+  // The parked queries' state pointers stay valid until their rollouts
+  // resolve — parked rollouts do not advance before the flush.
+  const std::size_t count = scratch_.queries.size();
+  predictor_.predict_batch(count, scratch_.queries.data(), out, &scratch_);
+  scratch_.queries.clear();
+  return count;
 }
 
 }  // namespace lingxi::predictor

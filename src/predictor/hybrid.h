@@ -36,10 +36,38 @@ class HybridExitPredictor {
   HybridExitPredictor(std::shared_ptr<StallExitNet> net,
                       std::shared_ptr<const OverallStatsModel> os_model, Config config);
 
+  /// One exit-probability evaluation in batched-friendly form: everything
+  /// predict() reads, decoupled from SegmentRecord. `state` must already
+  /// include the segment being queried.
+  struct ExitQuery {
+    const EngagementState* state = nullptr;
+    std::size_t level = 0;
+    Seconds stall_time = 0.0;
+    SwitchType sw = SwitchType::kNone;
+  };
+
+  /// Reusable scratch for predict_batch: query/feature staging plus the
+  /// net's own workspace, so a lockstep Monte Carlo run allocates once.
+  struct BatchScratch {
+    StallExitNet::BatchWorkspace net;
+    std::vector<HybridExitPredictor::ExitQuery> queries;
+    std::vector<double> features;
+    std::vector<double> nn_terms;
+    std::vector<std::size_t> stalled;
+  };
+
   /// R_exit for the segment just downloaded. `state` must already include
   /// this segment (EngagementState::on_segment called).
   double predict(const EngagementState& state, const sim::SegmentRecord& segment,
                  SwitchType sw) const;
+  /// predict() in query form — the shared scalar implementation.
+  double predict(const ExitQuery& query) const;
+  /// Batched predict over `count` queries: the stalled queries' features are
+  /// gathered into one matrix and their net forwards run as a single
+  /// StallExitNet::predict_batch call. Bitwise identical per item to
+  /// predict(). `scratch` may be null; passing one amortizes buffers.
+  void predict_batch(std::size_t count, const ExitQuery* queries, double* out,
+                     BatchScratch* scratch = nullptr) const;
 
   StallExitNet& net() { return *net_; }
   const OverallStatsModel& os_model() const { return *os_model_; }
@@ -51,6 +79,10 @@ class HybridExitPredictor {
   HybridExitPredictor with_private_net() const;
 
  private:
+  /// Blend the net's stall term with the personal empirical rate and the OS
+  /// term — shared tail of the scalar and batched paths.
+  double combine(const EngagementState& state, double nn_term, double os) const;
+
   std::shared_ptr<StallExitNet> net_;
   std::shared_ptr<const OverallStatsModel> os_model_;
   Config config_;
@@ -68,6 +100,12 @@ class PredictorExitModel final : public sim::ExitModel {
   void begin_session() override;
   double exit_probability(const sim::SegmentRecord& segment) override;
 
+  /// The state-mutation half of exit_probability(): advance the rollout
+  /// state with `segment` and build the predict query for it. Split out so
+  /// the lockstep Monte Carlo path can batch the predictor evaluation across
+  /// rollouts; exit_probability() is predict(prepare(segment)).
+  HybridExitPredictor::ExitQuery prepare(const sim::SegmentRecord& segment);
+
  private:
   HybridExitPredictor predictor_;
   EngagementState seed_state_;
@@ -75,6 +113,33 @@ class PredictorExitModel final : public sim::ExitModel {
   Seconds segment_duration_;
   bool prev_valid_ = false;
   std::size_t prev_level_ = 0;
+};
+
+/// Bridges the hybrid predictor into the lockstep Monte Carlo engine
+/// (sim::MonteCarloEvaluator::evaluate_rollouts): hands out per-rollout
+/// PredictorExitModel instances seeded with the live user state, and
+/// evaluates their pending queries with one batched net forward per step.
+/// The referenced predictor and seed state must outlive the evaluator.
+class BatchPredictorExitEvaluator final : public sim::BatchExitEvaluator {
+ public:
+  BatchPredictorExitEvaluator(const HybridExitPredictor& predictor,
+                              const EngagementState& seed_state, Seconds segment_duration)
+      : predictor_(predictor), seed_state_(seed_state), segment_duration_(segment_duration) {}
+
+  std::unique_ptr<sim::ExitModel> make_model() const override;
+  /// Non-stalled segments resolve inline through the OS-only path; stalled
+  /// ones park for a batched net forward. `model` must be a make_model()
+  /// instance of this evaluator.
+  bool prepare(sim::ExitModel& model, const sim::SegmentRecord& segment,
+               double& out) const override;
+  std::size_t flush(double* out) const override;
+  void discard_parked() const override { scratch_.queries.clear(); }
+
+ private:
+  const HybridExitPredictor& predictor_;
+  const EngagementState& seed_state_;
+  Seconds segment_duration_;
+  mutable HybridExitPredictor::BatchScratch scratch_;
 };
 
 }  // namespace lingxi::predictor

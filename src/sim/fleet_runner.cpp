@@ -165,6 +165,9 @@ FleetRunner::FleetRunner(FleetConfig config, AbrFactory abr_factory)
   // Session index must fit the 16-bit slot of the session stream key.
   LINGXI_ASSERT(config_.sessions_per_user_day < (1ULL << 16));
   LINGXI_ASSERT(config_.users_per_shard > 0);
+  if (config_.predictor_batch > 0) {
+    config_.lingxi.monte_carlo.batch_size = config_.predictor_batch;
+  }
   const user::UserPopulation population(config_.population);
   user_factory_ = [population](std::size_t, Rng& rng) {
     return population.sample(rng);
@@ -262,6 +265,7 @@ void FleetRunner::simulate_user(std::size_t user_index, std::uint64_t seed,
         ctx.measured = measured;
         ctx.video_duration = video.duration();
         ctx.params_after = abr->params();
+        ctx.user_tolerance = day_user->tolerable_stall();
         sink_->record_session(ctx, session);
       }
     }

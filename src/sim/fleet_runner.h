@@ -132,6 +132,13 @@ struct FleetConfig {
   std::size_t intervention_day = 0;
   /// Day-to-day tolerance drift for data-driven users (§2.3).
   bool drift_user_tolerance = false;
+  /// Batched-inference knob: lockstep batch size for LingXi's Monte Carlo
+  /// rollouts — per optimization, up to this many candidate sessions advance
+  /// together and their predictor forwards run as one batch. 0 keeps
+  /// `lingxi.monte_carlo.batch_size` as configured; any value yields a
+  /// bitwise-identical fleet checksum (the scalar/batched parity contract,
+  /// asserted by tests/test_properties.cpp).
+  std::size_t predictor_batch = 0;
   /// Lognormal sigma jittering each session's mean bandwidth around the
   /// user's profile (cellular commute vs home Wi-Fi); 0 disables.
   double session_jitter_sigma = 0.0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <vector>
 
 #include "common/assert.h"
 
@@ -55,6 +57,143 @@ MonteCarloResult MonteCarloEvaluator::evaluate(const trace::Video& virtual_video
       if (lower_bound > best_known_exit_rate) {
         result.pruned = true;
         break;
+      }
+    }
+  }
+
+  result.exit_rate = result.watched_count == 0
+                         ? 0.0
+                         : static_cast<double>(result.exited_count) /
+                               static_cast<double>(result.watched_count);
+  return result;
+}
+
+MonteCarloResult MonteCarloEvaluator::evaluate_rollouts(
+    const trace::Video& virtual_video, const abr::AbrAlgorithm& abr,
+    const BatchExitEvaluator& exits, const trace::BandwidthModel& bandwidth,
+    Seconds initial_buffer, double best_known_exit_rate, Rng& rng) const {
+  SessionSimulator::Config cfg = session_config_;
+  cfg.player.startup_buffer = std::max(0.0, initial_buffer);
+  const SessionSimulator sim(cfg);
+
+  // Per-rollout rng streams, forked upfront so the caller's rng advances by
+  // exactly `samples` forks no matter how pruning truncates the run — the
+  // caller's subsequent draws (e.g. the next OBO candidate) must not depend
+  // on the batch size or the prune point.
+  std::vector<Rng> streams;
+  streams.reserve(mc_config_.samples);
+  for (std::size_t m = 0; m < mc_config_.samples; ++m) streams.push_back(rng.fork());
+
+  MonteCarloResult result;
+  const std::size_t max_segments_per_sample = virtual_video.segment_count();
+
+  // Scalar accumulation + pruning, applied to completed rollouts in rollout
+  // order by both modes. Returns true when evaluation must stop.
+  const auto accumulate = [&](const SessionResult& session) {
+    result.watched_count += session.segments.size();
+    if (session.exited) ++result.exited_count;
+    ++result.samples_run;
+    if (mc_config_.enable_pruning &&
+        result.samples_run >= mc_config_.min_samples_before_prune &&
+        std::isfinite(best_known_exit_rate)) {
+      const std::size_t remaining = mc_config_.samples - result.samples_run;
+      const double optimistic_watched = static_cast<double>(
+          result.watched_count + remaining * max_segments_per_sample);
+      const double lower_bound =
+          static_cast<double>(result.exited_count) / optimistic_watched;
+      if (lower_bound > best_known_exit_rate) {
+        result.pruned = true;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const std::size_t batch = std::max<std::size_t>(1, mc_config_.batch_size);
+  if (batch <= 1) {
+    for (std::size_t m = 0; m < mc_config_.samples; ++m) {
+      const auto rollout_abr = abr.clone();
+      const auto bw = bandwidth.clone();
+      const auto model = exits.make_model();
+      const SessionResult session =
+          sim.run(virtual_video, *rollout_abr, *bw, model.get(), streams[m]);
+      if (accumulate(session)) break;
+    }
+  } else {
+    struct Slot {
+      std::unique_ptr<abr::AbrAlgorithm> abr;
+      std::unique_ptr<trace::BandwidthModel> bw;
+      std::unique_ptr<ExitModel> model;
+      std::optional<SessionStepper> stepper;
+      SessionResult session;
+      bool done = false;
+    };
+    std::vector<std::size_t> parked;  // slot index per parked query, in park order
+    std::vector<double> probs;
+
+    bool stop = false;
+    for (std::size_t m0 = 0; m0 < mc_config_.samples && !stop; m0 += batch) {
+      const std::size_t wave = std::min(batch, mc_config_.samples - m0);
+      std::vector<Slot> slots(wave);
+      for (std::size_t j = 0; j < wave; ++j) {
+        Slot& slot = slots[j];
+        slot.abr = abr.clone();
+        slot.bw = bandwidth.clone();
+        slot.model = exits.make_model();
+        slot.model->begin_session();
+        slot.stepper.emplace(sim, virtual_video, *slot.abr, *slot.bw, streams[m0 + j]);
+      }
+
+      // Run the wave: each live rollout advances until it either finishes or
+      // parks an expensive exit query (a stalled segment needing the net);
+      // cheap queries resolve inline. One flush then evaluates all parked
+      // queries as a single batched forward. Rollouts desynchronize freely —
+      // each owns its rng, abr, bandwidth and model, so interleaving cannot
+      // change any rollout's byte-for-byte outcome.
+      //
+      // Completed rollouts fold into the result in rollout order as soon as
+      // the prefix allows, so a prune fires at exactly the rollout it would
+      // under the scalar path — the in-flight tail is then abandoned, just
+      // as the scalar path never starts it.
+      std::size_t accumulated = 0;  // slots [0, accumulated) folded in
+      for (;;) {
+        parked.clear();
+        for (std::size_t j = 0; j < wave; ++j) {
+          Slot& slot = slots[j];
+          if (slot.done) continue;
+          for (;;) {
+            const SegmentRecord* seg = slot.stepper->advance();
+            if (seg == nullptr) {
+              slot.done = true;
+              slot.session = slot.stepper->take_result();
+              break;
+            }
+            double p = 0.0;
+            if (!exits.prepare(*slot.model, *seg, p)) {
+              parked.push_back(j);
+              break;
+            }
+            slot.stepper->resolve(p);
+          }
+        }
+        while (accumulated < wave && slots[accumulated].done) {
+          if (accumulate(slots[accumulated].session)) {
+            stop = true;
+            break;
+          }
+          ++accumulated;
+        }
+        if (stop) {
+          exits.discard_parked();
+          break;
+        }
+        if (parked.empty()) break;
+        probs.resize(parked.size());
+        const std::size_t flushed = exits.flush(probs.data());
+        LINGXI_ASSERT(flushed == parked.size());
+        for (std::size_t i = 0; i < parked.size(); ++i) {
+          slots[parked[i]].stepper->resolve(probs[i]);
+        }
       }
     }
   }

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 
+#include "abr/abr.h"
 #include "common/rng.h"
 #include "sim/session.h"
 
@@ -23,6 +24,11 @@ struct MonteCarloConfig {
   Seconds sample_duration = 45.0;        ///< T_sample (mean online video length)
   bool enable_pruning = true;
   std::size_t min_samples_before_prune = 8;
+  /// Rollouts advanced in lockstep by evaluate_rollouts(), with the exit
+  /// predictor evaluated once per step as a batch across rollouts. 1 runs
+  /// the scalar reference path (whole sessions, one at a time). Results are
+  /// bitwise identical for every value — the parity suite asserts it.
+  std::size_t batch_size = 1;
 };
 
 struct MonteCarloResult {
@@ -45,6 +51,25 @@ class MonteCarloEvaluator {
                             ExitModel& exit_model, trace::BandwidthModel& bandwidth,
                             Seconds initial_buffer, double best_known_exit_rate,
                             Rng& rng) const;
+
+  /// Like evaluate(), but with per-rollout isolation: every rollout gets its
+  /// own rng stream (exactly `samples` forks are taken from `rng` upfront,
+  /// regardless of pruning), its own clone of `abr` and `bandwidth`, and its
+  /// own exit model from `exits`. With batch_size == 1 the rollouts run as
+  /// whole sequential sessions — the scalar path; with batch_size > 1 they
+  /// advance in lockstep waves (SessionStepper) and the exit predictor is
+  /// evaluated once per step as a batch across the wave. Both paths return
+  /// bitwise-identical results and leave `rng` in the same state — the
+  /// contract behind the fleet's scalar/batched checksum identity. Pruning
+  /// follows the same per-rollout replay order in both modes; a lockstep
+  /// wave merely cannot stop mid-wave, so batching trades some pruned-away
+  /// work for batched forwards without changing any reported number.
+  MonteCarloResult evaluate_rollouts(const trace::Video& virtual_video,
+                                     const abr::AbrAlgorithm& abr,
+                                     const BatchExitEvaluator& exits,
+                                     const trace::BandwidthModel& bandwidth,
+                                     Seconds initial_buffer, double best_known_exit_rate,
+                                     Rng& rng) const;
 
   /// Convenience: build the virtual video used for rollouts, duration =
   /// T_sample. With an Rng the segments carry VBR size jitter (`vbr_sigma`),

@@ -32,96 +32,128 @@ double qoe_lin(const SessionResult& session, const trace::BitrateLadder& ladder,
   return quality - stall_weight * stall - switch_weight * smooth;
 }
 
+SessionStepper::SessionStepper(const SessionSimulator& sim, const trace::Video& video,
+                               BitrateSelector& abr, trace::BandwidthModel& bandwidth,
+                               Rng& rng)
+    : sim_(sim), video_(video), abr_(abr), bandwidth_(bandwidth), rng_(rng),
+      env_(sim.config().player) {
+  abr_.reset();
+  result_.segments.reserve(video_.segment_count());
+  obs_.video = &video_;
+  obs_.rtt = sim_.config().player.rtt;
+}
+
+const SegmentRecord* SessionStepper::advance() {
+  LINGXI_ASSERT(!pending_);
+  if (done_) return nullptr;
+  const SessionSimulator::Config& config = sim_.config();
+  const std::size_t k = next_segment_;
+  if (k >= video_.segment_count()) {
+    finalize();
+    return nullptr;
+  }
+
+  obs_.buffer = env_.buffer();
+  obs_.buffer_max = env_.buffer_max();
+  obs_.next_segment = k;
+  obs_.first_segment = (k == 0);
+
+  const std::size_t level = abr_.select(obs_);
+  LINGXI_ASSERT(level < video_.ladder().levels());
+
+  const Kbps current_bw = bandwidth_.sample(env_.wall_clock(), rng_);
+  const Bytes size = video_.segment_size(k, level);
+
+  SegmentRecord seg;
+  seg.index = k;
+  seg.position = static_cast<double>(k) * video_.segment_duration();
+  seg.level = level;
+  seg.bitrate = video_.ladder().bitrate(level);
+  seg.size = size;
+  seg.throughput = current_bw;
+  seg.buffer_before = env_.buffer();
+
+  const StepResult step = env_.step(size, video_.segment_duration(), current_bw);
+  seg.download_time = step.download_time;
+  seg.stall_time = step.stall_time;
+  seg.buffer_after = step.buffer_after;
+
+  // Segment 0's starvation is startup latency (time to first frame), not a
+  // rebuffer: playback has not begun yet.
+  if (k == 0 && config.player.startup_buffer <= 0.0) {
+    result_.startup_delay = step.stall_time;
+    seg.stall_time = 0.0;
+  }
+
+  if (seg.stall_time > config.stall_event_threshold) ++stall_events_;
+  cumulative_stall_ += seg.stall_time;
+  seg.cumulative_stall = cumulative_stall_;
+  seg.cumulative_stall_events = stall_events_;
+
+  // Maintain ABR-visible history.
+  obs_.throughput_history.push_back(current_bw);
+  obs_.download_time_history.push_back(step.download_time);
+  if (obs_.throughput_history.size() > config.throughput_window) {
+    obs_.throughput_history.erase(obs_.throughput_history.begin());
+    obs_.download_time_history.erase(obs_.download_time_history.begin());
+  }
+  obs_.last_level = level;
+
+  bw_stats_.add(current_bw);
+  if (config.adaptive_buffer_max && bw_stats_.count() >= 2) {
+    env_.update_buffer_max(bw_stats_.mean(), bw_stats_.stddev());
+  }
+
+  if (k > 0 && level != result_.segments.back().level) ++result_.quality_switches;
+  bitrate_stats_.add(seg.bitrate);
+  result_.segments.push_back(seg);
+  result_.watch_time += video_.segment_duration();
+
+  ++next_segment_;
+  pending_ = true;
+  return &result_.segments.back();
+}
+
+void SessionStepper::resolve(double exit_probability) {
+  LINGXI_ASSERT(pending_);
+  pending_ = false;
+  LINGXI_DASSERT(exit_probability >= 0.0 && exit_probability <= 1.0);
+  if (rng_.bernoulli(exit_probability)) {
+    result_.exited = true;
+    finalize();
+  }
+}
+
+void SessionStepper::skip() noexcept {
+  LINGXI_DASSERT(pending_);
+  pending_ = false;
+}
+
+void SessionStepper::finalize() {
+  result_.total_stall = cumulative_stall_;
+  result_.stall_events = stall_events_;
+  result_.mean_bitrate = bitrate_stats_.mean();
+  done_ = true;
+}
+
+SessionResult SessionStepper::take_result() {
+  LINGXI_ASSERT(done_);
+  return std::move(result_);
+}
+
 SessionResult SessionSimulator::run(const trace::Video& video, BitrateSelector& abr,
                                     trace::BandwidthModel& bandwidth, ExitModel* exit_model,
                                     Rng& rng) const {
-  abr.reset();
+  SessionStepper stepper(*this, video, abr, bandwidth, rng);
   if (exit_model != nullptr) exit_model->begin_session();
-
-  PlayerEnv env(config_.player);
-  SessionResult result;
-  result.segments.reserve(video.segment_count());
-
-  AbrObservation obs;
-  obs.video = &video;
-  obs.rtt = config_.player.rtt;
-
-  RunningStats bw_stats;
-  RunningStats bitrate_stats;
-  Seconds cumulative_stall = 0.0;
-  std::size_t stall_events = 0;
-
-  for (std::size_t k = 0; k < video.segment_count(); ++k) {
-    obs.buffer = env.buffer();
-    obs.buffer_max = env.buffer_max();
-    obs.next_segment = k;
-    obs.first_segment = (k == 0);
-
-    const std::size_t level = abr.select(obs);
-    LINGXI_ASSERT(level < video.ladder().levels());
-
-    const Kbps current_bw = bandwidth.sample(env.wall_clock(), rng);
-    const Bytes size = video.segment_size(k, level);
-
-    SegmentRecord seg;
-    seg.index = k;
-    seg.position = static_cast<double>(k) * video.segment_duration();
-    seg.level = level;
-    seg.bitrate = video.ladder().bitrate(level);
-    seg.size = size;
-    seg.throughput = current_bw;
-    seg.buffer_before = env.buffer();
-
-    const StepResult step = env.step(size, video.segment_duration(), current_bw);
-    seg.download_time = step.download_time;
-    seg.stall_time = step.stall_time;
-    seg.buffer_after = step.buffer_after;
-
-    // Segment 0's starvation is startup latency (time to first frame), not a
-    // rebuffer: playback has not begun yet.
-    if (k == 0 && config_.player.startup_buffer <= 0.0) {
-      result.startup_delay = step.stall_time;
-      seg.stall_time = 0.0;
-    }
-
-    if (seg.stall_time > config_.stall_event_threshold) ++stall_events;
-    cumulative_stall += seg.stall_time;
-    seg.cumulative_stall = cumulative_stall;
-    seg.cumulative_stall_events = stall_events;
-
-    // Maintain ABR-visible history.
-    obs.throughput_history.push_back(current_bw);
-    obs.download_time_history.push_back(step.download_time);
-    if (obs.throughput_history.size() > config_.throughput_window) {
-      obs.throughput_history.erase(obs.throughput_history.begin());
-      obs.download_time_history.erase(obs.download_time_history.begin());
-    }
-    obs.last_level = level;
-
-    bw_stats.add(current_bw);
-    if (config_.adaptive_buffer_max && bw_stats.count() >= 2) {
-      env.update_buffer_max(bw_stats.mean(), bw_stats.stddev());
-    }
-
-    if (k > 0 && level != result.segments.back().level) ++result.quality_switches;
-    bitrate_stats.add(seg.bitrate);
-    result.segments.push_back(seg);
-    result.watch_time += video.segment_duration();
-
+  while (const SegmentRecord* seg = stepper.advance()) {
     if (exit_model != nullptr) {
-      const double p = exit_model->exit_probability(seg);
-      LINGXI_DASSERT(p >= 0.0 && p <= 1.0);
-      if (rng.bernoulli(p)) {
-        result.exited = true;
-        break;
-      }
+      stepper.resolve(exit_model->exit_probability(*seg));
+    } else {
+      stepper.skip();
     }
   }
-
-  result.total_stall = cumulative_stall;
-  result.stall_events = stall_events;
-  result.mean_bitrate = bitrate_stats.mean();
-  return result;
+  return stepper.take_result();
 }
 
 }  // namespace lingxi::sim

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/running_stats.h"
 #include "common/units.h"
 #include "sim/player_env.h"
 #include "trace/bandwidth.h"
@@ -71,6 +73,35 @@ class ExitModel {
   virtual double exit_probability(const SegmentRecord& segment) = 0;
 };
 
+/// Factory + batched evaluator for per-rollout exit models — what the
+/// lockstep Monte Carlo path (MonteCarloEvaluator::evaluate_rollouts) needs
+/// from the predictor side. The prepare()/flush() split lets cheap decisions
+/// (e.g. non-stalled segments, which skip the net entirely) resolve inline
+/// while expensive ones accumulate across rollouts into one batched forward.
+/// For any model the prepare()+flush() probabilities must be bitwise
+/// identical to exit_probability() on the same segment sequence — the
+/// contract that makes batched and scalar rollouts produce identical fleet
+/// checksums.
+class BatchExitEvaluator {
+ public:
+  virtual ~BatchExitEvaluator() = default;
+  /// Fresh exit model seeded with the live user state. Each rollout gets its
+  /// own instance so independent sessions can advance in lockstep.
+  virtual std::unique_ptr<ExitModel> make_model() const = 0;
+  /// Advance `model` (a make_model() instance) with `segment`. When the exit
+  /// probability is cheap to produce inline, write it to `out` and return
+  /// true. Otherwise park the prepared query — order is remembered — for the
+  /// next flush() and return false.
+  virtual bool prepare(ExitModel& model, const SegmentRecord& segment,
+                       double& out) const = 0;
+  /// Evaluate every parked query as one batch, write the probabilities in
+  /// park order, clear the parking lot, and return the count written.
+  virtual std::size_t flush(double* out) const = 0;
+  /// Drop any parked queries unevaluated — called when the driver abandons
+  /// in-flight rollouts (pruning), whose queries would otherwise dangle.
+  virtual void discard_parked() const = 0;
+};
+
 /// Result of one simulated playback session.
 struct SessionResult {
   std::vector<SegmentRecord> segments;
@@ -121,6 +152,55 @@ class SessionSimulator {
 
  private:
   Config config_;
+};
+
+/// Incremental form of SessionSimulator::run: simulates one segment at a
+/// time and pauses at the exit decision, so many independent sessions can
+/// advance in lockstep with their exit probabilities evaluated as one batch
+/// (Monte Carlo rollout batching). SessionSimulator::run is implemented on
+/// top of this stepper, so driving it manually reproduces run() exactly,
+/// rng draw for rng draw.
+///
+/// Protocol: advance() simulates the next segment and returns its record,
+/// pending an exit decision — the caller must then call either resolve(p)
+/// (draws the exit coin from the session rng, like run() with an exit model)
+/// or skip() (no draw, like run() without one) before the next advance().
+/// advance() returns nullptr once the session is over (video ended or the
+/// viewer exited); take_result() then yields the final SessionResult.
+///
+/// The referenced simulator, video, abr, bandwidth model and rng must
+/// outlive the stepper. Construction resets the ABR (as run() does); it does
+/// NOT call ExitModel::begin_session — the stepper never sees an exit model.
+class SessionStepper {
+ public:
+  SessionStepper(const SessionSimulator& sim, const trace::Video& video,
+                 BitrateSelector& abr, trace::BandwidthModel& bandwidth, Rng& rng);
+
+  const SegmentRecord* advance();
+  void resolve(double exit_probability);
+  void skip() noexcept;
+  bool done() const noexcept { return done_; }
+  SessionResult take_result();
+
+ private:
+  void finalize();
+
+  const SessionSimulator& sim_;
+  const trace::Video& video_;
+  BitrateSelector& abr_;
+  trace::BandwidthModel& bandwidth_;
+  Rng& rng_;
+
+  PlayerEnv env_;
+  SessionResult result_;
+  AbrObservation obs_;
+  RunningStats bw_stats_;
+  RunningStats bitrate_stats_;
+  Seconds cumulative_stall_ = 0.0;
+  std::size_t stall_events_ = 0;
+  std::size_t next_segment_ = 0;
+  bool pending_ = false;
+  bool done_ = false;
 };
 
 }  // namespace lingxi::sim

@@ -36,6 +36,9 @@ struct SessionContext {
   /// ABR parameters at session end, i.e. after any LingXi update this
   /// session triggered — the per-session assignment of Figs. 13-15.
   abr::QoeParams params_after;
+  /// Ground-truth tolerable stall of the user model that played this session
+  /// (the day-drifted value, unlike UserTelemetry's base-user figure).
+  double user_tolerance = 0.0;
 };
 
 /// Per-user summary emitted once, after the user's last session.

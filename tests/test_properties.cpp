@@ -19,6 +19,9 @@
 #include "common/rng.h"
 #include "logstore/session_log.h"
 #include "predictor/exit_net.h"
+#include "predictor/hybrid.h"
+#include "predictor/os_model.h"
+#include "sim/fleet_runner.h"
 #include "sim/monte_carlo.h"
 #include "sim/player_env.h"
 #include "sim/session.h"
@@ -485,6 +488,141 @@ TEST(McPruning, EngagesAgainstUnbeatableBaseline) {
     }
   }
   EXPECT_TRUE(any_pruned);
+}
+
+// ---------------------------------------------------------------------------
+// Batched-inference invariance (the tentpole contract): a LingXi fleet's
+// merged FleetAccumulator is bitwise identical for every (Monte Carlo batch
+// size, thread count) combination — the batched path may regroup predictor
+// forwards but must not change a single bit of any result.
+// ---------------------------------------------------------------------------
+
+using BatchThreadCase = std::tuple<int /*batch*/, int /*threads*/>;
+
+class FleetBatchingInvariance : public ::testing::TestWithParam<BatchThreadCase> {
+ public:
+  static sim::FleetConfig fleet_config() {
+    sim::FleetConfig cfg;
+    cfg.users = 8;
+    cfg.days = 2;
+    cfg.sessions_per_user_day = 6;
+    cfg.users_per_shard = 2;
+    cfg.enable_lingxi = true;
+    cfg.drift_user_tolerance = true;
+    // Weak links so stalls (and therefore optimizations + net forwards)
+    // actually happen — otherwise the property would be vacuous.
+    cfg.network.median_bandwidth = 1100.0;
+    cfg.network.sigma = 0.4;
+    cfg.lingxi.space.optimize_stall = false;
+    cfg.lingxi.space.optimize_switch = false;
+    cfg.lingxi.space.optimize_beta = true;
+    cfg.lingxi.obo_rounds = 2;
+    cfg.lingxi.monte_carlo.samples = 6;
+    cfg.lingxi.monte_carlo.sample_duration = 12.0;
+    cfg.lingxi.monte_carlo.min_samples_before_prune = 3;
+    return cfg;
+  }
+
+  static sim::FleetAccumulator run(std::size_t batch, std::size_t threads) {
+    sim::FleetConfig cfg = fleet_config();
+    cfg.predictor_batch = batch;
+    cfg.threads = threads;
+    sim::FleetRunner runner(cfg, [] { return std::make_unique<abr::Hyb>(); });
+    runner.set_predictor_factory([] {
+      Rng net_rng(4242);
+      return predictor::HybridExitPredictor(
+          std::make_shared<predictor::StallExitNet>(net_rng),
+          std::make_shared<predictor::OverallStatsModel>());
+    });
+    return runner.run(77);
+  }
+};
+
+TEST_P(FleetBatchingInvariance, ChecksumMatchesScalarSingleThread) {
+  static const sim::FleetAccumulator reference = run(1, 1);
+  // The property is only meaningful if the predictor actually ran.
+  ASSERT_GT(reference.lingxi_optimizations, 0u);
+  ASSERT_GT(reference.lingxi_mc_evaluations, 0u);
+
+  const auto [batch, threads] = GetParam();
+  const sim::FleetAccumulator acc =
+      run(static_cast<std::size_t>(batch), static_cast<std::size_t>(threads));
+  EXPECT_EQ(acc.checksum(), reference.checksum())
+      << "batch=" << batch << " threads=" << threads;
+  // Spot-check raw fields too, in case of an unlikely CRC collision.
+  EXPECT_EQ(acc.watch_ticks, reference.watch_ticks);
+  EXPECT_EQ(acc.stall_ticks, reference.stall_ticks);
+  EXPECT_EQ(acc.bitrate_time_ticks, reference.bitrate_time_ticks);
+  EXPECT_EQ(acc.lingxi_mc_evaluations, reference.lingxi_mc_evaluations);
+  EXPECT_EQ(acc.lingxi_mc_rollouts_pruned, reference.lingxi_mc_rollouts_pruned);
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchByThreads, FleetBatchingInvariance,
+                         ::testing::Combine(::testing::Values(1, 2, 7, 64),
+                                            ::testing::Values(1, 4)));
+
+// ---------------------------------------------------------------------------
+// Permutation invariance of batch assembly: the order in which queries are
+// gathered into a predictor batch must not change any individual result —
+// each row's forward is an independent, order-preserving accumulation.
+// ---------------------------------------------------------------------------
+
+TEST(PredictBatchAssembly, PermutationInvariantAndScalarExact) {
+  Rng rng(31);
+  auto net = std::make_shared<predictor::StallExitNet>(rng);
+  auto os = std::make_shared<predictor::OverallStatsModel>();
+  for (std::size_t i = 0; i < 300; ++i) {
+    os->observe(i % 4, static_cast<predictor::SwitchType>(i % 3), rng.bernoulli(0.04));
+  }
+  const predictor::HybridExitPredictor predictor(net, os);
+
+  // Distinct engagement states (varied stall histories) -> distinct queries.
+  constexpr std::size_t kQueries = 13;
+  std::vector<predictor::EngagementState> states;
+  for (std::size_t s = 0; s < kQueries; ++s) {
+    Rng hist_rng(900 + s);
+    predictor::EngagementState state;
+    state.begin_session();
+    for (std::size_t i = 0; i < 24; ++i) {
+      sim::SegmentRecord seg;
+      seg.index = i;
+      seg.level = i % 4;
+      seg.bitrate = hist_rng.uniform(300.0, 4000.0);
+      seg.throughput = hist_rng.uniform(500.0, 8000.0);
+      seg.stall_time = hist_rng.bernoulli(0.35) ? hist_rng.uniform(0.1, 3.0) : 0.0;
+      state.on_segment(seg, 1.0);
+      if (seg.stall_time > 0.0 && hist_rng.bernoulli(0.3)) state.on_stall_exit();
+    }
+    states.push_back(std::move(state));
+  }
+
+  std::vector<predictor::HybridExitPredictor::ExitQuery> queries(kQueries);
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    queries[i].state = &states[i];
+    queries[i].level = i % 4;
+    queries[i].stall_time = i % 4 == 0 ? 0.0 : 0.1 + 0.15 * static_cast<double>(i);
+    queries[i].sw = static_cast<predictor::SwitchType>(i % 3);
+  }
+
+  std::vector<double> scalar(kQueries);
+  for (std::size_t i = 0; i < kQueries; ++i) scalar[i] = predictor.predict(queries[i]);
+
+  std::vector<double> in_order(kQueries);
+  predictor.predict_batch(kQueries, queries.data(), in_order.data());
+
+  // A fixed non-trivial permutation (reverse + interleave via stride 5,
+  // coprime with 13).
+  std::vector<std::size_t> perm;
+  for (std::size_t i = 0; i < kQueries; ++i) perm.push_back((i * 5 + 3) % kQueries);
+  std::vector<predictor::HybridExitPredictor::ExitQuery> shuffled;
+  for (const std::size_t p : perm) shuffled.push_back(queries[p]);
+  std::vector<double> permuted(kQueries);
+  predictor.predict_batch(kQueries, shuffled.data(), permuted.data());
+
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    EXPECT_EQ(in_order[i], scalar[i]) << "in-order query " << i;
+    EXPECT_EQ(permuted[i], scalar[perm[i]]) << "permuted slot " << i;
+  }
 }
 
 }  // namespace
