@@ -1,22 +1,27 @@
 // Fleet scaling: sessions/sec of sim::FleetRunner at 1/2/4/8 worker threads,
-// and batched vs scalar predictor inference on the LingXi fleet.
+// and batched predictor inference on the LingXi fleet.
 //
-// Three sections:
+// Four sections:
 //   * a raw-simulation fleet (no LingXi) — pure session-loop throughput;
 //   * a LingXi treatment fleet with the scalar predictor path (monte_carlo
 //     batch_size 1) — the Fig. 10-12 experiment shape;
-//   * the same fleet with batched inference (--batch N, default 16): Monte
-//     Carlo rollouts advance in lockstep and the stall-exit net evaluates
-//     whole waves per forward.
+//   * the same fleet with per-optimization batching (--batch N, default 16):
+//     Monte Carlo rollouts advance in lockstep and the stall-exit net
+//     evaluates whole waves per forward, scoped to one optimization;
+//   * cross-user vs per-optimization (a larger fleet, 512 users full mode):
+//     the cohort wave scheduler pools every stalled exit query across the
+//     shard's users into one flush, reported with the mean batch occupancy
+//     per flush of both schedules.
 //
 // Checksum contract: within a section the merged FleetAccumulator checksum
-// must be identical at every thread count, and the batched section must
-// reproduce the scalar section's checksum bit for bit (any batch size, any
-// thread count). A mismatch is a determinism bug and exits non-zero — CI
-// runs this binary as the batched-path smoke.
+// must be identical at every thread count; the batched sections must
+// reproduce the scalar section's checksum bit for bit; and both schedulers
+// must agree bitwise on the comparison fleet. A mismatch is a determinism
+// bug and exits non-zero — CI runs this binary as the batched-path smoke.
 //
-// Flags: --batch N (lockstep batch, default 16), --smoke (shrunk configs +
-// {1,2} threads for CI).
+// Flags: --batch N (lockstep batch, default 16), --users-per-shard N
+// (override the comparison fleet's shard size), --json PATH (machine-
+// readable summary), --smoke (shrunk configs + {1,2} threads for CI).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -76,18 +81,64 @@ ScalingRun run_scaling(const char* title, const sim::FleetConfig& base,
   return out;
 }
 
+/// One scheduler arm of the cross-user comparison section.
+struct SchedulerRun {
+  double rate = 0.0;            ///< sessions/s, first (serial) thread count
+  double rate_threaded = 0.0;   ///< sessions/s, last thread count
+  std::uint32_t checksum = 0;
+  bool checksums_match = true;
+  sim::FleetRunStats stats;     ///< from the serial run
+};
+
+SchedulerRun run_scheduler_arm(const sim::FleetConfig& base, sim::SchedulerMode mode,
+                               const sim::FleetRunner::PredictorFactory& predictor_factory,
+                               std::uint64_t seed,
+                               const std::vector<std::size_t>& thread_counts) {
+  SchedulerRun out;
+  bool first = true;
+  for (std::size_t threads : thread_counts) {
+    sim::FleetConfig cfg = base;
+    cfg.scheduler = mode;
+    cfg.threads = threads;
+    sim::FleetRunner runner(cfg, [] { return std::make_unique<abr::Hyb>(); });
+    runner.set_predictor_factory(predictor_factory);
+    sim::FleetRunStats stats;
+    const auto start = std::chrono::steady_clock::now();
+    const sim::FleetAccumulator result = runner.run(seed, &stats);
+    const double wall = seconds_since(start);
+    const double rate = wall > 0.0 ? static_cast<double>(result.sessions) / wall : 0.0;
+    if (first) {
+      out.rate = rate;
+      out.checksum = result.checksum();
+      out.stats = stats;
+      first = false;
+    }
+    out.rate_threaded = rate;
+    out.checksums_match = out.checksums_match && result.checksum() == out.checksum;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t batch = 16;
+  std::size_t users_per_shard = 0;  // 0 = per-section defaults
+  const char* json_path = nullptr;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
       batch = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--users-per-shard") == 0 && i + 1 < argc) {
+      users_per_shard = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--batch N] [--smoke]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--batch N] [--users-per-shard N] [--json PATH] [--smoke]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -118,6 +169,9 @@ int main(int argc, char** argv) {
   treated.days = 2;
   treated.sessions_per_user_day = 8;
   treated.users_per_shard = 4;
+  // Sections 2-3 measure the per-optimization batching path (the PR 3
+  // shape); the cross-user comparison section below flips the scheduler.
+  treated.scheduler = sim::SchedulerMode::kPerUser;
   treated.enable_lingxi = true;
   treated.drift_user_tolerance = true;
   treated.network.median_bandwidth = 1500.0;
@@ -156,6 +210,85 @@ int main(int argc, char** argv) {
               batched.checksum,
               parity ? "bitwise identical" : "MISMATCH — PARITY BUG");
 
-  if (!scalar.checksums_match || !batched.checksums_match || !parity) return 1;
+  // Cross-user wave scheduler vs per-optimization batching, at realistic
+  // occupancy: many users per shard, all mid-optimization work pooled.
+  sim::FleetConfig cohort = treated;
+  cohort.users = smoke ? 24 : 512;
+  cohort.users_per_shard = users_per_shard != 0 ? users_per_shard : (smoke ? 3 : 64);
+  cohort.predictor_batch = batch;
+  std::printf(
+      "\ncross-user fleet: %zu users x %zu days x %zu sessions, shard %zu, batch %zu\n",
+      cohort.users, cohort.days, cohort.sessions_per_user_day, cohort.users_per_shard,
+      batch);
+
+  const SchedulerRun per_opt = run_scheduler_arm(cohort, sim::SchedulerMode::kPerUser,
+                                                 predictor_factory, 11, thread_counts);
+  const SchedulerRun cross = run_scheduler_arm(cohort, sim::SchedulerMode::kCohortWaves,
+                                               predictor_factory, 11, thread_counts);
+
+  bench::print_header("Cross-user waves vs per-optimization batching");
+  std::printf("%-18s %-14s %-14s %-16s %-14s %-10s\n", "scheduler", "sess/s (1t)",
+              "sess/s (max t)", "mean batch/flush", "mean net rows", "checksum");
+  std::printf("%-18s %-14.0f %-14.0f %-16.1f %-14.1f 0x%08x\n", "per-optimization",
+              per_opt.rate, per_opt.rate_threaded, per_opt.stats.mean_flush_occupancy(),
+              per_opt.stats.mean_net_batch(), per_opt.checksum);
+  std::printf("%-18s %-14.0f %-14.0f %-16.1f %-14.1f 0x%08x\n", "cross-user waves",
+              cross.rate, cross.rate_threaded, cross.stats.mean_flush_occupancy(),
+              cross.stats.mean_net_batch(), cross.checksum);
+  const double cohort_speedup = per_opt.rate > 0.0 ? cross.rate / per_opt.rate : 0.0;
+  std::printf("cross-user speedup (1 thread): %.2fx; max flush %llu vs %llu queries\n",
+              cohort_speedup,
+              static_cast<unsigned long long>(cross.stats.pool_max_flush),
+              static_cast<unsigned long long>(per_opt.stats.pool_max_flush));
+  const bool scheduler_parity = per_opt.checksum == cross.checksum &&
+                                per_opt.checksums_match && cross.checksums_match;
+  std::printf("scheduler checksums: %s\n",
+              scheduler_parity ? "bitwise identical" : "MISMATCH — PARITY BUG");
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"batch\": %zu,\n"
+                 "  \"scalar_sessions_per_sec\": %.1f,\n"
+                 "  \"batched_sessions_per_sec\": %.1f,\n"
+                 "  \"cross_user\": {\n"
+                 "    \"users\": %zu,\n"
+                 "    \"users_per_shard\": %zu,\n"
+                 "    \"per_opt_sessions_per_sec\": %.1f,\n"
+                 "    \"cross_user_sessions_per_sec\": %.1f,\n"
+                 "    \"speedup\": %.3f,\n"
+                 "    \"per_opt_mean_flush_occupancy\": %.2f,\n"
+                 "    \"cross_user_mean_flush_occupancy\": %.2f,\n"
+                 "    \"per_opt_mean_net_rows\": %.2f,\n"
+                 "    \"cross_user_mean_net_rows\": %.2f,\n"
+                 "    \"checksum\": \"0x%08x\",\n"
+                 "    \"checksums_match\": %s\n"
+                 "  },\n"
+                 "  \"all_checksums_match\": %s\n"
+                 "}\n",
+                 smoke ? "true" : "false", batch, scalar.rates.front(),
+                 batched.rates.front(), cohort.users, cohort.users_per_shard, per_opt.rate,
+                 cross.rate, cohort_speedup, per_opt.stats.mean_flush_occupancy(),
+                 cross.stats.mean_flush_occupancy(), per_opt.stats.mean_net_batch(),
+                 cross.stats.mean_net_batch(), cross.checksum,
+                 scheduler_parity ? "true" : "false",
+                 scalar.checksums_match && batched.checksums_match && parity &&
+                         scheduler_parity
+                     ? "true"
+                     : "false");
+    std::fclose(f);
+    std::printf("json summary written to %s\n", json_path);
+  }
+
+  if (!scalar.checksums_match || !batched.checksums_match || !parity ||
+      !scheduler_parity) {
+    return 1;
+  }
   return 0;
 }

@@ -61,6 +61,32 @@ void BM_PensieveDecision(benchmark::State& state) {
 }
 BENCHMARK(BM_PensieveDecision);
 
+// Dense::forward_batch at the stall-exit net's fc1 shape (64 x 1600, the
+// layer whose weight traffic dominates batched inference). rows/s is the
+// figure of merit: the 8-row block + SIMD panel kernel should hold it
+// roughly flat from 8 rows up, while 1-row batches pay the full weight
+// stream per row.
+void BM_DenseForwardBatch(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kIn = 1600, kOut = 64;
+  Rng rng(6);
+  nn::Dense layer(kIn, kOut, rng);
+  std::vector<double> in(rows * kIn);
+  std::vector<double> out(rows * kOut);
+  for (double& x : in) x = rng.uniform(0.0, 1.0);
+  for (auto _ : state) {
+    layer.forward_batch({in.data(), rows, kIn}, {out.data(), rows, kOut});
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(rows),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DenseForwardBatch)->Arg(1)->Arg(4)->Arg(8)->Arg(64)->Arg(512);
+
 void BM_ExitNetInference(benchmark::State& state) {
   Rng rng(2);
   predictor::StallExitNet net(rng);

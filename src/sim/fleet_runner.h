@@ -15,11 +15,28 @@
 //     (fixed-point) so that merging is exactly associative and commutative.
 // Hence the merged result is bitwise identical at 1, 4 or 64 threads, which
 // is what makes the parallel fleet usable for paired A/B comparisons.
+//
+// Within a shard, two execution schedules exist (FleetConfig::scheduler):
+//   * kPerUser — users run one after another, whole simulation each; LingXi
+//     predictor batches are scoped to one optimization (the PR 3 shape);
+//   * kCohortWaves — every user of the shard advances as a pausable task
+//     (ShardScheduler below): live sessions run inline, and whenever a
+//     user's Monte Carlo optimization stalls on exit-predictor queries the
+//     task parks and the next user runs. Between waves one pooled flush
+//     (predictor::ExitQueryPool) evaluates every parked query across ALL
+//     the shard's users — rollouts of different users and candidates — as
+//     per-net sub-batches, so batch occupancy is bounded by the shard's
+//     concurrent optimizations instead of a single user's rollouts.
+// Both schedules produce bitwise-identical FleetAccumulator checksums and
+// telemetry archive bytes: per-user state (rng streams, OBO, engagement) is
+// task-private, predictor forwards are bitwise independent of batch
+// composition, the accumulator is integer, and telemetry buffers per user.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "abr/abr.h"
 #include "common/rng.h"
@@ -33,6 +50,10 @@
 
 namespace lingxi::telemetry {
 class TelemetrySink;
+}
+
+namespace lingxi::predictor {
+class ExitQueryPool;
 }
 
 namespace lingxi::sim {
@@ -107,6 +128,34 @@ struct FleetAccumulator {
   std::uint32_t checksum() const;
 };
 
+/// How a worker executes the users of one shard. Purely a scheduling knob:
+/// both modes produce bitwise-identical results (checksums AND telemetry
+/// bytes) — the property test grid asserts it.
+enum class SchedulerMode {
+  /// One user at a time, whole simulation each; predictor batches are
+  /// scoped to a single optimization (the per-optimization baseline).
+  kPerUser,
+  /// Cross-user wave scheduler: all users of the shard advance as pausable
+  /// tasks and stalled exit-predictor queries pool into one fleet-wide
+  /// flush per wave (see ShardScheduler).
+  kCohortWaves,
+};
+
+/// Batching telemetry for one FleetRunner::run — deliberately OUTSIDE
+/// FleetAccumulator: occupancy depends on the schedule, and the accumulator
+/// checksum must not.
+struct FleetRunStats {
+  std::uint64_t pool_flushes = 0;      ///< pooled flushes with >= 1 query
+  std::uint64_t pool_queries = 0;      ///< stalled queries batch-evaluated
+  std::uint64_t pool_net_batches = 0;  ///< per-net predict_batch calls
+  std::uint64_t pool_max_flush = 0;    ///< largest single flush
+  void merge(const FleetRunStats& other) noexcept;
+  /// Mean stalled queries evaluated per pooled flush (batch occupancy).
+  double mean_flush_occupancy() const noexcept;
+  /// Mean rows per net forward (after per-net sub-batching).
+  double mean_net_batch() const noexcept;
+};
+
 struct FleetConfig {
   std::size_t users = 100;
   std::size_t days = 1;
@@ -118,9 +167,13 @@ struct FleetConfig {
   /// Worker pool size; 0 = std::thread::hardware_concurrency().
   std::size_t threads = 1;
   /// Shard granularity in users. Purely a scheduling knob: results are
-  /// identical for any value; smaller shards balance heterogeneous users
-  /// better, larger shards amortize per-shard setup.
+  /// identical for any value (0 is clamped to 1 at construction; values
+  /// beyond the fleet size behave as one whole-fleet shard); smaller shards
+  /// balance heterogeneous users better, larger shards amortize per-shard
+  /// setup and — under kCohortWaves — pool more users per predictor flush.
   std::size_t users_per_shard = 8;
+  /// Shard execution schedule; results are identical in both modes.
+  SchedulerMode scheduler = SchedulerMode::kCohortWaves;
   /// Treatment switch: run LingXi per user (config `lingxi`) vs pinning
   /// `fixed_params` on the ABR.
   bool enable_lingxi = false;
@@ -164,9 +217,19 @@ class FleetRunner {
 
   /// Override user sampling (e.g. the Fig. 10 rule-based 8x8 grid).
   void set_user_factory(UserFactory factory);
-  /// Required when `config.enable_lingxi`. Invoked once per user from worker
-  /// threads; the returned predictor's net is deep-copied before use, so a
-  /// factory handing out a shared net is safe.
+  /// Required when `config.enable_lingxi`. Invoked from worker threads —
+  /// once per user (kPerUser) or once per shard (kCohortWaves); the returned
+  /// predictor's net is deep-copied before use, so a factory handing out a
+  /// shared net is safe. Under kCohortWaves the shard's users share the
+  /// deep copy: batched forwards are const and pure per row, and one shard
+  /// is driven by one worker, so sharing changes no result bit while
+  /// letting one flush serve the whole shard as a single net sub-batch.
+  /// Because the invocation count depends on the schedule, the factory must
+  /// be pure configuration: every call must return an equivalent predictor
+  /// (same weights, same OS model, same blend config). A factory whose
+  /// output varies call to call (e.g. an rng advanced across calls) would
+  /// silently void the "results identical for any scheduler / shard size"
+  /// contract.
   void set_predictor_factory(PredictorFactory factory);
 
   /// Optional capture plane (telemetry/sink.h): the sink observes every
@@ -175,20 +238,69 @@ class FleetRunner {
   void set_telemetry_sink(telemetry::TelemetrySink* sink) { sink_ = sink; }
 
   /// Simulate the whole fleet. Bitwise-deterministic for a given seed,
-  /// independent of `config().threads`.
-  FleetAccumulator run(std::uint64_t seed) const;
+  /// independent of `config().threads` (and of `config().scheduler`).
+  /// `stats`, when non-null, receives the merged batching telemetry.
+  FleetAccumulator run(std::uint64_t seed, FleetRunStats* stats = nullptr) const;
 
   const FleetConfig& config() const noexcept { return config_; }
 
  private:
-  void simulate_user(std::size_t user_index, std::uint64_t seed,
-                     const FleetWorld& world, FleetAccumulator& acc) const;
+  friend class ShardScheduler;
 
   FleetConfig config_;
   AbrFactory abr_factory_;
   UserFactory user_factory_;
   PredictorFactory predictor_factory_;
   telemetry::TelemetrySink* sink_ = nullptr;
+};
+
+/// Executes the users of one shard under the configured SchedulerMode. Both
+/// schedules drive the same pausable per-user task (UserTask — there is ONE
+/// implementation of per-user simulation, so schedule parity is structural,
+/// not maintained by hand):
+///
+///   * kPerUser: one task at a time, driven to completion; the predictor is
+///     deep-copied per user and flushes stay scoped to one optimization
+///     (with batch <= 1 the pool is withheld entirely, keeping the
+///     sequential rollout fast path);
+///   * kCohortWaves: every task advances in waves — live sessions simulate
+///     inline, LingXi optimizations run until each Monte Carlo rollout
+///     parks a stalled exit query in the shared ExitQueryPool, then the
+///     next user runs; one pooled flush per wave serves every parked query
+///     across users, candidates and rollouts, sub-batched per net.
+///
+/// Tasks step in ascending user order, so park order — and therefore every
+/// batch composition — is a pure function of (config, seed, shard range):
+/// replays are deterministic. Per-user outcomes cannot depend on the
+/// interleaving at all (task state is private; forwards are pure), which is
+/// what keeps cohort results bitwise equal to the per-user schedule.
+/// One ShardScheduler is driven by exactly one worker thread.
+class ShardScheduler {
+ public:
+  ShardScheduler(const FleetRunner& runner, const FleetWorld& world, std::uint64_t seed,
+                 std::size_t first_user, std::size_t last_user, FleetAccumulator& acc);
+  ~ShardScheduler();
+  ShardScheduler(const ShardScheduler&) = delete;
+  ShardScheduler& operator=(const ShardScheduler&) = delete;
+
+  /// Drive every user of the shard to completion under the configured mode.
+  void run();
+  /// Pool batching telemetry accumulated so far.
+  FleetRunStats stats() const;
+
+ private:
+  class UserTask;
+
+  void run_per_user();
+  void run_cohort();
+
+  const FleetRunner& runner_;
+  const FleetWorld& world_;
+  std::uint64_t seed_;
+  std::size_t first_user_;
+  std::size_t last_user_;
+  FleetAccumulator& acc_;
+  std::unique_ptr<predictor::ExitQueryPool> pool_;
 };
 
 }  // namespace lingxi::sim

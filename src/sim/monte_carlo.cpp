@@ -8,6 +8,35 @@
 #include "common/assert.h"
 
 namespace lingxi::sim {
+namespace {
+
+/// Fold one completed rollout into `result` and apply the optimistic prune
+/// bound (every remaining sample watches the full virtual video and never
+/// exits); true when evaluation must stop. THE accumulation implementation,
+/// shared by the sequential path and RolloutWave so both prune at exactly
+/// the same rollout — the parity is structural, not maintained by hand.
+bool fold_rollout(const MonteCarloConfig& mc, std::size_t max_segments_per_sample,
+                  double best_known_exit_rate, const SessionResult& session,
+                  MonteCarloResult& result) {
+  result.watched_count += session.segments.size();
+  if (session.exited) ++result.exited_count;
+  ++result.samples_run;
+  if (mc.enable_pruning && result.samples_run >= mc.min_samples_before_prune &&
+      std::isfinite(best_known_exit_rate)) {
+    const std::size_t remaining = mc.samples - result.samples_run;
+    const double optimistic_watched =
+        static_cast<double>(result.watched_count + remaining * max_segments_per_sample);
+    const double lower_bound =
+        static_cast<double>(result.exited_count) / optimistic_watched;
+    if (lower_bound > best_known_exit_rate) {
+      result.pruned = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 MonteCarloEvaluator::MonteCarloEvaluator(MonteCarloConfig mc_config,
                                          SessionSimulator::Config session_config)
@@ -72,6 +101,19 @@ MonteCarloResult MonteCarloEvaluator::evaluate_rollouts(
     const trace::Video& virtual_video, const abr::AbrAlgorithm& abr,
     const BatchExitEvaluator& exits, const trace::BandwidthModel& bandwidth,
     Seconds initial_buffer, double best_known_exit_rate, Rng& rng) const {
+  const std::size_t batch = std::max<std::size_t>(1, mc_config_.batch_size);
+  if (batch > 1) {
+    // Lockstep path: the resumable wave drives itself to completion here
+    // (its exits.flush() computes the parked batch directly); the cross-user
+    // scheduler drives the same class with flushes pooled across
+    // evaluations instead. The wave forks the per-rollout streams itself.
+    RolloutWave wave(*this, virtual_video, abr, exits, bandwidth, initial_buffer,
+                     best_known_exit_rate, rng);
+    while (!wave.step()) {
+    }
+    return wave.take_result();
+  }
+
   SessionSimulator::Config cfg = session_config_;
   cfg.player.startup_buffer = std::max(0.0, initial_buffer);
   const SessionSimulator sim(cfg);
@@ -87,114 +129,15 @@ MonteCarloResult MonteCarloEvaluator::evaluate_rollouts(
   MonteCarloResult result;
   const std::size_t max_segments_per_sample = virtual_video.segment_count();
 
-  // Scalar accumulation + pruning, applied to completed rollouts in rollout
-  // order by both modes. Returns true when evaluation must stop.
-  const auto accumulate = [&](const SessionResult& session) {
-    result.watched_count += session.segments.size();
-    if (session.exited) ++result.exited_count;
-    ++result.samples_run;
-    if (mc_config_.enable_pruning &&
-        result.samples_run >= mc_config_.min_samples_before_prune &&
-        std::isfinite(best_known_exit_rate)) {
-      const std::size_t remaining = mc_config_.samples - result.samples_run;
-      const double optimistic_watched = static_cast<double>(
-          result.watched_count + remaining * max_segments_per_sample);
-      const double lower_bound =
-          static_cast<double>(result.exited_count) / optimistic_watched;
-      if (lower_bound > best_known_exit_rate) {
-        result.pruned = true;
-        return true;
-      }
-    }
-    return false;
-  };
-
-  const std::size_t batch = std::max<std::size_t>(1, mc_config_.batch_size);
-  if (batch <= 1) {
-    for (std::size_t m = 0; m < mc_config_.samples; ++m) {
-      const auto rollout_abr = abr.clone();
-      const auto bw = bandwidth.clone();
-      const auto model = exits.make_model();
-      const SessionResult session =
-          sim.run(virtual_video, *rollout_abr, *bw, model.get(), streams[m]);
-      if (accumulate(session)) break;
-    }
-  } else {
-    struct Slot {
-      std::unique_ptr<abr::AbrAlgorithm> abr;
-      std::unique_ptr<trace::BandwidthModel> bw;
-      std::unique_ptr<ExitModel> model;
-      std::optional<SessionStepper> stepper;
-      SessionResult session;
-      bool done = false;
-    };
-    std::vector<std::size_t> parked;  // slot index per parked query, in park order
-    std::vector<double> probs;
-
-    bool stop = false;
-    for (std::size_t m0 = 0; m0 < mc_config_.samples && !stop; m0 += batch) {
-      const std::size_t wave = std::min(batch, mc_config_.samples - m0);
-      std::vector<Slot> slots(wave);
-      for (std::size_t j = 0; j < wave; ++j) {
-        Slot& slot = slots[j];
-        slot.abr = abr.clone();
-        slot.bw = bandwidth.clone();
-        slot.model = exits.make_model();
-        slot.model->begin_session();
-        slot.stepper.emplace(sim, virtual_video, *slot.abr, *slot.bw, streams[m0 + j]);
-      }
-
-      // Run the wave: each live rollout advances until it either finishes or
-      // parks an expensive exit query (a stalled segment needing the net);
-      // cheap queries resolve inline. One flush then evaluates all parked
-      // queries as a single batched forward. Rollouts desynchronize freely —
-      // each owns its rng, abr, bandwidth and model, so interleaving cannot
-      // change any rollout's byte-for-byte outcome.
-      //
-      // Completed rollouts fold into the result in rollout order as soon as
-      // the prefix allows, so a prune fires at exactly the rollout it would
-      // under the scalar path — the in-flight tail is then abandoned, just
-      // as the scalar path never starts it.
-      std::size_t accumulated = 0;  // slots [0, accumulated) folded in
-      for (;;) {
-        parked.clear();
-        for (std::size_t j = 0; j < wave; ++j) {
-          Slot& slot = slots[j];
-          if (slot.done) continue;
-          for (;;) {
-            const SegmentRecord* seg = slot.stepper->advance();
-            if (seg == nullptr) {
-              slot.done = true;
-              slot.session = slot.stepper->take_result();
-              break;
-            }
-            double p = 0.0;
-            if (!exits.prepare(*slot.model, *seg, p)) {
-              parked.push_back(j);
-              break;
-            }
-            slot.stepper->resolve(p);
-          }
-        }
-        while (accumulated < wave && slots[accumulated].done) {
-          if (accumulate(slots[accumulated].session)) {
-            stop = true;
-            break;
-          }
-          ++accumulated;
-        }
-        if (stop) {
-          exits.discard_parked();
-          break;
-        }
-        if (parked.empty()) break;
-        probs.resize(parked.size());
-        const std::size_t flushed = exits.flush(probs.data());
-        LINGXI_ASSERT(flushed == parked.size());
-        for (std::size_t i = 0; i < parked.size(); ++i) {
-          slots[parked[i]].stepper->resolve(probs[i]);
-        }
-      }
+  for (std::size_t m = 0; m < mc_config_.samples; ++m) {
+    const auto rollout_abr = abr.clone();
+    const auto bw = bandwidth.clone();
+    const auto model = exits.make_model();
+    const SessionResult session =
+        sim.run(virtual_video, *rollout_abr, *bw, model.get(), streams[m]);
+    if (fold_rollout(mc_config_, max_segments_per_sample, best_known_exit_rate, session,
+                     result)) {
+      break;
     }
   }
 
@@ -203,6 +146,137 @@ MonteCarloResult MonteCarloEvaluator::evaluate_rollouts(
                          : static_cast<double>(result.exited_count) /
                                static_cast<double>(result.watched_count);
   return result;
+}
+
+RolloutWave::RolloutWave(const MonteCarloEvaluator& evaluator,
+                         const trace::Video& virtual_video, const abr::AbrAlgorithm& abr,
+                         const BatchExitEvaluator& exits,
+                         const trace::BandwidthModel& bandwidth, Seconds initial_buffer,
+                         double best_known_exit_rate, Rng& rng)
+    : mc_(evaluator.config()),
+      sim_([&] {
+        SessionSimulator::Config cfg = evaluator.session_config_;
+        cfg.player.startup_buffer = std::max(0.0, initial_buffer);
+        return SessionSimulator(cfg);
+      }()),
+      video_(virtual_video),
+      abr_(abr),
+      exits_(exits),
+      bandwidth_(bandwidth),
+      best_known_exit_rate_(best_known_exit_rate),
+      max_segments_(virtual_video.segment_count()) {
+  // Fork every rollout stream upfront (the evaluate_rollouts rng contract).
+  streams_.reserve(mc_.samples);
+  for (std::size_t m = 0; m < mc_.samples; ++m) streams_.push_back(rng.fork());
+}
+
+bool RolloutWave::accumulate(const SessionResult& session) {
+  return fold_rollout(mc_, max_segments_, best_known_exit_rate_, session, result_);
+}
+
+void RolloutWave::start_chunk() {
+  const std::size_t batch = std::max<std::size_t>(1, mc_.batch_size);
+  const std::size_t wave = std::min(batch, mc_.samples - chunk_first_);
+  slots_ = std::vector<Slot>(wave);
+  for (std::size_t j = 0; j < wave; ++j) {
+    Slot& slot = slots_[j];
+    slot.abr = abr_.clone();
+    slot.bw = bandwidth_.clone();
+    slot.model = exits_.make_model();
+    slot.model->begin_session();
+    slot.stepper.emplace(sim_, video_, *slot.abr, *slot.bw, streams_[chunk_first_ + j]);
+  }
+  accumulated_ = 0;
+}
+
+void RolloutWave::finish() {
+  result_.exit_rate = result_.watched_count == 0
+                          ? 0.0
+                          : static_cast<double>(result_.exited_count) /
+                                static_cast<double>(result_.watched_count);
+  slots_.clear();
+  finished_ = true;
+}
+
+bool RolloutWave::step() {
+  if (finished_) return true;
+  if (needs_flush_) {
+    // The parked probabilities are available now (either exits_ computes
+    // them in flush(), or the pool it parks into was flushed by the caller);
+    // deliver them in park order and resume the parked rollouts.
+    probs_.resize(parked_.size());
+    const std::size_t flushed = exits_.flush(probs_.data());
+    LINGXI_ASSERT(flushed == parked_.size());
+    for (std::size_t i = 0; i < parked_.size(); ++i) {
+      slots_[parked_[i]].stepper->resolve(probs_[i]);
+    }
+    needs_flush_ = false;
+  }
+
+  for (;;) {
+    if (slots_.empty()) {
+      if (chunk_first_ >= mc_.samples) {
+        finish();
+        return true;
+      }
+      start_chunk();
+    }
+
+    // Run the chunk: each live rollout advances until it either finishes or
+    // parks an expensive exit query (a stalled segment needing the net);
+    // cheap queries resolve inline. Rollouts desynchronize freely — each
+    // owns its rng, abr, bandwidth and model, so interleaving cannot change
+    // any rollout's byte-for-byte outcome.
+    //
+    // Completed rollouts fold into the result in rollout order as soon as
+    // the prefix allows, so a prune fires at exactly the rollout it would
+    // under the sequential path — the in-flight tail is then abandoned, just
+    // as the sequential path never starts it.
+    parked_.clear();
+    for (std::size_t j = 0; j < slots_.size(); ++j) {
+      Slot& slot = slots_[j];
+      if (slot.done) continue;
+      for (;;) {
+        const SegmentRecord* seg = slot.stepper->advance();
+        if (seg == nullptr) {
+          slot.done = true;
+          slot.session = slot.stepper->take_result();
+          break;
+        }
+        double p = 0.0;
+        if (!exits_.prepare(*slot.model, *seg, p)) {
+          parked_.push_back(j);
+          break;
+        }
+        slot.stepper->resolve(p);
+      }
+    }
+    bool stop = false;
+    while (accumulated_ < slots_.size() && slots_[accumulated_].done) {
+      if (accumulate(slots_[accumulated_].session)) {
+        stop = true;
+        break;
+      }
+      ++accumulated_;
+    }
+    if (stop) {
+      exits_.discard_parked();
+      finish();
+      return true;
+    }
+    if (!parked_.empty()) {
+      needs_flush_ = true;
+      return false;
+    }
+    // Chunk complete (all rollouts done and folded): move to the next one.
+    chunk_first_ += slots_.size();
+    slots_.clear();
+  }
+}
+
+MonteCarloResult RolloutWave::take_result() {
+  LINGXI_ASSERT(finished_);
+  return result_;
 }
 
 }  // namespace lingxi::sim

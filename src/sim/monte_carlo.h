@@ -12,6 +12,9 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
 
 #include "abr/abr.h"
 #include "common/rng.h"
@@ -63,7 +66,9 @@ class MonteCarloEvaluator {
   /// contract behind the fleet's scalar/batched checksum identity. Pruning
   /// follows the same per-rollout replay order in both modes; a lockstep
   /// wave merely cannot stop mid-wave, so batching trades some pruned-away
-  /// work for batched forwards without changing any reported number.
+  /// work for batched forwards without changing any reported number. The
+  /// batched mode is a convenience driver over RolloutWave (below), which
+  /// also exposes the evaluation in resumable form.
   MonteCarloResult evaluate_rollouts(const trace::Video& virtual_video,
                                      const abr::AbrAlgorithm& abr,
                                      const BatchExitEvaluator& exits,
@@ -82,8 +87,81 @@ class MonteCarloEvaluator {
   const MonteCarloConfig& config() const noexcept { return mc_config_; }
 
  private:
+  friend class RolloutWave;  // reads session_config_ to build its simulator
+
   MonteCarloConfig mc_config_;
   SessionSimulator::Config session_config_;
+};
+
+/// Resumable form of MonteCarloEvaluator::evaluate_rollouts: one candidate
+/// evaluation that can pause whenever its rollouts have parked exit-predictor
+/// queries into the BatchExitEvaluator, so a caller may pool the flush across
+/// MANY concurrent evaluations (different candidates, different users — the
+/// cross-user wave scheduler) instead of flushing per evaluation.
+///
+/// Protocol: step() advances every live rollout until it either finishes or
+/// parks a query into `exits`, folds completed rollouts into the result in
+/// rollout order (pruning fires at exactly the rollout it would under the
+/// sequential path), and returns true when the evaluation is complete. When
+/// it returns false, at least one query is parked; the caller must make the
+/// parked probabilities available (either `exits` computes them itself on
+/// flush, or the caller flushes the shared ExitQueryPool the evaluator parks
+/// into) and then call step() again — the next step() collects the
+/// probabilities via exits.flush() before advancing.
+///
+/// The rng contract matches evaluate_rollouts: exactly `samples` forks are
+/// taken from `rng` at construction, so the caller's stream advances
+/// identically no matter how the evaluation is driven, batched or pruned.
+/// All referenced objects must outlive the wave; the wave is neither
+/// copyable nor movable (rollout steppers hold pointers into it).
+class RolloutWave {
+ public:
+  RolloutWave(const MonteCarloEvaluator& evaluator, const trace::Video& virtual_video,
+              const abr::AbrAlgorithm& abr, const BatchExitEvaluator& exits,
+              const trace::BandwidthModel& bandwidth, Seconds initial_buffer,
+              double best_known_exit_rate, Rng& rng);
+  RolloutWave(const RolloutWave&) = delete;
+  RolloutWave& operator=(const RolloutWave&) = delete;
+
+  /// Advance; true = finished (take_result() is valid), false = parked.
+  bool step();
+  bool finished() const noexcept { return finished_; }
+  MonteCarloResult take_result();
+
+ private:
+  struct Slot {
+    std::unique_ptr<abr::AbrAlgorithm> abr;
+    std::unique_ptr<trace::BandwidthModel> bw;
+    std::unique_ptr<ExitModel> model;
+    std::optional<SessionStepper> stepper;
+    SessionResult session;
+    bool done = false;
+  };
+
+  void start_chunk();
+  /// Fold one completed rollout; true when pruning stops the evaluation.
+  bool accumulate(const SessionResult& session);
+  void finish();
+
+  MonteCarloConfig mc_;
+  SessionSimulator sim_;
+  const trace::Video& video_;
+  const abr::AbrAlgorithm& abr_;
+  const BatchExitEvaluator& exits_;
+  const trace::BandwidthModel& bandwidth_;
+  double best_known_exit_rate_;
+
+  std::vector<Rng> streams_;  ///< one per rollout, forked upfront
+  MonteCarloResult result_;
+  std::size_t max_segments_ = 0;
+
+  std::vector<Slot> slots_;           ///< current lockstep chunk
+  std::vector<std::size_t> parked_;   ///< slot index per parked query, park order
+  std::vector<double> probs_;
+  std::size_t chunk_first_ = 0;       ///< rollout index of slots_[0]
+  std::size_t accumulated_ = 0;       ///< slots_[0, accumulated_) folded in
+  bool needs_flush_ = false;
+  bool finished_ = false;
 };
 
 }  // namespace lingxi::sim

@@ -45,6 +45,13 @@ void ShardedCapture::record_session(const SessionContext& ctx,
   rec.entry.video_duration = ctx.video_duration;
   rec.entry.session = session;
   UserBuffer& buffer = users_[ctx.user_index];
+  // Cross-user waves interleave users, never one user's sessions: records
+  // for a user must arrive in strictly increasing (day, session) order or
+  // the archive bytes would depend on the schedule.
+  const std::uint64_t at =
+      (static_cast<std::uint64_t>(ctx.day) << 32) | static_cast<std::uint64_t>(ctx.session_in_day);
+  LINGXI_DASSERT(at >= buffer.next_expected_at_least);
+  buffer.next_expected_at_least = at + 1;
   logstore::write_record(buffer.bytes, encode_session_record(rec));
   ++buffer.records;
 }

@@ -7,10 +7,16 @@
 // finish() then merges the buffers in deterministic ascending user order and
 // regroups them into archive shard files of `users_per_shard` users each.
 //
+// The single-writer-per-user property survives the cross-user wave
+// scheduler: a cohort interleaves the *users* of a shard on one worker, but
+// each user's sessions are still recorded in chronological (day, session)
+// order (a debug assertion pins this), so per-user buffers — and therefore
+// the merged archive bytes — cannot observe the interleaving.
+//
 // Consequently the archive bytes depend only on (fleet config, seed, archive
-// users_per_shard) — never on the thread count or the runner's scheduling
-// shard size. That is what lets one capture serve any number of replays as
-// the ground truth for paired comparisons.
+// users_per_shard) — never on the thread count, the runner's scheduling
+// shard size, or the scheduler mode. That is what lets one capture serve any
+// number of replays as the ground truth for paired comparisons.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +55,9 @@ class ShardedCapture final : public TelemetrySink {
   struct UserBuffer {
     std::vector<unsigned char> bytes;  ///< framed records, chronological
     std::uint64_t records = 0;
+    /// (day << 32) | session of the last record + 1, for the debug-only
+    /// chronological-order assertion under interleaved execution.
+    std::uint64_t next_expected_at_least = 0;
   };
 
   Config config_;

@@ -102,6 +102,51 @@ TEST(FleetRunner, ShardSizeDoesNotChangeTheResult) {
   }
 }
 
+TEST(FleetRunner, DegenerateShardSizesAreClampedNotUndefined) {
+  // The users_per_shard doc promises "results identical for any value" —
+  // including the degenerate ones: 0 (explicitly clamped to 1 at
+  // construction), 1 (one user per shard) and far-larger-than-fleet (one
+  // whole-fleet shard). All must reproduce the reference bitwise, with and
+  // without LingXi in the loop.
+  sim::FleetConfig cfg = small_fleet();
+  cfg.users = 8;
+  cfg.network.median_bandwidth = 1000.0;
+  for (const bool lingxi : {false, true}) {
+    const auto reference = run_with_threads(cfg, 2, 9, lingxi);
+    for (std::size_t shard_users : {std::size_t{0}, std::size_t{1}, std::size_t{10000}}) {
+      sim::FleetConfig alt = cfg;
+      alt.users_per_shard = shard_users;
+      sim::FleetRunner runner(alt, hyb_factory());
+      // 0 is not a shard size; the runner must normalize it (documented
+      // clamp to 1) rather than divide by zero in shard bookkeeping.
+      EXPECT_GE(runner.config().users_per_shard, 1u) << "shard_users=" << shard_users;
+      expect_identical(reference, run_with_threads(alt, 2, 9, lingxi));
+    }
+  }
+}
+
+TEST(FleetRunner, SchedulerModesProduceIdenticalResults) {
+  // kPerUser and kCohortWaves are pure scheduling choices; the merged
+  // accumulator must agree bitwise (the full grid lives in
+  // test_properties.cpp — this is the direct two-mode probe).
+  sim::FleetConfig cfg = small_fleet();
+  cfg.users = 8;
+  cfg.users_per_shard = 4;
+  cfg.network.median_bandwidth = 1000.0;  // stalls so optimizations happen
+  for (const bool lingxi : {false, true}) {
+    sim::FleetConfig per_user = cfg;
+    per_user.scheduler = sim::SchedulerMode::kPerUser;
+    sim::FleetConfig cohort = cfg;
+    cohort.scheduler = sim::SchedulerMode::kCohortWaves;
+    const auto a = run_with_threads(per_user, 2, 7, lingxi);
+    const auto b = run_with_threads(cohort, 2, 7, lingxi);
+    if (lingxi) {
+      EXPECT_GT(a.lingxi_optimizations, 0u);
+    }
+    expect_identical(a, b);
+  }
+}
+
 TEST(FleetRunner, DifferentSeedsDiffer) {
   const auto a = run_with_threads(small_fleet(), 2, 1);
   const auto b = run_with_threads(small_fleet(), 2, 2);

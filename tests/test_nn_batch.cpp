@@ -74,6 +74,51 @@ TEST(DenseBatch, StridedViewsMatchContiguous) {
   }
 }
 
+TEST(DenseBatch, SimdPanelKernelBitwiseParity) {
+  // Batches of >= 8 rows route full blocks through the SIMD panel kernel
+  // (lanes across rows, interleaved panel loads); tails fall back to the
+  // scalar block templates. Parity must hold bitwise at sizes that mix both
+  // paths and at an in_features large enough to exercise long accumulation
+  // chains (the fc1-like shape where the kernel matters).
+  Rng rng(77);
+  constexpr std::size_t kIn = 57, kOut = 11;
+  nn::Dense layer(kIn, kOut, rng);
+  for (const std::size_t batch : {8, 9, 16, 63, 129}) {
+    const std::vector<double> in = random_values(batch * kIn, rng);
+    std::vector<double> got(batch * kOut, -1.0);
+    layer.forward_batch({in.data(), batch, kIn}, {got.data(), batch, kOut});
+    for (std::size_t b = 0; b < batch; ++b) {
+      const nn::Tensor want = layer.forward(
+          nn::Tensor({kIn}, {in.begin() + b * kIn, in.begin() + (b + 1) * kIn}));
+      for (std::size_t o = 0; o < kOut; ++o) {
+        EXPECT_EQ(got[b * kOut + o], want[o]) << "batch " << batch << " row " << b
+                                              << " col " << o;
+      }
+    }
+  }
+}
+
+TEST(DenseBatch, SimdPanelKernelStridedViews) {
+  // The panel gather reads through the view's row stride; strided input and
+  // output must match the contiguous result exactly, including the 8-row
+  // SIMD block (9 rows = one SIMD block + one scalar tail row).
+  Rng rng(78);
+  constexpr std::size_t kIn = 19, kOut = 6, kBatch = 9;
+  constexpr std::size_t kInStride = 23, kOutStride = 10;
+  nn::Dense layer(kIn, kOut, rng);
+  const std::vector<double> in = random_values(kBatch * kInStride, rng);
+  std::vector<double> got(kBatch * kOutStride, -1.0);
+  layer.forward_batch({in.data(), kBatch, kIn, kInStride},
+                      {got.data(), kBatch, kOut, kOutStride});
+  for (std::size_t b = 0; b < kBatch; ++b) {
+    const nn::Tensor want = layer.forward(nn::Tensor(
+        {kIn}, {in.begin() + b * kInStride, in.begin() + b * kInStride + kIn}));
+    for (std::size_t o = 0; o < kOut; ++o) {
+      EXPECT_EQ(got[b * kOutStride + o], want[o]) << "row " << b << " col " << o;
+    }
+  }
+}
+
 TEST(Conv1DBatch, BitwiseParityAcrossBatchSizes) {
   Rng rng(17);
   constexpr std::size_t kInCh = 2, kOutCh = 5, kKernel = 3, kLen = 10;

@@ -26,6 +26,7 @@
 #include "sim/player_env.h"
 #include "sim/session.h"
 #include "stats/ecdf.h"
+#include "telemetry/capture.h"
 #include "trace/bandwidth.h"
 #include "trace/video.h"
 #include "user/data_driven.h"
@@ -507,6 +508,10 @@ class FleetBatchingInvariance : public ::testing::TestWithParam<BatchThreadCase>
     cfg.days = 2;
     cfg.sessions_per_user_day = 6;
     cfg.users_per_shard = 2;
+    // Pin the per-user schedule: this grid is the per-optimization batching
+    // contract (sequential batch<=1 path and pooled batch>1 path both live
+    // here); CrossUserWaveInvariance below covers the cohort schedule.
+    cfg.scheduler = sim::SchedulerMode::kPerUser;
     cfg.enable_lingxi = true;
     cfg.drift_user_tolerance = true;
     // Weak links so stalls (and therefore optimizations + net forwards)
@@ -560,6 +565,96 @@ TEST_P(FleetBatchingInvariance, ChecksumMatchesScalarSingleThread) {
 INSTANTIATE_TEST_SUITE_P(BatchByThreads, FleetBatchingInvariance,
                          ::testing::Combine(::testing::Values(1, 2, 7, 64),
                                             ::testing::Values(1, 4)));
+
+// ---------------------------------------------------------------------------
+// Cross-user wave scheduler invariance: the cohort schedule (users of a
+// shard interleaved as pausable tasks, exit queries pooled across users into
+// per-net sub-batches) must reproduce the per-user schedule's merged
+// accumulator bit for bit over the whole (threads x users_per_shard x
+// predictor_batch) grid — and the telemetry archive bytes with it.
+// ---------------------------------------------------------------------------
+
+using WaveCase = std::tuple<int /*threads*/, int /*users_per_shard*/, int /*batch*/>;
+
+class CrossUserWaveInvariance : public ::testing::TestWithParam<WaveCase> {
+ public:
+  static sim::FleetAccumulator run(sim::SchedulerMode mode, std::size_t threads,
+                                   std::size_t users_per_shard, std::size_t batch,
+                                   telemetry::TelemetrySink* sink = nullptr) {
+    sim::FleetConfig cfg = FleetBatchingInvariance::fleet_config();
+    cfg.scheduler = mode;
+    cfg.threads = threads;
+    cfg.users_per_shard = users_per_shard;
+    cfg.predictor_batch = batch;
+    sim::FleetRunner runner(cfg, [] { return std::make_unique<abr::Hyb>(); });
+    runner.set_predictor_factory([] {
+      Rng net_rng(4242);
+      return predictor::HybridExitPredictor(
+          std::make_shared<predictor::StallExitNet>(net_rng),
+          std::make_shared<predictor::OverallStatsModel>());
+    });
+    if (sink != nullptr) runner.set_telemetry_sink(sink);
+    return runner.run(77);
+  }
+};
+
+TEST_P(CrossUserWaveInvariance, ChecksumMatchesPerUserSchedule) {
+  static const sim::FleetAccumulator reference =
+      run(sim::SchedulerMode::kPerUser, 1, 2, 0);
+  // Meaningful only if optimizations (and so pooled forwards) actually ran.
+  ASSERT_GT(reference.lingxi_optimizations, 0u);
+
+  const auto [threads, users_per_shard, batch] = GetParam();
+  const sim::FleetAccumulator acc =
+      run(sim::SchedulerMode::kCohortWaves, static_cast<std::size_t>(threads),
+          static_cast<std::size_t>(users_per_shard), static_cast<std::size_t>(batch));
+  EXPECT_EQ(acc.checksum(), reference.checksum())
+      << "threads=" << threads << " users_per_shard=" << users_per_shard
+      << " batch=" << batch;
+  EXPECT_EQ(acc.watch_ticks, reference.watch_ticks);
+  EXPECT_EQ(acc.stall_ticks, reference.stall_ticks);
+  EXPECT_EQ(acc.bitrate_time_ticks, reference.bitrate_time_ticks);
+  EXPECT_EQ(acc.lingxi_optimizations, reference.lingxi_optimizations);
+  EXPECT_EQ(acc.lingxi_mc_evaluations, reference.lingxi_mc_evaluations);
+  EXPECT_EQ(acc.lingxi_mc_rollouts_pruned, reference.lingxi_mc_rollouts_pruned);
+  EXPECT_EQ(acc.adjusted_user_days, reference.adjusted_user_days);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CrossUserWaveInvariance,
+                         ::testing::Combine(::testing::Values(1, 4),
+                                            ::testing::Values(1, 3, 8),
+                                            ::testing::Values(0, 1, 7, 64)));
+
+TEST(CrossUserWaveArchive, BytesIdenticalUnderInterleavedExecution) {
+  // ShardedCapture buffers per user, so interleaving users within a shard
+  // must leave the merged archive — manifest and every shard byte stream —
+  // untouched. Archive shard granularity is fixed; only the execution
+  // schedule varies.
+  const auto capture_run = [](sim::SchedulerMode mode, std::size_t threads,
+                              std::size_t users_per_shard, std::size_t batch) {
+    telemetry::ShardedCapture capture(telemetry::ShardedCapture::Config{4});
+    CrossUserWaveInvariance::run(mode, threads, users_per_shard, batch, &capture);
+    return capture.finish();
+  };
+
+  const telemetry::FleetArchive reference =
+      capture_run(sim::SchedulerMode::kPerUser, 1, 2, 0);
+  ASSERT_GT(reference.total_bytes(), 0u);
+
+  const WaveCase interleaved_cases[] = {{1, 3, 7}, {4, 8, 64}, {2, 1, 1}};
+  for (const auto& [threads, users_per_shard, batch] : interleaved_cases) {
+    const telemetry::FleetArchive archive = capture_run(
+        sim::SchedulerMode::kCohortWaves, static_cast<std::size_t>(threads),
+        static_cast<std::size_t>(users_per_shard), static_cast<std::size_t>(batch));
+    EXPECT_EQ(archive.checksum(), reference.checksum())
+        << "threads=" << threads << " users_per_shard=" << users_per_shard
+        << " batch=" << batch;
+    ASSERT_EQ(archive.shards.size(), reference.shards.size());
+    for (std::size_t s = 0; s < reference.shards.size(); ++s) {
+      EXPECT_TRUE(archive.shards[s] == reference.shards[s]) << "shard " << s;
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Permutation invariance of batch assembly: the order in which queries are
