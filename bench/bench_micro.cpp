@@ -4,8 +4,10 @@
 // times more computational resources than conventional ABR decisions."
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <limits>
 #include <memory>
+#include <string>
 
 #include "abr/hyb.h"
 #include "abr/pensieve.h"
@@ -14,6 +16,7 @@
 #include "bench_util.h"
 #include "predictor/exit_net.h"
 #include "sim/monte_carlo.h"
+#include "snapshot/snapshot.h"
 #include "trace/bandwidth.h"
 #include "trace/video.h"
 
@@ -137,6 +140,119 @@ void BM_PlayerEnvStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PlayerEnvStep);
+
+// Snapshot save/load throughput (MB/s and users/s): serialization
+// regressions in the checkpoint subsystem show up here before they show up
+// as warm-start wall time. The synthetic per-user state carries a full
+// engagement history + bandwidth window, the shape a stall-heavy LingXi
+// fleet produces.
+sim::UserFleetState synthetic_user_state(std::uint64_t seed) {
+  Rng rng(seed);
+  sim::UserFleetState user;
+  for (int i = 0; i < 7; ++i) rng.next();
+  user.session_rng = rng.state();
+  user.params.hyb_beta = 0.4 + 0.5 * rng.uniform();
+  user.adjusted_days = 3;
+  user.has_lingxi = true;
+  auto& lx = user.lingxi;
+  for (std::size_t i = 0; i < predictor::kHistoryLen; ++i) {
+    lx.engagement.long_term.stall_durations.push_back(rng.uniform(0.1, 3.0));
+    lx.engagement.long_term.stall_intervals.push_back(rng.uniform(5.0, 200.0));
+    lx.engagement.long_term.stall_exit_intervals.push_back(rng.uniform(60.0, 900.0));
+  }
+  lx.engagement.long_term.total_watch_time = 5400.0;
+  lx.engagement.long_term.total_stall_events = 48;
+  lx.engagement.long_term.total_stall_exits = 9;
+  lx.engagement.last_stall_at = 5333.0;
+  lx.engagement.last_stall_exit_at = 5100.0;
+  for (int i = 0; i < 64; ++i) lx.bandwidth_window.push_back(rng.uniform(400.0, 6000.0));
+  lx.stalls_since_optimization = 1;
+  lx.has_optimized = true;
+  lx.stats.triggers = 12;
+  lx.stats.optimizations_run = 9;
+  lx.stats.mc_evaluations = 36;
+  return user;
+}
+
+snapshot::FleetSnapshot synthetic_snapshot(std::size_t users) {
+  snapshot::FleetSnapshot snap;
+  snap.seed = 7;
+  snap.state.next_day = 2;
+  snap.state.users.reserve(users);
+  for (std::size_t u = 0; u < users; ++u) {
+    snap.state.users.push_back(synthetic_user_state(100 + u));
+  }
+  snap.state.accumulated.sessions = users * 16;
+  snap.state.accumulated.users = 0;
+  return snap;
+}
+
+void BM_SnapshotUserStateCodec(benchmark::State& state) {
+  const sim::UserFleetState user = synthetic_user_state(42);
+  const auto bytes = snapshot::encode_user_state(0, user);
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    const auto encoded = snapshot::encode_user_state(0, user);
+    auto decoded = snapshot::decode_user_state(encoded);
+    benchmark::DoNotOptimize(decoded);
+    total += encoded.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(total));
+  state.counters["users/s"] = benchmark::Counter(static_cast<double>(state.iterations()),
+                                                 benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SnapshotUserStateCodec);
+
+void BM_SnapshotSave(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  const snapshot::FleetSnapshot snap = synthetic_snapshot(users);
+  const std::string dir = std::filesystem::temp_directory_path() / "lingxi_bm_snap_save";
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const auto status = snapshot::save_snapshot(snap, dir, 64);
+    if (!status.ok()) {
+      state.SkipWithError("save_snapshot failed");
+      break;
+    }
+    bytes += snapshot::encode_user_state(0, snap.state.users[0]).size() * users;
+  }
+  std::filesystem::remove_all(dir);
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(users));
+  state.counters["users/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(users),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SnapshotSave)->Arg(64)->Arg(512);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  const snapshot::FleetSnapshot snap = synthetic_snapshot(users);
+  const std::string dir = std::filesystem::temp_directory_path() / "lingxi_bm_snap_load";
+  if (!snapshot::save_snapshot(snap, dir, 64).ok()) {
+    state.SkipWithError("save_snapshot failed");
+    return;
+  }
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto loaded = snapshot::load_snapshot(dir);
+    if (!loaded.has_value()) {
+      state.SkipWithError("load_snapshot failed");
+      break;
+    }
+    benchmark::DoNotOptimize(loaded);
+    bytes += snapshot::encode_user_state(0, snap.state.users[0]).size() * users;
+  }
+  std::filesystem::remove_all(dir);
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(users));
+  state.counters["users/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(users),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SnapshotLoad)->Arg(64)->Arg(512);
 
 }  // namespace
 

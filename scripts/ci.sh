@@ -15,7 +15,13 @@
 #     users): simulate both arms once, archive them, recompute the DiD
 #     series from the archives, and exit non-zero unless the replayed
 #     accumulators bitwise-match the live runs. The archives and the bench
-#     JSON land in ${BUILD_DIR}/smoke/ so CI uploads them as artifacts.
+#     JSON land in ${BUILD_DIR}/smoke/ so CI uploads them as artifacts;
+#   * a snapshot->resume smoke (bench_warm_start on a fig12-shaped fleet,
+#     D=2 resume K=2): simulate 4 days in one go, then snapshot at day 2 and
+#     resume from disk — exits non-zero unless the resumed FleetAccumulator
+#     checksum AND the telemetry archive bytes bitwise-match the full run.
+#     The snapshot directory and the JSON summary land in
+#     ${BUILD_DIR}/smoke/ for the artifact upload.
 #
 # Usage: scripts/ci.sh [Debug|Release]   (default Release)
 set -euo pipefail
@@ -31,7 +37,7 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 # CTest label matrix (cheap re-runs). --no-tests=error is what actually
 # catches label wiring drift: a label matching zero tests would otherwise
 # exit 0 and silently disable the gate.
-for label in nn fleet; do
+for label in nn fleet snapshot; do
   ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error -L "${label}"
 done
 
@@ -52,3 +58,12 @@ echo "batched-path + cross-user wave smoke OK"
   --archive-dir "${SMOKE_DIR}/fig12-archives" \
   --json "${SMOKE_DIR}/fig12.json"
 echo "capture->replay smoke OK: $(ls "${SMOKE_DIR}/fig12-archives")"
+
+# Snapshot->resume smoke: fig12-shaped fleet, snapshot at day 2, resume for
+# 2 more days; non-zero exit unless the resumed checksum and archive bytes
+# bitwise-match the uninterrupted run. Snapshot + JSON become CI artifacts.
+"${BUILD_DIR}/bench/bench_warm_start" --smoke --days 4 --resume-at 2 \
+  --dir "${SMOKE_DIR}/warm-start-snapshot" \
+  --json "${SMOKE_DIR}/warm_start.json" \
+  | tee "${SMOKE_DIR}/warm_start.txt"
+echo "snapshot->resume smoke OK: $(ls "${SMOKE_DIR}/warm-start-snapshot")"

@@ -24,9 +24,33 @@ std::size_t stall_exit_count(const sim::SessionResult& session) {
 /// any thread count, shard size and scheduler mode.
 class ExperimentSink final : public telemetry::TelemetrySink {
  public:
-  ExperimentSink(const ExperimentConfig& config, bool treatment)
-      : config_(config), treatment_(treatment), users_(config.users) {
-    for (auto& user : users_) user.days.resize(config_.days);
+  /// Assembles records for sessions of days [first_day, days) — one leg of
+  /// an arm. A full run is the single leg [0, config.days); incremental-day
+  /// legs splice their results in PopulationExperiment::resume().
+  ExperimentSink(const ExperimentConfig& config, bool treatment, std::size_t first_day,
+                 std::size_t days)
+      : config_(config),
+        treatment_(treatment),
+        first_day_(first_day),
+        days_(days),
+        users_(config.users) {
+    for (auto& user : users_) user.days.resize(days_);
+  }
+
+  /// Seed the per-user stall-event counters with a checkpoint's running
+  /// counts so Fig. 15 event indices stay continuous across a day boundary.
+  void set_stall_event_counts(const std::vector<std::size_t>& counts) {
+    LINGXI_ASSERT(counts.size() == users_.size());
+    for (std::size_t u = 0; u < counts.size(); ++u) {
+      users_[u].stall_event_counter = counts[u];
+    }
+  }
+
+  std::vector<std::size_t> stall_event_counts() const {
+    std::vector<std::size_t> counts;
+    counts.reserve(users_.size());
+    for (const auto& user : users_) counts.push_back(user.stall_event_counter);
+    return counts;
   }
 
   void begin_fleet(const sim::FleetConfig&, std::uint64_t) override {}
@@ -68,14 +92,16 @@ class ExperimentSink final : public telemetry::TelemetrySink {
 
   void record_user(const telemetry::UserTelemetry&) override {}
 
-  /// Deterministic user-order merge into the public result shape.
+  /// Deterministic user-order merge into the public result shape. Daily
+  /// slots before first_day stay default-empty; resume() overwrites them
+  /// from the checkpoint prefix.
   ExperimentResult finish() {
     ExperimentResult result;
-    result.daily.resize(config_.days);
+    result.daily.resize(days_);
     const double sessions = static_cast<double>(config_.sessions_per_user_day);
     for (std::size_t u = 0; u < users_.size(); ++u) {
       UserBuffer& user = users_[u];
-      for (std::size_t d = 0; d < config_.days; ++d) {
+      for (std::size_t d = first_day_; d < days_; ++d) {
         DayBuffer& day = user.days[d];
         result.daily[d].merge(day.metrics);
         day.rec.user = u;
@@ -109,6 +135,8 @@ class ExperimentSink final : public telemetry::TelemetrySink {
 
   const ExperimentConfig& config_;
   bool treatment_;
+  std::size_t first_day_;
+  std::size_t days_;
   std::vector<UserBuffer> users_;
 };
 
@@ -132,15 +160,11 @@ PopulationExperiment::PopulationExperiment(
   LINGXI_ASSERT(config_.users > 0 && config_.days > 0);
 }
 
-ExperimentResult PopulationExperiment::run(bool treatment, std::uint64_t seed) const {
-  // One fleet run per arm. Population, network and per-session worlds derive
-  // from (seed, user, day, session) streams inside the runner, so control
-  // and treatment arms are paired for a given seed: the treatment series
-  // differs from control only through LingXi's parameter changes — the
-  // variance-reduction analogue of the paper's 30M-user population.
+sim::FleetConfig PopulationExperiment::fleet_config(bool treatment,
+                                                    std::size_t days) const {
   sim::FleetConfig fleet;
   fleet.users = config_.users;
-  fleet.days = config_.days;
+  fleet.days = days;
   fleet.sessions_per_user_day = config_.sessions_per_user_day;
   fleet.threads = config_.threads;
   fleet.enable_lingxi = treatment;
@@ -154,13 +178,88 @@ ExperimentResult PopulationExperiment::run(bool treatment, std::uint64_t seed) c
   fleet.video = config_.video;
   fleet.lingxi = config_.lingxi;
   fleet.session = config_.session;
+  return fleet;
+}
 
-  sim::FleetRunner runner(fleet, abr_factory_);
+ExperimentResult PopulationExperiment::run(bool treatment, std::uint64_t seed) const {
+  // One fleet run per arm. Population, network and per-session worlds derive
+  // from (seed, user, day, session) streams inside the runner, so control
+  // and treatment arms are paired for a given seed: the treatment series
+  // differs from control only through LingXi's parameter changes — the
+  // variance-reduction analogue of the paper's 30M-user population.
+  sim::FleetRunner runner(fleet_config(treatment, config_.days), abr_factory_);
   if (treatment) runner.set_predictor_factory(make_predictor_);
-  ExperimentSink sink(config_, treatment);
+  ExperimentSink sink(config_, treatment, 0, config_.days);
   runner.set_telemetry_sink(&sink);
   runner.run(seed);
   return sink.finish();
+}
+
+PopulationExperiment::ArmCheckpoint PopulationExperiment::run_to_day(
+    bool treatment, std::uint64_t seed, std::size_t day) const {
+  LINGXI_ASSERT(day > 0 && day < config_.days);
+  sim::FleetRunner runner(fleet_config(treatment, config_.days), abr_factory_);
+  if (treatment) runner.set_predictor_factory(make_predictor_);
+  ExperimentSink sink(config_, treatment, 0, day);
+  runner.set_telemetry_sink(&sink);
+  ArmCheckpoint checkpoint;
+  runner.run_days(seed, 0, day, nullptr, &checkpoint.fleet);
+  checkpoint.prefix = sink.finish();
+  checkpoint.stall_event_counts = sink.stall_event_counts();
+  return checkpoint;
+}
+
+ExperimentResult PopulationExperiment::resume(bool treatment, std::uint64_t seed,
+                                              const ArmCheckpoint& checkpoint,
+                                              std::size_t total_days) const {
+  const std::size_t total = total_days != 0 ? total_days : config_.days;
+  const std::size_t boundary = checkpoint.fleet.next_day;
+  LINGXI_ASSERT(boundary > 0 && boundary < total);
+  LINGXI_ASSERT(checkpoint.fleet.users.size() == config_.users);
+  LINGXI_ASSERT(checkpoint.prefix.user_days.size() == config_.users * boundary);
+  LINGXI_ASSERT(checkpoint.stall_event_counts.size() == config_.users);
+
+  // Days before `boundary` never re-simulate: the fleet resumes from the
+  // checkpointed per-user state. A horizon beyond config().days is legal —
+  // no pre-boundary draw depends on the calendar length.
+  sim::FleetRunner runner(fleet_config(treatment, total), abr_factory_);
+  if (treatment) runner.set_predictor_factory(make_predictor_);
+  ExperimentSink sink(config_, treatment, boundary, total);
+  sink.set_stall_event_counts(checkpoint.stall_event_counts);
+  runner.set_telemetry_sink(&sink);
+  runner.run_days(seed, boundary, total, &checkpoint.fleet, nullptr);
+  const ExperimentResult continuation = sink.finish();
+
+  // Splice prefix + continuation into the shape a single full run produces.
+  // Every record and accumulation is scoped to one (user, day) bucket, so
+  // the split cannot change a single bit of any value.
+  ExperimentResult result;
+  result.daily = continuation.daily;
+  for (std::size_t d = 0; d < boundary; ++d) result.daily[d] = checkpoint.prefix.daily[d];
+
+  const std::size_t cont_days = total - boundary;
+  result.user_days.reserve(config_.users * total);
+  for (std::size_t u = 0; u < config_.users; ++u) {
+    for (std::size_t d = 0; d < boundary; ++d) {
+      result.user_days.push_back(checkpoint.prefix.user_days[u * boundary + d]);
+    }
+    for (std::size_t d = 0; d < cont_days; ++d) {
+      result.user_days.push_back(continuation.user_days[u * cont_days + d]);
+    }
+  }
+
+  // Stall-event records are user-major in both legs; interleave per user.
+  std::size_t pi = 0, ci = 0;
+  const auto& pre = checkpoint.prefix.stall_events;
+  const auto& post = continuation.stall_events;
+  result.stall_events.reserve(pre.size() + post.size());
+  for (std::size_t u = 0; u < config_.users; ++u) {
+    while (pi < pre.size() && pre[pi].user == u) result.stall_events.push_back(pre[pi++]);
+    while (ci < post.size() && post[ci].user == u) {
+      result.stall_events.push_back(post[ci++]);
+    }
+  }
+  return result;
 }
 
 std::vector<double> relative_daily_gap(const std::vector<MetricAccumulator>& treatment,

@@ -114,9 +114,37 @@ class PopulationExperiment {
   /// so control and treatment arms are paired.
   ExperimentResult run(bool treatment, std::uint64_t seed) const;
 
+  /// Incremental-day experiments (snapshot subsystem): one arm simulated in
+  /// legs, with every leg boundary at a day boundary. The resumable state of
+  /// one arm at day D: the fleet-day state (per-user engagement, parameters,
+  /// optimizer counters, accumulator) plus the records already assembled for
+  /// days [0, D) and the per-user stall-event counters that keep Fig. 15
+  /// event indices continuous across the boundary.
+  struct ArmCheckpoint {
+    sim::FleetDayState fleet;
+    ExperimentResult prefix;
+    std::vector<std::size_t> stall_event_counts;  ///< per user
+  };
+
+  /// Simulate days [0, day) of one arm (day < config().days) and checkpoint.
+  ArmCheckpoint run_to_day(bool treatment, std::uint64_t seed, std::size_t day) const;
+
+  /// Continue a checkpointed arm through day `total_days` (0 = the
+  /// configured horizon; larger values EXTEND the experiment — e.g. add K
+  /// days to a finished A/B fleet without re-simulating the first D). The
+  /// spliced result is identical to a single run over `total_days` with the
+  /// same seed — bitwise, including the float per-day/per-user records: no
+  /// accumulation crosses a day boundary, so splitting cannot reorder any
+  /// sum (test_analytics.cpp pins this against run()).
+  ExperimentResult resume(bool treatment, std::uint64_t seed,
+                          const ArmCheckpoint& checkpoint,
+                          std::size_t total_days = 0) const;
+
   const ExperimentConfig& config() const noexcept { return config_; }
 
  private:
+  sim::FleetConfig fleet_config(bool treatment, std::size_t days) const;
+
   ExperimentConfig config_;
   AbrFactory abr_factory_;
   std::function<predictor::HybridExitPredictor()> make_predictor_;

@@ -104,6 +104,28 @@ GpPrediction GaussianProcess::predict(const std::vector<double>& x) const {
   return p;
 }
 
+GpState GaussianProcess::state() const {
+  GpState s;
+  s.config = config_;
+  s.xs = xs_;
+  s.ys = ys_;
+  return s;
+}
+
+void GaussianProcess::restore(const GpState& state) {
+  LINGXI_ASSERT(state.xs.size() == state.ys.size());
+  config_ = state.config;
+  xs_ = state.xs;
+  ys_ = state.ys;
+  if (xs_.empty()) {
+    y_mean_ = 0.0;
+    chol_.clear();
+    alpha_.clear();
+  } else {
+    refit();
+  }
+}
+
 double GaussianProcess::best_y() const {
   LINGXI_ASSERT(!ys_.empty());
   return *std::min_element(ys_.begin(), ys_.end());

@@ -14,11 +14,25 @@ struct GpConfig {
   double length_scale = 0.25;  ///< in unit-cube coordinates
   double signal_variance = 1.0;
   double noise_variance = 1e-4;
+
+  bool operator==(const GpConfig&) const = default;
 };
 
 struct GpPrediction {
   double mean = 0.0;
   double variance = 0.0;
+};
+
+/// Checkpointable GP state: the observation history plus the kernel
+/// hyperparameters. The Cholesky factors are deliberately NOT part of the
+/// state — every observe() refits from scratch, so they are a pure function
+/// of (config, xs, ys) and restore() recomputes them bitwise identically.
+struct GpState {
+  GpConfig config;
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+
+  bool operator==(const GpState&) const = default;
 };
 
 class GaussianProcess {
@@ -37,6 +51,11 @@ class GaussianProcess {
   /// Lowest observed target and its location (minimization convention).
   double best_y() const;
   const std::vector<double>& best_x() const;
+
+  /// Checkpoint / resume (see GpState): restore(state()) reproduces the
+  /// identical posterior — predictions and best_x/best_y match bitwise.
+  GpState state() const;
+  void restore(const GpState& state);
 
  private:
   void refit();

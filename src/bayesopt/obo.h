@@ -49,6 +49,22 @@ class OnlineBayesOpt {
   double best_value() const { return gp_.best_y(); }
   std::size_t evaluations() const noexcept { return gp_.observations(); }
 
+  /// Checkpointable optimizer state: the GP observation history and
+  /// hyperparameters plus the warm-start bookkeeping. restore(state())
+  /// continues the candidate sequence bitwise identically given the same
+  /// Rng stream — what lets a snapshot cut across an OBO round.
+  struct State {
+    GpState gp;
+    std::vector<double> warm_start;
+    bool has_warm_start = false;
+    bool warm_start_used = false;
+
+    bool operator==(const State&) const = default;
+  };
+
+  State state() const;
+  void restore(const State& state);
+
  private:
   std::size_t dims_;
   Config config_;

@@ -35,6 +35,20 @@ Rng::Rng(std::uint64_t seed) noexcept {
   for (auto& word : s_) word = splitmix64(s);
 }
 
+Rng::State Rng::state() const noexcept {
+  State st;
+  for (std::size_t i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.cached_normal = cached_normal_;
+  st.has_cached_normal = has_cached_normal_;
+  return st;
+}
+
+void Rng::restore(const State& state) noexcept {
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = state.s[i];
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 std::uint64_t Rng::next() noexcept {
   const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
   const std::uint64_t t = s_[1] << 17;

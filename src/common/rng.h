@@ -27,7 +27,23 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
+  /// Complete generator state — the xoshiro words plus the Box–Muller
+  /// carry — so a stream position can be checkpointed and resumed exactly:
+  /// restore(state()) reproduces the identical draw sequence, including a
+  /// pending cached normal. The snapshot subsystem persists this per user.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+
+    bool operator==(const State&) const = default;
+  };
+
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Checkpoint / resume the stream position (see State).
+  State state() const noexcept;
+  void restore(const State& state) noexcept;
 
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~0ULL; }

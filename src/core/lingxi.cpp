@@ -228,6 +228,26 @@ bool LingXi::OptimizationRun::step() {
   }
 }
 
+LingXi::PersistentState LingXi::persistent_state() const {
+  PersistentState s;
+  s.engagement = engagement_.snapshot();
+  s.bandwidth_window.assign(bandwidth_window_.begin(), bandwidth_window_.end());
+  s.stalls_since_optimization = stalls_since_optimization_;
+  s.has_optimized = has_optimized_;
+  s.params = current_params_;
+  s.stats = stats_;
+  return s;
+}
+
+void LingXi::restore_persistent(const PersistentState& state) {
+  engagement_.restore(state.engagement);
+  bandwidth_window_.assign(state.bandwidth_window.begin(), state.bandwidth_window.end());
+  stalls_since_optimization_ = state.stalls_since_optimization;
+  has_optimized_ = state.has_optimized;
+  current_params_ = state.params;
+  stats_ = state.stats;
+}
+
 logstore::UserState LingXi::snapshot() const {
   logstore::UserState s;
   s.engagement = engagement_.long_term();

@@ -187,6 +187,28 @@ class LingXi {
   logstore::UserState snapshot() const;
   void restore(const logstore::UserState& state);
 
+  /// Complete evolving controller state at a session boundary — everything
+  /// a fleet snapshot must persist so a resumed LingXi continues bitwise
+  /// identically: the full engagement snapshot (not just the durable
+  /// long-term slice), the client bandwidth window in arrival order, the
+  /// trigger counter, the adopted parameters and the optimizer counters.
+  /// Unlike snapshot()/restore() — the production app-exit path, which
+  /// re-anchors interval clocks and clamps parameters — restore_persistent
+  /// is exact by construction (no clamping, no re-anchoring); the config
+  /// and predictor are NOT part of the state and must be reconstructed
+  /// equal by the caller (the fleet's pure-factory contract).
+  struct PersistentState {
+    predictor::EngagementState::Snapshot engagement;
+    std::vector<Kbps> bandwidth_window;  ///< oldest first
+    std::uint64_t stalls_since_optimization = 0;
+    bool has_optimized = false;
+    abr::QoeParams params;
+    LingXiStats stats;
+  };
+
+  PersistentState persistent_state() const;
+  void restore_persistent(const PersistentState& state);
+
  private:
   LingXiConfig config_;
   predictor::HybridExitPredictor predictor_;

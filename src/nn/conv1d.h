@@ -29,6 +29,10 @@ class Conv1D final : public Layer {
   std::size_t out_channels() const noexcept { return out_ch_; }
   std::size_t kernel() const noexcept { return kernel_; }
 
+  /// Const parameter access for checkpointing (serialize.h).
+  const Tensor& weight() const noexcept { return w_; }
+  const Tensor& bias() const noexcept { return b_; }
+
  private:
   std::size_t in_ch_, out_ch_, kernel_;
   Tensor w_, b_;   // [out_ch, in_ch, K], [out_ch]

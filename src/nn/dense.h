@@ -28,6 +28,10 @@ class Dense final : public Layer {
   std::size_t in_features() const noexcept { return in_; }
   std::size_t out_features() const noexcept { return out_; }
 
+  /// Const parameter access for checkpointing (serialize.h).
+  const Tensor& weight() const noexcept { return w_; }
+  const Tensor& bias() const noexcept { return b_; }
+
  private:
   std::size_t in_, out_;
   Tensor w_, b_;    // [out, in], [out]

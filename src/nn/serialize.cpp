@@ -18,7 +18,8 @@ namespace lingxi::nn {
 namespace {
 
 constexpr unsigned char kMagic[4] = {'L', 'X', 'N', 'N'};
-constexpr std::uint32_t kVersion = 1;
+constexpr unsigned char kContainerMagic[4] = {'L', 'X', 'N', 'C'};
+constexpr std::uint32_t kVersion = kTensorBlobVersion;
 
 template <typename T>
 void append(std::vector<unsigned char>& out, const T& v) {
@@ -99,6 +100,91 @@ Expected<std::vector<Tensor>> deserialize_tensors(const std::vector<unsigned cha
     tensors.emplace_back(std::move(shape), std::move(data));
   }
   return tensors;
+}
+
+std::vector<unsigned char> serialize_model(std::uint32_t model_kind,
+                                           const std::vector<const Tensor*>& tensors) {
+  const auto blob = serialize_tensors(tensors);
+  std::vector<unsigned char> out;
+  for (unsigned char c : kContainerMagic) out.push_back(c);
+  append(out, kModelContainerVersion);
+  append(out, model_kind);
+  append(out, static_cast<std::uint64_t>(blob.size()));
+  out.insert(out.end(), blob.begin(), blob.end());
+  const std::uint32_t crc = crc32(out.data() + 4, out.size() - 4);
+  append(out, crc);
+  return out;
+}
+
+Expected<std::vector<Tensor>> deserialize_model(std::uint32_t expected_kind,
+                                                const std::vector<unsigned char>& bytes) {
+  constexpr std::size_t kHeader =
+      4 + sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) + sizeof(std::uint32_t);
+  if (bytes.size() < kHeader) return Error::corrupt("model container too small");
+  if (std::memcmp(bytes.data(), kContainerMagic, 4) != 0) {
+    return Error::corrupt("bad magic in model container");
+  }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(std::uint32_t),
+              sizeof(std::uint32_t));
+  const std::uint32_t computed =
+      crc32(bytes.data() + 4, bytes.size() - 4 - sizeof(std::uint32_t));
+  if (stored_crc != computed) return Error::corrupt("model container CRC mismatch");
+
+  std::size_t pos = 4;
+  std::uint32_t version = 0, kind = 0;
+  std::uint64_t blob_len = 0;
+  if (!read(bytes, pos, version) || !read(bytes, pos, kind) || !read(bytes, pos, blob_len)) {
+    return Error::corrupt("truncated model container header");
+  }
+  if (version != kModelContainerVersion) {
+    return Error::corrupt("unsupported model container version");
+  }
+  if (kind != expected_kind) return Error::corrupt("model container kind mismatch");
+  if (pos + blob_len + sizeof(std::uint32_t) != bytes.size()) {
+    return Error::corrupt("model container length mismatch");
+  }
+  return deserialize_tensors(
+      std::vector<unsigned char>(bytes.begin() + static_cast<long>(pos),
+                                 bytes.end() - sizeof(std::uint32_t)));
+}
+
+namespace {
+
+/// Shared tail of the typed layer loaders: unwrap the container, check the
+/// tensor count and shapes against the destination parameters, then copy.
+Status load_layer(std::uint32_t kind, const std::vector<Tensor*>& params,
+                  const std::vector<unsigned char>& bytes) {
+  auto tensors = deserialize_model(kind, bytes);
+  if (!tensors) return tensors.error();
+  if (tensors->size() != params.size()) {
+    return Error::corrupt("layer checkpoint tensor count mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!(*tensors)[i].same_shape(*params[i])) {
+      return Error::corrupt("layer checkpoint shape mismatch");
+    }
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) *params[i] = std::move((*tensors)[i]);
+  return {};
+}
+
+}  // namespace
+
+std::vector<unsigned char> serialize_dense(const Dense& layer) {
+  return serialize_model(kModelKindDense, {&layer.weight(), &layer.bias()});
+}
+
+std::vector<unsigned char> serialize_conv1d(const Conv1D& layer) {
+  return serialize_model(kModelKindConv1D, {&layer.weight(), &layer.bias()});
+}
+
+Status load_dense(Dense& layer, const std::vector<unsigned char>& bytes) {
+  return load_layer(kModelKindDense, layer.parameters(), bytes);
+}
+
+Status load_conv1d(Conv1D& layer, const std::vector<unsigned char>& bytes) {
+  return load_layer(kModelKindConv1D, layer.parameters(), bytes);
 }
 
 Status save_tensors(const std::string& path, const std::vector<const Tensor*>& tensors) {

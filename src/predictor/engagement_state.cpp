@@ -109,6 +109,23 @@ nn::Tensor EngagementState::features() const {
   return t;
 }
 
+EngagementState::Snapshot EngagementState::snapshot() const {
+  Snapshot s;
+  s.long_term = long_term_;
+  s.last_stall_at = last_stall_at_;
+  s.last_stall_exit_at = last_stall_exit_at_;
+  return s;
+}
+
+void EngagementState::restore(const Snapshot& snapshot) {
+  long_term_ = snapshot.long_term;
+  last_stall_at_ = snapshot.last_stall_at;
+  last_stall_exit_at_ = snapshot.last_stall_exit_at;
+  bitrates_.clear();
+  throughputs_.clear();
+  long_term_rows_valid_ = false;
+}
+
 void EngagementState::restore_long_term(LongTermState state) {
   long_term_ = std::move(state);
   // Interval anchors restart from the restored watch-time origin.

@@ -75,6 +75,26 @@ class EngagementState {
   const LongTermState& long_term() const noexcept { return long_term_; }
   void restore_long_term(LongTermState state);
 
+  /// Complete cross-session state at a session boundary: the long-term
+  /// vectors/counters plus the interval anchors they cannot reproduce (only
+  /// the differences are stored in LongTermState). Unlike restore_long_term
+  /// — which re-anchors the interval clocks at the restored watch-time
+  /// origin — restore(snapshot()) is exact: every future feature matrix is
+  /// bitwise identical to the uncheckpointed continuation. Short-term
+  /// channels are excluded by design; they are cleared by the
+  /// begin_session() that precedes any read, so a snapshot is only valid
+  /// between sessions (the fleet snapshots at day boundaries).
+  struct Snapshot {
+    LongTermState long_term;
+    Seconds last_stall_at = -1.0;
+    Seconds last_stall_exit_at = -1.0;
+
+    bool operator==(const Snapshot&) const = default;
+  };
+
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snapshot);
+
   std::uint64_t stall_events() const noexcept { return long_term_.total_stall_events; }
   Seconds watch_time() const noexcept { return long_term_.total_watch_time; }
 

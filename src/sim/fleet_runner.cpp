@@ -207,10 +207,38 @@ void FleetRunner::set_predictor_factory(PredictorFactory factory) {
 }
 
 FleetAccumulator FleetRunner::run(std::uint64_t seed, FleetRunStats* stats) const {
+  return run_days(seed, 0, config_.days, nullptr, nullptr, stats);
+}
+
+FleetAccumulator FleetRunner::run_days(std::uint64_t seed, std::size_t first_day,
+                                       std::size_t last_day, const FleetDayState* resume,
+                                       FleetDayState* out_state,
+                                       FleetRunStats* stats) const {
+  LINGXI_ASSERT(first_day < last_day && last_day <= config_.days);
+  // Resuming mid-calendar requires the matching day-boundary state; a fresh
+  // start must begin at day 0.
+  LINGXI_ASSERT((first_day == 0) == (resume == nullptr));
+  if (resume != nullptr) {
+    LINGXI_ASSERT(resume->next_day == first_day);
+    LINGXI_ASSERT(resume->users.size() == config_.users);
+  }
+
+  // Chronological merge base: everything the resumed-from legs accumulated.
   FleetAccumulator merged;
+  if (resume != nullptr) merged = resume->accumulated;
   if (stats != nullptr) *stats = FleetRunStats{};
-  if (sink_) sink_->begin_fleet(config_, seed);
-  if (config_.users == 0) return merged;
+  if (out_state != nullptr) {
+    out_state->next_day = last_day;
+    out_state->users.assign(config_.users, UserFleetState{});
+    out_state->accumulated = FleetAccumulator{};
+  }
+  // A resumed leg must not reset the sink: its capture buffers carry the
+  // earlier days' records (restored from a snapshot or reused in-process).
+  if (sink_ && first_day == 0) sink_->begin_fleet(config_, seed);
+  if (config_.users == 0) {
+    if (out_state != nullptr) out_state->accumulated = merged;
+    return merged;
+  }
 
   // Immutable config-derived context, built once and read concurrently by
   // every worker instead of being reconstructed per user.
@@ -231,7 +259,8 @@ FleetAccumulator FleetRunner::run(std::uint64_t seed, FleetRunStats* stats) cons
       if (shard >= shard_count) return;
       const std::size_t first = shard * config_.users_per_shard;
       const std::size_t last = std::min(first + config_.users_per_shard, config_.users);
-      ShardScheduler scheduler(*this, world, seed, first, last, shards[shard]);
+      ShardScheduler scheduler(*this, world, seed, first, last, shards[shard],
+                               first_day, last_day, resume, out_state);
       scheduler.run();
       shard_stats[shard] = scheduler.stats();
     }
@@ -257,6 +286,7 @@ FleetAccumulator FleetRunner::run(std::uint64_t seed, FleetRunStats* stats) cons
   if (stats != nullptr) {
     for (const auto& s : shard_stats) stats->merge(s);
   }
+  if (out_state != nullptr) out_state->accumulated = merged;
   return merged;
 }
 
@@ -275,17 +305,26 @@ FleetAccumulator FleetRunner::run(std::uint64_t seed, FleetRunStats* stats) cons
 /// depend on which schedule drives the task.
 class ShardScheduler::UserTask {
  public:
+  /// Runs days [first_day, stop_day). `resume`, when non-null, is the
+  /// day-boundary state exported at first_day by an earlier task for this
+  /// user; the task continues bitwise identically to one that simulated the
+  /// earlier days itself (static context re-derives from (seed, user)
+  /// streams, evolving state restores from `resume`).
   UserTask(const FleetRunner& runner, const FleetWorld& world, std::uint64_t seed,
            std::size_t user_index, FleetAccumulator& acc,
            const predictor::HybridExitPredictor* shard_predictor,
-           predictor::ExitQueryPool* pool)
+           predictor::ExitQueryPool* pool, std::size_t first_day, std::size_t stop_day,
+           const UserFleetState* resume)
       : runner_(runner),
         cfg_(runner.config()),
         world_(world),
         seed_(seed),
         user_(user_index),
         acc_(acc),
-        pool_(pool) {
+        pool_(pool),
+        day_(first_day),
+        session_index_(first_day * runner.config().sessions_per_user_day),
+        stop_day_(stop_day) {
     Rng pop_rng(mix_seed(seed_, user_, kPopulationStream));
     base_user_ = runner_.user_factory_(user_, pop_rng);
     LINGXI_ASSERT(base_user_ != nullptr);
@@ -304,6 +343,16 @@ class ShardScheduler::UserTask {
       lingxi_ = std::make_unique<core::LingXi>(cfg_.lingxi, *shard_predictor,
                                                cfg_.video.ladder);
     }
+
+    if (resume != nullptr) {
+      session_rng_.restore(resume->session_rng);
+      abr_->set_params(resume->params);
+      adjusted_days_ = resume->adjusted_days;
+      if (lingxi_) {
+        LINGXI_ASSERT(resume->has_lingxi);
+        lingxi_->restore_persistent(resume->lingxi);
+      }
+    }
   }
 
   /// True when the user is complete; false when parked on the pool.
@@ -313,7 +362,7 @@ class ShardScheduler::UserTask {
       opt_.reset();
       finish_session();
     }
-    while (day_ < cfg_.days) {
+    while (day_ < stop_day_) {
       if (session_ == 0) begin_day();
       while (session_ < cfg_.sessions_per_user_day) {
         run_live_session();
@@ -325,8 +374,20 @@ class ShardScheduler::UserTask {
       }
       end_day();
     }
-    finish_user();
+    // Per-user summaries belong to the leg that completes the calendar; a
+    // day-boundary leg exports state instead (export_state).
+    if (stop_day_ == cfg_.days) finish_user();
     return true;
+  }
+
+  /// Day-boundary state for a later resume; call only after step() returned
+  /// true on a task whose stop_day precedes the configured horizon.
+  void export_state(UserFleetState& out) const {
+    out.session_rng = session_rng_.state();
+    out.params = abr_->params();
+    out.adjusted_days = adjusted_days_;
+    out.has_lingxi = lingxi_ != nullptr;
+    if (lingxi_) out.lingxi = lingxi_->persistent_state();
   }
 
  private:
@@ -437,10 +498,12 @@ class ShardScheduler::UserTask {
   std::unique_ptr<abr::AbrAlgorithm> abr_;
   std::unique_ptr<core::LingXi> lingxi_;
 
-  // Cursor over (day, session); session_index_ counts across days.
+  // Cursor over (day, session); session_index_ counts across days; the task
+  // stops at stop_day_ (== cfg_.days unless this leg ends at a snapshot).
   std::size_t day_ = 0;
   std::size_t session_ = 0;
   std::size_t session_index_ = 0;
+  std::size_t stop_day_ = 0;
   std::uint64_t adjusted_days_ = 0;
   std::unique_ptr<user::UserModel> day_user_;
   bool lingxi_active_ = false;
@@ -456,15 +519,22 @@ class ShardScheduler::UserTask {
 
 ShardScheduler::ShardScheduler(const FleetRunner& runner, const FleetWorld& world,
                                std::uint64_t seed, std::size_t first_user,
-                               std::size_t last_user, FleetAccumulator& acc)
+                               std::size_t last_user, FleetAccumulator& acc,
+                               std::size_t first_day, std::size_t last_day,
+                               const FleetDayState* resume, FleetDayState* out_state)
     : runner_(runner),
       world_(world),
       seed_(seed),
       first_user_(first_user),
       last_user_(last_user),
       acc_(acc),
+      first_day_(first_day),
+      last_day_(last_day),
+      resume_(resume),
+      out_state_(out_state),
       pool_(std::make_unique<predictor::ExitQueryPool>()) {
   LINGXI_ASSERT(first_user_ <= last_user_);
+  LINGXI_ASSERT(first_day_ < last_day_);
 }
 
 ShardScheduler::~ShardScheduler() = default;
@@ -494,8 +564,10 @@ void ShardScheduler::run_per_user() {
       user_predictor.emplace(runner_.predictor_factory_().with_private_net());
     }
     UserTask task(runner_, world_, seed_, u, acc_,
-                  user_predictor ? &*user_predictor : nullptr, pool);
+                  user_predictor ? &*user_predictor : nullptr, pool, first_day_,
+                  last_day_, resume_ != nullptr ? &resume_->users[u] : nullptr);
     while (!task.step()) pool_->flush();
+    if (out_state_ != nullptr) task.export_state(out_state_->users[u]);
   }
 }
 
@@ -513,7 +585,8 @@ void ShardScheduler::run_cohort() {
   for (std::size_t u = first_user_; u < last_user_; ++u) {
     tasks.push_back(std::make_unique<UserTask>(
         runner_, world_, seed_, u, acc_,
-        shard_predictor ? &*shard_predictor : nullptr, pool_.get()));
+        shard_predictor ? &*shard_predictor : nullptr, pool_.get(), first_day_,
+        last_day_, resume_ != nullptr ? &resume_->users[u] : nullptr));
   }
 
   // Live tasks in ascending user order. Each wave steps every live task
@@ -527,6 +600,9 @@ void ShardScheduler::run_cohort() {
     parked.clear();
     for (const std::size_t i : live) {
       if (tasks[i]->step()) {
+        if (out_state_ != nullptr) {
+          tasks[i]->export_state(out_state_->users[first_user_ + i]);
+        }
         tasks[i].reset();  // free completed per-user state before the shard ends
       } else {
         parked.push_back(i);

@@ -156,6 +156,34 @@ struct FleetRunStats {
   double mean_net_batch() const noexcept;
 };
 
+/// Evolving per-user state at a day boundary — everything a resumed run
+/// needs beyond the (config, seed)-derived world to continue a user bitwise
+/// identically. The static per-user context (user model, network profile,
+/// predictor nets) is deliberately NOT here: it derives from (seed, user)
+/// streams and the pure factories, so a resumed run reconstructs it equal.
+struct UserFleetState {
+  /// Last session's rng position. Re-derived at the next session start, so
+  /// it only matters to mid-session resumption; kept for a faithful
+  /// checkpoint of the task.
+  Rng::State session_rng;
+  /// ABR parameters at the day boundary (LingXi's adopted params, or the
+  /// pinned fixed/default params).
+  abr::QoeParams params;
+  std::uint64_t adjusted_days = 0;  ///< user-days ended off the defaults so far
+  bool has_lingxi = false;
+  core::LingXi::PersistentState lingxi;  ///< valid when has_lingxi
+};
+
+/// Fleet state at a day boundary: the per-user evolving states plus the
+/// accumulator over every session already simulated (days [0, next_day)).
+/// Produced by FleetRunner::run_days(out_state) and consumed by a later
+/// run_days(resume); the snapshot subsystem (src/snapshot/) persists it.
+struct FleetDayState {
+  std::size_t next_day = 0;  ///< first day a resumed run will simulate
+  std::vector<UserFleetState> users;
+  FleetAccumulator accumulated;
+};
+
 struct FleetConfig {
   std::size_t users = 100;
   std::size_t days = 1;
@@ -242,7 +270,38 @@ class FleetRunner {
   /// `stats`, when non-null, receives the merged batching telemetry.
   FleetAccumulator run(std::uint64_t seed, FleetRunStats* stats = nullptr) const;
 
+  /// Simulate days [first_day, last_day) only — the warm-start /
+  /// incremental-day form of run() (run(seed) == run_days(seed, 0, days)).
+  ///
+  ///   * `resume`, when non-null, must be the FleetDayState a previous
+  ///     run_days(seed, ..., first_day) exported (next_day == first_day, one
+  ///     entry per user); per-user evolving state is restored from it and
+  ///     its accumulator is merged into the result. Null requires
+  ///     first_day == 0.
+  ///   * `out_state`, when non-null, receives the day-boundary state at
+  ///     last_day (including the merged accumulator so far) for a later
+  ///     resume or a disk snapshot.
+  ///
+  /// Contract (pinned by tests/test_properties.cpp across the scheduler x
+  /// threads x users_per_shard x predictor_batch grid): splitting a run at
+  /// any day boundary and resuming — in-process or through a disk snapshot —
+  /// yields a bitwise-identical FleetAccumulator AND, with a restored
+  /// ShardedCapture attached, bitwise-identical telemetry archive bytes.
+  /// Per-user summaries (finish-time accumulator fields and record_user
+  /// telemetry) are emitted only by the leg that reaches config().days.
+  ///
+  /// The telemetry sink's begin_fleet() fires only when first_day == 0; a
+  /// resumed leg expects the sink to carry the capture state of the prior
+  /// legs (in-process reuse, or snapshot::restore_capture after loading).
+  FleetAccumulator run_days(std::uint64_t seed, std::size_t first_day,
+                            std::size_t last_day, const FleetDayState* resume = nullptr,
+                            FleetDayState* out_state = nullptr,
+                            FleetRunStats* stats = nullptr) const;
+
   const FleetConfig& config() const noexcept { return config_; }
+  /// The configured predictor factory (null unless set). The snapshot
+  /// subsystem serializes the factory net's weights from here.
+  const PredictorFactory& predictor_factory() const noexcept { return predictor_factory_; }
 
  private:
   friend class ShardScheduler;
@@ -277,8 +336,14 @@ class FleetRunner {
 /// One ShardScheduler is driven by exactly one worker thread.
 class ShardScheduler {
  public:
+  /// Drives users [first_user, last_user) over days [first_day, last_day).
+  /// `resume` / `out_state`, when non-null, are the whole-fleet day-boundary
+  /// states (indexed by absolute user index) this shard restores from /
+  /// exports into; the scheduler touches only its own users' entries.
   ShardScheduler(const FleetRunner& runner, const FleetWorld& world, std::uint64_t seed,
-                 std::size_t first_user, std::size_t last_user, FleetAccumulator& acc);
+                 std::size_t first_user, std::size_t last_user, FleetAccumulator& acc,
+                 std::size_t first_day, std::size_t last_day,
+                 const FleetDayState* resume, FleetDayState* out_state);
   ~ShardScheduler();
   ShardScheduler(const ShardScheduler&) = delete;
   ShardScheduler& operator=(const ShardScheduler&) = delete;
@@ -300,6 +365,10 @@ class ShardScheduler {
   std::size_t first_user_;
   std::size_t last_user_;
   FleetAccumulator& acc_;
+  std::size_t first_day_;
+  std::size_t last_day_;
+  const FleetDayState* resume_;
+  FleetDayState* out_state_;
   std::unique_ptr<predictor::ExitQueryPool> pool_;
 };
 

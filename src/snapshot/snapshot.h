@@ -1,0 +1,178 @@
+// Fleet snapshot/checkpoint subsystem — warm-start & incremental-day runs.
+//
+// A snapshot serializes the complete evolving state of a fleet at a day
+// boundary (sim::FleetDayState: per-user engagement, bandwidth windows,
+// trigger counters, adopted QoE parameters, optimizer counters, rng stream
+// positions, plus the merged FleetAccumulator), the predictor net weights
+// (a versioned nn model container) and, optionally, the telemetry capture
+// cursors — so a later process can resume the fleet at day D and produce
+// results bitwise identical to a run that never stopped (the parity grid in
+// tests/test_properties.cpp and the scripts/ci.sh smoke pin this).
+//
+// ## Snapshot format spec (version 1)
+//
+// A snapshot is a directory, mirroring the telemetry archive discipline
+// (manifest + framed per-shard files, everything CRC-protected through
+// logstore/record.h and common/crc32, failures surfacing through
+// common/expected.h):
+//
+//   <dir>/manifest.lxm     one framed record
+//   <dir>/net.lxnw         optional: nn::serialize model container
+//                          (kModelKindStallExitNet) with the predictor
+//                          factory's net weights; absent when the fleet has
+//                          no predictor
+//   <dir>/state-NNNN.lxst  framed per-user state records for users
+//                          [NNNN * users_per_shard, (NNNN+1) * users_per_shard)
+//
+// Manifest payload (little-endian, logstore primitive codecs):
+//   u32 format_version    kSnapshotFormatVersion
+//   u64 seed              fleet seed the snapshot was taken at
+//   u32 resume_digest     telemetry::config_digest over the FleetConfig with
+//                         `days` forced to 0 — a resumed run may EXTEND the
+//                         calendar (incremental-day experiments) but every
+//                         result-shaping knob must match
+//   u64 users
+//   u64 next_day          first day a resumed run simulates (the boundary D)
+//   u64 users_per_shard   state-file granularity (users per state file)
+//   u32 has_net           0/1; u32 net_crc — CRC32 of net.lxnw's bytes
+//   u32 has_capture       0/1: capture-cursor records follow each user state
+//   accumulator           18 u64 fields of the merged FleetAccumulator over
+//                         days [0, next_day), declaration order
+//   u64 shard_count
+//   per shard:            u64 first_user | u64 user_count | u64 byte_count |
+//                         u32 crc32(state file bytes)
+//
+// State-file record payloads, discriminated by a leading u32 type tag:
+//   kUserStateRecord (1):     u64 user | rng (4x u64 state words,
+//                             f64 cached normal, u32 has flag) | 3x f64 QoE
+//                             params | u64 adjusted_days | u32 has_lingxi |
+//                             [lingxi section: engagement snapshot (3 event
+//                             vectors as u64 count + f64s, f64 watch time,
+//                             u64 stall events, u64 stall exits, 2x f64
+//                             interval anchors), bandwidth window (u64 count
+//                             + f64s, oldest first), u64 trigger counter,
+//                             u32 has_optimized, 3x f64 adopted QoE params
+//                             (the controller's warm start — distinct from
+//                             the ABR params during an AA period),
+//                             5x u64 optimizer counters]
+//   kCaptureCursorRecord (2): u64 user | u64 records |
+//                             u64 next_expected_at_least | u64 byte_count |
+//                             raw buffered archive bytes
+//
+// Within a state file, records are user-major in ascending user order; when
+// has_capture is set each user's state record is followed by that user's
+// capture cursor record.
+//
+// OBO/GP optimizer state: day-boundary snapshots never carry an in-flight
+// OBO round — a LingXi optimization completes within the session that
+// triggered it, and its GP is rebuilt per round from the persisted warm
+// start (LingXi::PersistentState::params). The bayesopt layer is still
+// exactly checkpointable (bayesopt::OnlineBayesOpt::State), and
+// encode_obo_state/decode_obo_state round-trip the GP observation history
+// and hyperparameters for tooling and future mid-session snapshots; the
+// fleet format reserves record type 3 for them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bayesopt/obo.h"
+#include "common/expected.h"
+#include "sim/fleet_runner.h"
+#include "telemetry/capture.h"
+
+namespace lingxi::snapshot {
+
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// A fleet checkpoint materialized in memory: the deterministic output of
+/// capture_snapshot(), ready to be written out (save_snapshot) or resumed
+/// from directly.
+struct FleetSnapshot {
+  std::uint64_t seed = 0;
+  std::uint32_t resume_digest = 0;
+  /// Day-boundary state: per-user evolving state + accumulator (next_day=D).
+  sim::FleetDayState state;
+  /// nn::serialize model container with the predictor net weights; empty
+  /// when the fleet runs without a predictor.
+  std::vector<unsigned char> net_model;
+  /// Telemetry capture positions (one per user) when a ShardedCapture was
+  /// snapshotted alongside the fleet.
+  bool has_capture = false;
+  std::vector<telemetry::ShardedCapture::CaptureCursor> capture;
+};
+
+/// telemetry::config_digest with the calendar length (`days`) zeroed out: a
+/// resumed run must match every result-shaping knob but may extend the
+/// horizon (that is the point of incremental-day experiments).
+std::uint32_t resume_digest(const sim::FleetConfig& config);
+
+/// File names inside a snapshot directory.
+std::string manifest_filename();
+std::string state_filename(std::size_t shard_index);
+std::string net_filename();
+
+/// Assemble a snapshot from a runner's exported day state: stamps seed and
+/// resume digest, serializes the predictor factory's net (the fleet factory
+/// is pure configuration, so one container covers every deep copy), and
+/// exports `capture`'s cursors when given. Fails with kInvalidArg when the
+/// state's user count disagrees with the config.
+Expected<FleetSnapshot> capture_snapshot(const sim::FleetRunner& runner,
+                                         std::uint64_t seed, sim::FleetDayState state,
+                                         const telemetry::ShardedCapture* capture = nullptr);
+
+/// Write manifest + net + per-shard state files into `dir` (created if
+/// missing). `users_per_shard` is the state-file granularity.
+Status save_snapshot(const FleetSnapshot& snapshot, const std::string& dir,
+                     std::size_t users_per_shard = 64);
+
+/// Read a snapshot back. Every CRC, version and structural invariant is
+/// checked (Error::kCorrupt on mismatch) — including that the net container
+/// deserializes and the shard table tiles the user range — so a resumed
+/// fleet never starts from silently corrupt state.
+Expected<FleetSnapshot> load_snapshot(const std::string& dir);
+
+/// Resumability check: seed, user count, result-shaping config digest and
+/// day boundary must all line up with the fleet about to resume
+/// (kInvalidArg with a specific message otherwise).
+Status check_compatible(const FleetSnapshot& snapshot, const sim::FleetConfig& config,
+                        std::uint64_t seed);
+
+/// Wrap a predictor factory so every predictor it hands out carries the
+/// snapshot's net weights — resume is then robust against factory drift
+/// between the saving and resuming processes. With an empty `net_model` the
+/// base factory is returned unchanged. The blob must have been validated
+/// (load_snapshot does); weight/shape mismatches are a contract violation.
+sim::FleetRunner::PredictorFactory resume_predictor_factory(
+    sim::FleetRunner::PredictorFactory base, std::vector<unsigned char> net_model);
+
+/// Re-arm a capture for a resumed leg: begin_fleet(config, snapshot seed)
+/// then restore the snapshot's cursors, so the resumed run appends days
+/// [D, ...) and finish() emits archive bytes identical to an unsplit run.
+/// Copies the cursor bytes (the whole captured archive so far); a resume
+/// path that is done with the snapshot's cursors should hand them to the
+/// moving overload instead.
+Status restore_capture(telemetry::ShardedCapture& capture, const sim::FleetConfig& config,
+                       const FleetSnapshot& snapshot);
+/// Moving form: same checks, but the cursors are consumed (pass
+/// `snapshot.seed, std::move(snapshot.capture)`), so resuming does not
+/// transiently duplicate the captured archive bytes.
+Status restore_capture(telemetry::ShardedCapture& capture, const sim::FleetConfig& config,
+                       std::uint64_t seed,
+                       std::vector<telemetry::ShardedCapture::CaptureCursor> cursors);
+
+/// Per-user state codec (exposed for tests and bench_micro).
+std::vector<unsigned char> encode_user_state(std::uint64_t user,
+                                             const sim::UserFleetState& state);
+Expected<std::pair<std::uint64_t, sim::UserFleetState>> decode_user_state(
+    const std::vector<unsigned char>& payload);
+
+/// OBO/GP optimizer-state codec (see the header comment: reserved record
+/// type 3; not embedded by day-boundary snapshots).
+std::vector<unsigned char> encode_obo_state(const bayesopt::OnlineBayesOpt::State& state);
+Expected<bayesopt::OnlineBayesOpt::State> decode_obo_state(
+    const std::vector<unsigned char>& payload);
+
+}  // namespace lingxi::snapshot

@@ -286,6 +286,32 @@ std::uint64_t FleetArchive::total_bytes() const noexcept {
   return total;
 }
 
+namespace {
+
+/// A structurally valid manifest whose shard table does not actually cover
+/// the users it claims would make every scan silently yield nothing (each
+/// scan iterates the shard table, so missing coverage is skipped, not
+/// reported). Reject it at open() instead: the shard ranges must tile
+/// [0, users) contiguously in order.
+Status validate_manifest(const ArchiveManifest& manifest) {
+  std::uint64_t next_user = 0;
+  for (const auto& shard : manifest.shards) {
+    if (shard.first_user != next_user) {
+      return Error::corrupt("archive shard table does not tile the user range");
+    }
+    if (shard.user_count == 0) {
+      return Error::corrupt("archive shard table has an empty shard");
+    }
+    next_user += shard.user_count;
+  }
+  if (next_user != manifest.users) {
+    return Error::corrupt("archive shard table disagrees with manifest user count");
+  }
+  return {};
+}
+
+}  // namespace
+
 Expected<ArchiveReader> ArchiveReader::open(const std::string& dir) {
   auto bytes = logstore::read_file(dir + "/" + manifest_filename());
   if (!bytes) return bytes.error();
@@ -295,6 +321,7 @@ Expected<ArchiveReader> ArchiveReader::open(const std::string& dir) {
   if (pos != bytes->size()) return Error::corrupt("trailing bytes after archive manifest");
   auto manifest = ArchiveManifest::decode(*payload);
   if (!manifest) return manifest.error();
+  if (auto s = validate_manifest(*manifest); !s) return s.error();
   return ArchiveReader(dir, std::move(*manifest));
 }
 

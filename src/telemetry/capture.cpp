@@ -28,7 +28,7 @@ void ShardedCapture::begin_fleet(const sim::FleetConfig& config, std::uint64_t s
   manifest_.intervention_day = config.intervention_day;
   manifest_.enable_lingxi = config.enable_lingxi;
   manifest_.users_per_shard = config_.users_per_shard;
-  users_.assign(config.users, UserBuffer{});
+  users_.assign(config.users, CaptureCursor{});
 }
 
 void ShardedCapture::record_session(const SessionContext& ctx,
@@ -44,7 +44,7 @@ void ShardedCapture::record_session(const SessionContext& ctx,
   rec.entry.timestamp = ctx.day * kSecondsPerDay + ctx.session_in_day;
   rec.entry.video_duration = ctx.video_duration;
   rec.entry.session = session;
-  UserBuffer& buffer = users_[ctx.user_index];
+  CaptureCursor& buffer = users_[ctx.user_index];
   // Cross-user waves interleave users, never one user's sessions: records
   // for a user must arrive in strictly increasing (day, session) order or
   // the archive bytes would depend on the schedule.
@@ -63,7 +63,7 @@ void ShardedCapture::record_user(const UserTelemetry& user) {
   rec.tolerable_stall = user.tolerable_stall;
   rec.adjusted_days = user.adjusted_days;
   rec.stats = user.stats;
-  UserBuffer& buffer = users_[user.user_index];
+  CaptureCursor& buffer = users_[user.user_index];
   logstore::write_record(buffer.bytes, encode_user_record(rec));
   ++buffer.records;
 }
@@ -89,6 +89,11 @@ FleetArchive ShardedCapture::finish() const {
     info.byte_count = bytes.size();
   }
   return archive;
+}
+
+void ShardedCapture::restore_cursors(std::vector<CaptureCursor> cursors) {
+  LINGXI_ASSERT(cursors.size() == users_.size());
+  users_ = std::move(cursors);
 }
 
 std::size_t ShardedCapture::session_count() const noexcept {

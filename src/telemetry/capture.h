@@ -51,18 +51,34 @@ class ShardedCapture final : public TelemetrySink {
 
   std::size_t session_count() const noexcept;
 
- private:
-  struct UserBuffer {
+  /// One user's capture position: the framed records buffered so far plus
+  /// the chronological cursor. The snapshot subsystem persists these at a
+  /// day boundary so a resumed fleet appends days [D, ...) to the restored
+  /// buffers and finish() emits archive bytes identical to an unsplit run.
+  struct CaptureCursor {
     std::vector<unsigned char> bytes;  ///< framed records, chronological
     std::uint64_t records = 0;
     /// (day << 32) | session of the last record + 1, for the debug-only
     /// chronological-order assertion under interleaved execution.
     std::uint64_t next_expected_at_least = 0;
+
+    bool operator==(const CaptureCursor&) const = default;
   };
 
+  /// Export every user's capture position (index == user index). Call at a
+  /// day boundary, i.e. between FleetRunner::run_days legs. Deliberately a
+  /// copy: snapshotting must not disturb a live capture, which may keep
+  /// recording further days in-process after the snapshot is taken.
+  std::vector<CaptureCursor> cursors() const { return users_; }
+  /// Restore positions exported by cursors(). Must follow a begin_fleet()
+  /// with the same fleet config and seed (which pre-sizes the user table);
+  /// `cursors` must hold exactly one entry per user.
+  void restore_cursors(std::vector<CaptureCursor> cursors);
+
+ private:
   Config config_;
   ArchiveManifest manifest_;  ///< shard index filled in by finish()
-  std::vector<UserBuffer> users_;
+  std::vector<CaptureCursor> users_;
 };
 
 }  // namespace lingxi::telemetry

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <set>
+#include <vector>
 
 #include "common/crc32.h"
 #include "common/expected.h"
@@ -139,6 +140,73 @@ TEST(Rng, ForkProducesIndependentStream) {
   int same = 0;
   for (int i = 0; i < 100; ++i) same += (parent.next() == child.next()) ? 1 : 0;
   EXPECT_LT(same, 3);
+}
+
+// -- stream save/restore (snapshot subsystem) --------------------------------
+
+TEST(RngState, RoundTripMidStreamContinuesIdentically) {
+  Rng rng(1234);
+  for (int i = 0; i < 37; ++i) rng.next();  // advance to an arbitrary position
+  const Rng::State checkpoint = rng.state();
+
+  // Reference continuation from the live generator.
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 64; ++i) expected.push_back(rng.next());
+
+  Rng resumed(999);  // different seed: restore must fully overwrite
+  resumed.restore(checkpoint);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(resumed.next(), expected[i]) << "draw " << i;
+}
+
+TEST(RngState, PreservesCachedBoxMullerNormal) {
+  Rng rng(7);
+  (void)rng.normal();  // leaves the second variate cached
+  const Rng::State mid = rng.state();
+  EXPECT_TRUE(mid.has_cached_normal);
+
+  Rng resumed;
+  resumed.restore(mid);
+  // The very next normal must be the cached variate, then the streams stay
+  // bit-identical through further distribution draws.
+  EXPECT_EQ(rng.normal(), resumed.normal());
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(rng.normal(3.0, 2.0), resumed.normal(3.0, 2.0));
+    EXPECT_EQ(rng.uniform(), resumed.uniform());
+  }
+}
+
+TEST(RngState, RoundTripAcrossForkBoundaries) {
+  // fork() mixes the parent state AND advances it; a snapshot taken before a
+  // fork must reproduce both the child stream and the parent continuation.
+  Rng rng(88);
+  for (int i = 0; i < 11; ++i) rng.next();
+  const Rng::State before_fork = rng.state();
+
+  Rng child = rng.fork();
+  std::vector<std::uint64_t> child_draws, parent_draws;
+  for (int i = 0; i < 16; ++i) child_draws.push_back(child.next());
+  for (int i = 0; i < 16; ++i) parent_draws.push_back(rng.next());
+
+  Rng resumed;
+  resumed.restore(before_fork);
+  Rng resumed_child = resumed.fork();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(resumed_child.next(), child_draws[i]);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(resumed.next(), parent_draws[i]);
+
+  // And the child's own state round-trips independently of the parent.
+  const Rng::State child_mid = resumed_child.state();
+  Rng resumed_grandchild;
+  resumed_grandchild.restore(child_mid);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(resumed_grandchild.next(), resumed_child.next());
+}
+
+TEST(RngState, StateEqualityTracksPosition) {
+  Rng a(5), b(5);
+  EXPECT_EQ(a.state(), b.state());
+  a.next();
+  EXPECT_FALSE(a.state() == b.state());
+  b.next();
+  EXPECT_EQ(a.state(), b.state());
 }
 
 TEST(RunningStats, EmptyDefaults) {

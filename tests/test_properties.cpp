@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 #include <limits>
 #include <memory>
+#include <string>
 #include <tuple>
 
 #include "abr/bba.h"
@@ -25,6 +27,7 @@
 #include "sim/monte_carlo.h"
 #include "sim/player_env.h"
 #include "sim/session.h"
+#include "snapshot/snapshot.h"
 #include "stats/ecdf.h"
 #include "telemetry/capture.h"
 #include "trace/bandwidth.h"
@@ -655,6 +658,114 @@ TEST(CrossUserWaveArchive, BytesIdenticalUnderInterleavedExecution) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Snapshot/resume parity (the snapshot subsystem's headline contract): for
+// any (scheduler mode x threads x users_per_shard x predictor_batch) grid
+// point, simulating days [0, D+K) in one run vs. snapshot-at-D (through a
+// disk round trip) then resume must produce a bitwise-identical
+// FleetAccumulator AND bitwise-identical telemetry archive bytes.
+// ---------------------------------------------------------------------------
+
+using SnapshotCase =
+    std::tuple<int /*scheduler*/, int /*threads*/, int /*users_per_shard*/, int /*batch*/>;
+
+class SnapshotResumeParity : public ::testing::TestWithParam<SnapshotCase> {
+ public:
+  static constexpr std::uint64_t kSeed = 77;
+  static constexpr std::size_t kBoundary = 2;  // D = 2, K = 2 over 4 days
+
+  static sim::FleetConfig grid_config(int scheduler, int threads, int users_per_shard,
+                                      int batch) {
+    sim::FleetConfig cfg = FleetBatchingInvariance::fleet_config();
+    cfg.days = 4;
+    cfg.scheduler = scheduler == 0 ? sim::SchedulerMode::kPerUser
+                                   : sim::SchedulerMode::kCohortWaves;
+    cfg.threads = static_cast<std::size_t>(threads);
+    cfg.users_per_shard = static_cast<std::size_t>(users_per_shard);
+    cfg.predictor_batch = static_cast<std::size_t>(batch);
+    return cfg;
+  }
+
+  static sim::FleetRunner::PredictorFactory predictor_factory() {
+    return [] {
+      Rng net_rng(4242);
+      return predictor::HybridExitPredictor(
+          std::make_shared<predictor::StallExitNet>(net_rng),
+          std::make_shared<predictor::OverallStatsModel>());
+    };
+  }
+
+  static sim::FleetRunner make_runner(const sim::FleetConfig& cfg) {
+    sim::FleetRunner runner(cfg, [] { return std::make_unique<abr::Hyb>(); });
+    runner.set_predictor_factory(predictor_factory());
+    return runner;
+  }
+};
+
+TEST_P(SnapshotResumeParity, DiskResumeMatchesFullRunBitwise) {
+  const auto [scheduler, threads, users_per_shard, batch] = GetParam();
+  const sim::FleetConfig cfg = grid_config(scheduler, threads, users_per_shard, batch);
+
+  // Reference: the uninterrupted [0, D+K) run, captured.
+  sim::FleetRunner full_runner = make_runner(cfg);
+  telemetry::ShardedCapture full_capture(telemetry::ShardedCapture::Config{4});
+  full_runner.set_telemetry_sink(&full_capture);
+  const sim::FleetAccumulator full = full_runner.run(kSeed);
+  const telemetry::FleetArchive full_archive = full_capture.finish();
+  ASSERT_GT(full.lingxi_optimizations, 0u);
+
+  // Leg 1: [0, D), snapshotted to disk.
+  sim::FleetRunner leg_runner = make_runner(cfg);
+  telemetry::ShardedCapture leg_capture(telemetry::ShardedCapture::Config{4});
+  leg_runner.set_telemetry_sink(&leg_capture);
+  sim::FleetDayState state;
+  leg_runner.run_days(kSeed, 0, kBoundary, nullptr, &state);
+  auto snap = snapshot::capture_snapshot(leg_runner, kSeed, std::move(state), &leg_capture);
+  ASSERT_TRUE(snap.has_value()) << snap.error().message;
+  const std::string dir = ::testing::TempDir() + "/lingxi_prop_snap_" +
+                          std::to_string(scheduler) + "_" + std::to_string(threads) + "_" +
+                          std::to_string(users_per_shard) + "_" + std::to_string(batch);
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(snapshot::save_snapshot(*snap, dir, 3).ok());
+
+  // Leg 2: load, verify compatibility, resume [D, D+K) with a fresh runner,
+  // wrapped factory and restored capture — the cross-process shape.
+  auto loaded = snapshot::load_snapshot(dir);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error().message;
+  ASSERT_TRUE(snapshot::check_compatible(*loaded, cfg, kSeed).ok());
+  sim::FleetRunner resumed_runner(cfg, [] { return std::make_unique<abr::Hyb>(); });
+  resumed_runner.set_predictor_factory(
+      snapshot::resume_predictor_factory(predictor_factory(), loaded->net_model));
+  telemetry::ShardedCapture resumed_capture(telemetry::ShardedCapture::Config{4});
+  ASSERT_TRUE(snapshot::restore_capture(resumed_capture, cfg, *loaded).ok());
+  resumed_runner.set_telemetry_sink(&resumed_capture);
+  const sim::FleetAccumulator resumed =
+      resumed_runner.run_days(kSeed, kBoundary, cfg.days, &loaded->state);
+
+  EXPECT_EQ(resumed.checksum(), full.checksum())
+      << "scheduler=" << scheduler << " threads=" << threads
+      << " users_per_shard=" << users_per_shard << " batch=" << batch;
+  EXPECT_EQ(resumed.watch_ticks, full.watch_ticks);
+  EXPECT_EQ(resumed.stall_ticks, full.stall_ticks);
+  EXPECT_EQ(resumed.bitrate_time_ticks, full.bitrate_time_ticks);
+  EXPECT_EQ(resumed.lingxi_optimizations, full.lingxi_optimizations);
+  EXPECT_EQ(resumed.lingxi_mc_evaluations, full.lingxi_mc_evaluations);
+  EXPECT_EQ(resumed.adjusted_user_days, full.adjusted_user_days);
+
+  const telemetry::FleetArchive resumed_archive = resumed_capture.finish();
+  EXPECT_EQ(resumed_archive.checksum(), full_archive.checksum());
+  ASSERT_EQ(resumed_archive.shards.size(), full_archive.shards.size());
+  for (std::size_t s = 0; s < full_archive.shards.size(); ++s) {
+    EXPECT_TRUE(resumed_archive.shards[s] == full_archive.shards[s]) << "shard " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SnapshotResumeParity,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(1, 4),
+                                            ::testing::Values(1, 8),
+                                            ::testing::Values(0, 64)));
 
 // ---------------------------------------------------------------------------
 // Permutation invariance of batch assembly: the order in which queries are

@@ -287,6 +287,62 @@ TEST(ArchiveReader, DetectsTruncatedShard) {
   EXPECT_EQ(replayed.error().code, Error::Code::kCorrupt);
 }
 
+TEST(ArchiveReader, DetectsFlippedByteInManifest) {
+  const auto archive = capture_fleet(small_fleet(), 1, 13);
+  const std::string dir = fresh_dir("manifest-flip");
+  ASSERT_TRUE(archive.write(dir).ok());
+  const std::string path = dir + "/" + telemetry::manifest_filename();
+  auto bytes = logstore::read_file(path);
+  ASSERT_TRUE(bytes.has_value());
+  // Flip one payload byte; the record CRC must catch it at open() instead of
+  // scans running against a corrupt shard table.
+  (*bytes)[bytes->size() / 2] ^= 0x04;
+  ASSERT_TRUE(logstore::write_file(path, *bytes).ok());
+
+  const auto opened = telemetry::ArchiveReader::open(dir);
+  ASSERT_FALSE(opened.has_value());
+  EXPECT_EQ(opened.error().code, Error::Code::kCorrupt);
+}
+
+TEST(ArchiveReader, DetectsManifestTruncatedMidShardEntry) {
+  const auto archive = capture_fleet(small_fleet(), 1, 13);
+  ASSERT_GE(archive.manifest.shards.size(), 1u);
+  const std::string dir = fresh_dir("manifest-trunc");
+  ASSERT_TRUE(archive.write(dir).ok());
+  // Chop the payload mid shard-index entry and re-frame it with a valid
+  // record CRC, so only the manifest decoder itself can reject it.
+  auto payload = archive.manifest.encode();
+  payload.resize(payload.size() - 12);
+  std::vector<unsigned char> framed;
+  logstore::write_record(framed, payload);
+  ASSERT_TRUE(
+      logstore::write_file(dir + "/" + telemetry::manifest_filename(), framed).ok());
+
+  const auto opened = telemetry::ArchiveReader::open(dir);
+  ASSERT_FALSE(opened.has_value());
+  EXPECT_EQ(opened.error().code, Error::Code::kCorrupt);
+}
+
+TEST(ArchiveReader, RejectsShardTableNotCoveringUsers) {
+  // A manifest whose shard table does not tile [0, users) would make every
+  // scan silently yield nothing for the uncovered users; open() must reject
+  // it as corrupt instead.
+  const auto archive = capture_fleet(small_fleet(), 1, 13);
+  const std::string dir = fresh_dir("manifest-holes");
+  ASSERT_TRUE(archive.write(dir).ok());
+  telemetry::ArchiveManifest manifest = archive.manifest;
+  ASSERT_GE(manifest.shards.size(), 1u);
+  manifest.shards.clear();  // claims users but covers none
+  std::vector<unsigned char> framed;
+  logstore::write_record(framed, manifest.encode());
+  ASSERT_TRUE(
+      logstore::write_file(dir + "/" + telemetry::manifest_filename(), framed).ok());
+
+  const auto opened = telemetry::ArchiveReader::open(dir);
+  ASSERT_FALSE(opened.has_value());
+  EXPECT_EQ(opened.error().code, Error::Code::kCorrupt);
+}
+
 TEST(ArchiveReader, RejectsBadManifestVersion) {
   const auto archive = capture_fleet(small_fleet(), 1, 13);
   const std::string dir = fresh_dir("badversion");
