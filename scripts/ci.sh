@@ -21,7 +21,13 @@
 #     resume from disk — exits non-zero unless the resumed FleetAccumulator
 #     checksum AND the telemetry archive bytes bitwise-match the full run.
 #     The snapshot directory and the JSON summary land in
-#     ${BUILD_DIR}/smoke/ for the artifact upload.
+#     ${BUILD_DIR}/smoke/ for the artifact upload;
+#   * a crash-recovery smoke (bench_crash_recovery): run the checkpointing
+#     fleet and SIGKILL it from inside the snapshot commit protocol, then
+#     recover via snapshot::find_latest_valid in a fresh process and resume
+#     to the horizon — non-zero exit unless the resumed FleetAccumulator
+#     checksum AND archive checksum bitwise-match an uninterrupted reference
+#     run. The checkpoint root and JSON summaries land in ${BUILD_DIR}/smoke/.
 #
 # Usage: scripts/ci.sh [Debug|Release]   (default Release)
 set -euo pipefail
@@ -67,3 +73,31 @@ echo "capture->replay smoke OK: $(ls "${SMOKE_DIR}/fig12-archives")"
   --json "${SMOKE_DIR}/warm_start.json" \
   | tee "${SMOKE_DIR}/warm_start.txt"
 echo "snapshot->resume smoke OK: $(ls "${SMOKE_DIR}/warm-start-snapshot")"
+
+# Crash-recovery smoke: reference run -> checkpointing run killed (-9, raised
+# from inside the commit protocol) -> recover + resume in a fresh process,
+# asserting bitwise parity against the reference.
+"${BUILD_DIR}/bench/bench_crash_recovery" --reference --smoke --days 4 \
+  --json "${SMOKE_DIR}/crash_reference.json" \
+  | tee "${SMOKE_DIR}/crash_recovery.txt"
+REF_CHECKSUM="$(sed -n 's/.*"checksum": "\(0x[0-9a-f]*\)".*/\1/p' "${SMOKE_DIR}/crash_reference.json")"
+REF_ARCHIVE="$(sed -n 's/.*"archive_checksum": "\(0x[0-9a-f]*\)".*/\1/p' "${SMOKE_DIR}/crash_reference.json")"
+set +e
+"${BUILD_DIR}/bench/bench_crash_recovery" --run --smoke --days 4 --every 1 \
+  --root "${SMOKE_DIR}/crash-checkpoints" \
+  --kill-at-checkpoint 2 --kill-during-commit durable \
+  2>&1 | tee -a "${SMOKE_DIR}/crash_recovery.txt"
+RUN_RC="${PIPESTATUS[0]}"
+set -e
+if [ "${RUN_RC}" -eq 0 ]; then
+  echo "crash-recovery smoke BROKEN: the armed SIGKILL never fired" >&2
+  exit 1
+fi
+"${BUILD_DIR}/bench/bench_crash_recovery" --resume --smoke --days 4 \
+  --root "${SMOKE_DIR}/crash-checkpoints" \
+  --expect-checksum "${REF_CHECKSUM}" \
+  --expect-archive-checksum "${REF_ARCHIVE}" \
+  --json "${SMOKE_DIR}/crash_resume.json" \
+  | tee -a "${SMOKE_DIR}/crash_recovery.txt"
+echo "crash-recovery smoke OK: killed at checkpoint 2 (commit stage durable)," \
+  "resumed bitwise-identical (${REF_CHECKSUM} / ${REF_ARCHIVE})"

@@ -1,5 +1,10 @@
 #include "logstore/record.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -128,11 +133,49 @@ Expected<std::vector<unsigned char>> read_record(std::istream& in) {
 }
 
 Status write_file(const std::string& path, const std::vector<unsigned char>& bytes) {
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) return Error::io("cannot open for write: " + path);
-  f.write(reinterpret_cast<const char*>(bytes.data()),
-          static_cast<std::streamsize>(bytes.size()));
-  if (!f) return Error::io("write failed: " + path);
+  // Write-to-temp, fsync, close-with-check, rename: the destination is never
+  // observable half-written, and a crash at any stage leaves the previous
+  // file intact (see record.h). POSIX fds rather than ofstream because the
+  // durability point (fsync) has no iostream equivalent and ofstream's
+  // destructor close silently discards errors.
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Error::io("cannot open for write: " + tmp);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Error::io("write failed: " + tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Error::io("fsync failed: " + tmp);
+  }
+  if (::close(fd) != 0) {
+    // A deferred write error surfacing at close: the temp file's contents are
+    // not trustworthy, so the commit must not happen.
+    ::unlink(tmp.c_str());
+    return Error::io("close failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Error::io("rename failed: " + tmp + " -> " + path);
+  }
+  return {};
+}
+
+Status fsync_directory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Error::io("cannot open directory for fsync: " + dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Error::io("directory fsync failed: " + dir);
   return {};
 }
 

@@ -38,7 +38,22 @@ bool get_u64(const std::vector<unsigned char>& in, std::size_t& pos, std::uint64
 bool get_f64(const std::vector<unsigned char>& in, std::size_t& pos, double& v);
 
 /// Whole-file helpers.
+///
+/// write_file is atomic and durable: the bytes are written to `<path>.tmp`,
+/// flushed to stable storage (fsync) and closed with the result checked
+/// (a destructor-close would drop delayed write errors on the floor), then
+/// renamed over `path`. A crash, kill -9 or full disk at any point leaves
+/// either the old file intact or the new one complete — never a torn
+/// mixture — at the cost of a stale `<path>.tmp` that the next successful
+/// write replaces. Each failing stage returns a distinct Error::kIo whose
+/// message names the stage ("cannot open" / "write failed" / "fsync failed"
+/// / "close failed" / "rename failed"), so callers can report which part of
+/// the commit tore.
 Status write_file(const std::string& path, const std::vector<unsigned char>& bytes);
 Expected<std::vector<unsigned char>> read_file(const std::string& path);
+
+/// fsync a directory fd so a just-committed rename inside it survives power
+/// loss (the snapshot commit protocol's final durability point).
+Status fsync_directory(const std::string& dir);
 
 }  // namespace lingxi::logstore

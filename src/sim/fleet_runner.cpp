@@ -29,6 +29,20 @@ std::int64_t to_ticks(double value, double scale) {
   return static_cast<std::int64_t>(std::llround(value * scale));
 }
 
+/// min(a + b, INT64_MAX) for non-negative addends, latching `overflowed` on
+/// clamp. Saturating addition of non-negatives is exactly
+/// min(true_total, INT64_MAX), so it stays associative and commutative — the
+/// property that keeps clamped sums (and the latch) partition-independent.
+std::int64_t saturating_add_ticks(std::int64_t a, std::int64_t b,
+                                  std::uint64_t& overflowed) {
+  std::int64_t sum = 0;
+  if (__builtin_add_overflow(a, b, &sum)) {
+    overflowed = 1;
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return sum;
+}
+
 }  // namespace
 
 void FleetAccumulator::add_session(const SessionResult& session, bool measured) {
@@ -42,17 +56,20 @@ void FleetAccumulator::add_session(const SessionResult& session, bool measured) 
   if (exited_during_stall(session)) ++stall_exits;
   quality_switches += session.quality_switches;
 
-  watch_ticks += to_ticks(session.watch_time, kTicksPerSecond);
-  stall_ticks += to_ticks(session.total_stall, kTicksPerSecond);
-  startup_ticks += to_ticks(session.startup_delay, kTicksPerSecond);
+  watch_ticks = saturating_add_ticks(watch_ticks, to_ticks(session.watch_time, kTicksPerSecond),
+                                     overflowed);
+  stall_ticks = saturating_add_ticks(stall_ticks, to_ticks(session.total_stall, kTicksPerSecond),
+                                     overflowed);
+  startup_ticks = saturating_add_ticks(
+      startup_ticks, to_ticks(session.startup_delay, kTicksPerSecond), overflowed);
   const std::int64_t bitrate_time =
       to_ticks(session.mean_bitrate * session.watch_time, kBitrateTicksPerKbpsSec);
-  // Guard the documented ~5e10 session-second bound on the kbps-ms product:
-  // past it the fixed-point sum would wrap and silently corrupt mean_bitrate.
+  // The documented ~5e10 session-second bound on the kbps-ms product is
+  // enforced in every build type: past it the sums saturate and `overflowed`
+  // latches (a detectable run error) instead of wrapping into silently
+  // corrupt mean_bitrate.
   LINGXI_DASSERT(bitrate_time >= 0);
-  LINGXI_DASSERT(bitrate_time_ticks <=
-                 std::numeric_limits<std::int64_t>::max() - bitrate_time);
-  bitrate_time_ticks += bitrate_time;
+  bitrate_time_ticks = saturating_add_ticks(bitrate_time_ticks, bitrate_time, overflowed);
 }
 
 void FleetAccumulator::add_lingxi_stats(const core::LingXiStats& stats) {
@@ -72,16 +89,18 @@ void FleetAccumulator::merge(const FleetAccumulator& other) {
   stall_exits += other.stall_exits;
   quality_switches += other.quality_switches;
   users += other.users;
-  watch_ticks += other.watch_ticks;
-  stall_ticks += other.stall_ticks;
-  startup_ticks += other.startup_ticks;
-  bitrate_time_ticks += other.bitrate_time_ticks;
+  watch_ticks = saturating_add_ticks(watch_ticks, other.watch_ticks, overflowed);
+  stall_ticks = saturating_add_ticks(stall_ticks, other.stall_ticks, overflowed);
+  startup_ticks = saturating_add_ticks(startup_ticks, other.startup_ticks, overflowed);
+  bitrate_time_ticks =
+      saturating_add_ticks(bitrate_time_ticks, other.bitrate_time_ticks, overflowed);
   lingxi_triggers += other.lingxi_triggers;
   lingxi_optimizations += other.lingxi_optimizations;
   lingxi_pruned_preplay += other.lingxi_pruned_preplay;
   lingxi_mc_evaluations += other.lingxi_mc_evaluations;
   lingxi_mc_rollouts_pruned += other.lingxi_mc_rollouts_pruned;
   adjusted_user_days += other.adjusted_user_days;
+  overflowed |= other.overflowed;
 }
 
 double FleetAccumulator::total_watch_time() const noexcept {
@@ -154,6 +173,7 @@ std::uint32_t FleetAccumulator::checksum() const {
       lingxi_mc_evaluations,
       lingxi_mc_rollouts_pruned,
       adjusted_user_days,
+      overflowed,
   };
   return crc32(reinterpret_cast<const unsigned char*>(fields), sizeof(fields));
 }
@@ -210,10 +230,49 @@ FleetAccumulator FleetRunner::run(std::uint64_t seed, FleetRunStats* stats) cons
   return run_days(seed, 0, config_.days, nullptr, nullptr, stats);
 }
 
+void FleetRunner::set_checkpoint_hook(CheckpointHook hook, std::size_t every_k_days) {
+  checkpoint_hook_ = std::move(hook);
+  checkpoint_every_k_days_ = every_k_days;
+}
+
 FleetAccumulator FleetRunner::run_days(std::uint64_t seed, std::size_t first_day,
                                        std::size_t last_day, const FleetDayState* resume,
                                        FleetDayState* out_state,
                                        FleetRunStats* stats) const {
+  const std::size_t k = checkpoint_every_k_days_;
+  if (!checkpoint_hook_ || k == 0 || last_day - first_day <= k) {
+    return run_days_leg(seed, first_day, last_day, resume, out_state, stats);
+  }
+  // Auto-checkpoint policy: chain <= k-day legs through the day-boundary
+  // state and hand each interior boundary to the hook. The chained-legs
+  // resume contract makes the chunking bitwise invisible.
+  if (stats != nullptr) *stats = FleetRunStats{};
+  FleetDayState boundary;
+  const FleetDayState* leg_resume = resume;
+  std::size_t leg_first = first_day;
+  FleetRunStats leg_stats;
+  for (std::size_t b = first_day + k; b < last_day; b += k) {
+    FleetDayState next;
+    run_days_leg(seed, leg_first, b, leg_resume, &next,
+                 stats != nullptr ? &leg_stats : nullptr);
+    if (stats != nullptr) stats->merge(leg_stats);
+    checkpoint_hook_(next);
+    boundary = std::move(next);
+    leg_resume = &boundary;
+    leg_first = b;
+  }
+  const FleetAccumulator merged =
+      run_days_leg(seed, leg_first, last_day, leg_resume, out_state,
+                   stats != nullptr ? &leg_stats : nullptr);
+  if (stats != nullptr) stats->merge(leg_stats);
+  return merged;
+}
+
+FleetAccumulator FleetRunner::run_days_leg(std::uint64_t seed, std::size_t first_day,
+                                           std::size_t last_day,
+                                           const FleetDayState* resume,
+                                           FleetDayState* out_state,
+                                           FleetRunStats* stats) const {
   LINGXI_ASSERT(first_day < last_day && last_day <= config_.days);
   // Resuming mid-calendar requires the matching day-boundary state; a fresh
   // start must begin at day 0.

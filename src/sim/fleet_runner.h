@@ -75,7 +75,9 @@ struct FleetWorld {
 /// commutative, so any shard partitioning and any merge tree produce the
 /// same bits — the property the fleet tests assert and the scaling bench
 /// checksums. (Bounds: ~5e10 session-seconds of watch time before the
-/// bitrate-time product can overflow 63 bits at ladder-top bitrates.)
+/// bitrate-time product can overflow 63 bits at ladder-top bitrates; past
+/// that bound the fixed-point sums saturate at INT64_MAX and `overflowed`
+/// latches — see below — instead of silently wrapping.)
 struct FleetAccumulator {
   static constexpr double kTicksPerSecond = 1e6;       ///< time resolution
   static constexpr double kBitrateTicksPerKbpsSec = 1e3;
@@ -104,6 +106,16 @@ struct FleetAccumulator {
   std::uint64_t lingxi_mc_rollouts_pruned = 0;
   std::uint64_t adjusted_user_days = 0;  ///< user-days ending off the default params
 
+  /// Sticky overflow latch (0/1): set whenever a fixed-point sum saturates at
+  /// INT64_MAX in add_session() or merge(). Saturating addition of
+  /// non-negative addends is min(true_total, INT64_MAX) — associative and
+  /// commutative — so both the clamped sums and this flag are independent of
+  /// the shard partitioning and merge order, keeping the bitwise-parity
+  /// contract even past the overflow bound. Release builds detect overflow
+  /// through this latch (callers treat has_overflow() as a run error); it is
+  /// part of the checksum and of the snapshot serialization.
+  std::uint64_t overflowed = 0;
+
   void add_session(const SessionResult& session, bool measured);
   void add_lingxi_stats(const core::LingXiStats& stats);
   void merge(const FleetAccumulator& other);
@@ -122,6 +134,10 @@ struct FleetAccumulator {
   double stall_exit_rate() const noexcept;
   /// Stall seconds per 10000 watch seconds (the unit of Fig. 3(b)).
   double stall_per_10k() const noexcept;
+
+  /// True when any fixed-point sum saturated: the derived time/bitrate
+  /// metrics are lower bounds, not exact, and callers should fail the run.
+  bool has_overflow() const noexcept { return overflowed != 0; }
 
   /// CRC32 over the raw integer state in field order — a cheap bitwise
   /// identity probe for "same result regardless of thread count".
@@ -239,6 +255,14 @@ class FleetRunner {
   using UserFactory =
       std::function<std::unique_ptr<user::UserModel>(std::size_t user_index, Rng& rng)>;
   using PredictorFactory = std::function<predictor::HybridExitPredictor()>;
+  /// Observes the whole-fleet day-boundary state at periodic boundaries of a
+  /// run (see set_checkpoint_hook). Invoked between legs on the calling
+  /// thread — never from workers — so the hook may do I/O (snapshot saves)
+  /// while the fleet is quiescent. Hook failures are the hook owner's to
+  /// record (snapshot::AutoCheckpointer keeps a Status); the simulation
+  /// itself continues, serving-style: a failed checkpoint costs durability,
+  /// not the run.
+  using CheckpointHook = std::function<void(const FleetDayState&)>;
 
   /// Default user factory: sample from `config.population`.
   FleetRunner(FleetConfig config, AbrFactory abr_factory);
@@ -264,6 +288,15 @@ class FleetRunner {
   /// completed session plus a per-user summary, from worker threads. Not
   /// owned; must outlive run(). Pass nullptr to detach.
   void set_telemetry_sink(telemetry::TelemetrySink* sink) { sink_ = sink; }
+
+  /// Auto-checkpoint policy: with a hook installed and every_k_days > 0,
+  /// run_days() executes as a chain of <= every_k_days-day legs and invokes
+  /// the hook with the materialized FleetDayState at every interior boundary
+  /// (first_day + k, first_day + 2k, ... < last_day). Chunking is bitwise
+  /// invisible — a chained run equals an unchunked one (the run_days resume
+  /// contract) — so arming checkpoints never changes results. Pass a null
+  /// hook (or every_k_days == 0) to disarm.
+  void set_checkpoint_hook(CheckpointHook hook, std::size_t every_k_days);
 
   /// Simulate the whole fleet. Bitwise-deterministic for a given seed,
   /// independent of `config().threads` (and of `config().scheduler`).
@@ -306,11 +339,19 @@ class FleetRunner {
  private:
   friend class ShardScheduler;
 
+  /// One contiguous leg (the pre-hook run_days body); run_days() chains legs
+  /// through it when the checkpoint hook is armed.
+  FleetAccumulator run_days_leg(std::uint64_t seed, std::size_t first_day,
+                                std::size_t last_day, const FleetDayState* resume,
+                                FleetDayState* out_state, FleetRunStats* stats) const;
+
   FleetConfig config_;
   AbrFactory abr_factory_;
   UserFactory user_factory_;
   PredictorFactory predictor_factory_;
   telemetry::TelemetrySink* sink_ = nullptr;
+  CheckpointHook checkpoint_hook_;
+  std::size_t checkpoint_every_k_days_ = 0;
 };
 
 /// Executes the users of one shard under the configured SchedulerMode. Both

@@ -1,0 +1,157 @@
+#include "snapshot/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+namespace lingxi::snapshot {
+namespace {
+
+constexpr const char kDirPrefix[] = "checkpoint-day-";
+
+bool strip_suffix(std::string& name, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  if (name.size() < n || name.compare(name.size() - n, n, suffix) != 0) return false;
+  name.resize(name.size() - n);
+  return true;
+}
+
+/// Parse "checkpoint-day-NNNNNN[.tmp|.old]"; reports the day and whether the
+/// name is a committed one (no crash-leftover suffix). Rejects anything else
+/// so pruning and recovery never touch foreign directories.
+bool parse_checkpoint_name(std::string name, std::uint64_t& day, bool& committed) {
+  committed = !(strip_suffix(name, ".tmp") || strip_suffix(name, ".old"));
+  const std::size_t prefix_len = std::char_traits<char>::length(kDirPrefix);
+  if (name.size() <= prefix_len || name.compare(0, prefix_len, kDirPrefix) != 0) {
+    return false;
+  }
+  day = 0;
+  for (std::size_t i = prefix_len; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    day = day * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string checkpoint_dirname(std::uint64_t next_day) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%s%06llu", kDirPrefix,
+                static_cast<unsigned long long>(next_day));
+  return buf;
+}
+
+AutoCheckpointer::AutoCheckpointer(const sim::FleetRunner& runner, std::uint64_t seed,
+                                   CheckpointPolicy policy,
+                                   const telemetry::ShardedCapture* capture)
+    : runner_(&runner), seed_(seed), policy_(std::move(policy)), capture_(capture) {
+  if (policy_.retain == 0) policy_.retain = 1;
+}
+
+void AutoCheckpointer::arm(sim::FleetRunner& runner) {
+  runner.set_checkpoint_hook(
+      [this](const sim::FleetDayState& state) { on_boundary(state); },
+      policy_.every_k_days);
+}
+
+void AutoCheckpointer::note_failure(Error error) {
+  if (status_) status_ = std::move(error);  // first failure wins
+}
+
+void AutoCheckpointer::on_boundary(const sim::FleetDayState& state) {
+  std::error_code ec;
+  std::filesystem::create_directories(policy_.root, ec);
+  if (ec) {
+    note_failure(Error::io("cannot create checkpoint root: " + policy_.root));
+    return;
+  }
+  // The hook only observes the boundary state; capture_snapshot wants its
+  // own copy to freeze.
+  auto snap = capture_snapshot(*runner_, seed_, state, capture_);
+  if (!snap) {
+    note_failure(snap.error());
+    return;
+  }
+  const std::string dir =
+      policy_.root + "/" + checkpoint_dirname(state.next_day);
+  if (auto s = save_snapshot(*snap, dir, policy_.users_per_shard); !s) {
+    note_failure(s.error());
+    return;
+  }
+  committed_dirs_.push_back(dir);
+  ++committed_dirs_total_;
+  prune();
+}
+
+void AutoCheckpointer::prune() {
+  if (committed_dirs_.size() <= policy_.retain) return;
+  // Cutoff: the oldest day we keep. Everything strictly older goes —
+  // including `.tmp`/`.old` crash leftovers, which would otherwise pin disk
+  // forever (they only matter until a newer checkpoint commits).
+  const std::string& oldest_kept =
+      committed_dirs_[committed_dirs_.size() - policy_.retain];
+  std::uint64_t cutoff_day = 0;
+  bool committed = false;
+  if (!parse_checkpoint_name(
+          std::filesystem::path(oldest_kept).filename().string(), cutoff_day,
+          committed)) {
+    return;  // defensive: never prune on an unparseable own entry
+  }
+  std::error_code ec;
+  std::filesystem::directory_iterator it(policy_.root, ec);
+  if (ec) return;  // best-effort: pruning failure is not a durability failure
+  for (const auto& entry : it) {
+    std::uint64_t day = 0;
+    if (!parse_checkpoint_name(entry.path().filename().string(), day, committed)) {
+      continue;
+    }
+    if (day < cutoff_day) std::filesystem::remove_all(entry.path(), ec);
+  }
+  committed_dirs_.erase(committed_dirs_.begin(),
+                        committed_dirs_.end() - static_cast<long>(policy_.retain));
+}
+
+Expected<RecoveredCheckpoint> find_latest_valid(const std::string& root) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(root, ec);
+  if (ec) return Error::io("cannot read checkpoint root: " + root);
+  bool found = false;
+  bool best_committed = false;
+  std::string best_name;
+  RecoveredCheckpoint best;
+  for (const auto& entry : it) {
+    if (!entry.is_directory(ec) || ec) {
+      ec.clear();
+      continue;
+    }
+    const std::string name = entry.path().filename().string();
+    std::uint64_t day = 0;
+    bool committed = false;
+    if (!parse_checkpoint_name(name, day, committed)) continue;
+    // The name told us where to look; the bytes decide whether it counts.
+    auto snap = load_snapshot(entry.path().string());
+    if (!snap) continue;
+    const std::uint64_t next_day = snap->state.next_day;
+    const bool better =
+        !found || next_day > best.snapshot.state.next_day ||
+        (next_day == best.snapshot.state.next_day &&
+         ((committed && !best_committed) ||
+          (committed == best_committed && name < best_name)));
+    if (better) {
+      best.snapshot = std::move(*snap);
+      best.dir = entry.path().string();
+      best_committed = committed;
+      best_name = name;
+      found = true;
+    }
+  }
+  if (!found) {
+    return Error::not_found("no valid checkpoint under: " + root);
+  }
+  return best;
+}
+
+}  // namespace lingxi::snapshot

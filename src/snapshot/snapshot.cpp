@@ -1,5 +1,9 @@
 #include "snapshot/snapshot.h"
 
+#include <fcntl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -83,8 +87,8 @@ decode_capture_cursor(const std::vector<unsigned char>& payload) {
   return std::make_pair(user, std::move(cursor));
 }
 
-/// The 18 integer fields of FleetAccumulator in declaration order — the same
-/// serialization checksum() hashes.
+/// The 19 integer fields of FleetAccumulator in declaration order — the same
+/// serialization checksum() hashes (overflow latch last).
 void put_accumulator(std::vector<unsigned char>& p, const sim::FleetAccumulator& acc) {
   for (std::uint64_t v :
        {acc.sessions, acc.completed, acc.measured_sessions, acc.measured_completed,
@@ -94,14 +98,14 @@ void put_accumulator(std::vector<unsigned char>& p, const sim::FleetAccumulator&
         static_cast<std::uint64_t>(acc.startup_ticks),
         static_cast<std::uint64_t>(acc.bitrate_time_ticks), acc.lingxi_triggers,
         acc.lingxi_optimizations, acc.lingxi_pruned_preplay, acc.lingxi_mc_evaluations,
-        acc.lingxi_mc_rollouts_pruned, acc.adjusted_user_days}) {
+        acc.lingxi_mc_rollouts_pruned, acc.adjusted_user_days, acc.overflowed}) {
     logstore::put_u64(p, v);
   }
 }
 
 bool get_accumulator(const std::vector<unsigned char>& in, std::size_t& pos,
                      sim::FleetAccumulator& acc) {
-  std::uint64_t f[18];
+  std::uint64_t f[19];
   for (auto& v : f) {
     if (!logstore::get_u64(in, pos, v)) return false;
   }
@@ -123,6 +127,7 @@ bool get_accumulator(const std::vector<unsigned char>& in, std::size_t& pos,
   acc.lingxi_mc_evaluations = f[15];
   acc.lingxi_mc_rollouts_pruned = f[16];
   acc.adjusted_user_days = f[17];
+  acc.overflowed = f[18];
   return true;
 }
 
@@ -405,16 +410,77 @@ Expected<FleetSnapshot> capture_snapshot(const sim::FleetRunner& runner,
   return snapshot;
 }
 
-Status save_snapshot(const FleetSnapshot& snapshot, const std::string& dir,
-                     std::size_t users_per_shard) {
-  if (users_per_shard == 0) return Error::invalid_arg("users_per_shard must be >= 1");
-  if (snapshot.has_capture && snapshot.capture.size() != snapshot.state.users.size()) {
-    return Error::invalid_arg("capture cursor count disagrees with user state count");
-  }
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) return Error::io("cannot create snapshot directory: " + dir);
+namespace {
 
+// renameat2 flag value (RENAME_EXCHANGE); spelled out because <fcntl.h> only
+// defines it with _GNU_SOURCE and the raw syscall needs just the number.
+constexpr unsigned int kRenameExchange = 1u << 1;
+
+SaveCommitHook g_save_commit_hook = nullptr;
+
+/// The injected-crash result: save stops right here, cleanup included, so
+/// the on-disk state is exactly what a real crash at this stage leaves.
+Status simulated_crash() {
+  return Error::io("snapshot commit aborted by commit hook (simulated crash)");
+}
+
+bool commit_stage(SaveStage stage) {
+  return g_save_commit_hook == nullptr || g_save_commit_hook(stage);
+}
+
+/// Atomically replace `dir` with the fully staged, durable `staging`
+/// directory. The previous snapshot at `dir` (if any) survives every torn
+/// interleaving: fresh target -> one rename; existing target -> renameat2
+/// RENAME_EXCHANGE when the kernel/filesystem supports it (no window at
+/// all), else rename-aside (`dir` -> `dir`.old, staging -> `dir`) whose
+/// only crash window leaves the old snapshot under `.old` and the new one
+/// complete under `.tmp` — both content-validated candidates for
+/// find_latest_valid.
+Status commit_directory(const std::string& staging, const std::string& dir) {
+  std::error_code ec;
+  const bool target_exists = std::filesystem::exists(dir, ec);
+  if (ec) return Error::io("cannot stat snapshot directory: " + dir);
+  if (!target_exists) {
+    if (std::rename(staging.c_str(), dir.c_str()) != 0) {
+      return Error::io("snapshot commit rename failed: " + staging + " -> " + dir);
+    }
+  } else {
+    bool exchanged = false;
+#if defined(__linux__) && defined(SYS_renameat2)
+    if (::syscall(SYS_renameat2, AT_FDCWD, staging.c_str(), AT_FDCWD, dir.c_str(),
+                  kRenameExchange) == 0) {
+      // `staging` now holds the superseded snapshot; best-effort cleanup (a
+      // leftover is a valid, older candidate that recovery simply outranks).
+      exchanged = true;
+      std::filesystem::remove_all(staging, ec);
+    }
+#endif
+    if (!exchanged) {
+      const std::string old = dir + ".old";
+      std::filesystem::remove_all(old, ec);
+      if (ec) return Error::io("cannot clear stale snapshot: " + old);
+      if (std::rename(dir.c_str(), old.c_str()) != 0) {
+        return Error::io("snapshot commit rename-aside failed: " + dir + " -> " + old);
+      }
+      if (std::rename(staging.c_str(), dir.c_str()) != 0) {
+        return Error::io("snapshot commit rename failed: " + staging + " -> " + dir);
+      }
+      std::filesystem::remove_all(old, ec);  // best-effort; stale .old is inert
+    }
+  }
+  // Final durability point: the parent directory entry for `dir`.
+  const std::filesystem::path parent = std::filesystem::path(dir).parent_path();
+  return logstore::fsync_directory(parent.empty() ? "." : parent.string());
+}
+
+}  // namespace
+
+void set_save_commit_hook(SaveCommitHook hook) { g_save_commit_hook = hook; }
+
+namespace {
+
+Status stage_snapshot(const FleetSnapshot& snapshot, const std::string& dir,
+                      std::size_t users_per_shard) {
   Manifest manifest;
   manifest.seed = snapshot.seed;
   manifest.resume_digest = snapshot.resume_digest;
@@ -454,9 +520,40 @@ Status save_snapshot(const FleetSnapshot& snapshot, const std::string& dir,
     }
   }
 
+  if (!commit_stage(SaveStage::kStateFilesStaged)) return simulated_crash();
+
+  // The manifest is written LAST: a directory holding a valid manifest is
+  // complete by construction, which is what lets recovery content-validate
+  // `.tmp`/`.old` leftovers as first-class candidates.
   std::vector<unsigned char> framed;
   logstore::write_record(framed, encode_manifest(manifest));
-  return logstore::write_file(dir + "/" + manifest_filename(), framed);
+  if (auto s = logstore::write_file(dir + "/" + manifest_filename(), framed); !s) {
+    return s;
+  }
+  if (!commit_stage(SaveStage::kManifestStaged)) return simulated_crash();
+  return {};
+}
+
+}  // namespace
+
+Status save_snapshot(const FleetSnapshot& snapshot, const std::string& dir,
+                     std::size_t users_per_shard) {
+  if (users_per_shard == 0) return Error::invalid_arg("users_per_shard must be >= 1");
+  if (snapshot.has_capture && snapshot.capture.size() != snapshot.state.users.size()) {
+    return Error::invalid_arg("capture cursor count disagrees with user state count");
+  }
+  const std::string staging = dir + ".tmp";
+  std::error_code ec;
+  std::filesystem::remove_all(staging, ec);
+  if (ec) return Error::io("cannot clear stale snapshot staging: " + staging);
+  std::filesystem::create_directories(staging, ec);
+  if (ec) return Error::io("cannot create snapshot staging directory: " + staging);
+  if (auto s = stage_snapshot(snapshot, staging, users_per_shard); !s) return s;
+  if (auto s = logstore::fsync_directory(staging); !s) return s;
+  if (!commit_stage(SaveStage::kStagingDurable)) return simulated_crash();
+  if (auto s = commit_directory(staging, dir); !s) return s;
+  commit_stage(SaveStage::kCommitted);
+  return {};
 }
 
 Expected<FleetSnapshot> load_snapshot(const std::string& dir) {

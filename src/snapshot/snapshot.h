@@ -9,7 +9,11 @@
 // results bitwise identical to a run that never stopped (the parity grid in
 // tests/test_properties.cpp and the scripts/ci.sh smoke pin this).
 //
-// ## Snapshot format spec (version 1)
+// ## Snapshot format spec (version 2)
+//
+// v2: the manifest accumulator block grew the sticky overflow latch
+// (19 u64 fields, declaration order); v1 snapshots fail the version check
+// rather than misparse.
 //
 // A snapshot is a directory, mirroring the telemetry archive discipline
 // (manifest + framed per-shard files, everything CRC-protected through
@@ -36,8 +40,9 @@
 //   u64 users_per_shard   state-file granularity (users per state file)
 //   u32 has_net           0/1; u32 net_crc — CRC32 of net.lxnw's bytes
 //   u32 has_capture       0/1: capture-cursor records follow each user state
-//   accumulator           18 u64 fields of the merged FleetAccumulator over
-//                         days [0, next_day), declaration order
+//   accumulator           19 u64 fields of the merged FleetAccumulator over
+//                         days [0, next_day), declaration order (the last is
+//                         the sticky overflow latch)
 //   u64 shard_count
 //   per shard:            u64 first_user | u64 user_count | u64 byte_count |
 //                         u32 crc32(state file bytes)
@@ -71,6 +76,31 @@
 // encode_obo_state/decode_obo_state round-trip the GP observation history
 // and hyperparameters for tooling and future mid-session snapshots; the
 // fleet format reserves record type 3 for them.
+//
+// ## Durability contract (crash-safe commit)
+//
+// save_snapshot commits a checkpoint transactionally:
+//
+//   1. everything is STAGED into a sibling directory `<dir>.tmp` (a stale
+//      staging dir from a crashed save is cleared first);
+//   2. state files and the net container are written before the MANIFEST,
+//      which is written LAST — a directory with a valid manifest is
+//      therefore complete by construction;
+//   3. every file write is itself atomic-durable (logstore::write_file:
+//      temp file, fsync, checked close, rename) and the staging directory
+//      is fsynced before the commit;
+//   4. the staging directory is RENAMED into place: onto a fresh `<dir>`
+//      directly, or — when re-checkpointing over an existing snapshot —
+//      via an atomic exchange (renameat2) with a rename-aside fallback
+//      (`<dir>` -> `<dir>.old`, staging -> `<dir>`), so the previous good
+//      checkpoint is never clobbered by a torn commit.
+//
+// A crash (kill -9, power loss, full disk) at ANY point leaves a state
+// snapshot::find_latest_valid (checkpoint.h) recovers from: either the new
+// checkpoint is fully committed, or the previous one is intact — possibly
+// under its `.old`/`.tmp` staging name, which recovery content-validates
+// like any other candidate. Torn or partially staged directories fail CRC /
+// structural validation and are skipped.
 #pragma once
 
 #include <cstdint>
@@ -85,7 +115,7 @@
 
 namespace lingxi::snapshot {
 
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 /// A fleet checkpoint materialized in memory: the deterministic output of
 /// capture_snapshot(), ready to be written out (save_snapshot) or resumed
@@ -123,10 +153,31 @@ Expected<FleetSnapshot> capture_snapshot(const sim::FleetRunner& runner,
                                          std::uint64_t seed, sim::FleetDayState state,
                                          const telemetry::ShardedCapture* capture = nullptr);
 
-/// Write manifest + net + per-shard state files into `dir` (created if
-/// missing). `users_per_shard` is the state-file granularity.
+/// Commit manifest + net + per-shard state files into `dir` transactionally
+/// (stage into `<dir>.tmp`, manifest last, fsync, atomic rename — see the
+/// durability contract above). `users_per_shard` is the state-file
+/// granularity. An existing snapshot at `dir` is replaced atomically and is
+/// never clobbered by a torn commit.
 Status save_snapshot(const FleetSnapshot& snapshot, const std::string& dir,
                      std::size_t users_per_shard = 64);
+
+/// Stages of save_snapshot's commit sequence, in order, as observed by the
+/// test-only commit hook (crash-injection harness).
+enum class SaveStage {
+  kStateFilesStaged,  ///< state files + net written into the staging dir
+  kManifestStaged,    ///< manifest written (last) into the staging dir
+  kStagingDurable,    ///< staging dir fsynced; the commit rename is next
+  kCommitted,         ///< staging renamed into place (cleanup may follow)
+};
+
+/// Test-only crash injection: the hook observes every SaveStage; returning
+/// false aborts save_snapshot right there (Error::kIo), leaving the partial
+/// on-disk state exactly as a crash at that point would — the crash-recovery
+/// tests then assert find_latest_valid skips or recovers it. The hook may
+/// also raise SIGKILL itself for real kill -9 coverage (bench_crash_recovery
+/// does). Pass nullptr to clear. Not thread-safe; set before the run.
+using SaveCommitHook = bool (*)(SaveStage);
+void set_save_commit_hook(SaveCommitHook hook);
 
 /// Read a snapshot back. Every CRC, version and structural invariant is
 /// checked (Error::kCorrupt on mismatch) — including that the net container

@@ -392,6 +392,14 @@ Status ArchiveReader::scan_shard(std::size_t shard_index, std::uint64_t first_us
         return Error::corrupt("unknown telemetry record type");
     }
   }
+  // peek() returning EOF means either a clean end-of-stream or an I/O error
+  // mid-scan (a failing read also trips eofbit on some libs, so check badbit
+  // and an eof-less failbit explicitly): only the former may fall through to
+  // the record-count check, otherwise a truncated-by-IO shard could
+  // masquerade as a clean-but-short one.
+  if (in.bad() || (in.fail() && !in.eof())) {
+    return Error::io("archive shard stream failed mid-scan: " + path);
+  }
   if (records != manifest_.shards[shard_index].record_count) {
     return Error::corrupt("shard record count disagrees with manifest: " + path);
   }

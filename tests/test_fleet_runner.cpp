@@ -2,6 +2,7 @@
 // algebra, and degenerate fleet shapes.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "abr/hyb.h"
@@ -286,6 +287,62 @@ TEST(FleetRunner, CustomUserFactoryReceivesUserIndex) {
   const auto result = runner.run(3);
   EXPECT_EQ(result.users, 5u);
   EXPECT_EQ(result.sessions, 20u);
+}
+
+// ---------------------------------------------------------------------------
+// Overflow boundary: the fixed-point sums saturate at INT64_MAX and latch
+// `overflowed` (in every build type) instead of wrapping — and the latch
+// merges sticky, so shard partitioning cannot hide an overflow.
+// ---------------------------------------------------------------------------
+
+TEST(FleetAccumulator, AddSessionSaturatesAndLatchesAtInt64Max) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  sim::SessionResult one_second;
+  one_second.watch_time = 1.0;  // exactly 1'000'000 ticks
+
+  // Exactly filling the headroom is NOT an overflow: the sum lands on
+  // INT64_MAX without clamping and the latch stays clear.
+  sim::FleetAccumulator exact;
+  exact.watch_ticks = kMax - 1'000'000;
+  exact.add_session(one_second, /*measured=*/true);
+  EXPECT_EQ(exact.watch_ticks, kMax);
+  EXPECT_FALSE(exact.has_overflow());
+
+  // One tick less headroom and the same session overflows: the sum clamps
+  // to INT64_MAX and the latch sets.
+  sim::FleetAccumulator over;
+  over.watch_ticks = kMax - 999'999;
+  over.add_session(one_second, /*measured=*/true);
+  EXPECT_EQ(over.watch_ticks, kMax);
+  EXPECT_TRUE(over.has_overflow());
+
+  // The latch is part of the checksum, so a saturated accumulator can never
+  // pass for the equal-valued non-saturated one.
+  EXPECT_NE(exact.checksum(), over.checksum());
+}
+
+TEST(FleetAccumulator, MergeSaturatesAndPropagatesLatch) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+  // Merge itself can overflow: two in-range halves whose total is out of
+  // range clamp and latch.
+  sim::FleetAccumulator a;
+  sim::FleetAccumulator b;
+  a.stall_ticks = kMax / 2 + 1;
+  b.stall_ticks = kMax / 2 + 1;
+  a.merge(b);
+  EXPECT_EQ(a.stall_ticks, kMax);
+  EXPECT_TRUE(a.has_overflow());
+
+  // Sticky across merges: an already-latched shard taints the total even
+  // when the merged sums are far from the bound.
+  sim::FleetAccumulator tainted;
+  tainted.overflowed = 1;
+  sim::FleetAccumulator total;
+  total.watch_ticks = 123;
+  total.merge(tainted);
+  EXPECT_EQ(total.watch_ticks, 123);
+  EXPECT_TRUE(total.has_overflow());
 }
 
 }  // namespace

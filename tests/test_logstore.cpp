@@ -3,6 +3,7 @@
 // store.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 
 #include "logstore/record.h"
@@ -310,6 +311,62 @@ TEST(StateStore, LoadCorruptFileFailsAndPreservesNothingPartial) {
   StateStore loaded;
   EXPECT_FALSE(loaded.load(path).ok());
   EXPECT_EQ(loaded.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// write_file atomicity (temp + fsync + checked close + rename).
+// ---------------------------------------------------------------------------
+
+TEST(WriteFile, CommitsAtomicallyAndCleansUpTemp) {
+  const std::string path = ::testing::TempDir() + "/lingxi_write_file_atomic.bin";
+  std::filesystem::remove(path);
+  const std::vector<unsigned char> bytes = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(write_file(path, bytes).ok());
+  auto back = read_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes);
+  // The commit renames the temp file over the target; success must not leave
+  // the staging name behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // Rewriting replaces the previous content through the same protocol.
+  const std::vector<unsigned char> next = {9, 8, 7};
+  ASSERT_TRUE(write_file(path, next).ok());
+  back = read_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, next);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(WriteFile, OpenFailureIsIoErrorNamingTheStage) {
+  const std::string path =
+      ::testing::TempDir() + "/lingxi_no_such_dir/write_file.bin";
+  const auto status = write_file(path, {1, 2, 3});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, Error::Code::kIo);
+  EXPECT_NE(status.error().message.find("cannot open"), std::string::npos);
+}
+
+TEST(WriteFile, RenameFailureIsDistinctErrorAndRemovesTemp) {
+  // A directory at the target path makes the final rename fail (the write
+  // itself succeeds), exercising the commit stage's distinct error.
+  const std::string path = ::testing::TempDir() + "/lingxi_write_file_dir_target";
+  std::filesystem::remove_all(path);
+  std::filesystem::create_directories(path + "/occupied");
+  const auto status = write_file(path, {1, 2, 3});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, Error::Code::kIo);
+  EXPECT_NE(status.error().message.find("rename failed"), std::string::npos);
+  // The failed commit does not strand its staging file.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove_all(path);
+}
+
+TEST(FsyncDirectory, SucceedsOnRealDirAndFailsOnMissing) {
+  EXPECT_TRUE(fsync_directory(::testing::TempDir()).ok());
+  const auto status = fsync_directory(::testing::TempDir() + "/lingxi_absent_dir");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, Error::Code::kIo);
 }
 
 }  // namespace

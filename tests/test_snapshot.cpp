@@ -389,7 +389,7 @@ TEST(SnapshotDisk, RejectsAbsurdUserCountInsteadOfAllocating) {
   logstore::put_u32(payload, 0);         // has_net
   logstore::put_u32(payload, 0);         // net_crc
   logstore::put_u32(payload, 0);         // has_capture
-  for (int i = 0; i < 18; ++i) logstore::put_u64(payload, 0);  // accumulator
+  for (int i = 0; i < 19; ++i) logstore::put_u64(payload, 0);  // accumulator
   logstore::put_u64(payload, 1);         // shard_count
   logstore::put_u64(payload, 0);         // shard first_user
   logstore::put_u64(payload, absurd_users);

@@ -3,6 +3,7 @@
 // reconstruction), archive range scans, and corruption detection.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <memory>
 
@@ -105,6 +106,7 @@ void expect_identical_accumulators(const sim::FleetAccumulator& a,
   EXPECT_EQ(a.lingxi_optimizations, b.lingxi_optimizations);
   EXPECT_EQ(a.lingxi_mc_evaluations, b.lingxi_mc_evaluations);
   EXPECT_EQ(a.adjusted_user_days, b.adjusted_user_days);
+  EXPECT_EQ(a.overflowed, b.overflowed);
 }
 
 std::string fresh_dir(const std::string& name) {
@@ -416,6 +418,26 @@ TEST(Replay, StallEventsCarryGroundTruthTolerance) {
     EXPECT_GT(ev.user_tolerance, 0.0);  // patched in from the user summary
     EXPECT_LT(ev.user, cfg.users);
   }
+}
+
+TEST(ArchiveReader, ShardReadFailureIsIoErrorNotShortScan) {
+  const auto archive = capture_fleet(small_fleet(), 1, 13);
+  const std::string dir = fresh_dir("shard-io");
+  // This test turns the shard file into a directory below, which a plain
+  // rewrite on the next run cannot replace — clear the dir for idempotence.
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(archive.write(dir).ok());
+  const std::string shard_path = dir + "/" + telemetry::shard_filename(0);
+  // Replace the shard with a directory: the stream opens but every read
+  // fails (badbit) without tripping eofbit. That must surface as kIo — a
+  // stream failing mid-scan — and never fall through to the record-count
+  // cross-check as a "clean but short" scan (kCorrupt).
+  std::filesystem::remove(shard_path);
+  std::filesystem::create_directory(shard_path);
+
+  const auto replayed = telemetry::Replay::run(dir);
+  ASSERT_FALSE(replayed.has_value());
+  EXPECT_EQ(replayed.error().code, Error::Code::kIo);
 }
 
 }  // namespace
