@@ -18,6 +18,15 @@
 //
 // Usage: bench_fig12_ab_test [--users N] [--days N] [--sessions N]
 //                            [--archive-dir PATH] [--json PATH]
+//                            [--metrics-json PATH] [--trace-out PATH]
+//
+// --metrics-json dumps the obs registry (both arms' counters and timing
+// histograms) and --trace-out a Chrome trace_event JSON of the instrumented
+// spans. Tracing also arms an AutoCheckpointer on the treatment arm (one
+// mid-run checkpoint under the archive dir) so the trace exercises the
+// checkpoint.commit span alongside wave.flush and obo.refit — the shape the
+// CI smoke validates.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +38,7 @@
 #include "abr/hyb.h"
 #include "bench_util.h"
 #include "sim/fleet_runner.h"
+#include "snapshot/checkpoint.h"
 #include "stats/did.h"
 #include "telemetry/capture.h"
 #include "telemetry/replay.h"
@@ -43,6 +53,8 @@ struct Args {
   std::size_t sessions = 12;
   std::string archive_dir;
   std::string json_path;
+  std::string metrics_path;
+  std::string trace_path;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -65,6 +77,10 @@ Args parse_args(int argc, char** argv) {
       args.archive_dir = next();
     } else if (std::strcmp(argv[i], "--json") == 0) {
       args.json_path = next();
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      args.metrics_path = next();
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      args.trace_path = next();
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       std::exit(2);
@@ -89,9 +105,13 @@ struct ArmResult {
 };
 
 /// Simulate one arm once, archive it, and recompute everything via replay.
+/// A non-empty `checkpoint_root` arms an AutoCheckpointer (one mid-run
+/// checkpoint) so the run exercises the snapshot commit path — used by the
+/// trace smoke; checkpointing never perturbs the simulation itself, so the
+/// replay/live checksum contract is unchanged.
 ArmResult run_arm(const sim::FleetConfig& base, bool treatment,
                   const bench::TrainedPredictor& predictor, std::uint64_t seed,
-                  const std::string& dir) {
+                  const std::string& dir, const std::string& checkpoint_root = "") {
   sim::FleetConfig cfg = base;
   cfg.enable_lingxi = treatment;
   telemetry::ShardedCapture capture;
@@ -100,7 +120,22 @@ ArmResult run_arm(const sim::FleetConfig& base, bool treatment,
     runner.set_predictor_factory([&predictor] { return predictor.make(); });
   }
   runner.set_telemetry_sink(&capture);
+  std::unique_ptr<snapshot::AutoCheckpointer> checkpointer;
+  if (!checkpoint_root.empty()) {
+    snapshot::CheckpointPolicy policy;
+    policy.root = checkpoint_root;
+    policy.every_k_days = std::max<std::size_t>(cfg.days / 2, 1);
+    policy.retain = 1;
+    checkpointer = std::make_unique<snapshot::AutoCheckpointer>(runner, seed, policy,
+                                                                &capture);
+    checkpointer->arm(runner);
+  }
   const sim::FleetAccumulator live = runner.run(seed);
+  if (checkpointer && !checkpointer->status()) {
+    std::fprintf(stderr, "auto-checkpoint failed: %s\n",
+                 checkpointer->status().error().message.c_str());
+    std::exit(1);
+  }
 
   const telemetry::FleetArchive archive = capture.finish();
   if (auto s = archive.write(dir); !s) {
@@ -126,6 +161,7 @@ ArmResult run_arm(const sim::FleetConfig& base, bool treatment,
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
+  const bench::ObsScope obs(args.metrics_path, args.trace_path);
 
   std::printf("training shared exit-rate predictor...\n");
   const auto predictor = bench::train_predictor(808, 0.7);
@@ -152,8 +188,12 @@ int main(int argc, char** argv) {
               cfg.users, cfg.days);
   const auto control =
       run_arm(cfg, false, predictor, 31337, args.archive_dir + "/control");
-  const auto treatment =
-      run_arm(cfg, true, predictor, 31337, args.archive_dir + "/treatment");
+  // When tracing, the treatment arm also cuts one mid-run checkpoint so the
+  // trace covers the snapshot commit path.
+  const std::string checkpoint_root =
+      args.trace_path.empty() ? "" : args.archive_dir + "/treatment-checkpoints";
+  const auto treatment = run_arm(cfg, true, predictor, 31337,
+                                 args.archive_dir + "/treatment", checkpoint_root);
 
   struct Metric {
     const char* name;
@@ -225,5 +265,6 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", args.json_path.c_str());
   }
 
+  if (!obs.write()) return 1;
   return all_match ? 0 : 1;
 }

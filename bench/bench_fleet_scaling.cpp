@@ -21,12 +21,15 @@
 //
 // Flags: --batch N (lockstep batch, default 16), --users-per-shard N
 // (override the comparison fleet's shard size), --json PATH (machine-
-// readable summary), --smoke (shrunk configs + {1,2} threads for CI).
+// readable summary), --smoke (shrunk configs + {1,2} threads for CI),
+// --metrics-json PATH (obs registry snapshot across all sections),
+// --trace-out PATH (Chrome trace_event JSON of the instrumented spans).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "abr/hyb.h"
@@ -125,6 +128,8 @@ int main(int argc, char** argv) {
   std::size_t batch = 16;
   std::size_t users_per_shard = 0;  // 0 = per-section defaults
   const char* json_path = nullptr;
+  std::string metrics_path;
+  std::string trace_path;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
@@ -133,15 +138,21 @@ int main(int argc, char** argv) {
       users_per_shard = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--batch N] [--users-per-shard N] [--json PATH] [--smoke]\n",
+                   "usage: %s [--batch N] [--users-per-shard N] [--json PATH] "
+                   "[--metrics-json PATH] [--trace-out PATH] [--smoke]\n",
                    argv[0]);
       return 2;
     }
   }
+  const bench::ObsScope obs(metrics_path, trace_path);
   const std::vector<std::size_t> thread_counts =
       smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
 
@@ -285,6 +296,8 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("json summary written to %s\n", json_path);
   }
+
+  if (!obs.write()) return 2;
 
   if (!scalar.checksums_match || !batched.checksums_match || !parity ||
       !scheduler_parity) {

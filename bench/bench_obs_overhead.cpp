@@ -1,0 +1,204 @@
+// Observability overhead gate: sessions/sec of the LingXi treatment fleet
+// (the bench_fleet_scaling shape) with the obs layer disabled vs fully
+// enabled (metrics registry + span tracer installed).
+//
+// Protocol: one untimed warmup run, then N timed repetitions, each an
+// adjacent obs-off / obs-on pair. Runs are timed in PROCESS CPU TIME, not
+// wall time: on a shared CI runner, preemption by unrelated work inflates
+// wall clocks by tens of percent, while CPU time charges each mode exactly
+// the work it did — which is the quantity the gate is about. The gated
+// figure is the MEDIAN of the per-pair overheads: the two runs of a pair
+// are adjacent in time and so see correlated frequency/cache conditions,
+// and the median discards the pairs an interference burst still skews
+// (observed per-rep CPU-rate swings on shared runners reach +-25%).
+//
+// The gate: overhead = (off - on) / off in sessions/sec must stay below
+// --threshold percent (default 3), or the bench exits 1 — scripts/ci.sh runs
+// this in Release as the obs fast-path regression gate. The run also verifies
+// the obs-on checksum is bitwise identical to obs-off (the determinism
+// contract test_properties pins across the full grid).
+//
+// Flags: --reps N (timed pairs, default 3), --threshold PCT (default 3.0),
+// --json PATH, --smoke (shrunk fleet for CI).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <vector>
+
+#include "abr/hyb.h"
+#include "bench_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/fleet_runner.h"
+
+using namespace lingxi;
+
+namespace {
+
+/// CPU seconds consumed by the whole process (all threads). Falls back to
+/// wall time where the POSIX clock is unavailable.
+double process_cpu_seconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct TimedRun {
+  double rate = 0.0;  ///< sessions per CPU-second
+  std::uint32_t checksum = 0;
+};
+
+TimedRun run_once(const sim::FleetConfig& cfg,
+                  const sim::FleetRunner::PredictorFactory& predictor_factory,
+                  std::uint64_t seed) {
+  sim::FleetRunner runner(cfg, [] { return std::make_unique<abr::Hyb>(); });
+  runner.set_predictor_factory(predictor_factory);
+  const double start = process_cpu_seconds();
+  const sim::FleetAccumulator result = runner.run(seed);
+  const double cpu = process_cpu_seconds() - start;
+  TimedRun out;
+  out.rate = cpu > 0.0 ? static_cast<double>(result.sessions) / cpu : 0.0;
+  out.checksum = result.checksum();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t reps = 3;
+  double threshold = 3.0;
+  const char* json_path = nullptr;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--reps N] [--threshold PCT] [--json PATH] [--smoke]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (reps == 0) reps = 1;
+  constexpr std::uint64_t kSeed = 11;
+
+  std::printf("training shared exit-rate predictor...\n");
+  const auto trained = bench::train_predictor(91, smoke ? 0.1 : 0.25);
+  const auto predictor_factory = [&] { return trained.make(); };
+
+  // The bench_fleet_scaling LingXi treatment shape, batched inference on the
+  // cross-user cohort schedule — the hottest instrumented path (session
+  // stepping, wave flushes, GP refits, acquisition evals all fire).
+  sim::FleetConfig cfg;
+  // Smoke keeps 32 users: small enough for CI, large enough that per-rep
+  // walls dwarf scheduler jitter on a single-core runner.
+  cfg.users = smoke ? 32 : 64;
+  cfg.days = 2;
+  cfg.sessions_per_user_day = 8;
+  cfg.users_per_shard = 4;
+  cfg.threads = 1;  // serial: per-session cost, no scheduler noise
+  cfg.scheduler = sim::SchedulerMode::kCohortWaves;
+  cfg.enable_lingxi = true;
+  cfg.drift_user_tolerance = true;
+  cfg.predictor_batch = 16;
+  cfg.network.median_bandwidth = 1500.0;
+  cfg.network.sigma = 0.5;
+  cfg.network.relative_sd = 0.35;
+  cfg.lingxi.space.optimize_stall = false;
+  cfg.lingxi.space.optimize_switch = false;
+  cfg.lingxi.space.optimize_beta = true;
+  cfg.lingxi.obo_rounds = 4;
+  cfg.lingxi.monte_carlo.samples = 16;
+  std::printf("fleet: %zu users x %zu days x %zu sessions, %zu reps, gate %.1f%%\n",
+              cfg.users, cfg.days, cfg.sessions_per_user_day, reps, threshold);
+
+  run_once(cfg, predictor_factory, kSeed);  // warmup, untimed
+
+  bench::print_header("Obs overhead: alternating off/on pairs");
+  std::printf("%-6s %-16s %-16s %-12s\n", "rep", "off sess/s", "on sess/s",
+              "overhead %");
+  double best_off = 0.0;
+  double best_on = 0.0;
+  std::vector<double> pair_overheads;
+  std::uint32_t checksum_off = 0;
+  std::uint32_t checksum_on = 0;
+  bool checksum_match = true;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const TimedRun off = run_once(cfg, predictor_factory, kSeed);
+
+    obs::Registry registry;
+    obs::Tracer tracer;
+    obs::Registry::install(&registry);
+    obs::Tracer::install(&tracer);
+    const TimedRun on = run_once(cfg, predictor_factory, kSeed);
+    obs::Registry::install(nullptr);
+    obs::Tracer::install(nullptr);
+
+    best_off = std::max(best_off, off.rate);
+    best_on = std::max(best_on, on.rate);
+    const double pair =
+        off.rate > 0.0 ? (off.rate - on.rate) / off.rate * 100.0 : 0.0;
+    pair_overheads.push_back(pair);
+    checksum_off = off.checksum;
+    checksum_on = on.checksum;
+    checksum_match = checksum_match && off.checksum == on.checksum;
+    std::printf("%-6zu %-16.0f %-16.0f %+-12.2f\n", rep + 1, off.rate, on.rate, pair);
+  }
+
+  std::sort(pair_overheads.begin(), pair_overheads.end());
+  const std::size_t n = pair_overheads.size();
+  const double overhead_pct =
+      n % 2 == 1 ? pair_overheads[n / 2]
+                 : 0.5 * (pair_overheads[n / 2 - 1] + pair_overheads[n / 2]);
+  const bool over_threshold = overhead_pct > threshold;
+
+  bench::print_header("Obs overhead summary");
+  std::printf("best off: %.0f sessions/s, best on: %.0f sessions/s\n", best_off, best_on);
+  std::printf("median paired overhead: %.2f%% (gate %.1f%%): %s\n", overhead_pct,
+              threshold, over_threshold ? "FAIL — OBS FAST-PATH REGRESSION" : "ok");
+  std::printf("obs-on checksum 0x%08x vs obs-off 0x%08x: %s\n", checksum_on, checksum_off,
+              checksum_match ? "bitwise identical" : "MISMATCH — DETERMINISM BUG");
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"reps\": %zu,\n"
+                 "  \"users\": %zu,\n"
+                 "  \"off_sessions_per_sec\": %.1f,\n"
+                 "  \"on_sessions_per_sec\": %.1f,\n"
+                 "  \"overhead_pct\": %.3f,\n"
+                 "  \"threshold_pct\": %.3f,\n"
+                 "  \"checksums_match\": %s,\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 smoke ? "true" : "false", reps, cfg.users, best_off, best_on,
+                 overhead_pct, threshold, checksum_match ? "true" : "false",
+                 !over_threshold && checksum_match ? "true" : "false");
+    std::fclose(f);
+    std::printf("json summary written to %s\n", json_path);
+  }
+
+  return !over_threshold && checksum_match ? 0 : 1;
+}

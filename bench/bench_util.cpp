@@ -76,6 +76,40 @@ TrainedPredictor train_predictor_for_world(
   return out;
 }
 
+ObsScope::ObsScope(std::string metrics_path, std::string trace_path)
+    : metrics_path_(std::move(metrics_path)), trace_path_(std::move(trace_path)) {
+  if (!metrics_path_.empty()) {
+    registry_ = std::make_unique<obs::Registry>();
+    obs::Registry::install(registry_.get());
+  }
+  if (!trace_path_.empty()) {
+    tracer_ = std::make_unique<obs::Tracer>();
+    obs::Tracer::install(tracer_.get());
+  }
+}
+
+ObsScope::~ObsScope() {
+  if (registry_) obs::Registry::install(nullptr);
+  if (tracer_) obs::Tracer::install(nullptr);
+}
+
+bool ObsScope::write() const {
+  bool ok = true;
+  if (registry_ && !registry_->write_json_file(metrics_path_)) {
+    std::fprintf(stderr, "cannot write metrics json %s\n", metrics_path_.c_str());
+    ok = false;
+  } else if (registry_) {
+    std::printf("metrics json written to %s\n", metrics_path_.c_str());
+  }
+  if (tracer_ && !tracer_->write_json_file(trace_path_)) {
+    std::fprintf(stderr, "cannot write trace json %s\n", trace_path_.c_str());
+    ok = false;
+  } else if (tracer_) {
+    std::printf("trace written to %s\n", trace_path_.c_str());
+  }
+  return ok;
+}
+
 void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "predictor/dataset.h"
 #include "predictor/exit_net.h"
 #include "predictor/hybrid.h"
@@ -35,6 +37,29 @@ TrainedPredictor train_predictor_for_world(
     const std::function<std::unique_ptr<user::UserModel>(Rng&)>& user_factory,
     const trace::PopulationModel::Config& network,
     const trace::VideoGenerator::Config& video, std::uint64_t seed);
+
+/// The benches' --metrics-json / --trace-out flags: owns a registry and/or
+/// tracer (one per non-empty path) and installs them as the process-global
+/// sinks for the scope's lifetime; write() dumps the JSON files. With both
+/// paths empty the scope is a no-op and the instrumented code runs on the
+/// disabled (single-branch) path.
+class ObsScope {
+ public:
+  ObsScope(std::string metrics_path, std::string trace_path);
+  ~ObsScope();
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+  /// Write whichever outputs were requested; false (with a stderr
+  /// diagnostic) if a file cannot be written.
+  bool write() const;
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::unique_ptr<obs::Registry> registry_;
+  std::unique_ptr<obs::Tracer> tracer_;
+};
 
 /// Section header in bench output.
 void print_header(const std::string& title);

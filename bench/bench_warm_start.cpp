@@ -16,7 +16,9 @@
 //
 // Flags: --users N (default 512), --days N (total, default 4), --resume-at D
 // (default days/2), --threads N (default 4), --dir PATH (snapshot directory,
-// default ./warm-start-snapshot), --json PATH, --smoke (64-user fleet).
+// default ./warm-start-snapshot), --json PATH, --smoke (64-user fleet),
+// --metrics-json PATH (obs registry snapshot: snapshot save/load stage
+// timings and the fleet counters), --trace-out PATH (Chrome trace JSON).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -57,6 +59,8 @@ int main(int argc, char** argv) {
   std::size_t threads = 4;
   std::string dir = "warm-start-snapshot";
   const char* json_path = nullptr;
+  std::string metrics_path;
+  std::string trace_path;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
@@ -71,16 +75,22 @@ int main(int argc, char** argv) {
       dir = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--users N] [--days N] [--resume-at D] [--threads N] "
-                   "[--dir PATH] [--json PATH] [--smoke]\n",
+                   "[--dir PATH] [--json PATH] [--metrics-json PATH] "
+                   "[--trace-out PATH] [--smoke]\n",
                    argv[0]);
       return 2;
     }
   }
+  const bench::ObsScope obs(metrics_path, trace_path);
   if (smoke) users = std::min<std::size_t>(users, 64);
   if (resume_at == 0) resume_at = days / 2;
   if (resume_at == 0 || resume_at >= days) {
@@ -241,5 +251,6 @@ int main(int argc, char** argv) {
     std::printf("json summary written to %s\n", json_path);
   }
 
+  if (!obs.write()) return 2;
   return checksum_match && archive_match ? 0 : 1;
 }

@@ -27,7 +27,14 @@
 #     recover via snapshot::find_latest_valid in a fresh process and resume
 #     to the horizon — non-zero exit unless the resumed FleetAccumulator
 #     checksum AND archive checksum bitwise-match an uninterrupted reference
-#     run. The checkpoint root and JSON summaries land in ${BUILD_DIR}/smoke/.
+#     run. The checkpoint root and JSON summaries land in ${BUILD_DIR}/smoke/;
+#   * observability smokes: the fig12 run above also dumps the obs metrics
+#     registry (--metrics-json) and a Chrome trace (--trace-out), validated
+#     here with python3 — both files must parse as JSON and the trace must
+#     contain wave.flush, obo.refit and checkpoint.commit spans; and in
+#     Release builds bench_obs_overhead gates the obs fast path, exiting
+#     non-zero if enabling the registry + tracer costs more than 3% in
+#     sessions per CPU-second (median of alternating off/on pairs).
 #
 # Usage: scripts/ci.sh [Debug|Release]   (default Release)
 set -euo pipefail
@@ -43,7 +50,7 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 # CTest label matrix (cheap re-runs). --no-tests=error is what actually
 # catches label wiring drift: a label matching zero tests would otherwise
 # exit 0 and silently disable the gate.
-for label in nn fleet snapshot; do
+for label in nn fleet snapshot obs; do
   ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error -L "${label}"
 done
 
@@ -62,8 +69,27 @@ echo "batched-path + cross-user wave smoke OK"
 "${BUILD_DIR}/bench/bench_fig12_ab_test" \
   --users 64 --days 4 \
   --archive-dir "${SMOKE_DIR}/fig12-archives" \
-  --json "${SMOKE_DIR}/fig12.json"
+  --json "${SMOKE_DIR}/fig12.json" \
+  --metrics-json "${SMOKE_DIR}/fig12_metrics.json" \
+  --trace-out "${SMOKE_DIR}/fig12_trace.json"
 echo "capture->replay smoke OK: $(ls "${SMOKE_DIR}/fig12-archives")"
+
+# Observability output validation: the metrics dump and the Chrome trace must
+# both be well-formed JSON, and the trace must cover the three span families
+# the layer instruments end to end (shard wave flushes, Bayesian-optimizer
+# refits, snapshot checkpoint commits).
+python3 - "${SMOKE_DIR}/fig12_metrics.json" "${SMOKE_DIR}/fig12_trace.json" <<'PYEOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+assert metrics["schema"] == "lingxi.obs.metrics/v1", metrics.get("schema")
+assert metrics["metrics"], "metrics dump is empty"
+trace = json.load(open(sys.argv[2]))
+names = {event["name"] for event in trace["traceEvents"]}
+missing = {"wave.flush", "obo.refit", "checkpoint.commit"} - names
+assert not missing, f"trace missing spans: {sorted(missing)}"
+print(f"obs smoke OK: {len(metrics['metrics'])} metrics, "
+      f"{len(trace['traceEvents'])} trace events, spans {sorted(names)}")
+PYEOF
 
 # Snapshot->resume smoke: fig12-shaped fleet, snapshot at day 2, resume for
 # 2 more days; non-zero exit unless the resumed checksum and archive bytes
@@ -101,3 +127,13 @@ fi
   | tee -a "${SMOKE_DIR}/crash_recovery.txt"
 echo "crash-recovery smoke OK: killed at checkpoint 2 (commit stage durable)," \
   "resumed bitwise-identical (${REF_CHECKSUM} / ${REF_ARCHIVE})"
+
+# Obs fast-path regression gate (Release only: Debug timings say nothing
+# about the optimized cost of the disabled-path branch or the record path).
+# Non-zero exit when the median paired overhead exceeds 3%.
+if [ "${BUILD_TYPE}" = "Release" ]; then
+  "${BUILD_DIR}/bench/bench_obs_overhead" --smoke --reps 5 --threshold 3.0 \
+    --json "${SMOKE_DIR}/obs_overhead.json" \
+    | tee "${SMOKE_DIR}/obs_overhead.txt"
+  echo "obs overhead gate OK"
+fi

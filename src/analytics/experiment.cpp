@@ -191,8 +191,11 @@ ExperimentResult PopulationExperiment::run(bool treatment, std::uint64_t seed) c
   if (treatment) runner.set_predictor_factory(make_predictor_);
   ExperimentSink sink(config_, treatment, 0, config_.days);
   runner.set_telemetry_sink(&sink);
-  runner.run(seed);
-  return sink.finish();
+  sim::FleetRunStats stats;
+  runner.run(seed, &stats);
+  ExperimentResult result = sink.finish();
+  result.batching = stats;
+  return result;
 }
 
 PopulationExperiment::ArmCheckpoint PopulationExperiment::run_to_day(
@@ -203,8 +206,10 @@ PopulationExperiment::ArmCheckpoint PopulationExperiment::run_to_day(
   ExperimentSink sink(config_, treatment, 0, day);
   runner.set_telemetry_sink(&sink);
   ArmCheckpoint checkpoint;
-  runner.run_days(seed, 0, day, nullptr, &checkpoint.fleet);
+  sim::FleetRunStats stats;
+  runner.run_days(seed, 0, day, nullptr, &checkpoint.fleet, &stats);
   checkpoint.prefix = sink.finish();
+  checkpoint.prefix.batching = stats;
   checkpoint.stall_event_counts = sink.stall_event_counts();
   return checkpoint;
 }
@@ -227,7 +232,9 @@ ExperimentResult PopulationExperiment::resume(bool treatment, std::uint64_t seed
   ExperimentSink sink(config_, treatment, boundary, total);
   sink.set_stall_event_counts(checkpoint.stall_event_counts);
   runner.set_telemetry_sink(&sink);
-  runner.run_days(seed, boundary, total, &checkpoint.fleet, nullptr);
+  sim::FleetRunStats continuation_stats;
+  runner.run_days(seed, boundary, total, &checkpoint.fleet, nullptr,
+                  &continuation_stats);
   const ExperimentResult continuation = sink.finish();
 
   // Splice prefix + continuation into the shape a single full run produces.
@@ -236,6 +243,10 @@ ExperimentResult PopulationExperiment::resume(bool treatment, std::uint64_t seed
   ExperimentResult result;
   result.daily = continuation.daily;
   for (std::size_t d = 0; d < boundary; ++d) result.daily[d] = checkpoint.prefix.daily[d];
+  // Batching counters merge across legs — a spliced experiment reports the
+  // same pool totals as an uninterrupted one (test_analytics.cpp pins this).
+  result.batching = checkpoint.prefix.batching;
+  result.batching.merge(continuation_stats);
 
   const std::size_t cont_days = total - boundary;
   result.user_days.reserve(config_.users * total);

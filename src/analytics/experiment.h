@@ -98,6 +98,10 @@ struct ExperimentResult {
   std::vector<MetricAccumulator> daily;   ///< indexed by day
   std::vector<UserDayRecord> user_days;
   std::vector<StallEventRecord> stall_events;
+  /// Predictor-pool batching counters for the whole arm. An incremental
+  /// experiment merges every leg's counters, so a run_to_day+resume split
+  /// reports the same totals as one uninterrupted run.
+  sim::FleetRunStats batching;
 };
 
 class PopulationExperiment {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "obs/timer.h"
 
 namespace lingxi::bayesopt {
 
@@ -36,6 +37,10 @@ void GaussianProcess::observe(const std::vector<double>& x, double y) {
 }
 
 void GaussianProcess::refit() {
+  // The O(n^3) cost ROADMAP item 3 wants to attack — spanned so a trace
+  // shows refits stacked inside optimization rounds.
+  OBS_SPAN("obo.refit");
+  OBS_TIMED("bayesopt.gp.refit_us");
   const std::size_t n = xs_.size();
   y_mean_ = 0.0;
   for (double y : ys_) y_mean_ += y;

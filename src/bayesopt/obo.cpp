@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "obs/timer.h"
 
 namespace lingxi::bayesopt {
 
@@ -23,6 +24,7 @@ void OnlineBayesOpt::warm_start(const std::vector<double>& x) {
 }
 
 std::vector<double> OnlineBayesOpt::next_candidate(Rng& rng) {
+  OBS_TIMED("bayesopt.obo.acquisition_us");
   // The warm-start point is always evaluated first: it anchors the GP at the
   // previous optimum.
   if (has_warm_start_ && !warm_start_used_) {

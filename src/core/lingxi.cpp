@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
 #include "trace/bandwidth.h"
 
 namespace lingxi::core {
@@ -173,6 +174,10 @@ void LingXi::OptimizationRun::begin_round() {
 }
 
 void LingXi::OptimizationRun::finish_round(const sim::MonteCarloResult& mc) {
+  if (obs::Registry* reg = obs::Registry::active()) {
+    reg->add("core.optimization.rounds");
+    if (mc.pruned) reg->add("core.optimization.rounds_pruned");
+  }
   ++owner_.stats_.mc_evaluations;
   if (mc.pruned) ++owner_.stats_.mc_rollouts_pruned;
   if (round_ == 0) incumbent_exit_ = mc.exit_rate;

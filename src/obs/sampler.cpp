@@ -1,0 +1,56 @@
+#include "obs/sampler.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lingxi::obs {
+
+std::uint64_t process_rss_bytes() noexcept {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long vm_pages = 0, rss_pages = 0;
+  const int got = std::fscanf(f, "%llu %llu", &vm_pages, &rss_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<std::uint64_t>(rss_pages) * 4096ull;
+#else
+  return 0;
+#endif
+}
+
+PeriodicSampler::PeriodicSampler(Registry* registry,
+                                 std::uint64_t base_sessions) noexcept
+    : registry_(registry), last_sessions_(base_sessions) {}
+
+void PeriodicSampler::sample(std::uint64_t next_day, std::uint64_t live_users,
+                             std::uint64_t total_sessions) {
+  if (registry_ == nullptr) return;
+  const std::uint64_t now_us = Tracer::now_us();
+  registry_->set("sim.fleet.day", static_cast<double>(next_day));
+  registry_->set("sim.fleet.live_users", static_cast<double>(live_users));
+  registry_->set("sim.fleet.sessions_total",
+                 static_cast<double>(total_sessions));
+  double rate = 0.0;
+  if (have_last_ && now_us > last_us_ && total_sessions >= last_sessions_) {
+    rate = static_cast<double>(total_sessions - last_sessions_) /
+           (static_cast<double>(now_us - last_us_) * 1e-6);
+  }
+  registry_->set("sim.fleet.sessions_per_sec", rate);
+  registry_->set("process.rss_bytes",
+                 static_cast<double>(process_rss_bytes()));
+  const std::uint64_t flushes = registry_->counter("predictor.pool.flushes");
+  if (flushes > 0) {
+    registry_->set("predictor.pool.mean_flush_occupancy",
+                   static_cast<double>(registry_->counter(
+                       "predictor.pool.queries")) /
+                       static_cast<double>(flushes));
+  }
+  last_sessions_ = total_sessions;
+  last_us_ = now_us;
+  have_last_ = true;
+}
+
+}  // namespace lingxi::obs

@@ -1,0 +1,44 @@
+// Fleet observability: periodic sampler for long runs.
+//
+// A PeriodicSampler turns point-in-time process/fleet facts into gauges on
+// the active Registry: RSS, live-user count, cumulative sessions, the
+// sessions/sec rate since the previous sample, and predictor-pool flush
+// occupancy derived from the pool counters already in the registry. The obs
+// layer takes plain numbers so it depends on nothing above `common` —
+// FleetRunner feeds it between chained day legs (the checkpoint-hook seam),
+// which is where a long-lived fleet daemon would export health.
+#pragma once
+
+#include <cstdint>
+
+namespace lingxi::obs {
+
+class Registry;
+
+/// Current resident-set size in bytes (0 where unsupported; Linux reads
+/// /proc/self/statm).
+std::uint64_t process_rss_bytes() noexcept;
+
+class PeriodicSampler {
+ public:
+  /// Samples write to `registry`; a null registry makes sample() a no-op.
+  /// `base_sessions` seeds the rate window (resumed runs pass the sessions
+  /// already accumulated before this run).
+  explicit PeriodicSampler(Registry* registry,
+                           std::uint64_t base_sessions = 0) noexcept;
+
+  /// Record one sample: gauges `sim.fleet.day`, `sim.fleet.live_users`,
+  /// `sim.fleet.sessions_total`, `sim.fleet.sessions_per_sec` (since the
+  /// previous sample; 0 on the first), `process.rss_bytes`, and
+  /// `predictor.pool.mean_flush_occupancy` when the pool counters exist.
+  void sample(std::uint64_t next_day, std::uint64_t live_users,
+              std::uint64_t total_sessions);
+
+ private:
+  Registry* registry_;
+  std::uint64_t last_sessions_;
+  std::uint64_t last_us_ = 0;
+  bool have_last_ = false;
+};
+
+}  // namespace lingxi::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace lingxi::predictor {
 
@@ -194,6 +196,7 @@ double ExitQueryPool::prob(std::size_t ticket) const {
 }
 
 void ExitQueryPool::flush() {
+  OBS_TIMED("predictor.pool.flush_us");
   probs_.assign(pending_.size(), 0.0);
   if (pending_.empty()) return;
 
@@ -245,6 +248,7 @@ void ExitQueryPool::flush() {
 
   constexpr std::size_t kFeatureLen = kChannels * kHistoryLen;
   std::uint64_t evaluated = 0;
+  std::uint64_t batches = 0;
   for (std::size_t g = 0; g < group_count; ++g) {
     NetGroup& group = groups_[g];
     // Gather the group's feature matrix and run one batched forward. Every
@@ -267,11 +271,22 @@ void ExitQueryPool::flush() {
     }
     evaluated += group.members.size();
     ++stats_.net_batches;
+    ++batches;
   }
   if (evaluated > 0) {
     ++stats_.flushes;
     stats_.queries += evaluated;
     stats_.max_flush = std::max(stats_.max_flush, evaluated);
+    // Fleet-wide registry view of the same counters the per-run
+    // FleetRunStats struct reports (that struct stays the per-run API;
+    // the registry aggregates across runners, legs and threads).
+    if (obs::Registry* reg = obs::Registry::active()) {
+      reg->add("predictor.pool.flushes");
+      reg->add("predictor.pool.queries", evaluated);
+      reg->add("predictor.pool.net_batches", batches);
+      reg->observe("predictor.pool.flush_rows", obs::HistogramSpec::rows(),
+                   static_cast<double>(evaluated));
+    }
   }
   pending_.clear();
 }

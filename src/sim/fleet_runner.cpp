@@ -11,6 +11,10 @@
 
 #include "common/assert.h"
 #include "common/crc32.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 #include "telemetry/sink.h"
 #include "user/data_driven.h"
 
@@ -239,9 +243,19 @@ FleetAccumulator FleetRunner::run_days(std::uint64_t seed, std::size_t first_day
                                        std::size_t last_day, const FleetDayState* resume,
                                        FleetDayState* out_state,
                                        FleetRunStats* stats) const {
+  // Fleet-health sampler, fed at every interior day boundary (the same seam
+  // the checkpoint hook rides) and once at run end. A resumed run seeds the
+  // rate window with the sessions already banked so sessions/sec reflects
+  // only this run's work. No-op unless a Registry is installed.
+  obs::PeriodicSampler sampler(
+      obs::Registry::active(),
+      resume != nullptr ? resume->accumulated.sessions : 0);
   const std::size_t k = checkpoint_every_k_days_;
   if (!checkpoint_hook_ || k == 0 || last_day - first_day <= k) {
-    return run_days_leg(seed, first_day, last_day, resume, out_state, stats);
+    const FleetAccumulator acc =
+        run_days_leg(seed, first_day, last_day, resume, out_state, stats);
+    sampler.sample(last_day, config_.users, acc.sessions);
+    return acc;
   }
   // Auto-checkpoint policy: chain <= k-day legs through the day-boundary
   // state and hand each interior boundary to the hook. The chained-legs
@@ -257,6 +271,7 @@ FleetAccumulator FleetRunner::run_days(std::uint64_t seed, std::size_t first_day
                  stats != nullptr ? &leg_stats : nullptr);
     if (stats != nullptr) stats->merge(leg_stats);
     checkpoint_hook_(next);
+    sampler.sample(next.next_day, next.users.size(), next.accumulated.sessions);
     boundary = std::move(next);
     leg_resume = &boundary;
     leg_first = b;
@@ -265,6 +280,7 @@ FleetAccumulator FleetRunner::run_days(std::uint64_t seed, std::size_t first_day
       run_days_leg(seed, leg_first, last_day, leg_resume, out_state,
                    stats != nullptr ? &leg_stats : nullptr);
   if (stats != nullptr) stats->merge(leg_stats);
+  sampler.sample(last_day, config_.users, merged.sessions);
   return merged;
 }
 
@@ -489,7 +505,11 @@ class ShardScheduler::UserTask {
       lingxi_->begin_session();
       if (!lingxi_active_) abr_->set_params(cfg_.lingxi.default_params);
     }
-    result_ = world_.simulator.run(video, *abr_, *bandwidth, day_user_.get(), session_rng_);
+    {
+      OBS_TIMED("sim.session.step_us");
+      result_ =
+          world_.simulator.run(video, *abr_, *bandwidth, day_user_.get(), session_rng_);
+    }
     measured_ = session_index_ >= cfg_.warmup_sessions;
     acc_.add_session(result_, measured_);
 
@@ -625,7 +645,11 @@ void ShardScheduler::run_per_user() {
     UserTask task(runner_, world_, seed_, u, acc_,
                   user_predictor ? &*user_predictor : nullptr, pool, first_day_,
                   last_day_, resume_ != nullptr ? &resume_->users[u] : nullptr);
-    while (!task.step()) pool_->flush();
+    while (!task.step()) {
+      OBS_SPAN("wave.flush");
+      OBS_TIMED("sim.wave.flush_us");
+      pool_->flush();
+    }
     if (out_state_ != nullptr) task.export_state(out_state_->users[u]);
   }
 }
@@ -668,7 +692,16 @@ void ShardScheduler::run_cohort() {
       }
     }
     live = parked;
-    if (!live.empty()) pool_->flush();
+    if (!live.empty()) {
+      if (obs::Registry* reg = obs::Registry::active()) {
+        reg->add("sim.wave.count");
+        reg->observe("sim.wave.parked_tasks", obs::HistogramSpec::rows(),
+                     static_cast<double>(live.size()));
+      }
+      OBS_SPAN("wave.flush");
+      OBS_TIMED("sim.wave.flush_us");
+      pool_->flush();
+    }
   }
 }
 

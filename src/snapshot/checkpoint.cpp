@@ -5,6 +5,9 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
 namespace lingxi::snapshot {
 namespace {
 
@@ -62,9 +65,13 @@ void AutoCheckpointer::note_failure(Error error) {
 }
 
 void AutoCheckpointer::on_boundary(const sim::FleetDayState& state) {
+  OBS_SPAN("checkpoint.commit");
+  OBS_TIMED("snapshot.checkpoint.commit_us");
+  obs::Registry* const reg = obs::Registry::active();
   std::error_code ec;
   std::filesystem::create_directories(policy_.root, ec);
   if (ec) {
+    if (reg != nullptr) reg->add("snapshot.checkpoint.failures");
     note_failure(Error::io("cannot create checkpoint root: " + policy_.root));
     return;
   }
@@ -72,15 +79,18 @@ void AutoCheckpointer::on_boundary(const sim::FleetDayState& state) {
   // own copy to freeze.
   auto snap = capture_snapshot(*runner_, seed_, state, capture_);
   if (!snap) {
+    if (reg != nullptr) reg->add("snapshot.checkpoint.failures");
     note_failure(snap.error());
     return;
   }
   const std::string dir =
       policy_.root + "/" + checkpoint_dirname(state.next_day);
   if (auto s = save_snapshot(*snap, dir, policy_.users_per_shard); !s) {
+    if (reg != nullptr) reg->add("snapshot.checkpoint.failures");
     note_failure(s.error());
     return;
   }
+  if (reg != nullptr) reg->add("snapshot.checkpoint.committed");
   committed_dirs_.push_back(dir);
   ++committed_dirs_total_;
   prune();
@@ -108,7 +118,14 @@ void AutoCheckpointer::prune() {
     if (!parse_checkpoint_name(entry.path().filename().string(), day, committed)) {
       continue;
     }
-    if (day < cutoff_day) std::filesystem::remove_all(entry.path(), ec);
+    if (day < cutoff_day) {
+      std::filesystem::remove_all(entry.path(), ec);
+      if (!ec) {
+        if (obs::Registry* reg = obs::Registry::active()) {
+          reg->add("snapshot.checkpoint.pruned_dirs");
+        }
+      }
+    }
   }
   committed_dirs_.erase(committed_dirs_.begin(),
                         committed_dirs_.end() - static_cast<long>(policy_.retain));
@@ -131,9 +148,17 @@ Expected<RecoveredCheckpoint> find_latest_valid(const std::string& root) {
     std::uint64_t day = 0;
     bool committed = false;
     if (!parse_checkpoint_name(name, day, committed)) continue;
+    if (obs::Registry* reg = obs::Registry::active()) {
+      reg->add("snapshot.recovery.candidates");
+    }
     // The name told us where to look; the bytes decide whether it counts.
     auto snap = load_snapshot(entry.path().string());
-    if (!snap) continue;
+    if (!snap) {
+      if (obs::Registry* reg = obs::Registry::active()) {
+        reg->add("snapshot.recovery.rejected");
+      }
+      continue;
+    }
     const std::uint64_t next_day = snap->state.next_day;
     const bool better =
         !found || next_day > best.snapshot.state.next_day ||

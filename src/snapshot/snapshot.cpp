@@ -13,6 +13,7 @@
 #include "common/crc32.h"
 #include "logstore/record.h"
 #include "nn/serialize.h"
+#include "obs/timer.h"
 #include "telemetry/archive.h"
 
 namespace lingxi::snapshot {
@@ -489,34 +490,38 @@ Status stage_snapshot(const FleetSnapshot& snapshot, const std::string& dir,
   manifest.users_per_shard = users_per_shard;
   manifest.has_capture = snapshot.has_capture;
   manifest.accumulated = snapshot.state.accumulated;
-  if (!snapshot.net_model.empty()) {
-    manifest.has_net = true;
-    manifest.net_crc = crc32(snapshot.net_model.data(), snapshot.net_model.size());
-    if (auto s = logstore::write_file(dir + "/" + net_filename(), snapshot.net_model); !s) {
-      return s;
-    }
-  }
-
-  const std::size_t users = snapshot.state.users.size();
-  const std::size_t shard_count = (users + users_per_shard - 1) / users_per_shard;
-  manifest.shards.resize(shard_count);
-  for (std::size_t s = 0; s < shard_count; ++s) {
-    const std::size_t first = s * users_per_shard;
-    const std::size_t last = std::min(first + users_per_shard, users);
-    std::vector<unsigned char> bytes;
-    for (std::size_t u = first; u < last; ++u) {
-      logstore::write_record(bytes, encode_user_state(u, snapshot.state.users[u]));
-      if (snapshot.has_capture) {
-        logstore::write_record(bytes, encode_capture_cursor(u, snapshot.capture[u]));
+  {
+    OBS_TIMED("snapshot.save.state_us");
+    if (!snapshot.net_model.empty()) {
+      manifest.has_net = true;
+      manifest.net_crc = crc32(snapshot.net_model.data(), snapshot.net_model.size());
+      if (auto s = logstore::write_file(dir + "/" + net_filename(), snapshot.net_model);
+          !s) {
+        return s;
       }
     }
-    auto& info = manifest.shards[s];
-    info.first_user = first;
-    info.user_count = last - first;
-    info.byte_count = bytes.size();
-    info.crc = crc32(bytes.data(), bytes.size());
-    if (auto st = logstore::write_file(dir + "/" + state_filename(s), bytes); !st) {
-      return st;
+
+    const std::size_t users = snapshot.state.users.size();
+    const std::size_t shard_count = (users + users_per_shard - 1) / users_per_shard;
+    manifest.shards.resize(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const std::size_t first = s * users_per_shard;
+      const std::size_t last = std::min(first + users_per_shard, users);
+      std::vector<unsigned char> bytes;
+      for (std::size_t u = first; u < last; ++u) {
+        logstore::write_record(bytes, encode_user_state(u, snapshot.state.users[u]));
+        if (snapshot.has_capture) {
+          logstore::write_record(bytes, encode_capture_cursor(u, snapshot.capture[u]));
+        }
+      }
+      auto& info = manifest.shards[s];
+      info.first_user = first;
+      info.user_count = last - first;
+      info.byte_count = bytes.size();
+      info.crc = crc32(bytes.data(), bytes.size());
+      if (auto st = logstore::write_file(dir + "/" + state_filename(s), bytes); !st) {
+        return st;
+      }
     }
   }
 
@@ -525,10 +530,13 @@ Status stage_snapshot(const FleetSnapshot& snapshot, const std::string& dir,
   // The manifest is written LAST: a directory holding a valid manifest is
   // complete by construction, which is what lets recovery content-validate
   // `.tmp`/`.old` leftovers as first-class candidates.
-  std::vector<unsigned char> framed;
-  logstore::write_record(framed, encode_manifest(manifest));
-  if (auto s = logstore::write_file(dir + "/" + manifest_filename(), framed); !s) {
-    return s;
+  {
+    OBS_TIMED("snapshot.save.manifest_us");
+    std::vector<unsigned char> framed;
+    logstore::write_record(framed, encode_manifest(manifest));
+    if (auto s = logstore::write_file(dir + "/" + manifest_filename(), framed); !s) {
+      return s;
+    }
   }
   if (!commit_stage(SaveStage::kManifestStaged)) return simulated_crash();
   return {};
@@ -538,6 +546,8 @@ Status stage_snapshot(const FleetSnapshot& snapshot, const std::string& dir,
 
 Status save_snapshot(const FleetSnapshot& snapshot, const std::string& dir,
                      std::size_t users_per_shard) {
+  OBS_SPAN("snapshot.save");
+  OBS_TIMED("snapshot.save.total_us");
   if (users_per_shard == 0) return Error::invalid_arg("users_per_shard must be >= 1");
   if (snapshot.has_capture && snapshot.capture.size() != snapshot.state.users.size()) {
     return Error::invalid_arg("capture cursor count disagrees with user state count");
@@ -549,14 +559,22 @@ Status save_snapshot(const FleetSnapshot& snapshot, const std::string& dir,
   std::filesystem::create_directories(staging, ec);
   if (ec) return Error::io("cannot create snapshot staging directory: " + staging);
   if (auto s = stage_snapshot(snapshot, staging, users_per_shard); !s) return s;
-  if (auto s = logstore::fsync_directory(staging); !s) return s;
+  {
+    OBS_TIMED("snapshot.save.durable_us");
+    if (auto s = logstore::fsync_directory(staging); !s) return s;
+  }
   if (!commit_stage(SaveStage::kStagingDurable)) return simulated_crash();
-  if (auto s = commit_directory(staging, dir); !s) return s;
+  {
+    OBS_TIMED("snapshot.save.commit_us");
+    if (auto s = commit_directory(staging, dir); !s) return s;
+  }
   commit_stage(SaveStage::kCommitted);
   return {};
 }
 
 Expected<FleetSnapshot> load_snapshot(const std::string& dir) {
+  OBS_SPAN("snapshot.load");
+  OBS_TIMED("snapshot.load.total_us");
   auto manifest_bytes = logstore::read_file(dir + "/" + manifest_filename());
   if (!manifest_bytes) return manifest_bytes.error();
   std::size_t pos = 0;

@@ -6,6 +6,8 @@
 
 #include "common/crc32.h"
 #include "logstore/record.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace lingxi::telemetry {
 namespace {
@@ -259,8 +261,13 @@ Status FleetArchive::write(const std::string& dir) const {
     return s;
   }
   for (std::size_t i = 0; i < shards.size(); ++i) {
+    OBS_TIMED("telemetry.archive.shard_write_us");
     if (auto s = logstore::write_file(dir + "/" + shard_filename(i), shards[i]); !s) {
       return s;
+    }
+    if (obs::Registry* reg = obs::Registry::active()) {
+      reg->add("telemetry.archive.shards_written");
+      reg->add("telemetry.archive.bytes_written", shards[i].size());
     }
   }
   return {};

@@ -199,6 +199,37 @@ void expect_results_identical(const ExperimentResult& a, const ExperimentResult&
   }
 }
 
+TEST(PopulationExperiment, BatchingStatsMergeAcrossLegs) {
+  // Incremental legs must MERGE the predictor-pool counters, not drop them:
+  // a run_to_day+resume split reports its own legs' flushes, and the query
+  // total — one count per parked query, schedule-independent — matches the
+  // unsplit run exactly. (Flush/wave counts may legitimately differ across
+  // the split: a leg boundary synchronizes the shard's tasks, changing wave
+  // composition but never which queries run.)
+  auto cfg = small_config();
+  cfg.predictor_batch = 4;  // pooled flushes need a batch
+  PopulationExperiment exp(cfg, [] { return std::make_unique<abr::Hyb>(); },
+                           pure_predictor_factory());
+  // Seed chosen so both legs of the day-3 split run optimizations that park
+  // predictor queries (most seeds only trigger in the prefix leg at this
+  // tiny population size).
+  const std::uint64_t seed = 15;
+  const auto full = exp.run(true, seed);
+  ASSERT_GT(full.batching.pool_flushes, 0u);
+  ASSERT_GT(full.batching.pool_queries, 0u);
+
+  // Split after the intervention day so the prefix leg has pool activity.
+  const auto checkpoint = exp.run_to_day(true, seed, 3);
+  EXPECT_GT(checkpoint.prefix.batching.pool_flushes, 0u);
+  const auto resumed = exp.resume(true, seed, checkpoint);
+  EXPECT_EQ(resumed.batching.pool_queries, full.batching.pool_queries);
+  EXPECT_GT(resumed.batching.pool_flushes, checkpoint.prefix.batching.pool_flushes);
+  EXPECT_GE(resumed.batching.pool_max_flush,
+            checkpoint.prefix.batching.pool_max_flush);
+  EXPECT_GE(resumed.batching.pool_net_batches, resumed.batching.pool_flushes);
+  EXPECT_GT(resumed.batching.mean_flush_occupancy(), 0.0);
+}
+
 TEST(PopulationExperiment, IncrementalDayResumeMatchesFullRun) {
   // The snapshot contract at the analytics layer: checkpoint an arm at day
   // D, resume, and every record — float sums included — is identical to the

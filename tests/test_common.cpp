@@ -265,6 +265,71 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), mean_before);
 }
 
+TEST(RunningStats, MergeBothEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_TRUE(a.empty());
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeSingletons) {
+  // Two one-sample accumulators combine into the exact two-sample stats.
+  RunningStats a, b;
+  a.add(2.0);
+  b.add(6.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 8.0);  // ((2-4)^2 + (6-4)^2) / (2-1)
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+}
+
+TEST(RunningStats, MergeSingletonIntoEmpty) {
+  RunningStats empty_acc, single;
+  single.add(5.0);
+  empty_acc.merge(single);
+  EXPECT_EQ(empty_acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty_acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(empty_acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(empty_acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(empty_acc.max(), 5.0);
+}
+
+TEST(RunningStats, MergeAssociativity) {
+  // (a + b) + c and a + (b + c) must agree with the sequential accumulation
+  // of all samples — the property that lets per-shard timing stats reduce
+  // in any tree shape.
+  Rng rng(91);
+  std::vector<double> xs(300);
+  for (double& x : xs) x = rng.normal(-1.0, 4.0);
+
+  RunningStats a, b, c, all;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 100 ? a : i < 180 ? b : c).add(xs[i]);
+    all.add(xs[i]);
+  }
+
+  RunningStats left = a;  // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  RunningStats bc = b;  // a + (b + c)
+  bc.merge(c);
+  RunningStats right = a;
+  right.merge(bc);
+
+  for (const RunningStats* m : {&left, &right}) {
+    EXPECT_EQ(m->count(), all.count());
+    EXPECT_NEAR(m->mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(m->variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(m->min(), all.min());
+    EXPECT_DOUBLE_EQ(m->max(), all.max());
+  }
+  EXPECT_NEAR(left.mean(), right.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), right.variance(), 1e-12);
+}
+
 TEST(Crc32, KnownVector) {
   // The canonical CRC-32 test vector.
   const char* s = "123456789";

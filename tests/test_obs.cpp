@@ -1,0 +1,301 @@
+// Unit tests for src/obs/: registry merge determinism across thread counts,
+// histogram bucket boundaries, trace ring overflow semantics, the stable
+// JSON schemas, and the disabled fast path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
+
+namespace lingxi::obs {
+namespace {
+
+/// Installs a registry and/or tracer for one test and guarantees the global
+/// sinks are cleared on exit, whatever the test body does.
+struct InstallGuard {
+  explicit InstallGuard(Registry* r, Tracer* t = nullptr) {
+    Registry::install(r);
+    Tracer::install(t);
+  }
+  ~InstallGuard() {
+    Registry::install(nullptr);
+    Tracer::install(nullptr);
+  }
+};
+
+/// Deterministic synthetic workload: item i contributes the same counter
+/// delta and histogram observation regardless of which thread runs it, and
+/// every thread pins the gauge to the same value — so the merged snapshot
+/// is a pure function of the item set, not of the partition.
+void record_items(Registry& reg, std::size_t first, std::size_t last,
+                  const HistogramSpec& spec) {
+  for (std::size_t i = first; i < last; ++i) {
+    reg.add("test.items", (i % 5) + 1);
+    reg.add("test.touched");
+    reg.observe("test.values", spec, static_cast<double>(i % 50));
+  }
+  if (first < last) reg.set("test.gauge", 7.5);
+}
+
+RegistrySnapshot run_partitioned(std::size_t threads, std::size_t items,
+                                 const HistogramSpec& spec) {
+  Registry reg;
+  if (threads <= 1) {
+    record_items(reg, 0, items, spec);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const std::size_t chunk = (items + threads - 1) / threads;
+    for (std::size_t t = 0; t < threads; ++t) {
+      const std::size_t first = std::min(t * chunk, items);
+      const std::size_t last = std::min(first + chunk, items);
+      workers.emplace_back(
+          [&reg, first, last, &spec] { record_items(reg, first, last, spec); });
+    }
+    for (auto& w : workers) w.join();
+  }
+  return reg.snapshot();
+}
+
+TEST(ObsRegistry, MergeDeterministicAcrossThreadCounts) {
+  const HistogramSpec spec({4.0, 16.0, 64.0});
+  const RegistrySnapshot reference = run_partitioned(1, 240, spec);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    const RegistrySnapshot snap = run_partitioned(threads, 240, spec);
+    EXPECT_TRUE(snap == reference);
+  }
+  // Spot-check the reference itself.
+  const MetricSnapshot* items = reference.find("test.items");
+  ASSERT_NE(items, nullptr);
+  EXPECT_EQ(items->count, 240u / 5u * (1u + 2u + 3u + 4u + 5u));
+  const MetricSnapshot* touched = reference.find("test.touched");
+  ASSERT_NE(touched, nullptr);
+  EXPECT_EQ(touched->count, 240u);
+  const MetricSnapshot* gauge = reference.find("test.gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->value, 7.5);
+  const MetricSnapshot* values = reference.find("test.values");
+  ASSERT_NE(values, nullptr);
+  EXPECT_EQ(values->count, 240u);
+}
+
+TEST(ObsRegistry, HistogramBucketBoundaries) {
+  // Bucket i counts v <= bounds[i]; past the last bound -> overflow bucket.
+  const HistogramSpec spec({1.0, 2.0, 4.0});
+  EXPECT_EQ(spec.buckets(), 4u);
+  EXPECT_EQ(spec.bucket_for(0.5), 0u);
+  EXPECT_EQ(spec.bucket_for(1.0), 0u);  // boundary value lands inclusive
+  EXPECT_EQ(spec.bucket_for(1.5), 1u);
+  EXPECT_EQ(spec.bucket_for(2.0), 1u);
+  EXPECT_EQ(spec.bucket_for(4.0), 2u);
+  EXPECT_EQ(spec.bucket_for(4.1), 3u);  // overflow
+
+  Registry reg;
+  for (double v : {0.5, 1.0, 1.5, 2.0, 4.0, 4.1, 100.0}) {
+    reg.observe("h", spec, v);
+  }
+  const RegistrySnapshot snap = reg.snapshot();
+  const MetricSnapshot* h = snap.find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 7u);
+  ASSERT_EQ(h->buckets.size(), 4u);
+  EXPECT_EQ(h->buckets[0], 2u);
+  EXPECT_EQ(h->buckets[1], 2u);
+  EXPECT_EQ(h->buckets[2], 1u);
+  EXPECT_EQ(h->buckets[3], 2u);
+  EXPECT_DOUBLE_EQ(h->min, 0.5);
+  EXPECT_DOUBLE_EQ(h->max, 100.0);
+  EXPECT_NEAR(h->value, 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.1 + 100.0, 1e-12);
+}
+
+TEST(ObsRegistry, GaugeMergeHighestUpdateCountWinsTieMaxValue) {
+  {
+    // Shard A sets three times (last value 1), shard B once (value 9):
+    // the busier shard wins regardless of merge order.
+    Registry reg;
+    reg.set("g", 5.0);
+    reg.set("g", 6.0);
+    reg.set("g", 1.0);
+    std::thread([&reg] { reg.set("g", 9.0); }).join();
+    const MetricSnapshot* g = reg.snapshot().find("g");
+    ASSERT_NE(g, nullptr);
+    EXPECT_DOUBLE_EQ(g->value, 1.0);
+  }
+  {
+    // Equal update counts: the larger value wins (order-independent tie).
+    Registry reg;
+    reg.set("g", 3.0);
+    std::thread([&reg] { reg.set("g", 8.0); }).join();
+    const MetricSnapshot* g = reg.snapshot().find("g");
+    ASSERT_NE(g, nullptr);
+    EXPECT_DOUBLE_EQ(g->value, 8.0);
+  }
+}
+
+TEST(ObsRegistry, CounterReadBackSumsShards) {
+  Registry reg;
+  reg.add("c", 10);
+  std::thread([&reg] { reg.add("c", 32); }).join();
+  EXPECT_EQ(reg.counter("c"), 42u);
+  EXPECT_EQ(reg.counter("missing"), 0u);
+}
+
+TEST(ObsRegistry, JsonSchemaGolden) {
+  Registry reg;
+  reg.add("a.counter", 3);
+  reg.set("b.gauge", 2.5);
+  const HistogramSpec spec({1.0, 2.0});
+  reg.observe("c.hist", spec, 1.5);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string expected =
+      "{\"schema\": \"lingxi.obs.metrics/v1\", \"metrics\": ["
+      "{\"name\": \"a.counter\", \"kind\": \"counter\", \"value\": 3}, "
+      "{\"name\": \"b.gauge\", \"kind\": \"gauge\", \"value\": 2.5}, "
+      "{\"name\": \"c.hist\", \"kind\": \"histogram\", \"count\": 1, "
+      "\"sum\": 1.5, \"min\": 1.5, \"max\": 1.5, \"bounds\": [1, 2], "
+      "\"buckets\": [0, 1, 0]}]}\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(ObsRegistry, DisabledSitesAreNoOps) {
+  ASSERT_EQ(Registry::active(), nullptr);
+  ASSERT_EQ(Tracer::active(), nullptr);
+  {
+    // Every macro must be safe (and free) with no sinks installed.
+    OBS_TIMED("x.y.z_us");
+    OBS_SPAN("x.span");
+    OBS_TIMED_SPAN("x.both_us");
+  }
+  Registry reg;
+  EXPECT_TRUE(reg.snapshot().metrics.empty());
+}
+
+TEST(ObsRegistry, ScopedTimerFeedsHistogramAndSpan) {
+  Registry reg;
+  Tracer tracer(16);
+  InstallGuard guard(&reg, &tracer);
+  {
+    OBS_TIMED("unit.timer.scope_us");
+    OBS_SPAN("unit.span");
+  }
+  {
+    OBS_TIMED_SPAN("unit.both_us");
+  }
+  const RegistrySnapshot snap = reg.snapshot();
+  const MetricSnapshot* timed = snap.find("unit.timer.scope_us");
+  ASSERT_NE(timed, nullptr);
+  EXPECT_EQ(timed->kind, MetricKind::kHistogram);
+  EXPECT_EQ(timed->count, 1u);
+  const MetricSnapshot* both = snap.find("unit.both_us");
+  ASSERT_NE(both, nullptr);
+  EXPECT_EQ(both->count, 1u);
+  EXPECT_EQ(tracer.retained_events(), 2u);  // unit.span + unit.both_us
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+}
+
+TEST(ObsTracer, RingOverflowDropsOldestAndCounts) {
+  static const char* const kNames[] = {"s0", "s1", "s2", "s3", "s4", "s5"};
+  Tracer tracer(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    tracer.record(kNames[i], 10 * i, 10 * i + 5);
+  }
+  EXPECT_EQ(tracer.retained_events(), 4u);
+  EXPECT_EQ(tracer.dropped_events(), 2u);
+  std::ostringstream os;
+  tracer.write_json(os);
+  const std::string json = os.str();
+  // Oldest two spans are gone; the newest four survive, and the drop count
+  // is exported with the trace.
+  EXPECT_EQ(json.find("\"s0\""), std::string::npos);
+  EXPECT_EQ(json.find("\"s1\""), std::string::npos);
+  EXPECT_NE(json.find("\"s2\""), std::string::npos);
+  EXPECT_NE(json.find("\"s5\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\": 2"), std::string::npos);
+}
+
+TEST(ObsTracer, ChromeTraceJsonShape) {
+  Tracer tracer(8);
+  tracer.record("alpha", 100, 250);
+  tracer.record("beta", 300, 301);
+  std::ostringstream os;
+  tracer.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"lingxi.obs.trace/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"alpha\", \"cat\": \"lingxi\", \"ph\": \"X\", "
+                      "\"ts\": 100, \"dur\": 150, \"pid\": 0, \"tid\": 0}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"beta\", \"cat\": \"lingxi\", \"ph\": \"X\", "
+                      "\"ts\": 300, \"dur\": 1, \"pid\": 0, \"tid\": 0}"),
+            std::string::npos);
+}
+
+TEST(ObsSampler, GaugesAndRates) {
+  Registry reg;
+  // Pool counters present -> the sampler derives mean flush occupancy.
+  reg.add("predictor.pool.flushes", 4);
+  reg.add("predictor.pool.queries", 100);
+  PeriodicSampler sampler(&reg, /*base_sessions=*/50);
+  sampler.sample(/*next_day=*/2, /*live_users=*/8, /*total_sessions=*/150);
+  const RegistrySnapshot snap = reg.snapshot();
+  const MetricSnapshot* day = snap.find("sim.fleet.day");
+  ASSERT_NE(day, nullptr);
+  EXPECT_DOUBLE_EQ(day->value, 2.0);
+  const MetricSnapshot* live = snap.find("sim.fleet.live_users");
+  ASSERT_NE(live, nullptr);
+  EXPECT_DOUBLE_EQ(live->value, 8.0);
+  const MetricSnapshot* total = snap.find("sim.fleet.sessions_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_DOUBLE_EQ(total->value, 150.0);
+  const MetricSnapshot* rate = snap.find("sim.fleet.sessions_per_sec");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_DOUBLE_EQ(rate->value, 0.0);  // first sample has no rate window yet
+  const MetricSnapshot* occ = snap.find("predictor.pool.mean_flush_occupancy");
+  ASSERT_NE(occ, nullptr);
+  EXPECT_DOUBLE_EQ(occ->value, 25.0);
+  // RSS gauge exists and is positive on Linux.
+  const MetricSnapshot* rss = snap.find("process.rss_bytes");
+  ASSERT_NE(rss, nullptr);
+#if defined(__linux__)
+  EXPECT_GT(rss->value, 0.0);
+#endif
+  // A second sample after more sessions reports a positive rate.
+  sampler.sample(3, 8, 450);
+  const MetricSnapshot* rate2 = reg.snapshot().find("sim.fleet.sessions_per_sec");
+  ASSERT_NE(rate2, nullptr);
+  EXPECT_GT(rate2->value, 0.0);
+
+  // Null-registry sampler is a no-op.
+  PeriodicSampler off(nullptr);
+  off.sample(1, 1, 1);
+}
+
+TEST(ObsRegistry, WriteJsonFileRoundTripsThroughDisk) {
+  Registry reg;
+  reg.add("file.counter", 7);
+  const std::string path = "obs_metrics_test.json";
+  ASSERT_TRUE(reg.write_json_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::ostringstream direct;
+  reg.write_json(direct);
+  EXPECT_EQ(buf.str(), direct.str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lingxi::obs

@@ -20,6 +20,8 @@
 #include "bayesopt/gp.h"
 #include "common/rng.h"
 #include "logstore/session_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "predictor/exit_net.h"
 #include "predictor/hybrid.h"
 #include "predictor/os_model.h"
@@ -656,6 +658,69 @@ TEST(CrossUserWaveArchive, BytesIdenticalUnderInterleavedExecution) {
     for (std::size_t s = 0; s < reference.shards.size(); ++s) {
       EXPECT_TRUE(archive.shards[s] == reference.shards[s]) << "shard " << s;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Observability parity: installing the obs registry + tracer must not change
+// a single result bit. For a grid of (scheduler x threads) cases, the merged
+// accumulator checksum AND the telemetry archive bytes of an instrumented
+// run are compared against the obs-off run — while asserting the registry
+// actually recorded the hot-path metrics (so the property is not vacuous).
+// ---------------------------------------------------------------------------
+
+TEST(ObservabilityParity, ChecksumAndArchiveBytesIdenticalWithObsEnabled) {
+  struct ObsCase {
+    sim::SchedulerMode mode;
+    std::size_t threads;
+    std::size_t users_per_shard;
+    std::size_t batch;
+  };
+  const ObsCase cases[] = {
+      {sim::SchedulerMode::kPerUser, 1, 2, 0},
+      {sim::SchedulerMode::kPerUser, 4, 3, 7},
+      {sim::SchedulerMode::kCohortWaves, 1, 3, 7},
+      {sim::SchedulerMode::kCohortWaves, 4, 8, 64},
+  };
+  const auto capture_run = [](const ObsCase& c) {
+    telemetry::ShardedCapture capture(telemetry::ShardedCapture::Config{4});
+    const sim::FleetAccumulator acc = CrossUserWaveInvariance::run(
+        c.mode, c.threads, c.users_per_shard, c.batch, &capture);
+    return std::make_pair(acc, capture.finish());
+  };
+  for (const ObsCase& c : cases) {
+    const auto [ref_acc, ref_archive] = capture_run(c);
+
+    obs::Registry registry;
+    obs::Tracer tracer;
+    obs::Registry::install(&registry);
+    obs::Tracer::install(&tracer);
+    const auto [obs_acc, obs_archive] = capture_run(c);
+    obs::Registry::install(nullptr);
+    obs::Tracer::install(nullptr);
+
+    EXPECT_EQ(obs_acc.checksum(), ref_acc.checksum())
+        << "threads=" << c.threads << " users_per_shard=" << c.users_per_shard
+        << " batch=" << c.batch;
+    EXPECT_EQ(obs_archive.checksum(), ref_archive.checksum());
+    ASSERT_EQ(obs_archive.shards.size(), ref_archive.shards.size());
+    for (std::size_t s = 0; s < ref_archive.shards.size(); ++s) {
+      EXPECT_TRUE(obs_archive.shards[s] == ref_archive.shards[s]) << "shard " << s;
+    }
+
+    // Not vacuous: the instrumented run recorded sessions and (for pooled
+    // cases) predictor flushes, and the tracer saw spans.
+    const obs::RegistrySnapshot snap = registry.snapshot();
+    const obs::MetricSnapshot* steps = snap.find("sim.session.step_us");
+    ASSERT_NE(steps, nullptr);
+    EXPECT_EQ(steps->count, obs_acc.sessions);
+    if (c.mode == sim::SchedulerMode::kCohortWaves || c.batch > 1) {
+      EXPECT_GT(registry.counter("predictor.pool.flushes"), 0u);
+      EXPECT_GE(registry.counter("predictor.pool.queries"),
+                registry.counter("predictor.pool.flushes"));
+      EXPECT_GT(tracer.retained_events() + tracer.dropped_events(), 0u);
+    }
+    EXPECT_GT(registry.counter("core.optimization.rounds"), 0u);
   }
 }
 
