@@ -28,6 +28,11 @@
 #     to the horizon — non-zero exit unless the resumed FleetAccumulator
 #     checksum AND archive checksum bitwise-match an uninterrupted reference
 #     run. The checkpoint root and JSON summaries land in ${BUILD_DIR}/smoke/;
+#   * a scenario smoke (bench_scenarios --smoke): the canonical "CDN
+#     brownout + flash crowd + churn" script on an A/B fleet — empty-script
+#     byte parity, scenario-on grid determinism, a SIGKILLed checkpoint leg
+#     resumed through the churn day (all bitwise-verified, non-zero exit on
+#     any mismatch) and the per-event DiD / per-cohort analytics report;
 #   * observability smokes: the fig12 run above also dumps the obs metrics
 #     registry (--metrics-json) and a Chrome trace (--trace-out), validated
 #     here with python3 — both files must parse as JSON and the trace must
@@ -50,7 +55,7 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 # CTest label matrix (cheap re-runs). --no-tests=error is what actually
 # catches label wiring drift: a label matching zero tests would otherwise
 # exit 0 and silently disable the gate.
-for label in nn fleet snapshot obs; do
+for label in nn fleet snapshot obs scenario; do
   ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error -L "${label}"
 done
 
@@ -127,6 +132,20 @@ fi
   | tee -a "${SMOKE_DIR}/crash_recovery.txt"
 echo "crash-recovery smoke OK: killed at checkpoint 2 (commit stage durable)," \
   "resumed bitwise-identical (${REF_CHECKSUM} / ${REF_ARCHIVE})"
+
+# Scenario smoke: the canonical "CDN brownout + flash crowd + churn" script
+# end to end on an A/B fleet — empty-script byte parity, scenario-on grid
+# determinism, a SIGKILLed checkpoint leg resumed through the churn day (all
+# bitwise, non-zero exit on any mismatch) and the DiD/cohort analytics
+# report. JSON summary, metrics dump and the scripted archive land in
+# ${SMOKE_DIR}/ for the artifact upload.
+"${BUILD_DIR}/bench/bench_scenarios" --smoke \
+  --root "${SMOKE_DIR}/scenario-checkpoints" \
+  --archive-dir "${SMOKE_DIR}/scenario-archive" \
+  --json "${SMOKE_DIR}/scenarios.json" \
+  --metrics-json "${SMOKE_DIR}/scenarios_metrics.json" \
+  | tee "${SMOKE_DIR}/scenarios.txt"
+echo "scenario smoke OK: $(ls "${SMOKE_DIR}/scenario-archive")"
 
 # Obs fast-path regression gate (Release only: Debug timings say nothing
 # about the optimized cost of the disabled-path branch or the record path).

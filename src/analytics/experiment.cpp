@@ -72,6 +72,7 @@ class ExperimentSink final : public telemetry::TelemetrySink {
     }
     day.param_beta_sum += ctx.params_after.hyb_beta;
     day.param_stall_sum += ctx.params_after.stall_penalty;
+    ++day.session_count;
 
     if (config_.record_stall_events && treatment_ && ctx.day >= config_.intervention_day) {
       for (const auto& seg : session.segments) {
@@ -98,7 +99,6 @@ class ExperimentSink final : public telemetry::TelemetrySink {
   ExperimentResult finish() {
     ExperimentResult result;
     result.daily.resize(days_);
-    const double sessions = static_cast<double>(config_.sessions_per_user_day);
     for (std::size_t u = 0; u < users_.size(); ++u) {
       UserBuffer& user = users_[u];
       for (std::size_t d = first_day_; d < days_; ++d) {
@@ -106,8 +106,13 @@ class ExperimentSink final : public telemetry::TelemetrySink {
         result.daily[d].merge(day.metrics);
         day.rec.user = u;
         day.rec.day = d;
-        day.rec.mean_beta = day.param_beta_sum / sessions;
-        day.rec.mean_stall_penalty = day.param_stall_sum / sessions;
+        // Divide by the sessions the day actually ran — under a scenario the
+        // curve / flash-crowd count differs from the configured base (and a
+        // zero-session day keeps the default-zero means).
+        const double sessions = static_cast<double>(day.session_count);
+        day.rec.mean_beta = day.session_count > 0 ? day.param_beta_sum / sessions : 0.0;
+        day.rec.mean_stall_penalty =
+            day.session_count > 0 ? day.param_stall_sum / sessions : 0.0;
         day.rec.mean_bandwidth =
             day.bw_count > 0 ? day.bw_sum / static_cast<double>(day.bw_count) : 0.0;
         result.user_days.push_back(day.rec);
@@ -126,6 +131,7 @@ class ExperimentSink final : public telemetry::TelemetrySink {
     double param_stall_sum = 0.0;
     double bw_sum = 0.0;
     std::size_t bw_count = 0;
+    std::size_t session_count = 0;
   };
   struct UserBuffer {
     std::vector<DayBuffer> days;
@@ -178,6 +184,7 @@ sim::FleetConfig PopulationExperiment::fleet_config(bool treatment,
   fleet.video = config_.video;
   fleet.lingxi = config_.lingxi;
   fleet.session = config_.session;
+  fleet.scenario = config_.scenario;
   return fleet;
 }
 

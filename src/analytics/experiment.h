@@ -31,6 +31,7 @@
 #include "analytics/metrics.h"
 #include "core/lingxi.h"
 #include "predictor/hybrid.h"
+#include "scenario/scenario.h"
 #include "sim/fleet_runner.h"
 #include "trace/population.h"
 #include "trace/video.h"
@@ -65,6 +66,11 @@ struct ExperimentConfig {
   trace::VideoGenerator::Config video;
   core::LingXiConfig lingxi;
   sim::SessionSimulator::Config session;
+  /// Scripted world events, applied identically to BOTH arms (the paired
+  /// A/B design: the same shocks, arrivals and churn hit control and
+  /// treatment, so arm differences isolate LingXi's response). Empty by
+  /// default — byte-for-byte the unscripted experiment.
+  scenario::ScenarioScript scenario;
 
   ExperimentConfig();
 };

@@ -1,0 +1,243 @@
+#include "analytics/scenario_report.h"
+
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "common/running_stats.h"
+
+namespace lingxi::analytics {
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+std::size_t cohort_size(const scenario::Cohort& cohort, std::size_t users) {
+  std::size_t count = 0;
+  for (std::size_t u = 0; u < users; ++u) {
+    if (cohort.contains(u)) ++count;
+  }
+  return count;
+}
+
+/// Daily cohort-minus-rest gap of mean per-user-day stall seconds; a day is
+/// undefined (nullopt) when either group has no user-days on it.
+std::vector<std::optional<double>> daily_stall_gap(
+    std::span<const UserDayRecord> records, const scenario::Cohort& cohort,
+    std::size_t days) {
+  std::vector<double> cohort_sum(days, 0.0), rest_sum(days, 0.0);
+  std::vector<std::size_t> cohort_n(days, 0), rest_n(days, 0);
+  for (const auto& rec : records) {
+    if (rec.day >= days) continue;
+    if (cohort.contains(rec.user)) {
+      cohort_sum[rec.day] += rec.stall_time;
+      ++cohort_n[rec.day];
+    } else {
+      rest_sum[rec.day] += rec.stall_time;
+      ++rest_n[rec.day];
+    }
+  }
+  std::vector<std::optional<double>> gaps(days);
+  for (std::size_t d = 0; d < days; ++d) {
+    if (cohort_n[d] > 0 && rest_n[d] > 0) {
+      gaps[d] = cohort_sum[d] / static_cast<double>(cohort_n[d]) -
+                rest_sum[d] / static_cast<double>(rest_n[d]);
+    }
+  }
+  return gaps;
+}
+
+/// DiD over the defined days of [0, first_day) vs [first_day, last_day).
+/// Falls back to plain window means (effect/t/p left at defaults) when
+/// either side has fewer than the estimator's two-day minimum; `has_did`
+/// reports which path was taken.
+stats::DidResult window_did(const std::vector<std::optional<double>>& gaps,
+                            std::size_t first_day, std::size_t last_day,
+                            bool& has_did) {
+  std::vector<double> pre, post;
+  for (std::size_t d = 0; d < first_day && d < gaps.size(); ++d) {
+    if (gaps[d]) pre.push_back(*gaps[d]);
+  }
+  for (std::size_t d = first_day; d < last_day && d < gaps.size(); ++d) {
+    if (gaps[d]) post.push_back(*gaps[d]);
+  }
+  if (pre.size() >= 2 && post.size() >= 2) {
+    has_did = true;
+    return stats::difference_in_differences(pre, post);
+  }
+  has_did = false;
+  stats::DidResult result;
+  const auto mean = [](const std::vector<double>& v) {
+    double sum = 0.0;
+    for (double x : v) sum += x;
+    return v.empty() ? 0.0 : sum / static_cast<double>(v.size());
+  };
+  result.pre_gap = mean(pre);
+  result.post_gap = mean(post);
+  return result;
+}
+
+ScenarioEventWindow summarize_event(
+    const char* kind, std::size_t index, const scenario::Cohort& cohort,
+    std::size_t first_day, std::size_t last_day, std::size_t users, std::size_t days,
+    std::span<const UserDayRecord> control, std::span<const UserDayRecord> treatment) {
+  ScenarioEventWindow window;
+  window.kind = kind;
+  window.index = index;
+  window.first_day = first_day;
+  window.last_day = last_day;
+  window.cohort_users = cohort_size(cohort, users);
+  bool control_did = false, treatment_did = false;
+  window.control_stall_did =
+      window_did(daily_stall_gap(control, cohort, days), first_day, last_day, control_did);
+  window.treatment_stall_did =
+      window_did(daily_stall_gap(treatment, cohort, days), first_day, last_day,
+                 treatment_did);
+  window.has_did = control_did && treatment_did;
+  return window;
+}
+
+}  // namespace
+
+ScenarioReport summarize_scenario(const scenario::ScenarioScript& script,
+                                  std::size_t users, std::size_t days,
+                                  std::span<const UserDayRecord> control_user_days,
+                                  std::span<const UserDayRecord> treatment_user_days) {
+  ScenarioReport report;
+
+  for (std::size_t i = 0; i < script.shocks.size(); ++i) {
+    const auto& shock = script.shocks[i];
+    report.events.push_back(summarize_event("bandwidth_shock", i, shock.cohort,
+                                            shock.first_day, shock.last_day, users, days,
+                                            control_user_days, treatment_user_days));
+  }
+  for (std::size_t i = 0; i < script.flash_crowds.size(); ++i) {
+    const auto& crowd = script.flash_crowds[i];
+    report.events.push_back(summarize_event("flash_crowd", i, crowd.cohort,
+                                            crowd.arrival_day, days, users, days,
+                                            control_user_days, treatment_user_days));
+  }
+  for (std::size_t i = 0; i < script.churns.size(); ++i) {
+    const auto& churn = script.churns[i];
+    report.events.push_back(summarize_event("churn", i, churn.cohort, churn.day, days,
+                                            users, days, control_user_days,
+                                            treatment_user_days));
+  }
+
+  // Cohort buckets: one per scripted cohort, in script order, plus the
+  // unscripted "rest". A slot named by several events lands in each of its
+  // buckets; "rest" holds the slots named by none.
+  std::vector<std::pair<std::string, scenario::Cohort>> cohorts;
+  const auto add_cohort = [&cohorts](const char* prefix, std::size_t index,
+                                     const scenario::Cohort& cohort) {
+    cohorts.emplace_back(prefix + std::to_string(index), cohort);
+  };
+  for (std::size_t i = 0; i < script.shocks.size(); ++i) {
+    add_cohort("shock", i, script.shocks[i].cohort);
+  }
+  for (std::size_t i = 0; i < script.flash_crowds.size(); ++i) {
+    add_cohort("flash", i, script.flash_crowds[i].cohort);
+  }
+  for (std::size_t i = 0; i < script.churns.size(); ++i) {
+    add_cohort("churn", i, script.churns[i].cohort);
+  }
+  for (std::size_t i = 0; i < script.cohorts.size(); ++i) {
+    add_cohort("cohort", i, script.cohorts[i].cohort);
+  }
+
+  const auto in_any = [&cohorts](std::size_t user) {
+    for (const auto& [name, cohort] : cohorts) {
+      if (cohort.contains(user)) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t b = 0; b <= cohorts.size(); ++b) {
+    const bool rest = b == cohorts.size();
+    const auto member = [&](std::size_t user) {
+      return rest ? !in_any(user) : cohorts[b].second.contains(user);
+    };
+    ScenarioCohortBucket bucket;
+    bucket.name = rest ? "rest" : cohorts[b].first;
+    for (std::size_t u = 0; u < users; ++u) {
+      if (member(u)) ++bucket.cohort_users;
+    }
+    RunningStats beta;
+    for (const auto& rec : treatment_user_days) {
+      if (!member(rec.user)) continue;
+      beta.add(rec.mean_beta);
+      bucket.treatment_stall += rec.stall_time;
+      bucket.treatment_watch += rec.watch_time;
+    }
+    for (const auto& rec : control_user_days) {
+      if (!member(rec.user)) continue;
+      bucket.control_stall += rec.stall_time;
+      bucket.control_watch += rec.watch_time;
+    }
+    bucket.user_days = beta.count();
+    bucket.mean_beta = beta.empty() ? 0.0 : beta.mean();
+    bucket.sd_beta = beta.empty() ? 0.0 : beta.stddev();
+    report.cohorts.push_back(std::move(bucket));
+  }
+  return report;
+}
+
+std::string to_json(const ScenarioReport& report) {
+  std::string out = "{\n  \"events\": [\n";
+  for (std::size_t i = 0; i < report.events.size(); ++i) {
+    const ScenarioEventWindow& e = report.events[i];
+    out += "    {\"kind\": \"" + e.kind + "\", \"index\": ";
+    append_number(out, static_cast<double>(e.index));
+    out += ", \"first_day\": ";
+    append_number(out, static_cast<double>(e.first_day));
+    out += ", \"last_day\": ";
+    append_number(out, static_cast<double>(e.last_day));
+    out += ", \"cohort_users\": ";
+    append_number(out, static_cast<double>(e.cohort_users));
+    out += ", \"has_did\": ";
+    out += e.has_did ? "true" : "false";
+    for (const auto& [arm, did] :
+         {std::pair<const char*, const stats::DidResult*>{"control", &e.control_stall_did},
+          {"treatment", &e.treatment_stall_did}}) {
+      out += std::string(", \"") + arm + "_pre_gap\": ";
+      append_number(out, did->pre_gap);
+      out += std::string(", \"") + arm + "_post_gap\": ";
+      append_number(out, did->post_gap);
+      out += std::string(", \"") + arm + "_effect\": ";
+      append_number(out, did->effect);
+      out += std::string(", \"") + arm + "_p\": ";
+      append_number(out, did->p_two_sided);
+    }
+    out += i + 1 < report.events.size() ? "},\n" : "}\n";
+  }
+  out += "  ],\n  \"cohorts\": [\n";
+  for (std::size_t i = 0; i < report.cohorts.size(); ++i) {
+    const ScenarioCohortBucket& c = report.cohorts[i];
+    out += "    {\"name\": \"" + c.name + "\", \"cohort_users\": ";
+    append_number(out, static_cast<double>(c.cohort_users));
+    out += ", \"user_days\": ";
+    append_number(out, static_cast<double>(c.user_days));
+    out += ", \"mean_beta\": ";
+    append_number(out, c.mean_beta);
+    out += ", \"sd_beta\": ";
+    append_number(out, c.sd_beta);
+    out += ", \"control_stall\": ";
+    append_number(out, c.control_stall);
+    out += ", \"treatment_stall\": ";
+    append_number(out, c.treatment_stall);
+    out += ", \"control_watch\": ";
+    append_number(out, c.control_watch);
+    out += ", \"treatment_watch\": ";
+    append_number(out, c.treatment_watch);
+    out += ", \"stall_diff_pct\": ";
+    append_number(out, c.stall_diff_pct());
+    out += i + 1 < report.cohorts.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace lingxi::analytics

@@ -1,0 +1,89 @@
+// Scenario analytics — event-window and cohort effects over an A/B fleet.
+//
+// Rides the capture-once/query-many telemetry plane: both arms of a
+// scripted experiment are simulated (or replayed from archives) into
+// per-user-day records, and this module answers "what did each scripted
+// event do?" two ways:
+//
+//   * per-event difference-in-differences: for every bandwidth shock,
+//     flash crowd and churn event, the daily ABSOLUTE gap between the
+//     event's cohort and the rest of the fleet (mean stall seconds per
+//     user-day) is compared pre-window vs in-window with the §5.3 DiD
+//     estimator, separately for the control and treatment arms — the
+//     treatment-arm DiD shows how much of the event's damage LingXi
+//     absorbed. Absolute (not relative) gaps keep the estimator defined
+//     when the quiet group stalls near zero.
+//   * per-cohort Fig. 13-style buckets: every scripted cohort (plus the
+//     unscripted "rest") gets treatment beta statistics and
+//     control-vs-treatment stall/watch sums, with the same
+//     stall_diff_pct() reading as Fig. 13. Slots named by several events
+//     appear in each of their buckets.
+//
+// Shared by bench_scenarios and the scenario golden-fixture test.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analytics/experiment.h"
+#include "scenario/scenario.h"
+#include "stats/did.h"
+
+namespace lingxi::analytics {
+
+/// One scripted event's effect window. pre window is [0, first_day); the
+/// event window is [first_day, last_day). Gaps are cohort-minus-rest means
+/// of per-user-day stall seconds; days where either group has no user-days
+/// (pre-arrival flash-crowd days, zero-session diurnal days) drop out of
+/// the series. has_did is false when fewer than two defined days remain on
+/// either side — the gap means are still reported.
+struct ScenarioEventWindow {
+  std::string kind;        ///< "bandwidth_shock" | "flash_crowd" | "churn"
+  std::size_t index = 0;   ///< position within its kind in the script
+  std::size_t first_day = 0;
+  std::size_t last_day = 0;
+  std::size_t cohort_users = 0;  ///< fleet slots the event's cohort names
+  bool has_did = false;
+  stats::DidResult control_stall_did;
+  stats::DidResult treatment_stall_did;
+};
+
+/// Fig. 13-style aggregate for one scripted cohort (or the "rest").
+struct ScenarioCohortBucket {
+  std::string name;          ///< "shock0", "flash0", "churn0", "cohort0", "rest"
+  std::size_t cohort_users = 0;
+  std::size_t user_days = 0;  ///< treatment-arm user-days in the bucket
+  double mean_beta = 0.0;
+  double sd_beta = 0.0;
+  double control_stall = 0.0;    ///< summed stall seconds, control arm
+  double treatment_stall = 0.0;  ///< summed stall seconds, treatment arm
+  double control_watch = 0.0;    ///< summed watch seconds, control arm
+  double treatment_watch = 0.0;  ///< summed watch seconds, treatment arm
+
+  /// Relative stall-time change (%); 0 when the control bucket saw no stall.
+  double stall_diff_pct() const noexcept {
+    return control_stall > 0.0
+               ? (treatment_stall - control_stall) / control_stall * 100.0
+               : 0.0;
+  }
+};
+
+struct ScenarioReport {
+  std::vector<ScenarioEventWindow> events;
+  std::vector<ScenarioCohortBucket> cohorts;
+};
+
+/// Summarize a paired A/B run of `script` on a (users, days) fleet from the
+/// two arms' per-user-day records (ExperimentResult::user_days or
+/// telemetry::ReplayResult::user_days).
+ScenarioReport summarize_scenario(const scenario::ScenarioScript& script,
+                                  std::size_t users, std::size_t days,
+                                  std::span<const UserDayRecord> control_user_days,
+                                  std::span<const UserDayRecord> treatment_user_days);
+
+/// Deterministic JSON rendering — the golden-fixture format.
+std::string to_json(const ScenarioReport& report);
+
+}  // namespace lingxi::analytics

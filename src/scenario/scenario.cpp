@@ -1,0 +1,199 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace lingxi::scenario {
+
+std::size_t ScenarioScript::arrival_day(std::size_t user) const noexcept {
+  std::size_t arrival = 0;
+  for (const auto& crowd : flash_crowds) {
+    if (crowd.cohort.contains(user)) arrival = std::max(arrival, crowd.arrival_day);
+  }
+  return arrival;
+}
+
+std::size_t ScenarioScript::generations_before(std::size_t user,
+                                               std::size_t day) const noexcept {
+  std::size_t generation = 0;
+  for (const auto& churn : churns) {
+    if (churn.day < day && churn.cohort.contains(user)) ++generation;
+  }
+  return generation;
+}
+
+std::size_t ScenarioScript::generations_through(std::size_t user,
+                                                std::size_t day) const noexcept {
+  std::size_t generation = 0;
+  for (const auto& churn : churns) {
+    if (churn.day <= day && churn.cohort.contains(user)) ++generation;
+  }
+  return generation;
+}
+
+double ScenarioScript::bandwidth_scale(std::size_t user, std::size_t day) const noexcept {
+  double scale = 1.0;
+  for (const auto& shock : shocks) {
+    if (day >= shock.first_day && day < shock.last_day && shock.cohort.contains(user)) {
+      scale *= shock.bandwidth_scale;
+    }
+  }
+  return scale;
+}
+
+double ScenarioScript::sd_scale(std::size_t user, std::size_t day) const noexcept {
+  double scale = 1.0;
+  for (const auto& shock : shocks) {
+    if (day >= shock.first_day && day < shock.last_day && shock.cohort.contains(user)) {
+      scale *= shock.sd_scale;
+    }
+  }
+  return scale;
+}
+
+std::size_t ScenarioScript::sessions_on(std::size_t user, std::size_t day,
+                                        std::size_t base) const noexcept {
+  if (day < arrival_day(user)) return 0;
+  double multiplier = 1.0;
+  for (const auto& curve : curves) {
+    if (!curve.multipliers.empty() && curve.cohort.contains(user)) {
+      multiplier *= curve.multipliers[day % curve.multipliers.size()];
+    }
+  }
+  if (multiplier == 1.0) return base;
+  const long long scaled = std::llround(static_cast<double>(base) * multiplier);
+  // The session stream key holds the in-day session index in 16 bits.
+  return static_cast<std::size_t>(std::clamp(scaled, 0LL, 65535LL));
+}
+
+std::size_t ScenarioScript::sessions_before(std::size_t user, std::size_t day,
+                                            std::size_t base) const noexcept {
+  std::size_t total = 0;
+  for (std::size_t d = 0; d < day; ++d) total += sessions_on(user, d, base);
+  return total;
+}
+
+const user::UserPopulation::Config* ScenarioScript::population_override(
+    std::size_t user) const noexcept {
+  for (const auto& override_ : cohorts) {
+    if (override_.cohort.contains(user)) return &override_.population;
+  }
+  return nullptr;
+}
+
+namespace {
+
+Status check_cohort(const Cohort& cohort, const char* what) {
+  if (cohort.stride == 0) {
+    return Error::invalid_arg(std::string(what) + ": cohort stride must be > 0");
+  }
+  if (cohort.phase >= cohort.stride) {
+    return Error::invalid_arg(std::string(what) + ": cohort phase must be < stride");
+  }
+  return {};
+}
+
+bool finite_non_negative(double value) {
+  return std::isfinite(value) && value >= 0.0;
+}
+
+}  // namespace
+
+Status ScenarioScript::validate(std::size_t users, std::size_t days) const {
+  if (empty()) return {};
+  if (users >= (1ULL << kGenerationShift)) {
+    return Error::invalid_arg("scenario: fleet too large for generation streams");
+  }
+  for (const auto& shock : shocks) {
+    if (Status s = check_cohort(shock.cohort, "bandwidth shock"); !s.ok()) return s;
+    if (shock.first_day >= shock.last_day || shock.last_day > days) {
+      return Error::invalid_arg("bandwidth shock: window must satisfy first < last <= days");
+    }
+    if (!finite_non_negative(shock.bandwidth_scale) || shock.bandwidth_scale == 0.0 ||
+        !finite_non_negative(shock.sd_scale)) {
+      return Error::invalid_arg("bandwidth shock: scales must be finite and positive");
+    }
+  }
+  for (const auto& curve : curves) {
+    if (Status s = check_cohort(curve.cohort, "session curve"); !s.ok()) return s;
+    if (curve.multipliers.empty()) {
+      return Error::invalid_arg("session curve: multipliers must be non-empty");
+    }
+    for (double m : curve.multipliers) {
+      if (!finite_non_negative(m)) {
+        return Error::invalid_arg("session curve: multipliers must be finite and >= 0");
+      }
+    }
+  }
+  for (const auto& crowd : flash_crowds) {
+    if (Status s = check_cohort(crowd.cohort, "flash crowd"); !s.ok()) return s;
+    if (crowd.arrival_day >= days) {
+      return Error::invalid_arg("flash crowd: arrival day must precede the horizon");
+    }
+  }
+  for (const auto& churn : churns) {
+    if (Status s = check_cohort(churn.cohort, "churn"); !s.ok()) return s;
+    if (churn.day == 0 || churn.day >= days) {
+      return Error::invalid_arg("churn: day must be in [1, days)");
+    }
+  }
+  for (const auto& override_ : cohorts) {
+    if (Status s = check_cohort(override_.cohort, "cohort override"); !s.ok()) return s;
+    const auto normalized = user::UserPopulation::Config::normalized(override_.population);
+    if (!normalized.has_value()) return normalized.error();
+  }
+  return {};
+}
+
+ScenarioScript canonical_script(std::size_t users, std::size_t days) {
+  ScenarioScript script;
+  const std::size_t half = users / 2;
+  const std::size_t quarter = users / 4;
+
+  // CDN brownout over the first half of the fleet: the middle third of the
+  // calendar at 45% of the profiled mean, with within-session variability
+  // up 1.5x (a congested edge is also burstier).
+  BandwidthShock brownout;
+  brownout.cohort = {0, half, 1, 0};
+  brownout.first_day = days / 3;
+  brownout.last_day = std::max(brownout.first_day + 1, (2 * days) / 3);
+  brownout.bandwidth_scale = 0.45;
+  brownout.sd_scale = 1.5;
+  script.shocks.push_back(brownout);
+
+  // Flash crowd: the last quarter of the slots joins cold at mid-calendar.
+  FlashCrowd crowd;
+  crowd.cohort = {users - quarter, users, 1, 0};
+  crowd.arrival_day = std::max<std::size_t>(1, days / 2);
+  script.flash_crowds.push_back(crowd);
+
+  // Churn: the second quarter of the fleet is replaced two thirds in.
+  ChurnEvent churn;
+  churn.cohort = {quarter, 2 * quarter, 1, 0};
+  churn.day = std::clamp<std::size_t>((2 * days) / 3, 1, days - 1);
+  script.churns.push_back(churn);
+
+  // Weekday/weekend diurnal curve over the whole fleet.
+  SessionCurve diurnal;
+  diurnal.cohort = {0, users, 1, 0};
+  diurnal.multipliers = {1.0, 1.25, 0.75, 1.0, 1.0, 1.5, 0.5};
+  script.curves.push_back(diurnal);
+
+  // "Mobile" device cohort on every 4th slot (phase 1): tolerance mixture
+  // shifted toward the low bands, slightly more stall-sensitive archetypes.
+  CohortOverride mobile;
+  mobile.cohort = {0, users, 4, 1};
+  mobile.population.sensitive_fraction = 0.50;
+  mobile.population.threshold_fraction = 0.35;
+  mobile.population.insensitive_fraction = 0.15;
+  mobile.population.low_tolerance_fraction = 0.40;
+  mobile.population.mid_tolerance_fraction = 0.45;
+  mobile.population.high_tolerance_fraction = 0.10;
+  mobile.population.very_high_tolerance_fraction = 0.05;
+  script.cohorts.push_back(mobile);
+
+  return script;
+}
+
+}  // namespace lingxi::scenario

@@ -7,6 +7,7 @@
 #include <limits>
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/assert.h"
@@ -215,8 +216,23 @@ FleetRunner::FleetRunner(FleetConfig config, AbrFactory abr_factory)
   if (config_.predictor_batch > 0) {
     config_.lingxi.monte_carlo.batch_size = config_.predictor_batch;
   }
+  if (!config_.scenario.empty()) {
+    const Status valid = config_.scenario.validate(config_.users, config_.days);
+    LINGXI_ASSERT(valid.ok());
+  }
+  // Default factory: the fleet population, or the scenario cohort override
+  // for slots a CohortOverride names. Captured by value — the runner may be
+  // moved/copied after construction.
+  std::vector<std::pair<scenario::Cohort, user::UserPopulation>> overrides;
+  overrides.reserve(config_.scenario.cohorts.size());
+  for (const auto& cohort : config_.scenario.cohorts) {
+    overrides.emplace_back(cohort.cohort, user::UserPopulation(cohort.population));
+  }
   const user::UserPopulation population(config_.population);
-  user_factory_ = [population](std::size_t, Rng& rng) {
+  user_factory_ = [population, overrides](std::size_t user, Rng& rng) {
+    for (const auto& [cohort, pop] : overrides) {
+      if (cohort.contains(user)) return pop.sample(rng);
+    }
     return population.sample(rng);
   };
 }
@@ -396,28 +412,24 @@ class ShardScheduler::UserTask {
         seed_(seed),
         user_(user_index),
         acc_(acc),
+        shard_predictor_(shard_predictor),
         pool_(pool),
+        scenario_(runner.config().scenario.empty() ? nullptr : &runner.config().scenario),
         day_(first_day),
-        session_index_(first_day * runner.config().sessions_per_user_day),
         stop_day_(stop_day) {
-    Rng pop_rng(mix_seed(seed_, user_, kPopulationStream));
-    base_user_ = runner_.user_factory_(user_, pop_rng);
-    LINGXI_ASSERT(base_user_ != nullptr);
-    profile_ = world_.networks.sample(pop_rng);
-
-    abr_ = runner_.abr_factory_();
-    const abr::QoeParams start_params =
-        cfg_.enable_lingxi ? cfg_.lingxi.default_params : cfg_.fixed_params;
-    abr_->set_params(start_params);
-
-    if (cfg_.enable_lingxi) {
-      LINGXI_ASSERT(shard_predictor != nullptr);
-      // The shard's users share one private net copy (see
-      // set_predictor_factory): forwards are pure per row and the shard runs
-      // on one worker, so sharing is bitwise invisible.
-      lingxi_ = std::make_unique<core::LingXi>(cfg_.lingxi, *shard_predictor,
-                                               cfg_.video.ladder);
+    if (scenario_ != nullptr) {
+      // A churn scheduled exactly at first_day belongs to THIS leg (it rolls
+      // over in begin_day), so construction rebuilds the generation that was
+      // live strictly before first_day — the one the resume state describes.
+      generation_ = scenario_->generations_before(user_, day_);
+      session_index_ = scenario_->sessions_before(user_, day_, cfg_.sessions_per_user_day);
+      if (const auto* pop = scenario_->population_override(user_)) {
+        drift_population_.emplace(*pop);
+      }
+    } else {
+      session_index_ = day_ * cfg_.sessions_per_user_day;
     }
+    build_identity();
 
     if (resume != nullptr) {
       session_rng_.restore(resume->session_rng);
@@ -439,7 +451,7 @@ class ShardScheduler::UserTask {
     }
     while (day_ < stop_day_) {
       if (session_ == 0) begin_day();
-      while (session_ < cfg_.sessions_per_user_day) {
+      while (session_ < day_sessions_) {
         run_live_session();
         if (opt_ != nullptr) {
           if (!opt_->step()) return false;
@@ -466,15 +478,68 @@ class ShardScheduler::UserTask {
   }
 
  private:
+  /// Stream identity of the slot's current occupant: the slot index with
+  /// the churn generation folded into the high bits. Generation 0 is the
+  /// bare slot index, so unscripted runs keep their exact streams.
+  std::uint64_t stream_user() const noexcept {
+    return static_cast<std::uint64_t>(user_) |
+           (static_cast<std::uint64_t>(generation_) << scenario::kGenerationShift);
+  }
+
+  /// (Re)build the (seed, user, generation)-derived static context: user
+  /// model, network profile, ABR at start params, and a cold LingXi. Called
+  /// at construction and again at every churn rollover.
+  void build_identity() {
+    Rng pop_rng(mix_seed(seed_, stream_user(), kPopulationStream));
+    base_user_ = runner_.user_factory_(user_, pop_rng);
+    LINGXI_ASSERT(base_user_ != nullptr);
+    profile_ = world_.networks.sample(pop_rng);
+
+    abr_ = runner_.abr_factory_();
+    const abr::QoeParams start_params =
+        cfg_.enable_lingxi ? cfg_.lingxi.default_params : cfg_.fixed_params;
+    abr_->set_params(start_params);
+
+    if (cfg_.enable_lingxi) {
+      LINGXI_ASSERT(shard_predictor_ != nullptr);
+      // The shard's users share one private net copy (see
+      // set_predictor_factory): forwards are pure per row and the shard runs
+      // on one worker, so sharing is bitwise invisible.
+      lingxi_ = std::make_unique<core::LingXi>(cfg_.lingxi, *shard_predictor_,
+                                               cfg_.video.ladder);
+    }
+  }
+
   void begin_day() {
+    if (scenario_ != nullptr) {
+      // Churn rollover: the departing generation's summary is emitted here
+      // — the same tallies finish_user would bank at the horizon — and the
+      // replacement arrives with fresh identity streams and a cold LingXi.
+      const std::size_t generation = scenario_->generations_through(user_, day_);
+      if (generation != generation_) {
+        retire_generation();
+        generation_ = generation;
+        build_identity();
+      }
+      day_sessions_ = scenario_->sessions_on(user_, day_, cfg_.sessions_per_user_day);
+    } else {
+      day_sessions_ = cfg_.sessions_per_user_day;
+    }
     // Day-to-day tolerance drift (§2.3) for data-driven users; rule-based
-    // users have no drift notion and replay their base behaviour.
+    // users have no drift notion and replay their base behaviour. Inactive
+    // days (pre-arrival or a zero diurnal multiplier) skip the drift draw —
+    // an absent user has no day — which stays split-invariant because each
+    // day's drift rng is derived fresh from (seed, user, day).
     day_user_.reset();
+    if (day_sessions_ == 0) {
+      lingxi_active_ = false;
+      return;
+    }
     if (cfg_.drift_user_tolerance && day_ > 0) {
       if (const auto* dd = dynamic_cast<const user::DataDrivenUser*>(base_user_.get())) {
-        Rng drift_rng(mix_seed(seed_, user_, kDriftStream | day_));
+        Rng drift_rng(mix_seed(seed_, stream_user(), kDriftStream | day_));
         day_user_ = std::make_unique<user::DataDrivenUser>(
-            dd->drifted(world_.population.sample_drift(drift_rng)));
+            dd->drifted(drift_population().sample_drift(drift_rng)));
       }
     }
     if (!day_user_) day_user_ = base_user_->clone();
@@ -483,19 +548,37 @@ class ShardScheduler::UserTask {
     lingxi_active_ = lingxi_ != nullptr && day_ >= cfg_.intervention_day;
   }
 
+  /// The population this slot's drift is sampled from: the scenario cohort
+  /// override when one names the slot, else the fleet default.
+  const user::UserPopulation& drift_population() const noexcept {
+    return drift_population_ ? *drift_population_ : world_.population;
+  }
+
   /// Simulate the next live session and feed LingXi; may leave an
   /// OptimizationRun parked in opt_.
   void run_live_session() {
     session_rng_ = Rng(mix_seed(
-        seed_, user_,
+        seed_, stream_user(),
         kSessionStream | (static_cast<std::uint64_t>(day_) << 16) | (session_ + 1)));
     const trace::Video video = world_.videos.sample(session_rng_);
     video_duration_ = video.duration();
 
     trace::NetworkProfile session_profile = profile_;
+    if (scenario_ != nullptr) {
+      // Scripted bandwidth shock: a pure (user, day) rescale of the
+      // profiled mean (clamped to the population band) and variability.
+      const double bandwidth_scale = scenario_->bandwidth_scale(user_, day_);
+      if (bandwidth_scale != 1.0) {
+        session_profile.mean_bandwidth =
+            std::clamp(profile_.mean_bandwidth * bandwidth_scale,
+                       cfg_.network.min_bandwidth, cfg_.network.max_bandwidth);
+      }
+      const double sd_scale = scenario_->sd_scale(user_, day_);
+      if (sd_scale != 1.0) session_profile.relative_sd *= sd_scale;
+    }
     if (cfg_.session_jitter_sigma > 0.0) {
       session_profile.mean_bandwidth =
-          std::clamp(profile_.mean_bandwidth *
+          std::clamp(session_profile.mean_bandwidth *
                          session_rng_.lognormal(0.0, cfg_.session_jitter_sigma),
                      cfg_.network.min_bandwidth, cfg_.network.max_bandwidth);
     }
@@ -544,12 +627,20 @@ class ShardScheduler::UserTask {
   }
 
   void end_day() {
-    if (lingxi_ && abr_->params() != cfg_.lingxi.default_params) ++adjusted_days_;
+    // Only days the user actually played can count as adjusted: a departed
+    // or not-yet-arrived slot has no user-day. (Unscripted runs always have
+    // day_sessions_ > 0, so the guard is invisible to them.)
+    if (lingxi_ && day_sessions_ > 0 && abr_->params() != cfg_.lingxi.default_params) {
+      ++adjusted_days_;
+    }
     ++day_;
     session_ = 0;
   }
 
-  void finish_user() {
+  /// Bank the current occupant's summary: accumulator tallies plus the
+  /// telemetry user record. Emitted at the horizon (finish_user) and at
+  /// every churn departure (retire_generation).
+  void emit_user_summary() {
     acc_.adjusted_user_days += adjusted_days_;
     if (lingxi_) acc_.add_lingxi_stats(lingxi_->stats());
     ++acc_.users;
@@ -563,13 +654,30 @@ class ShardScheduler::UserTask {
     }
   }
 
+  void finish_user() { emit_user_summary(); }
+
+  /// Churn departure: the occupant leaves the fleet mid-run, so its summary
+  /// is banked now and the per-user tallies reset for the replacement.
+  void retire_generation() {
+    emit_user_summary();
+    adjusted_days_ = 0;
+  }
+
   const FleetRunner& runner_;
   const FleetConfig& cfg_;
   const FleetWorld& world_;
   std::uint64_t seed_;
   std::size_t user_;
   FleetAccumulator& acc_;
+  const predictor::HybridExitPredictor* shard_predictor_;  ///< kept for churn rebuilds
   predictor::ExitQueryPool* pool_;
+
+  // Scenario context: null for an empty script, which keeps every
+  // scenario branch off the unscripted path. generation_ counts the slot's
+  // churn rollovers; drift_population_ is the cohort-override population.
+  const scenario::ScenarioScript* scenario_;
+  std::size_t generation_ = 0;
+  std::optional<user::UserPopulation> drift_population_;
 
   // Per-user persistent state.
   std::unique_ptr<user::UserModel> base_user_;
@@ -579,10 +687,13 @@ class ShardScheduler::UserTask {
 
   // Cursor over (day, session); session_index_ counts across days; the task
   // stops at stop_day_ (== cfg_.days unless this leg ends at a snapshot).
+  // day_sessions_ is the current day's scripted session count (== the
+  // configured base without a scenario).
   std::size_t day_ = 0;
   std::size_t session_ = 0;
   std::size_t session_index_ = 0;
   std::size_t stop_day_ = 0;
+  std::size_t day_sessions_ = 0;
   std::uint64_t adjusted_days_ = 0;
   std::unique_ptr<user::UserModel> day_user_;
   bool lingxi_active_ = false;

@@ -42,6 +42,7 @@
 #include "common/rng.h"
 #include "core/lingxi.h"
 #include "predictor/hybrid.h"
+#include "scenario/scenario.h"
 #include "sim/session.h"
 #include "trace/population.h"
 #include "trace/video.h"
@@ -245,6 +246,14 @@ struct FleetConfig {
   trace::VideoGenerator::Config video;
   core::LingXiConfig lingxi;
   SessionSimulator::Config session;
+  /// Scripted world events (src/scenario/): bandwidth shocks, diurnal
+  /// session curves, flash-crowd arrivals, churn and cohort overrides, all
+  /// pure functions of (user, day). An empty script (the default) is
+  /// byte-for-byte the unscripted run; a non-empty script still satisfies
+  /// the full bitwise contract across scheduler / threads / shard size /
+  /// batch AND across checkpoint splices, and it is part of the telemetry
+  /// config digest so archives and snapshots pin the script they ran.
+  scenario::ScenarioScript scenario;
 };
 
 class FleetRunner {
@@ -264,10 +273,15 @@ class FleetRunner {
   /// not the run.
   using CheckpointHook = std::function<void(const FleetDayState&)>;
 
-  /// Default user factory: sample from `config.population`.
+  /// Default user factory: sample from `config.population`, or from the
+  /// first matching `config.scenario` cohort override for slots a
+  /// CohortOverride names.
   FleetRunner(FleetConfig config, AbrFactory abr_factory);
 
-  /// Override user sampling (e.g. the Fig. 10 rule-based 8x8 grid).
+  /// Override user sampling (e.g. the Fig. 10 rule-based 8x8 grid). A
+  /// custom factory bypasses scenario cohort overrides by design; with
+  /// churn it is re-invoked per generation with a fresh generation-derived
+  /// rng (an index-only factory therefore rebuilds identical users).
   void set_user_factory(UserFactory factory);
   /// Required when `config.enable_lingxi`. Invoked from worker threads —
   /// once per user (kPerUser) or once per shard (kCohortWaves); the returned
@@ -321,7 +335,9 @@ class FleetRunner {
   /// yields a bitwise-identical FleetAccumulator AND, with a restored
   /// ShardedCapture attached, bitwise-identical telemetry archive bytes.
   /// Per-user summaries (finish-time accumulator fields and record_user
-  /// telemetry) are emitted only by the leg that reaches config().days.
+  /// telemetry) are emitted only by the leg that reaches config().days —
+  /// except scripted churn departures, whose summaries are emitted by the
+  /// leg that simulates the churn day (so they splice identically too).
   ///
   /// The telemetry sink's begin_fleet() fires only when first_day == 0; a
   /// resumed leg expects the sink to carry the capture state of the prior

@@ -211,6 +211,55 @@ std::uint32_t config_digest(const sim::FleetConfig& config) {
                    session.player.reference_bandwidth, session.player.startup_buffer}) {
     logstore::put_f64(p, f);
   }
+  // Scenario script — every event, in script order, so archives and
+  // snapshots pin the exact world the run simulated and a resumed leg can
+  // only splice onto the same script. GATED on a non-empty script: empty
+  // scripts hash byte-identically to pre-scenario digests, keeping every
+  // existing archive and snapshot readable.
+  if (!config.scenario.empty()) {
+    const auto put_cohort = [&p](const scenario::Cohort& cohort) {
+      logstore::put_u64(p, cohort.first_user);
+      logstore::put_u64(p, cohort.last_user);
+      logstore::put_u64(p, cohort.stride);
+      logstore::put_u64(p, cohort.phase);
+    };
+    logstore::put_u64(p, config.scenario.shocks.size());
+    for (const auto& shock : config.scenario.shocks) {
+      put_cohort(shock.cohort);
+      logstore::put_u64(p, shock.first_day);
+      logstore::put_u64(p, shock.last_day);
+      logstore::put_f64(p, shock.bandwidth_scale);
+      logstore::put_f64(p, shock.sd_scale);
+    }
+    logstore::put_u64(p, config.scenario.curves.size());
+    for (const auto& curve : config.scenario.curves) {
+      put_cohort(curve.cohort);
+      logstore::put_u64(p, curve.multipliers.size());
+      for (double m : curve.multipliers) logstore::put_f64(p, m);
+    }
+    logstore::put_u64(p, config.scenario.flash_crowds.size());
+    for (const auto& crowd : config.scenario.flash_crowds) {
+      put_cohort(crowd.cohort);
+      logstore::put_u64(p, crowd.arrival_day);
+    }
+    logstore::put_u64(p, config.scenario.churns.size());
+    for (const auto& churn : config.scenario.churns) {
+      put_cohort(churn.cohort);
+      logstore::put_u64(p, churn.day);
+    }
+    logstore::put_u64(p, config.scenario.cohorts.size());
+    for (const auto& cohort : config.scenario.cohorts) {
+      put_cohort(cohort.cohort);
+      for (double f :
+           {cohort.population.sensitive_fraction, cohort.population.threshold_fraction,
+            cohort.population.insensitive_fraction, cohort.population.low_tolerance_fraction,
+            cohort.population.mid_tolerance_fraction, cohort.population.high_tolerance_fraction,
+            cohort.population.very_high_tolerance_fraction, cohort.population.stable_fraction,
+            cohort.population.moderate_fraction}) {
+        logstore::put_f64(p, f);
+      }
+    }
+  }
   return crc32(p.data(), p.size());
 }
 

@@ -49,6 +49,10 @@ class ShardedCapture final : public TelemetrySink {
   /// begin_fleet().
   FleetArchive finish() const;
 
+  /// Session records buffered so far, assuming one trailing user record per
+  /// user slot. Scenario churn emits an extra user record per departed
+  /// generation, so under a churn script this undercounts by the number of
+  /// departures — use the replayed accumulator for exact scenario tallies.
   std::size_t session_count() const noexcept;
 
   /// One user's capture position: the framed records buffered so far plus

@@ -12,6 +12,11 @@ struct UserDayBuilder {
   double param_stall_sum = 0.0;
   double bw_sum = 0.0;
   std::size_t bw_count = 0;
+  // Sessions actually archived for this (user, day) — NOT the manifest's
+  // sessions_per_user_day, which scenario scripts (diurnal curves, flash
+  // crowds) modulate per day. Identical for unscripted archives, where
+  // every user-day holds exactly the configured count.
+  std::size_t session_count = 0;
   bool open = false;
 
   void begin(std::size_t user, std::size_t day) {
@@ -21,9 +26,9 @@ struct UserDayBuilder {
     open = true;
   }
 
-  void flush(std::size_t sessions_per_day, std::vector<analytics::UserDayRecord>& out) {
+  void flush(std::vector<analytics::UserDayRecord>& out) {
     if (!open) return;
-    const double n = static_cast<double>(sessions_per_day);
+    const double n = static_cast<double>(session_count);
     rec.mean_beta = n > 0.0 ? param_beta_sum / n : 0.0;
     rec.mean_stall_penalty = n > 0.0 ? param_stall_sum / n : 0.0;
     rec.mean_bandwidth =
@@ -78,9 +83,10 @@ Expected<ReplayResult> Replay::run(const ArchiveReader& reader, Options options)
     if (options.collect_user_days) {
       if (!day_builder.open || day_builder.rec.user != rec.user ||
           day_builder.rec.day != rec.day) {
-        day_builder.flush(manifest.sessions_per_user_day, result.user_days);
+        day_builder.flush(result.user_days);
         day_builder.begin(rec.user, rec.day);
       }
+      ++day_builder.session_count;
       day_builder.rec.watch_time += session.watch_time;
       day_builder.rec.stall_time += session.total_stall;
       day_builder.rec.stall_events += static_cast<double>(session.stall_events);
@@ -121,7 +127,7 @@ Expected<ReplayResult> Replay::run(const ArchiveReader& reader, Options options)
   };
 
   const auto on_user = [&](const ArchiveUserRecord& rec) {
-    day_builder.flush(manifest.sessions_per_user_day, result.user_days);
+    day_builder.flush(result.user_days);
     ++result.fleet.users;
     result.fleet.add_lingxi_stats(rec.stats);
     result.fleet.adjusted_user_days += rec.adjusted_days;
@@ -137,7 +143,7 @@ Expected<ReplayResult> Replay::run(const ArchiveReader& reader, Options options)
   if (day_out_of_range) {
     return Error::corrupt("session day exceeds the manifest's day count");
   }
-  day_builder.flush(manifest.sessions_per_user_day, result.user_days);
+  day_builder.flush(result.user_days);
   return result;
 }
 

@@ -1,22 +1,79 @@
 #include "user/user_population.h"
 
+#include <algorithm>
 #include <cmath>
+#include <initializer_list>
+#include <string>
+#include <utility>
 
 #include "common/assert.h"
 
 namespace lingxi::user {
+namespace {
+
+/// Clamp-and-normalize one mixture in place: negatives clamp to 0, and the
+/// mixture rescales to sum to 1 unless it is already within 1e-9 of unity
+/// (in which case the fractions pass through bitwise-unchanged — the
+/// property that keeps every previously-valid config's sampling sequence
+/// exact). Unrepairable mixtures (non-finite fraction, all-zero after
+/// clamping) return an error.
+Status normalize_mixture(std::initializer_list<double*> fractions, const char* what) {
+  double sum = 0.0;
+  for (double* f : fractions) {
+    if (!std::isfinite(*f)) {
+      return Error::invalid_arg(std::string("UserPopulation::Config: non-finite ") + what +
+                                " fraction");
+    }
+    if (*f < 0.0) *f = 0.0;
+    sum += *f;
+  }
+  if (sum <= 0.0) {
+    return Error::invalid_arg(std::string("UserPopulation::Config: ") + what +
+                              " mixture clamps to all-zero");
+  }
+  if (std::fabs(sum - 1.0) > 1e-9) {
+    for (double* f : fractions) *f /= sum;
+  }
+  return {};
+}
+
+}  // namespace
+
+Expected<UserPopulation::Config> UserPopulation::Config::normalized(Config config) {
+  if (Status s = normalize_mixture({&config.sensitive_fraction, &config.threshold_fraction,
+                                    &config.insensitive_fraction},
+                                   "archetype");
+      !s.ok()) {
+    return s.error();
+  }
+  if (Status s = normalize_mixture(
+          {&config.low_tolerance_fraction, &config.mid_tolerance_fraction,
+           &config.high_tolerance_fraction, &config.very_high_tolerance_fraction},
+          "tolerance");
+      !s.ok()) {
+    return s.error();
+  }
+  // Drift: stable + moderate bound the pair from above (the remainder is
+  // the exponential tail), so only an over-unity pair needs rescaling.
+  if (!std::isfinite(config.stable_fraction) || !std::isfinite(config.moderate_fraction)) {
+    return Error::invalid_arg("UserPopulation::Config: non-finite drift fraction");
+  }
+  if (config.stable_fraction < 0.0) config.stable_fraction = 0.0;
+  if (config.moderate_fraction < 0.0) config.moderate_fraction = 0.0;
+  const double drift_sum = config.stable_fraction + config.moderate_fraction;
+  if (drift_sum > 1.0) {
+    config.stable_fraction /= drift_sum;
+    config.moderate_fraction /= drift_sum;
+  }
+  return config;
+}
 
 UserPopulation::UserPopulation() : config_(Config{}) {}
 
-UserPopulation::UserPopulation(Config config) : config_(config) {
-  const double archetype_sum = config_.sensitive_fraction + config_.threshold_fraction +
-                               config_.insensitive_fraction;
-  LINGXI_ASSERT(std::fabs(archetype_sum - 1.0) < 1e-9);
-  const double tolerance_sum = config_.low_tolerance_fraction + config_.mid_tolerance_fraction +
-                               config_.high_tolerance_fraction +
-                               config_.very_high_tolerance_fraction;
-  LINGXI_ASSERT(std::fabs(tolerance_sum - 1.0) < 1e-9);
-  LINGXI_ASSERT(config_.stable_fraction + config_.moderate_fraction <= 1.0);
+UserPopulation::UserPopulation(Config config) {
+  Expected<Config> normalized = Config::normalized(config);
+  LINGXI_ASSERT(normalized.has_value());
+  config_ = *std::move(normalized);
 }
 
 DataDrivenUser::Config UserPopulation::sample_config(Rng& rng) const {
@@ -53,7 +110,10 @@ std::vector<DataDrivenUser::Config> UserPopulation::sample_many(std::size_t n, R
 }
 
 Seconds UserPopulation::sample_drift(Rng& rng) const {
-  const double tail_fraction = 1.0 - config_.stable_fraction - config_.moderate_fraction;
+  // max() guards the normalized s + m == 1 edge, where the subtraction can
+  // round to a tiny negative that discrete() would reject.
+  const double tail_fraction =
+      std::max(0.0, 1.0 - config_.stable_fraction - config_.moderate_fraction);
   const std::size_t band =
       rng.discrete({config_.stable_fraction, config_.moderate_fraction, tail_fraction});
   const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;

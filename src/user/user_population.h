@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/expected.h"
 #include "common/rng.h"
 #include "user/data_driven.h"
 
@@ -14,8 +15,17 @@ namespace lingxi::user {
 
 class UserPopulation {
  public:
+  /// Mixture fractions are CLAMPED AND NORMALIZED, not rejected (the
+  /// documented policy): Config::normalized() clamps negative fractions to
+  /// zero and rescales each mixture to sum to 1 when it is off by more than
+  /// 1e-9 — a mixture already within 1e-9 of unity passes through
+  /// bitwise-unchanged, so every previously-valid config keeps its exact
+  /// sampling sequence. Only configs that cannot be repaired (a non-finite
+  /// fraction, or a mixture that clamps to all-zero) are rejected with
+  /// Error::kInvalidArg. The constructor applies the same policy and
+  /// asserts the config was repairable.
   struct Config {
-    // Archetype mixture (must sum to 1).
+    // Archetype mixture (normalized to sum to 1; see above).
     double sensitive_fraction = 0.35;
     double threshold_fraction = 0.45;
     double insensitive_fraction = 0.20;
@@ -25,9 +35,14 @@ class UserPopulation {
     double high_tolerance_fraction = 0.20;  ///< 5 - 10 s
     double very_high_tolerance_fraction = 0.10;  ///< 10 - 20 s
     // Day-to-day drift mixture (§2.3): stable / moderate / long tail.
+    // stable + moderate may not exceed 1 (the remainder is the tail);
+    // normalized() rescales the pair down when it does.
     double stable_fraction = 0.60;    ///< |drift| < 1 s
     double moderate_fraction = 0.20;  ///< |drift| in 2-4 s
     // Remainder: exponential long tail.
+
+    /// Clamp-and-normalize `config` per the policy above.
+    static Expected<Config> normalized(Config config);
   };
 
   UserPopulation();  // default config

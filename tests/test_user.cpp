@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "user/data_driven.h"
@@ -258,6 +259,122 @@ TEST(UserPopulation, SampledUsersAreUsable) {
   const double p = u->exit_probability(make_segment(1.0, 1, 1.0));
   EXPECT_GE(p, 0.0);
   EXPECT_LE(p, 1.0);
+}
+
+// -- UserPopulation::Config::normalized (clamp + normalize policy) ----------
+
+TEST(UserPopulationConfig, ExactUnityMixturesPassThroughUnchanged) {
+  // The default config's mixtures sum to 1 within the 1e-9 epsilon, so
+  // normalized() must not touch a single bit — every existing sampling
+  // sequence is preserved.
+  const UserPopulation::Config def;
+  const auto norm = UserPopulation::Config::normalized(def);
+  ASSERT_TRUE(norm.has_value());
+  EXPECT_EQ(norm->sensitive_fraction, def.sensitive_fraction);
+  EXPECT_EQ(norm->threshold_fraction, def.threshold_fraction);
+  EXPECT_EQ(norm->insensitive_fraction, def.insensitive_fraction);
+  EXPECT_EQ(norm->low_tolerance_fraction, def.low_tolerance_fraction);
+  EXPECT_EQ(norm->mid_tolerance_fraction, def.mid_tolerance_fraction);
+  EXPECT_EQ(norm->high_tolerance_fraction, def.high_tolerance_fraction);
+  EXPECT_EQ(norm->very_high_tolerance_fraction, def.very_high_tolerance_fraction);
+  EXPECT_EQ(norm->stable_fraction, def.stable_fraction);
+  EXPECT_EQ(norm->moderate_fraction, def.moderate_fraction);
+}
+
+TEST(UserPopulationConfig, OverUnityMixtureIsRescaled) {
+  UserPopulation::Config cfg;
+  cfg.sensitive_fraction = 1.0;
+  cfg.threshold_fraction = 2.0;
+  cfg.insensitive_fraction = 1.0;
+  const auto norm = UserPopulation::Config::normalized(cfg);
+  ASSERT_TRUE(norm.has_value());
+  EXPECT_NEAR(norm->sensitive_fraction, 0.25, 1e-12);
+  EXPECT_NEAR(norm->threshold_fraction, 0.50, 1e-12);
+  EXPECT_NEAR(norm->insensitive_fraction, 0.25, 1e-12);
+  const double sum = norm->sensitive_fraction + norm->threshold_fraction +
+                     norm->insensitive_fraction;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(UserPopulationConfig, UnderUnityMixtureIsRescaledUp) {
+  UserPopulation::Config cfg;
+  cfg.low_tolerance_fraction = 0.1;
+  cfg.mid_tolerance_fraction = 0.1;
+  cfg.high_tolerance_fraction = 0.1;
+  cfg.very_high_tolerance_fraction = 0.1;
+  const auto norm = UserPopulation::Config::normalized(cfg);
+  ASSERT_TRUE(norm.has_value());
+  EXPECT_NEAR(norm->low_tolerance_fraction, 0.25, 1e-12);
+  EXPECT_NEAR(norm->very_high_tolerance_fraction, 0.25, 1e-12);
+}
+
+TEST(UserPopulationConfig, NegativeFractionsClampToZeroThenRescale) {
+  UserPopulation::Config cfg;
+  cfg.sensitive_fraction = -0.5;
+  cfg.threshold_fraction = 0.5;
+  cfg.insensitive_fraction = 1.5;
+  const auto norm = UserPopulation::Config::normalized(cfg);
+  ASSERT_TRUE(norm.has_value());
+  EXPECT_EQ(norm->sensitive_fraction, 0.0);
+  EXPECT_NEAR(norm->threshold_fraction, 0.25, 1e-12);
+  EXPECT_NEAR(norm->insensitive_fraction, 0.75, 1e-12);
+}
+
+TEST(UserPopulationConfig, DriftPairOnlyRescaledWhenOverUnity) {
+  // Under-unity is legal by design: the remainder is the exponential tail.
+  UserPopulation::Config cfg;
+  cfg.stable_fraction = 0.3;
+  cfg.moderate_fraction = 0.1;
+  auto norm = UserPopulation::Config::normalized(cfg);
+  ASSERT_TRUE(norm.has_value());
+  EXPECT_EQ(norm->stable_fraction, 0.3);
+  EXPECT_EQ(norm->moderate_fraction, 0.1);
+
+  cfg.stable_fraction = 1.2;
+  cfg.moderate_fraction = 0.4;
+  norm = UserPopulation::Config::normalized(cfg);
+  ASSERT_TRUE(norm.has_value());
+  EXPECT_NEAR(norm->stable_fraction, 0.75, 1e-12);
+  EXPECT_NEAR(norm->moderate_fraction, 0.25, 1e-12);
+  EXPECT_LE(norm->stable_fraction + norm->moderate_fraction, 1.0 + 1e-12);
+}
+
+TEST(UserPopulationConfig, AllZeroAndNonFiniteMixturesAreErrors) {
+  {
+    UserPopulation::Config cfg;  // every archetype weight clamps to zero
+    cfg.sensitive_fraction = 0.0;
+    cfg.threshold_fraction = -1.0;
+    cfg.insensitive_fraction = 0.0;
+    EXPECT_FALSE(UserPopulation::Config::normalized(cfg).has_value());
+  }
+  {
+    UserPopulation::Config cfg;
+    cfg.mid_tolerance_fraction = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(UserPopulation::Config::normalized(cfg).has_value());
+  }
+  {
+    UserPopulation::Config cfg;
+    cfg.sensitive_fraction = std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(UserPopulation::Config::normalized(cfg).has_value());
+  }
+}
+
+TEST(UserPopulationConfig, SamplersAcceptNormalizedOddMixtures) {
+  // End to end: an over-unity + negative mixture still yields a usable
+  // sampler (the constructor normalizes), and drift draws stay finite.
+  UserPopulation::Config cfg;
+  cfg.sensitive_fraction = 3.0;
+  cfg.threshold_fraction = -2.0;
+  cfg.insensitive_fraction = 1.0;
+  cfg.stable_fraction = 0.9;
+  cfg.moderate_fraction = 0.6;
+  UserPopulation pop(cfg);
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const auto user = pop.sample(rng);
+    ASSERT_NE(user, nullptr);
+    EXPECT_TRUE(std::isfinite(pop.sample_drift(rng)));
+  }
 }
 
 }  // namespace
