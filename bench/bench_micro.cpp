@@ -13,7 +13,9 @@
 #include "abr/pensieve.h"
 #include "abr/robust_mpc.h"
 #include "bayesopt/gp.h"
+#include "bayesopt/obo.h"
 #include "bench_util.h"
+#include "nn/dense.h"
 #include "predictor/exit_net.h"
 #include "sim/monte_carlo.h"
 #include "snapshot/snapshot.h"
@@ -90,6 +92,39 @@ void BM_DenseForwardBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_DenseForwardBatch)->Arg(1)->Arg(4)->Arg(8)->Arg(64)->Arg(512);
 
+// The same fc1-shaped panel under each dispatchable ISA (args: isa, rows).
+// All variants are bitwise identical (lanes across rows); this bench is why
+// the runtime default is AVX2 — the 512-bit variant measures slower on
+// downclocking server parts despite the wider panel.
+void BM_DenseForwardBatchIsa(benchmark::State& state) {
+  const auto requested = static_cast<nn::DenseIsa>(state.range(0));
+  const auto rows = static_cast<std::size_t>(state.range(1));
+  if (!nn::dense_isa_supported(requested)) {
+    state.SkipWithError("isa not supported on this cpu");
+    return;
+  }
+  const nn::DenseIsa before = nn::dense_isa();
+  nn::set_dense_isa_for_testing(requested);
+  state.SetLabel(nn::dense_isa_name(requested));
+  constexpr std::size_t kIn = 1600, kOut = 64;
+  Rng rng(6);
+  nn::Dense layer(kIn, kOut, rng);
+  std::vector<double> in(rows * kIn);
+  std::vector<double> out(rows * kOut);
+  for (double& x : in) x = rng.uniform(0.0, 1.0);
+  for (auto _ : state) {
+    layer.forward_batch({in.data(), rows, kIn}, {out.data(), rows, kOut});
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  nn::set_dense_isa_for_testing(before);
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(rows),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DenseForwardBatchIsa)
+    ->ArgsProduct({{0, 1, 2, 3}, {8, 64, 512}});
+
 void BM_ExitNetInference(benchmark::State& state) {
   Rng rng(2);
   predictor::StallExitNet net(rng);
@@ -132,6 +167,67 @@ void BM_GpUpdateAndPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GpUpdateAndPredict)->Arg(8)->Arg(32);
+
+// Building an n-observation GP one observe() at a time: the incremental
+// rank-1 Cholesky extension (production path, O(n^2) per observation) vs
+// the forced full refactorization (O(n^3) per observation). Both produce
+// identical factors bit for bit; the gap is the point of the fast path.
+void BM_GpRefitIncremental(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  for (auto _ : state) {
+    bayesopt::GaussianProcess gp;
+    for (std::size_t i = 0; i < n; ++i) {
+      gp.observe({rng.uniform(), rng.uniform()}, rng.uniform());
+    }
+    benchmark::DoNotOptimize(gp.factor().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GpRefitIncremental)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_GpRefitFull(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  bayesopt::GaussianProcess::set_full_refit_for_testing(true);
+  for (auto _ : state) {
+    bayesopt::GaussianProcess gp;
+    for (std::size_t i = 0; i < n; ++i) {
+      gp.observe({rng.uniform(), rng.uniform()}, rng.uniform());
+    }
+    benchmark::DoNotOptimize(gp.factor().data());
+  }
+  bayesopt::GaussianProcess::set_full_refit_for_testing(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GpRefitFull)->Arg(4)->Arg(16)->Arg(64);
+
+// One acquisition sweep (OnlineBayesOpt::next_candidate) against an
+// n-observation GP: 256 grid + 32 perturbation candidates through
+// predict_batch (one k_star panel, shared triangular solves, zero hot-path
+// allocations after the first sweep). candidates/s is the figure of merit.
+void BM_AcquisitionBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  bayesopt::OnlineBayesOpt obo(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    obo.update({rng.uniform(), rng.uniform()}, rng.uniform());
+  }
+  const std::size_t candidates =
+      bayesopt::OnlineBayesOpt::Config{}.candidate_grid +
+      bayesopt::OnlineBayesOpt::Config{}.local_perturbations;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obo.next_candidate(rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(candidates));
+  state.counters["candidates/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(candidates),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AcquisitionBatch)->Arg(8)->Arg(32);
 
 void BM_PlayerEnvStep(benchmark::State& state) {
   sim::PlayerEnv env(sim::PlayerConfig{});

@@ -3,6 +3,12 @@
 #   * the CTest label matrix: the `nn` label (batched-inference parity layer)
 #     and the `fleet` label (FleetRunner substrate + experiment drivers) are
 #     re-run explicitly, so a label regression fails loudly on every push;
+#     the `bayesopt` label pins the optimizer fast path (incremental
+#     Cholesky == full refit, batched-acquisition parity), and the nn suite
+#     re-runs under LINGXI_DENSE_ISA=scalar/sse2/avx2/avx512 so every
+#     dispatchable dense kernel proves bitwise parity on the CI host;
+#     finally the fleet_scaling smoke JSON is gated on non-regressing
+#     sessions/sec ratios (batched vs scalar, cohort vs per-opt);
 #   * the batched-path + cross-user wave smoke: bench_fleet_scaling
 #     --batch 64 --users-per-shard 3 runs the LingXi fleet with scalar,
 #     per-optimization batched AND cross-user cohort-scheduled predictor
@@ -55,8 +61,18 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 # CTest label matrix (cheap re-runs). --no-tests=error is what actually
 # catches label wiring drift: a label matching zero tests would otherwise
 # exit 0 and silently disable the gate.
-for label in nn fleet snapshot obs scenario; do
+for label in nn fleet snapshot obs scenario bayesopt; do
   ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error -L "${label}"
+done
+
+# Forced-ISA parity sweep: the dense-kernel dispatch (nn::dense_isa) honours
+# LINGXI_DENSE_ISA, so the nn parity suite re-runs pinned to each variant
+# (requests wider than the hardware clamp down — redundant but still a valid
+# scalar-parity run, never a skip).
+for isa in scalar sse2 avx2 avx512; do
+  LINGXI_DENSE_ISA="${isa}" \
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error -L nn
+  echo "forced-ISA parity OK: ${isa}"
 done
 
 SMOKE_DIR="${BUILD_DIR}/smoke"
@@ -64,12 +80,33 @@ rm -rf "${SMOKE_DIR}"
 mkdir -p "${SMOKE_DIR}"
 
 # Batched-inference + cross-user wave parity smoke (small fleet, batch 64,
-# shard 3; non-zero exit on any checksum mismatch between thread counts,
-# batch modes or scheduler modes).
+# shard 3, pooled optimizer fits on 2 workers; non-zero exit on any checksum
+# mismatch between thread counts, batch modes or scheduler modes).
 "${BUILD_DIR}/bench/bench_fleet_scaling" --batch 64 --users-per-shard 3 --smoke \
+  --opt-threads 2 \
   --json "${SMOKE_DIR}/fleet_scaling.json" \
   | tee "${SMOKE_DIR}/fleet_scaling.txt"
 echo "batched-path + cross-user wave smoke OK"
+
+# Sessions/sec non-regression gate on the smoke summary: the optimizer fast
+# path must keep the batched arm comfortably ahead of scalar inference and
+# the cohort scheduler from regressing against per-optimization batching.
+# Thresholds sit far below steady-state measurements (batched/scalar ~2.5x,
+# cross/per-opt ~1.2x) so only a real regression — not CI noise — trips them.
+python3 - "${SMOKE_DIR}/fleet_scaling.json" <<'PYEOF'
+import json, sys
+summary = json.load(open(sys.argv[1]))
+assert summary["all_checksums_match"] is True, "smoke checksum mismatch"
+scalar = summary["scalar_sessions_per_sec"]
+batched = summary["batched_sessions_per_sec"]
+per_opt = summary["cross_user"]["per_opt_sessions_per_sec"]
+cross = summary["cross_user"]["cross_user_sessions_per_sec"]
+assert batched >= 1.2 * scalar, f"batched/scalar regressed: {batched:.0f} vs {scalar:.0f}"
+assert cross >= 0.9 * per_opt, f"cross-user regressed: {cross:.0f} vs {per_opt:.0f}"
+print(f"sessions/sec gate OK: batched/scalar {batched / scalar:.2f}x, "
+      f"cross/per-opt {cross / per_opt:.2f}x (isa {summary['dense_isa']}, "
+      f"opt-threads {summary['optimizer_threads']})")
+PYEOF
 
 "${BUILD_DIR}/bench/bench_fig12_ab_test" \
   --users 64 --days 4 \

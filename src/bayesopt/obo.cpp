@@ -31,37 +31,49 @@ std::vector<double> OnlineBayesOpt::next_candidate(Rng& rng) {
     warm_start_used_ = true;
     return warm_start_;
   }
-  auto random_point = [&] {
+  if (gp_.observations() < config_.bootstrap_samples) {
     std::vector<double> x(dims_);
     for (double& v : x) v = rng.uniform();
     return x;
-  };
-  if (gp_.observations() < config_.bootstrap_samples) return random_point();
+  }
 
   const double best_y = gp_.best_y();
   const std::vector<double>& incumbent = gp_.best_x();
 
-  std::vector<double> best_x;
+  // Draw every candidate up front into one flat panel — grid points first,
+  // then local perturbations of the incumbent, exactly the order the scalar
+  // loop drew them (predict consumes no rng, so hoisting the draws leaves
+  // the stream identical) — then evaluate the GP over the whole panel at
+  // once and argmax the acquisition with the same strict-> first-max rule.
+  const std::size_t total = config_.candidate_grid + config_.local_perturbations;
+  candidates_.resize(total * dims_);
+  double* c = candidates_.data();
+  for (std::size_t i = 0; i < config_.candidate_grid; ++i) {
+    for (std::size_t d = 0; d < dims_; ++d) *c++ = rng.uniform();
+  }
+  for (std::size_t i = 0; i < config_.local_perturbations; ++i) {
+    for (std::size_t d = 0; d < dims_; ++d) {
+      *c++ = std::clamp(incumbent[d] + rng.normal(0.0, config_.perturbation_sd),
+                        0.0, 1.0);
+    }
+  }
+
+  predictions_.resize(total);
+  gp_.predict_batch(candidates_.data(), total, dims_, predictions_.data(), ws_);
+
+  std::size_t best = total;  // sentinel: no candidate taken yet
   double best_acq = -1e300;
-  auto consider = [&](std::vector<double> x) {
-    const GpPrediction p = gp_.predict(x);
-    const double a = acquisition(config_.acquisition, p.mean, p.variance, best_y);
+  for (std::size_t i = 0; i < total; ++i) {
+    const double a = acquisition(config_.acquisition, predictions_[i].mean,
+                                 predictions_[i].variance, best_y);
     if (a > best_acq) {
       best_acq = a;
-      best_x = std::move(x);
+      best = i;
     }
-  };
-
-  for (std::size_t i = 0; i < config_.candidate_grid; ++i) consider(random_point());
-  for (std::size_t i = 0; i < config_.local_perturbations; ++i) {
-    std::vector<double> x = incumbent;
-    for (double& v : x) {
-      v = std::clamp(v + rng.normal(0.0, config_.perturbation_sd), 0.0, 1.0);
-    }
-    consider(std::move(x));
   }
-  LINGXI_ASSERT(!best_x.empty());
-  return best_x;
+  LINGXI_ASSERT(best < total);
+  return std::vector<double>(candidates_.begin() + best * dims_,
+                             candidates_.begin() + (best + 1) * dims_);
 }
 
 OnlineBayesOpt::State OnlineBayesOpt::state() const {

@@ -72,6 +72,12 @@ class OnlineBayesOpt {
   std::vector<double> warm_start_;
   bool has_warm_start_ = false;
   bool warm_start_used_ = false;
+  // Acquisition scratch, reused round to round so the hot path is
+  // allocation-free: the flat candidate panel, the batched predictions and
+  // the GP solve workspace. Deliberately not part of State.
+  std::vector<double> candidates_;
+  std::vector<GpPrediction> predictions_;
+  GpWorkspace ws_;
 };
 
 }  // namespace lingxi::bayesopt

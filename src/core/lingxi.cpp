@@ -166,8 +166,7 @@ double LingXi::OptimizationRun::prune_bound() const noexcept {
   return round_ == 0 ? std::numeric_limits<double>::infinity() : best_exit_;
 }
 
-void LingXi::OptimizationRun::begin_round() {
-  begin_candidate();
+void LingXi::OptimizationRun::start_wave() {
   wave_ = std::make_unique<sim::RolloutWave>(evaluator_, virtual_video_, *rollout_abr_,
                                              exit_eval_, *bandwidth_model_, current_buffer_,
                                              prune_bound(), rng_);
@@ -216,20 +215,40 @@ bool LingXi::OptimizationRun::step() {
     finish();
     return true;
   }
+  if (pending_fit_) {
+    // A driver that ignores fit parking keeps making progress: run the
+    // parked fit inline, exactly where the un-parked path would have.
+    run_fit();
+  }
   for (;;) {
+    if (done_) return true;
     if (wave_ != nullptr) {
       if (!wave_->step()) return false;  // parked on predictor queries
-      const sim::MonteCarloResult mc = wave_->take_result();
+      pending_mc_ = wave_->take_result();
       wave_.reset();
       rollout_abr_.reset();
-      finish_round(mc);
-      ++round_;
+      pending_fit_ = true;
+      if (fit_parking_) return false;  // parked on the round-boundary fit
+      run_fit();
+      continue;
     }
-    if (round_ >= rounds_) {
-      finish();
-      return true;
-    }
-    begin_round();
+    // A pooled run_fit() already drew the next candidate; otherwise (first
+    // round) draw it here. Wave construction always happens on this thread:
+    // the RolloutWave constructor touches the shared shard predictor.
+    if (rollout_abr_ == nullptr) begin_candidate();
+    start_wave();
+  }
+}
+
+void LingXi::OptimizationRun::run_fit() {
+  LINGXI_ASSERT(pending_fit_);
+  pending_fit_ = false;
+  finish_round(pending_mc_);
+  ++round_;
+  if (round_ >= rounds_) {
+    finish();
+  } else {
+    begin_candidate();
   }
 }
 

@@ -1,7 +1,18 @@
 #include "nn/dense.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
+
+#if defined(__GNUC__) && !defined(LINGXI_NO_DENSE_SIMD)
+#define LINGXI_DENSE_SIMD 1
+#if defined(__x86_64__)
+#define LINGXI_DENSE_X86 1
+#include <immintrin.h>
+#endif
+#endif
 
 namespace lingxi::nn {
 
@@ -50,8 +61,7 @@ void dense_block(const double* w, const Tensor& bias, std::size_t in_features,
   }
 }
 
-#if defined(__GNUC__) && !defined(LINGXI_NO_DENSE_SIMD)
-#define LINGXI_DENSE_SIMD 1
+#ifdef LINGXI_DENSE_SIMD
 // Explicitly vectorized full block: SIMD lanes run ACROSS batch rows, never
 // along the reduction, so each lane performs exactly the scalar kernel's
 // accumulation sequence for its row — same adds, same order, bitwise parity
@@ -103,14 +113,140 @@ void dense_block8_simd(const double* w, const Tensor& bias, std::size_t in_featu
 }
 #endif  // LINGXI_DENSE_SIMD
 
+#ifdef LINGXI_DENSE_X86
+// Wider per-ISA variants of the panel kernel, runtime-dispatched (the build
+// stays baseline x86-64; the target attribute lets each function use its
+// ISA). Same contract as dense_block8_simd: lanes across rows, each lane the
+// exact scalar accumulation sequence. Two hazards are handled explicitly:
+//  * fp contraction — this file is compiled with -ffp-contract=off, so the
+//    mul-then-add below can never fuse into an FMA (AVX-512F brings FMA with
+//    it; a fused step skips the intermediate rounding the scalar path takes
+//    and would break bitwise parity);
+//  * partial blocks — the panel is padded with zero lanes up to 8 rows, the
+//    padded lanes compute bias + 0*w garbage-free, and only the first `bn`
+//    lanes are stored. That lets blocks of 2..7 rows ride the wide kernels,
+//    which the scalar path serviced one unrolled chain per row.
+__attribute__((target("avx2"))) void dense_panel_avx2(
+    const double* w, const Tensor& bias, std::size_t in_features,
+    std::size_t out_features, const double* panel, std::size_t bn,
+    double* const* dst) {
+  for (std::size_t o = 0; o < out_features; ++o) {
+    const double* wrow = w + o * in_features;
+    const __m256d init = _mm256_set1_pd(bias[o]);
+    __m256d acc0 = init;
+    __m256d acc1 = init;
+    for (std::size_t i = 0; i < in_features; ++i) {
+      const __m256d wv = _mm256_set1_pd(wrow[i]);
+      const double* p = panel + 8 * i;
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(wv, _mm256_loadu_pd(p)));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(wv, _mm256_loadu_pd(p + 4)));
+    }
+    double lanes[8];
+    _mm256_storeu_pd(lanes, acc0);
+    _mm256_storeu_pd(lanes + 4, acc1);
+    for (std::size_t j = 0; j < bn; ++j) dst[j][o] = lanes[j];
+  }
+}
+
+__attribute__((target("avx512f"))) void dense_panel_avx512(
+    const double* w, const Tensor& bias, std::size_t in_features,
+    std::size_t out_features, const double* panel, std::size_t bn,
+    double* const* dst) {
+  for (std::size_t o = 0; o < out_features; ++o) {
+    const double* wrow = w + o * in_features;
+    __m512d acc = _mm512_set1_pd(bias[o]);
+    for (std::size_t i = 0; i < in_features; ++i) {
+      const __m512d wv = _mm512_set1_pd(wrow[i]);
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(wv, _mm512_loadu_pd(panel + 8 * i)));
+    }
+    double lanes[8];
+    _mm512_storeu_pd(lanes, acc);
+    for (std::size_t j = 0; j < bn; ++j) dst[j][o] = lanes[j];
+  }
+}
+#endif  // LINGXI_DENSE_X86
+
+// Active ISA: -1 = undecided (read LINGXI_DENSE_ISA on first use).
+std::atomic<int> g_dense_isa{-1};
+
+DenseIsa clamp_to_supported(DenseIsa want) noexcept {
+  int v = static_cast<int>(want);
+  while (v > 0 && !dense_isa_supported(static_cast<DenseIsa>(v))) --v;
+  return static_cast<DenseIsa>(v);
+}
+
 }  // namespace
+
+const char* dense_isa_name(DenseIsa isa) noexcept {
+  switch (isa) {
+    case DenseIsa::kScalar: return "scalar";
+    case DenseIsa::kSse2: return "sse2";
+    case DenseIsa::kAvx2: return "avx2";
+    case DenseIsa::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool dense_isa_supported(DenseIsa isa) noexcept {
+  switch (isa) {
+    case DenseIsa::kScalar:
+      return true;
+    case DenseIsa::kSse2:
+#ifdef LINGXI_DENSE_SIMD
+      return true;
+#else
+      return false;
+#endif
+    case DenseIsa::kAvx2:
+#ifdef LINGXI_DENSE_X86
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case DenseIsa::kAvx512:
+#ifdef LINGXI_DENSE_X86
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+DenseIsa dense_isa() noexcept {
+  int v = g_dense_isa.load(std::memory_order_relaxed);
+  if (v < 0) {
+    // AVX2 by default, not AVX-512: 512-bit ops trigger frequency licensing /
+    // port splitting on many server parts, and the zmm variant measures
+    // ~30% slower than the ymm one here (bench_micro per-ISA sections).
+    // LINGXI_DENSE_ISA=avx512 opts in where the hardware likes it.
+    DenseIsa want = DenseIsa::kAvx2;
+    if (const char* e = std::getenv("LINGXI_DENSE_ISA"); e != nullptr && *e != '\0') {
+      if (std::strcmp(e, "scalar") == 0) want = DenseIsa::kScalar;
+      else if (std::strcmp(e, "sse2") == 0) want = DenseIsa::kSse2;
+      else if (std::strcmp(e, "avx2") == 0) want = DenseIsa::kAvx2;
+      else if (std::strcmp(e, "avx512") == 0) want = DenseIsa::kAvx512;
+      // Unrecognized values fall through to the widest supported ISA.
+    }
+    v = static_cast<int>(clamp_to_supported(want));
+    g_dense_isa.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<DenseIsa>(v);
+}
+
+DenseIsa set_dense_isa_for_testing(DenseIsa isa) noexcept {
+  const DenseIsa got = clamp_to_supported(isa);
+  g_dense_isa.store(static_cast<int>(got), std::memory_order_relaxed);
+  return got;
+}
 
 void Dense::forward_batch(ConstBatchView in, BatchView out) const {
   LINGXI_ASSERT(in.rows == out.rows);
   LINGXI_ASSERT(in.cols == in_ && out.cols == out_);
   constexpr std::size_t kBlock = 8;
+  [[maybe_unused]] const DenseIsa isa = dense_isa();
 #ifdef LINGXI_DENSE_SIMD
-  // Interleaved row panel for the vector kernel, reused across blocks (and
+  // Interleaved row panel for the vector kernels, reused across blocks (and
   // calls) so a lockstep Monte Carlo run allocates it once per thread.
   static thread_local std::vector<double> panel;
   panel.resize(kBlock * in_);
@@ -124,6 +260,26 @@ void Dense::forward_batch(ConstBatchView in, BatchView out) const {
       rows[j] = in.row(b0 + j);
       dst[j] = out.row(b0 + j);
     }
+#ifdef LINGXI_DENSE_X86
+    // The wide kernels take any block of >= 2 rows (zero-padded lanes);
+    // single rows stay on the scalar chain, where the pack cost cannot be
+    // amortized on small weight matrices like the 64x2 head.
+    if (isa >= DenseIsa::kAvx2 && bn >= 2) {
+      for (std::size_t i = 0; i < in_; ++i) {
+        double* p = panel.data() + 8 * i;
+        std::size_t j = 0;
+        for (; j < bn; ++j) p[j] = rows[j][i];
+        for (; j < kBlock; ++j) p[j] = 0.0;
+      }
+      if (isa == DenseIsa::kAvx512) {
+        dense_panel_avx512(w_.data(), b_, in_, out_, panel.data(), bn, dst);
+      } else {
+        dense_panel_avx2(w_.data(), b_, in_, out_, panel.data(), bn, dst);
+      }
+      b0 += bn;
+      continue;
+    }
+#endif
     switch (bn) {
       case 1: dense_block<1>(w_.data(), b_, in_, out_, rows, dst); break;
       case 2: dense_block<2>(w_.data(), b_, in_, out_, rows, dst); break;
@@ -134,13 +290,15 @@ void Dense::forward_batch(ConstBatchView in, BatchView out) const {
       case 7: dense_block<7>(w_.data(), b_, in_, out_, rows, dst); break;
       default:
 #ifdef LINGXI_DENSE_SIMD
-        for (std::size_t i = 0; i < in_; ++i) {
-          for (std::size_t j = 0; j < kBlock; ++j) panel[8 * i + j] = rows[j][i];
+        if (isa >= DenseIsa::kSse2) {
+          for (std::size_t i = 0; i < in_; ++i) {
+            for (std::size_t j = 0; j < kBlock; ++j) panel[8 * i + j] = rows[j][i];
+          }
+          dense_block8_simd(w_.data(), b_, in_, out_, panel.data(), dst);
+          break;
         }
-        dense_block8_simd(w_.data(), b_, in_, out_, panel.data(), dst);
-#else
-        dense_block<8>(w_.data(), b_, in_, out_, rows, dst);
 #endif
+        dense_block<8>(w_.data(), b_, in_, out_, rows, dst);
         break;
     }
     b0 += bn;

@@ -16,6 +16,7 @@
 #include "obs/sampler.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
+#include "sim/optimizer_pool.h"
 #include "telemetry/sink.h"
 #include "user/data_driven.h"
 
@@ -345,13 +346,17 @@ FleetAccumulator FleetRunner::run_days_leg(std::uint64_t seed, std::size_t first
 
   std::atomic<std::size_t> next_shard{0};
   const auto worker = [&] {
+    // One fit pool per worker, shared across its shards, so the fit workers
+    // are spawned once per leg rather than once per shard. A zero-worker
+    // pool runs the fits inline on this thread.
+    OptimizerPool fit_pool(config_.optimizer_threads);
     for (;;) {
       const std::size_t shard = next_shard.fetch_add(1, std::memory_order_relaxed);
       if (shard >= shard_count) return;
       const std::size_t first = shard * config_.users_per_shard;
       const std::size_t last = std::min(first + config_.users_per_shard, config_.users);
       ShardScheduler scheduler(*this, world, seed, first, last, shards[shard],
-                               first_day, last_day, resume, out_state);
+                               first_day, last_day, resume, out_state, &fit_pool);
       scheduler.run();
       shard_stats[shard] = scheduler.stats();
     }
@@ -401,11 +406,13 @@ class ShardScheduler::UserTask {
   /// user; the task continues bitwise identically to one that simulated the
   /// earlier days itself (static context re-derives from (seed, user)
   /// streams, evolving state restores from `resume`).
+  /// With `park_fits`, optimizations park at round boundaries so the
+  /// cohort schedule can pool the fits (see parked_fit()).
   UserTask(const FleetRunner& runner, const FleetWorld& world, std::uint64_t seed,
            std::size_t user_index, FleetAccumulator& acc,
            const predictor::HybridExitPredictor* shard_predictor,
            predictor::ExitQueryPool* pool, std::size_t first_day, std::size_t stop_day,
-           const UserFleetState* resume)
+           const UserFleetState* resume, bool park_fits = false)
       : runner_(runner),
         cfg_(runner.config()),
         world_(world),
@@ -416,7 +423,8 @@ class ShardScheduler::UserTask {
         pool_(pool),
         scenario_(runner.config().scenario.empty() ? nullptr : &runner.config().scenario),
         day_(first_day),
-        stop_day_(stop_day) {
+        stop_day_(stop_day),
+        park_fits_(park_fits) {
     if (scenario_ != nullptr) {
       // A churn scheduled exactly at first_day belongs to THIS leg (it rolls
       // over in begin_day), so construction rebuilds the generation that was
@@ -465,6 +473,14 @@ class ShardScheduler::UserTask {
     // day-boundary leg exports state instead (export_state).
     if (stop_day_ == cfg_.days) finish_user();
     return true;
+  }
+
+  /// Non-null while the task is parked on a round-boundary optimizer fit
+  /// (never while parked on predictor queries): the run whose run_fit() the
+  /// scheduler must invoke — possibly from a pool worker — before the next
+  /// step(). Meaningful only for park_fits tasks.
+  core::LingXi::OptimizationRun* parked_fit() const noexcept {
+    return opt_ != nullptr && opt_->needs_fit() ? opt_.get() : nullptr;
   }
 
   /// Day-boundary state for a later resume; call only after step() returned
@@ -604,6 +620,7 @@ class ShardScheduler::UserTask {
             result_.segments.empty() ? 0.0 : result_.segments.back().buffer_after;
         opt_ = lingxi_->begin_optimization(*abr_, buffer_seed, session_rng_, pool_,
                                            static_cast<std::uint32_t>(user_));
+        if (opt_ != nullptr && park_fits_) opt_->enable_fit_parking();
       }
     }
   }
@@ -704,6 +721,7 @@ class ShardScheduler::UserTask {
   double video_duration_ = 0.0;
   SessionResult result_;
   bool measured_ = false;
+  bool park_fits_ = false;
   std::unique_ptr<core::LingXi::OptimizationRun> opt_;
 };
 
@@ -711,7 +729,8 @@ ShardScheduler::ShardScheduler(const FleetRunner& runner, const FleetWorld& worl
                                std::uint64_t seed, std::size_t first_user,
                                std::size_t last_user, FleetAccumulator& acc,
                                std::size_t first_day, std::size_t last_day,
-                               const FleetDayState* resume, FleetDayState* out_state)
+                               const FleetDayState* resume, FleetDayState* out_state,
+                               OptimizerPool* fit_pool)
     : runner_(runner),
       world_(world),
       seed_(seed),
@@ -722,7 +741,8 @@ ShardScheduler::ShardScheduler(const FleetRunner& runner, const FleetWorld& worl
       last_day_(last_day),
       resume_(resume),
       out_state_(out_state),
-      pool_(std::make_unique<predictor::ExitQueryPool>()) {
+      pool_(std::make_unique<predictor::ExitQueryPool>()),
+      fit_pool_(fit_pool) {
   LINGXI_ASSERT(first_user_ <= last_user_);
   LINGXI_ASSERT(first_day_ < last_day_);
 }
@@ -780,18 +800,24 @@ void ShardScheduler::run_cohort() {
     tasks.push_back(std::make_unique<UserTask>(
         runner_, world_, seed_, u, acc_,
         shard_predictor ? &*shard_predictor : nullptr, pool_.get(), first_day_,
-        last_day_, resume_ != nullptr ? &resume_->users[u] : nullptr));
+        last_day_, resume_ != nullptr ? &resume_->users[u] : nullptr,
+        /*park_fits=*/true));
   }
 
   // Live tasks in ascending user order. Each wave steps every live task
-  // until it parks or completes; one pooled flush then serves all parked
-  // queries, and the next wave resumes the parked tasks.
+  // until it parks or completes; the wave's parked optimizer fits then run
+  // as one pooled batch, one pooled flush serves all parked queries, and
+  // the next wave resumes the parked tasks. The fit batch is determined by
+  // task order alone and every fit touches only its own user's state, so
+  // neither the pooling nor the worker count can change any result.
   std::vector<std::size_t> live;
   live.reserve(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) live.push_back(i);
   std::vector<std::size_t> parked;
+  std::vector<core::LingXi::OptimizationRun*> fits;
   while (!live.empty()) {
     parked.clear();
+    fits.clear();
     for (const std::size_t i : live) {
       if (tasks[i]->step()) {
         if (out_state_ != nullptr) {
@@ -800,9 +826,25 @@ void ShardScheduler::run_cohort() {
         tasks[i].reset();  // free completed per-user state before the shard ends
       } else {
         parked.push_back(i);
+        if (core::LingXi::OptimizationRun* fit = tasks[i]->parked_fit()) {
+          fits.push_back(fit);
+        }
       }
     }
     live = parked;
+    if (!fits.empty()) {
+      if (obs::Registry* reg = obs::Registry::active()) {
+        reg->observe("sim.wave.pooled_fits", obs::HistogramSpec::rows(),
+                     static_cast<double>(fits.size()));
+      }
+      OBS_SPAN("wave.fits");
+      OBS_TIMED("sim.wave.fits_us");
+      if (fit_pool_ != nullptr) {
+        fit_pool_->run(fits.size(), [&](std::size_t i) { fits[i]->run_fit(); });
+      } else {
+        for (core::LingXi::OptimizationRun* fit : fits) fit->run_fit();
+      }
+    }
     if (!live.empty()) {
       if (obs::Registry* reg = obs::Registry::active()) {
         reg->add("sim.wave.count");

@@ -59,6 +59,8 @@ class ExitQueryPool;
 
 namespace lingxi::sim {
 
+class OptimizerPool;
+
 /// Immutable config-derived simulation context shared (read-only) by all
 /// fleet workers.
 struct FleetWorld {
@@ -237,6 +239,14 @@ struct FleetConfig {
   /// bitwise-identical fleet checksum (the scalar/batched parity contract,
   /// asserted by tests/test_properties.cpp).
   std::size_t predictor_batch = 0;
+  /// Extra worker threads (per shard worker) for the round-boundary
+  /// optimizer fits — GP observe plus the next acquisition sweep — that
+  /// kCohortWaves parks at wave boundaries and runs as one pooled batch.
+  /// 0 runs the fits inline on the shard's own thread. Purely a scheduling
+  /// knob: each fit touches only its user's private state, so any value
+  /// yields bitwise-identical results (asserted by test_properties.cpp).
+  /// Ignored under kPerUser, whose fits were never parked.
+  std::size_t optimizer_threads = 0;
   /// Lognormal sigma jittering each session's mean bandwidth around the
   /// user's profile (cellular commute vs home Wi-Fi); 0 disables.
   double session_jitter_sigma = 0.0;
@@ -397,10 +407,13 @@ class ShardScheduler {
   /// `resume` / `out_state`, when non-null, are the whole-fleet day-boundary
   /// states (indexed by absolute user index) this shard restores from /
   /// exports into; the scheduler touches only its own users' entries.
+  /// `fit_pool`, when non-null, runs the cohort waves' parked optimizer
+  /// fits (shared across the worker's shards; may be a zero-worker pool).
   ShardScheduler(const FleetRunner& runner, const FleetWorld& world, std::uint64_t seed,
                  std::size_t first_user, std::size_t last_user, FleetAccumulator& acc,
                  std::size_t first_day, std::size_t last_day,
-                 const FleetDayState* resume, FleetDayState* out_state);
+                 const FleetDayState* resume, FleetDayState* out_state,
+                 OptimizerPool* fit_pool = nullptr);
   ~ShardScheduler();
   ShardScheduler(const ShardScheduler&) = delete;
   ShardScheduler& operator=(const ShardScheduler&) = delete;
@@ -427,6 +440,7 @@ class ShardScheduler {
   const FleetDayState* resume_;
   FleetDayState* out_state_;
   std::unique_ptr<predictor::ExitQueryPool> pool_;
+  OptimizerPool* fit_pool_;  ///< not owned; may be null (fits run inline)
 };
 
 }  // namespace lingxi::sim

@@ -1,0 +1,90 @@
+#include "sim/optimizer_pool.h"
+
+#include "common/assert.h"
+
+namespace lingxi::sim {
+
+OptimizerPool::OptimizerPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+OptimizerPool::~OptimizerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::size_t OptimizerPool::drain(Batch& batch) {
+  std::size_t ran = 0;
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) return ran;
+    (*batch.fn)(i);
+    ++ran;
+  }
+}
+
+void OptimizerPool::run(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->count = count;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    LINGXI_ASSERT(batch_ == nullptr);  // not reentrant
+    batch_ = batch;
+  }
+  work_cv_.notify_all();
+
+  const std::size_t ran = drain(*batch);
+  const std::size_t done =
+      batch->done.fetch_add(ran, std::memory_order_acq_rel) + ran;
+  if (done >= count) {
+    // Everything finished before any worker needed to report back; the
+    // publication slot may still hold the batch if no worker ever woke.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (batch_ == batch) batch_.reset();
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return batch->done.load(std::memory_order_acquire) >= count; });
+}
+
+void OptimizerPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || batch_ != nullptr; });
+      if (shutdown_) return;
+      batch = batch_;
+      // Claim eagerly: if the batch is already exhausted, unpublish it so
+      // the next run() can start and this worker goes back to sleep.
+      if (batch->next.load(std::memory_order_relaxed) >= batch->count) {
+        if (batch_ == batch) batch_.reset();
+        continue;
+      }
+    }
+    const std::size_t ran = drain(*batch);
+    const std::size_t done =
+        batch->done.fetch_add(ran, std::memory_order_acq_rel) + ran;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (batch_ == batch) batch_.reset();
+    }
+    if (done >= batch->count) done_cv_.notify_all();
+  }
+}
+
+}  // namespace lingxi::sim

@@ -119,6 +119,56 @@ TEST(DenseBatch, SimdPanelKernelStridedViews) {
   }
 }
 
+TEST(DenseBatch, ForcedIsaBitwiseParity) {
+  // Every dispatchable ISA must produce byte-identical outputs: lanes run
+  // across batch rows, never along the reduction, so changing the vector
+  // width changes nothing about any row's accumulation order. Sweeps every
+  // supported ISA (skipping unsupported ones) over batch sizes covering the
+  // scalar path, padded partial panels (2..7 rows) and full 8-row panels,
+  // then restores the dispatch default.
+  const nn::DenseIsa before = nn::dense_isa();
+  Rng rng(91);
+  constexpr std::size_t kIn = 160, kOut = 17;
+  nn::Dense layer(kIn, kOut, rng);
+  for (const std::size_t batch : {1, 2, 5, 8, 9, 24, 63}) {
+    const std::vector<double> in = random_values(batch * kIn, rng);
+    ASSERT_EQ(nn::set_dense_isa_for_testing(nn::DenseIsa::kScalar),
+              nn::DenseIsa::kScalar);
+    std::vector<double> want(batch * kOut, -1.0);
+    layer.forward_batch({in.data(), batch, kIn}, {want.data(), batch, kOut});
+    for (const nn::DenseIsa isa : {nn::DenseIsa::kSse2, nn::DenseIsa::kAvx2,
+                                   nn::DenseIsa::kAvx512}) {
+      if (!nn::dense_isa_supported(isa)) continue;
+      ASSERT_EQ(nn::set_dense_isa_for_testing(isa), isa);
+      std::vector<double> got(batch * kOut, -2.0);
+      layer.forward_batch({in.data(), batch, kIn}, {got.data(), batch, kOut});
+      for (std::size_t i = 0; i < batch * kOut; ++i) {
+        ASSERT_EQ(got[i], want[i]) << nn::dense_isa_name(isa) << " batch " << batch
+                                   << " element " << i;
+      }
+    }
+  }
+  nn::set_dense_isa_for_testing(before);
+}
+
+TEST(DenseIsa, ClampsToSupportAndReportsNames) {
+  const nn::DenseIsa before = nn::dense_isa();
+  EXPECT_STREQ(nn::dense_isa_name(nn::DenseIsa::kScalar), "scalar");
+  EXPECT_STREQ(nn::dense_isa_name(nn::DenseIsa::kSse2), "sse2");
+  EXPECT_STREQ(nn::dense_isa_name(nn::DenseIsa::kAvx2), "avx2");
+  EXPECT_STREQ(nn::dense_isa_name(nn::DenseIsa::kAvx512), "avx512");
+  EXPECT_TRUE(nn::dense_isa_supported(nn::DenseIsa::kScalar));
+  // Requesting any ISA yields a supported one no wider than the request.
+  for (const nn::DenseIsa isa : {nn::DenseIsa::kScalar, nn::DenseIsa::kSse2,
+                                 nn::DenseIsa::kAvx2, nn::DenseIsa::kAvx512}) {
+    const nn::DenseIsa got = nn::set_dense_isa_for_testing(isa);
+    EXPECT_TRUE(nn::dense_isa_supported(got));
+    EXPECT_LE(static_cast<int>(got), static_cast<int>(isa));
+    EXPECT_EQ(nn::dense_isa(), got);
+  }
+  nn::set_dense_isa_for_testing(before);
+}
+
 TEST(Conv1DBatch, BitwiseParityAcrossBatchSizes) {
   Rng rng(17);
   constexpr std::size_t kInCh = 2, kOutCh = 5, kKernel = 3, kLen = 10;
