@@ -72,7 +72,8 @@ void ablate_pruning(const bench::TrainedPredictor& predictor) {
     cfg.monte_carlo.samples = 16;
     cfg.monte_carlo.enable_pruning = pruning;
 
-    core::LingXi lingxi(cfg, predictor.make(), trace::BitrateLadder::default_ladder());
+    const auto lingxi_predictor = predictor.make();
+    core::LingXi lingxi(cfg, lingxi_predictor, trace::BitrateLadder::default_ladder());
     lingxi.begin_session();
     for (int i = 0; i < 5; ++i) {
       sim::SegmentRecord seg;

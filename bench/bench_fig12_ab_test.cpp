@@ -19,6 +19,7 @@
 // Usage: bench_fig12_ab_test [--users N] [--days N] [--sessions N]
 //                            [--archive-dir PATH] [--json PATH]
 //                            [--metrics-json PATH] [--trace-out PATH]
+//                            [--timeline-out PATH] [--slo SPEC]...
 //
 // --metrics-json dumps the obs registry (both arms' counters and timing
 // histograms) and --trace-out a Chrome trace_event JSON of the instrumented
@@ -55,6 +56,8 @@ struct Args {
   std::string json_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string timeline_path;
+  std::vector<std::string> slo_specs;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -81,6 +84,10 @@ Args parse_args(int argc, char** argv) {
       args.metrics_path = next();
     } else if (std::strcmp(argv[i], "--trace-out") == 0) {
       args.trace_path = next();
+    } else if (std::strcmp(argv[i], "--timeline-out") == 0) {
+      args.timeline_path = next();
+    } else if (std::strcmp(argv[i], "--slo") == 0) {
+      args.slo_specs.emplace_back(next());
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       std::exit(2);
@@ -161,7 +168,10 @@ ArmResult run_arm(const sim::FleetConfig& base, bool treatment,
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
-  const bench::ObsScope obs(args.metrics_path, args.trace_path);
+  std::vector<obs::SloRule> slo_rules;
+  if (!bench::parse_slo_flags(args.slo_specs, slo_rules)) return 2;
+  const bench::ObsScope obs(args.metrics_path, args.trace_path, args.timeline_path,
+                            std::move(slo_rules));
 
   std::printf("training shared exit-rate predictor...\n");
   const auto predictor = bench::train_predictor(808, 0.7);
@@ -266,5 +276,7 @@ int main(int argc, char** argv) {
   }
 
   if (!obs.write()) return 1;
-  return all_match ? 0 : 1;
+  if (!all_match) return 1;
+  if (!obs.slo_ok()) return 3;
+  return 0;
 }

@@ -25,8 +25,10 @@
 // --json PATH (machine-readable summary), --smoke (shrunk configs + {1,2}
 // threads for CI), --metrics-json PATH (obs registry snapshot across all
 // sections), --trace-out PATH (Chrome trace_event JSON of the instrumented
-// spans). The dense kernel ISA follows nn::dense_isa() and is reported in
-// the summary; force it with LINGXI_DENSE_ISA.
+// spans), --timeline-out PATH (per-day health timeline across all sections),
+// --slo SPEC (repeatable kind:metric:threshold[:name] SLO rules; a fired
+// rule exits 3). The dense kernel ISA follows nn::dense_isa() and is
+// reported in the summary; force it with LINGXI_DENSE_ISA.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -135,6 +137,8 @@ int main(int argc, char** argv) {
   const char* json_path = nullptr;
   std::string metrics_path;
   std::string trace_path;
+  std::string timeline_path;
+  std::vector<std::string> slo_specs;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
@@ -149,17 +153,24 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeline-out") == 0 && i + 1 < argc) {
+      timeline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--slo") == 0 && i + 1 < argc) {
+      slo_specs.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--batch N] [--users-per-shard N] [--opt-threads N] "
-                   "[--json PATH] [--metrics-json PATH] [--trace-out PATH] [--smoke]\n",
+                   "[--json PATH] [--metrics-json PATH] [--trace-out PATH] "
+                   "[--timeline-out PATH] [--slo SPEC] [--smoke]\n",
                    argv[0]);
       return 2;
     }
   }
-  const bench::ObsScope obs(metrics_path, trace_path);
+  std::vector<obs::SloRule> slo_rules;
+  if (!bench::parse_slo_flags(slo_specs, slo_rules)) return 2;
+  const bench::ObsScope obs(metrics_path, trace_path, timeline_path, std::move(slo_rules));
   const std::vector<std::size_t> thread_counts =
       smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
 
@@ -315,5 +326,6 @@ int main(int argc, char** argv) {
       !scheduler_parity) {
     return 1;
   }
+  if (!obs.slo_ok()) return 3;
   return 0;
 }

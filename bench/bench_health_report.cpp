@@ -1,0 +1,98 @@
+// Timeline analytics CLI: summarize one obs timeline (day-over-day metric
+// trajectories, bucket-interpolated latency quantiles, alert listing) or
+// compare two timelines from two builds.
+//
+// Usage:
+//   bench_health_report --timeline <path> [--json <out.json>]
+//   bench_health_report --timeline <base> --compare <candidate>
+//       [--threshold 0.10]
+//
+// Exit codes: 0 clean, 1 the summarized timeline contains alerts (or the
+// comparison flags a moved metric), 2 bad usage or a corrupt/unreadable
+// timeline.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analytics/health_report.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_health_report --timeline <path> [--json <out.json>] "
+               "[--compare <path> [--threshold <frac>]]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace analytics = lingxi::analytics;
+
+  std::string timeline_path;
+  std::string compare_path;
+  std::string json_path;
+  double threshold = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--timeline") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      timeline_path = v;
+    } else if (arg == "--compare") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      compare_path = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      json_path = v;
+    } else if (arg == "--threshold") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      threshold = std::atof(v);
+    } else {
+      std::fprintf(stderr, "bench_health_report: unknown flag '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (timeline_path.empty()) return usage();
+
+  auto summary = analytics::summarize_timeline(timeline_path);
+  if (!summary) {
+    std::fprintf(stderr, "bench_health_report: %s\n", summary.error().message.c_str());
+    return 2;
+  }
+
+  if (!compare_path.empty()) {
+    auto candidate = analytics::summarize_timeline(compare_path);
+    if (!candidate) {
+      std::fprintf(stderr, "bench_health_report: %s\n", candidate.error().message.c_str());
+      return 2;
+    }
+    const analytics::TimelineComparison cmp =
+        analytics::compare_timelines(*summary, *candidate, threshold);
+    cmp.write_text(std::cout);
+    return cmp.clean() ? 0 : 1;
+  }
+
+  summary->write_text(std::cout);
+  if (!json_path.empty()) {
+    std::ofstream os(json_path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "bench_health_report: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    summary->write_json(os);
+    os.flush();
+    if (!os) {
+      std::fprintf(stderr, "bench_health_report: write failed for %s\n", json_path.c_str());
+      return 2;
+    }
+    std::printf("health report json written to %s\n", json_path.c_str());
+  }
+  return summary->alerts.empty() ? 0 : 1;
+}

@@ -22,6 +22,9 @@
 //   --smoke                          64-user / 6-day fleet, cheap training
 //   --json PATH                      machine-readable summary + report
 //   --metrics-json PATH              obs registry snapshot (bench_util)
+//   --timeline-out PATH              per-day health timeline (obs/timeline)
+//   --slo SPEC                       kind:metric:threshold[:name] SLO rule,
+//                                    repeatable; a fired rule exits 3
 //   --archive-dir PATH               keep the scripted reference archive
 //   --root PATH                      checkpoint root for the kill leg
 #include <sys/types.h>
@@ -42,6 +45,7 @@
 #include "abr/hyb.h"
 #include "analytics/scenario_report.h"
 #include "bench_util.h"
+#include "obs/timeline.h"
 #include "scenario/scenario.h"
 #include "sim/fleet_runner.h"
 #include "snapshot/checkpoint.h"
@@ -133,6 +137,8 @@ int main(int argc, char** argv) {
   bool smoke = false;
   const char* json_path = nullptr;
   std::string metrics_path;
+  std::string timeline_path;
+  std::vector<std::string> slo_specs;
   std::string archive_dir;
   std::string root = "scenario-checkpoints";
   for (int i = 1; i < argc; ++i) {
@@ -148,6 +154,10 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeline-out") == 0 && i + 1 < argc) {
+      timeline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--slo") == 0 && i + 1 < argc) {
+      slo_specs.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--archive-dir") == 0 && i + 1 < argc) {
       archive_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
@@ -155,8 +165,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--users N] [--days N] [--threads N] [--smoke]\n"
-                   "       [--json PATH] [--metrics-json PATH] [--archive-dir PATH]\n"
-                   "       [--root PATH]\n",
+                   "       [--json PATH] [--metrics-json PATH] [--timeline-out PATH]\n"
+                   "       [--slo SPEC] [--archive-dir PATH] [--root PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -170,7 +180,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const bench::ObsScope obs(metrics_path, "");
+  std::vector<obs::SloRule> slo_rules;
+  if (!bench::parse_slo_flags(slo_specs, slo_rules)) return 2;
+  const bench::ObsScope obs(metrics_path, "", timeline_path, std::move(slo_rules));
 
   const scenario::ScenarioScript script = scenario::canonical_script(users, days);
   if (const Status valid = script.validate(users, days); !valid) {
@@ -257,6 +269,11 @@ int main(int argc, char** argv) {
   if (pid == 0) {
     // Child: checkpoint every day; die inside the commit whose staging
     // covers days [0, churn_day) — the resumed leg must replay the churn.
+    // The child inherits the parent's installed TimelineWriter along with
+    // its open descriptor and shared file offset; uninstall it so the
+    // doomed leg's day records (and its torn final write) never interleave
+    // with the parent's timeline frames.
+    obs::TimelineWriter::install(nullptr);
     g_kill_at_save = static_cast<int>(churn_day);
     g_saves_started = 0;
     snapshot::set_save_commit_hook(&kill_hook);
@@ -395,5 +412,7 @@ int main(int argc, char** argv) {
   if (!obs.write()) return 2;
 
   std::printf("\nall bitwise checks passed: %s\n", verdict(all_ok));
-  return all_ok ? 0 : 1;
+  if (!all_ok) return 1;
+  if (!obs.slo_ok()) return 3;
+  return 0;
 }

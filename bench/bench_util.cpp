@@ -77,8 +77,14 @@ TrainedPredictor train_predictor_for_world(
 }
 
 ObsScope::ObsScope(std::string metrics_path, std::string trace_path)
-    : metrics_path_(std::move(metrics_path)), trace_path_(std::move(trace_path)) {
-  if (!metrics_path_.empty()) {
+    : ObsScope(std::move(metrics_path), std::move(trace_path), {}, {}) {}
+
+ObsScope::ObsScope(std::string metrics_path, std::string trace_path,
+                   std::string timeline_path, std::vector<obs::SloRule> slo_rules)
+    : metrics_path_(std::move(metrics_path)),
+      trace_path_(std::move(trace_path)),
+      timeline_path_(std::move(timeline_path)) {
+  if (!metrics_path_.empty() || !timeline_path_.empty() || !slo_rules.empty()) {
     registry_ = std::make_unique<obs::Registry>();
     obs::Registry::install(registry_.get());
   }
@@ -86,19 +92,30 @@ ObsScope::ObsScope(std::string metrics_path, std::string trace_path)
     tracer_ = std::make_unique<obs::Tracer>();
     obs::Tracer::install(tracer_.get());
   }
+  if (!timeline_path_.empty()) {
+    timeline_ = std::make_unique<obs::TimelineWriter>(timeline_path_);
+    obs::TimelineWriter::install(timeline_.get());
+  }
+  if (!slo_rules.empty()) {
+    monitor_ = std::make_unique<obs::HealthMonitor>(std::move(slo_rules));
+    obs::HealthMonitor::install(monitor_.get());
+  }
 }
 
 ObsScope::~ObsScope() {
   if (registry_) obs::Registry::install(nullptr);
   if (tracer_) obs::Tracer::install(nullptr);
+  if (timeline_) obs::TimelineWriter::install(nullptr);
+  if (monitor_) obs::HealthMonitor::install(nullptr);
 }
 
 bool ObsScope::write() const {
   bool ok = true;
-  if (registry_ && !registry_->write_json_file(metrics_path_)) {
+  if (registry_ && !metrics_path_.empty() &&
+      !registry_->write_json_file(metrics_path_)) {
     std::fprintf(stderr, "cannot write metrics json %s\n", metrics_path_.c_str());
     ok = false;
-  } else if (registry_) {
+  } else if (registry_ && !metrics_path_.empty()) {
     std::printf("metrics json written to %s\n", metrics_path_.c_str());
   }
   if (tracer_ && !tracer_->write_json_file(trace_path_)) {
@@ -107,7 +124,40 @@ bool ObsScope::write() const {
   } else if (tracer_) {
     std::printf("trace written to %s\n", trace_path_.c_str());
   }
+  if (timeline_) {
+    if (!timeline_->close().ok()) {
+      std::fprintf(stderr, "cannot write timeline %s: %s\n", timeline_path_.c_str(),
+                   timeline_->status().error().message.c_str());
+      ok = false;
+    } else {
+      std::printf("timeline written to %s (%llu day records)\n", timeline_path_.c_str(),
+                  static_cast<unsigned long long>(timeline_->days_written()));
+    }
+  }
   return ok;
+}
+
+bool ObsScope::slo_ok() const {
+  if (!monitor_) return true;
+  for (const obs::HealthAlert& alert : monitor_->alerts()) {
+    std::fprintf(stderr, "SLO violated on day %llu: [%s] %s\n",
+                 static_cast<unsigned long long>(alert.day), alert.rule.c_str(),
+                 alert.message.c_str());
+  }
+  return monitor_->healthy();
+}
+
+bool parse_slo_flags(const std::vector<std::string>& specs,
+                     std::vector<obs::SloRule>& out) {
+  for (const std::string& spec : specs) {
+    auto rule = obs::parse_slo_rule(spec);
+    if (!rule) {
+      std::fprintf(stderr, "%s\n", rule.error().message.c_str());
+      return false;
+    }
+    out.push_back(std::move(*rule));
+  }
+  return true;
 }
 
 void print_header(const std::string& title) {

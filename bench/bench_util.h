@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "predictor/dataset.h"
 #include "predictor/exit_net.h"
@@ -38,28 +40,44 @@ TrainedPredictor train_predictor_for_world(
     const trace::PopulationModel::Config& network,
     const trace::VideoGenerator::Config& video, std::uint64_t seed);
 
-/// The benches' --metrics-json / --trace-out flags: owns a registry and/or
-/// tracer (one per non-empty path) and installs them as the process-global
-/// sinks for the scope's lifetime; write() dumps the JSON files. With both
-/// paths empty the scope is a no-op and the instrumented code runs on the
-/// disabled (single-branch) path.
+/// The benches' --metrics-json / --trace-out / --timeline-out / --slo
+/// flags: owns a registry, tracer, timeline writer and health monitor (one
+/// per requested output) and installs them as the process-global sinks for
+/// the scope's lifetime; write() dumps the files. A timeline or SLO rules
+/// imply a registry even without --metrics-json (the health plane reads
+/// registry snapshots). With nothing requested the scope is a no-op and the
+/// instrumented code runs on the disabled (single-branch) path.
 class ObsScope {
  public:
   ObsScope(std::string metrics_path, std::string trace_path);
+  ObsScope(std::string metrics_path, std::string trace_path, std::string timeline_path,
+           std::vector<obs::SloRule> slo_rules);
   ~ObsScope();
   ObsScope(const ObsScope&) = delete;
   ObsScope& operator=(const ObsScope&) = delete;
 
-  /// Write whichever outputs were requested; false (with a stderr
-  /// diagnostic) if a file cannot be written.
+  /// Write whichever outputs were requested and close the timeline; false
+  /// (with a stderr diagnostic) if a file cannot be written.
   bool write() const;
+
+  /// True while no SLO rule has fired. Fired alerts are printed to stderr;
+  /// benches turn false into a non-zero exit (the watchdog contract).
+  bool slo_ok() const;
 
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  std::string timeline_path_;
   std::unique_ptr<obs::Registry> registry_;
   std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::TimelineWriter> timeline_;
+  std::unique_ptr<obs::HealthMonitor> monitor_;
 };
+
+/// Parse each `--slo` spec via obs::parse_slo_rule; on a malformed spec,
+/// print the diagnostic to stderr and return false.
+bool parse_slo_flags(const std::vector<std::string>& specs,
+                     std::vector<obs::SloRule>& out);
 
 /// Section header in bench output.
 void print_header(const std::string& title);

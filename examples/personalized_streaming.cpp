@@ -74,9 +74,11 @@ int main() {
   SimulatedUser users[2] = {{"stall-sensitive", sensitive, {}, nullptr},
                             {"stall-tolerant ", tolerant, {}, nullptr}};
   const auto ladder = trace::BitrateLadder::default_ladder();
+  // Both users borrow one predictor (LingXi never mutates it); it must
+  // outlive them.
+  const predictor::HybridExitPredictor shared_predictor(net, os_model);
   for (auto& u : users) {
-    u.lingxi = std::make_unique<core::LingXi>(
-        config, predictor::HybridExitPredictor(net, os_model), ladder);
+    u.lingxi = std::make_unique<core::LingXi>(config, shared_predictor, ladder);
   }
 
   const sim::SessionSimulator simulator({});

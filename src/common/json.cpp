@@ -1,0 +1,233 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace lingxi {
+
+bool JsonValue::as_bool() const {
+  LINGXI_ASSERT(is_bool());
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  LINGXI_ASSERT(is_number());
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  LINGXI_ASSERT(is_string());
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  LINGXI_ASSERT(is_array());
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  LINGXI_ASSERT(is_object());
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+const JsonValue* JsonValue::find_path(std::string_view dotted) const noexcept {
+  const JsonValue* node = this;
+  std::size_t start = 0;
+  while (node != nullptr && start <= dotted.size()) {
+    std::size_t dot = dotted.find('.', start);
+    std::string_view key =
+        dot == std::string_view::npos ? dotted.substr(start) : dotted.substr(start, dot - start);
+    node = node->find(key);
+    if (dot == std::string_view::npos) return node;
+    start = dot + 1;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over the raw text. Depth-limited so adversarial
+/// nesting fails cleanly instead of overflowing the stack.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  static constexpr int kMaxDepth = 128;
+
+  Error err(const std::string& what) const {
+    return Error::parse("json: " + what + " at byte " + std::to_string(pos));
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Expected<JsonValue> value(int depth) {
+    if (depth > kMaxDepth) return err("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return err("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') return object(depth);
+    if (c == '[') return array(depth);
+    if (c == '"') {
+      auto s = string();
+      if (!s) return s.error();
+      return JsonValue(std::move(*s));
+    }
+    if (consume_word("null")) return JsonValue();
+    if (consume_word("true")) return JsonValue(true);
+    if (consume_word("false")) return JsonValue(false);
+    if (c == '-' || (c >= '0' && c <= '9')) return number();
+    return err(std::string("unexpected character '") + c + "'");
+  }
+
+  Expected<JsonValue> number() {
+    double v = 0.0;
+    auto [end, ec] = std::from_chars(text.data() + pos, text.data() + text.size(), v);
+    if (ec != std::errc{} || end == text.data() + pos) return err("malformed number");
+    pos = static_cast<std::size_t>(end - text.data());
+    return JsonValue(v);
+  }
+
+  Expected<std::string> string() {
+    if (!consume('"')) return err("expected string");
+    std::string out;
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos >= text.size()) break;
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return err("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return err("malformed \\u escape");
+            }
+            pos += 4;
+            // Encode the code point as UTF-8 (surrogate pairs are passed
+            // through as their individual halves — the repo's writers never
+            // emit them).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return err(std::string("unknown escape '\\") + e + "'");
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    return err("unterminated string");
+  }
+
+  Expected<JsonValue> array(int depth) {
+    consume('[');
+    JsonValue::Array out;
+    skip_ws();
+    if (consume(']')) return JsonValue(std::move(out));
+    while (true) {
+      auto v = value(depth + 1);
+      if (!v) return v.error();
+      out.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) return JsonValue(std::move(out));
+      if (!consume(',')) return err("expected ',' or ']' in array");
+    }
+  }
+
+  Expected<JsonValue> object(int depth) {
+    consume('{');
+    JsonValue::Object out;
+    skip_ws();
+    if (consume('}')) return JsonValue(std::move(out));
+    while (true) {
+      skip_ws();
+      auto key = string();
+      if (!key) return key.error();
+      skip_ws();
+      if (!consume(':')) return err("expected ':' after object key");
+      auto v = value(depth + 1);
+      if (!v) return v.error();
+      out.insert_or_assign(std::move(*key), std::move(*v));
+      skip_ws();
+      if (consume('}')) return JsonValue(std::move(out));
+      if (!consume(',')) return err("expected ',' or '}' in object");
+    }
+  }
+};
+
+}  // namespace
+
+Expected<JsonValue> parse_json(std::string_view text) {
+  Parser parser{text};
+  auto v = parser.value(0);
+  if (!v) return v.error();
+  parser.skip_ws();
+  if (parser.pos != text.size()) return parser.err("trailing garbage after document");
+  return v;
+}
+
+Expected<JsonValue> parse_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error::io("json: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Error::io("json: read failed for " + path);
+  return parse_json(buffer.str());
+}
+
+}  // namespace lingxi

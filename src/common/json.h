@@ -1,0 +1,76 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// The repo emits JSON in several places (bench --json summaries, the
+// lingxi.obs.metrics/v1 dump) but until now never consumed it: the
+// perf-regression gate (analytics/bench_gate.h, bench/bench_compare.cpp)
+// needs to read those files back without growing a dependency. This is a
+// deliberately small strict parser — UTF-8 passthrough, no comments, no
+// trailing commas, doubles only (the repo's writers emit %.17g, which a
+// double round-trips) — returning Expected so malformed input is a
+// diagnosis, not UB.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expected.h"
+
+namespace lingxi {
+
+/// One parsed JSON value. Object member order is not preserved (members are
+/// name-sorted via std::map) — fine for data files, not a re-serializer.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue, std::less<>>;
+
+  JsonValue() = default;  // null
+  explicit JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit JsonValue(double n) : type_(Type::kNumber), number_(n) {}
+  explicit JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  explicit JsonValue(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  explicit JsonValue(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  /// Typed accessors; the wrong type asserts (probe with is_*() first).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member by name; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+  /// Dotted-path lookup through nested objects (`"cross_user.speedup"`);
+  /// nullptr when any step is absent.
+  const JsonValue* find_path(std::string_view dotted) const noexcept;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed, trailing
+/// garbage is Error::kParse, with a byte offset in the message).
+Expected<JsonValue> parse_json(std::string_view text);
+/// parse_json over a file's contents; unopenable file is Error::kIo.
+Expected<JsonValue> parse_json_file(const std::string& path);
+
+}  // namespace lingxi

@@ -18,10 +18,10 @@ LingXiConfig::LingXiConfig() {
   space.optimize_beta = false;
 }
 
-LingXi::LingXi(LingXiConfig config, predictor::HybridExitPredictor predictor,
+LingXi::LingXi(LingXiConfig config, const predictor::HybridExitPredictor& predictor,
                trace::BitrateLadder ladder)
     : config_(std::move(config)),
-      predictor_(std::move(predictor)),
+      predictor_(&predictor),
       ladder_(std::move(ladder)),
       current_params_(config_.default_params) {
   LINGXI_ASSERT(config_.obo_rounds >= 1);
@@ -112,7 +112,7 @@ LingXi::OptimizationRun::OptimizationRun(LingXi& owner, abr::AbrAlgorithm& abr,
       // gets a private PredictorExitModel seeded from the live engagement
       // state (Algorithm 2 line 3); stalled queries park for batched
       // forwards, pooled across users when `pool` is set.
-      exit_eval_(owner.predictor_, owner.engagement_, owner.config_.segment_duration, pool,
+      exit_eval_(*owner.predictor_, owner.engagement_, owner.config_.segment_duration, pool,
                  user_tag),
       obo_(owner.config_.space.dimensions(), owner.config_.obo),
       fixed_mode_(!owner.config_.fixed_candidates.empty()),

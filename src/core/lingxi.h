@@ -82,9 +82,17 @@ struct LingXiStats {
 
 class LingXi {
  public:
-  /// `ladder` must match the videos served to this user.
-  LingXi(LingXiConfig config, predictor::HybridExitPredictor predictor,
+  /// `ladder` must match the videos served to this user. `predictor` is
+  /// BORROWED, not copied — forwards are pure in (weights, input) and LingXi
+  /// never mutates the net, so many users can share one predictor as long as
+  /// a single thread drives them (the fleet runner's per-worker clones).
+  /// The caller keeps it alive for the LingXi's lifetime; copying the
+  /// ~MB-scale net per user was the dominant cost of (re)building per-user
+  /// state whenever chained legs or churn re-created user slots.
+  LingXi(LingXiConfig config, const predictor::HybridExitPredictor& predictor,
          trace::BitrateLadder ladder);
+  /// Passing a temporary predictor would dangle — hold it in a named object.
+  LingXi(LingXiConfig, predictor::HybridExitPredictor&&, trace::BitrateLadder) = delete;
 
   /// -- live playback hooks -------------------------------------------------
   void begin_session();
@@ -231,7 +239,7 @@ class LingXi {
 
  private:
   LingXiConfig config_;
-  predictor::HybridExitPredictor predictor_;
+  const predictor::HybridExitPredictor* predictor_;  ///< borrowed, never null
   trace::BitrateLadder ladder_;
   predictor::EngagementState engagement_;
   abr::QoeParams current_params_;

@@ -1,0 +1,192 @@
+#include "obs/health.h"
+
+#include <atomic>
+#include <charconv>
+#include <cstdio>
+#include <utility>
+
+namespace lingxi::obs {
+namespace {
+
+std::atomic<HealthMonitor*> g_active{nullptr};
+
+const char* kind_word(SloKind kind) {
+  switch (kind) {
+    case SloKind::kGaugeFloor: return "floor";
+    case SloKind::kGaugeCeiling: return "ceiling";
+    case SloKind::kRateCeiling: return "rate";
+    case SloKind::kStall: return "stall";
+  }
+  return "?";
+}
+
+Expected<double> parse_threshold(std::string_view text, std::string_view spec) {
+  double v = 0.0;
+  auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    return Error::parse("slo: bad threshold '" + std::string(text) + "' in '" +
+                        std::string(spec) + "'");
+  }
+  return v;
+}
+
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+Expected<SloRule> parse_slo_rule(std::string_view spec) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t colon = spec.find(':', start);
+    if (colon == std::string_view::npos) {
+      parts.push_back(spec.substr(start));
+      break;
+    }
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (parts.size() < 2 || parts[0].empty() || parts[1].empty()) {
+    return Error::parse("slo: expected kind:metric:threshold[:name], got '" +
+                        std::string(spec) + "'");
+  }
+
+  SloRule rule;
+  std::string_view kind = parts[0];
+  rule.metric = std::string(parts[1]);
+  std::size_t threshold_parts = 1;  // parts consumed after kind:metric
+  if (kind == "floor") {
+    rule.kind = SloKind::kGaugeFloor;
+  } else if (kind == "ceiling") {
+    rule.kind = SloKind::kGaugeCeiling;
+  } else if (kind == "rate") {
+    rule.kind = SloKind::kRateCeiling;
+  } else if (kind == "stall") {
+    rule.kind = SloKind::kStall;
+    threshold_parts = 0;  // stall:metric[:name]
+  } else {
+    return Error::parse("slo: unknown kind '" + std::string(kind) + "' in '" +
+                        std::string(spec) + "' (want floor|ceiling|rate|stall)");
+  }
+
+  std::size_t next = 2;
+  if (threshold_parts == 1) {
+    if (parts.size() < 3) {
+      return Error::parse("slo: missing threshold in '" + std::string(spec) + "'");
+    }
+    auto v = parse_threshold(parts[2], spec);
+    if (!v) return v.error();
+    rule.threshold = *v;
+    next = 3;
+  }
+  if (parts.size() > next + 1) {
+    return Error::parse("slo: too many fields in '" + std::string(spec) + "'");
+  }
+  if (parts.size() == next + 1 && !parts[next].empty()) {
+    rule.name = std::string(parts[next]);
+  }
+  if (rule.name.empty()) {
+    rule.name = std::string(kind_word(rule.kind)) + ":" + rule.metric;
+  }
+  return rule;
+}
+
+HealthMonitor* HealthMonitor::active() noexcept {
+  return g_active.load(std::memory_order_acquire);
+}
+
+void HealthMonitor::install(HealthMonitor* m) noexcept {
+  g_active.store(m, std::memory_order_release);
+}
+
+HealthMonitor::HealthMonitor(std::vector<SloRule> rules)
+    : rules_(std::move(rules)), states_(rules_.size()) {}
+
+void HealthMonitor::fire(std::uint64_t day, const SloRule& rule, double observed,
+                         std::string message) {
+  HealthAlert alert;
+  alert.day = day;
+  alert.rule = rule.name;
+  alert.metric = rule.metric;
+  alert.observed = observed;
+  alert.threshold = rule.threshold;
+  alert.message = std::move(message);
+  if (TimelineWriter* w = TimelineWriter::active()) w->append_alert(alert);
+  alerts_.push_back(std::move(alert));
+}
+
+void HealthMonitor::evaluate(std::uint64_t day, const RegistrySnapshot& snapshot) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const SloRule& rule = rules_[i];
+    RuleState& state = states_[i];
+    const MetricSnapshot* m = snapshot.find(rule.metric);
+
+    bool violated = false;
+    double observed = 0.0;
+    std::string message;
+
+    switch (rule.kind) {
+      case SloKind::kGaugeFloor:
+      case SloKind::kGaugeCeiling: {
+        // An absent or non-gauge metric is "no data", not a violation —
+        // rules may be armed before the first sample publishes.
+        if (m == nullptr || m->kind != MetricKind::kGauge) {
+          state.violated = false;
+          continue;
+        }
+        observed = m->value;
+        if (rule.kind == SloKind::kGaugeFloor) {
+          violated = observed < rule.threshold;
+          if (violated) {
+            message = rule.metric + " = " + format_value(observed) + " below floor " +
+                      format_value(rule.threshold);
+          }
+        } else {
+          violated = observed > rule.threshold;
+          if (violated) {
+            message = rule.metric + " = " + format_value(observed) + " above ceiling " +
+                      format_value(rule.threshold);
+          }
+        }
+        break;
+      }
+      case SloKind::kRateCeiling:
+      case SloKind::kStall: {
+        // Counters: evaluate the day-over-day delta. An absent counter
+        // reads 0 so `rate:checkpoint.commit.failures:0` stays quiet until
+        // the first failure is ever recorded.
+        std::uint64_t now = 0;
+        if (m != nullptr && m->kind == MetricKind::kCounter) now = m->count;
+        if (!state.have_last) {
+          state.have_last = true;
+          state.last_count = now;
+          state.violated = false;
+          continue;
+        }
+        std::uint64_t delta = now >= state.last_count ? now - state.last_count : 0;
+        state.last_count = now;
+        observed = static_cast<double>(delta);
+        if (rule.kind == SloKind::kRateCeiling) {
+          violated = observed > rule.threshold;
+          if (violated) {
+            message = rule.metric + " grew by " + format_value(observed) +
+                      " this day, above rate ceiling " + format_value(rule.threshold);
+          }
+        } else {
+          violated = delta == 0;
+          if (violated) message = rule.metric + " made no progress this day";
+        }
+        break;
+      }
+    }
+
+    if (violated && !state.violated) fire(day, rule, observed, std::move(message));
+    state.violated = violated;
+  }
+}
+
+}  // namespace lingxi::obs

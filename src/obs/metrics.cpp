@@ -69,6 +69,28 @@ const HistogramSpec& HistogramSpec::rows() {
   return spec;
 }
 
+double MetricSnapshot::quantile(double q) const noexcept {
+  if (kind != MetricKind::kHistogram || count == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t c = buckets[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= rank) {
+      // Interpolate within bucket i. Bucket 0 starts at the observed min;
+      // the overflow bucket (i == bounds.size()) ends at the observed max.
+      const double lower = i == 0 ? min : bounds[i - 1];
+      const double upper = i < bounds.size() ? bounds[i] : max;
+      const double fraction =
+          std::clamp((rank - static_cast<double>(cum)) / static_cast<double>(c), 0.0, 1.0);
+      return std::clamp(lower + fraction * (upper - lower), min, max);
+    }
+    cum += c;
+  }
+  return max;
+}
+
 const MetricSnapshot* RegistrySnapshot::find(std::string_view name) const noexcept {
   for (const MetricSnapshot& m : metrics) {
     if (m.name == name) return &m;
@@ -100,6 +122,12 @@ void RegistrySnapshot::write_json(std::ostream& os) const {
         write_double(os, m.min);
         os << ", \"max\": ";
         write_double(os, m.max);
+        os << ", \"p50\": ";
+        write_double(os, m.quantile(0.50));
+        os << ", \"p95\": ";
+        write_double(os, m.quantile(0.95));
+        os << ", \"p99\": ";
+        write_double(os, m.quantile(0.99));
         os << ", \"bounds\": [";
         for (std::size_t i = 0; i < m.bounds.size(); ++i) {
           if (i) os << ", ";
@@ -117,6 +145,54 @@ void RegistrySnapshot::write_json(std::ostream& os) const {
     os << "}";
   }
   os << "]}\n";
+}
+
+void RegistrySnapshot::write_prometheus(std::ostream& os) const {
+  auto sanitize = [](std::string_view name) {
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      out.push_back(ok ? c : '_');
+    }
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+    return out;
+  };
+  for (const MetricSnapshot& m : metrics) {
+    const std::string name = sanitize(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        os << "# TYPE " << name << " counter\n" << name << " " << m.count << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << "# TYPE " << name << " gauge\n" << name << " ";
+        write_double(os, m.value);
+        os << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+          cum += m.buckets[i];
+          os << name << "_bucket{le=\"";
+          if (i < m.bounds.size()) {
+            write_double(os, m.bounds[i]);
+          } else {
+            os << "+Inf";
+          }
+          os << "\"} " << cum << "\n";
+        }
+        // A spec-less empty histogram still exposes the +Inf bucket the
+        // exposition format requires.
+        if (m.buckets.empty()) os << name << "_bucket{le=\"+Inf\"} 0\n";
+        os << name << "_sum ";
+        write_double(os, m.value);
+        os << "\n" << name << "_count " << m.count << "\n";
+        break;
+      }
+    }
+  }
 }
 
 /// One named metric's per-shard accumulation. A cell is exactly one kind for
@@ -309,6 +385,10 @@ RegistrySnapshot Registry::snapshot() const {
 }
 
 void Registry::write_json(std::ostream& os) const { snapshot().write_json(os); }
+
+void Registry::write_prometheus(std::ostream& os) const {
+  snapshot().write_prometheus(os);
+}
 
 bool Registry::write_json_file(const std::string& path) const {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);

@@ -71,6 +71,14 @@ struct MetricSnapshot {
   std::vector<double> bounds;          ///< histogram bucket upper bounds
   std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 counts
 
+  /// Histogram quantile estimate (q in [0,1]) by linear interpolation inside
+  /// the bucket holding rank q*count. Bucket 0's lower edge is the observed
+  /// min and the overflow bucket's upper edge is the observed max, and the
+  /// result is clamped to [min, max] — so single-bucket and overflow-heavy
+  /// histograms still return values inside the observed range. Returns 0 for
+  /// empty histograms and non-histogram metrics.
+  double quantile(double q) const noexcept;
+
   bool operator==(const MetricSnapshot&) const = default;
 };
 
@@ -87,10 +95,16 @@ struct RegistrySnapshot {
   ///      {"name": ..., "kind": "gauge", "value": <double>},
   ///      {"name": ..., "kind": "histogram", "count": <u64>, "sum": <double>,
   ///       "min": <double>, "max": <double>,
+  ///       "p50": <double>, "p95": <double>, "p99": <double>,
   ///       "bounds": [<double>...], "buckets": [<u64>...]}]}
   /// Metrics appear in sorted-name order; doubles print with %.17g so the
-  /// serialization round-trips bit-exactly.
+  /// serialization round-trips bit-exactly. p50/p95/p99 are the
+  /// MetricSnapshot::quantile bucket-interpolated estimates.
   void write_json(std::ostream& os) const;
+  /// Prometheus text exposition (version 0.0.4): counters and gauges as
+  /// single samples, histograms as cumulative `_bucket{le=...}` series plus
+  /// `_sum` / `_count`. Dotted names are sanitized to underscores.
+  void write_prometheus(std::ostream& os) const;
 
   bool operator==(const RegistrySnapshot&) const = default;
 };
@@ -131,6 +145,8 @@ class Registry {
   void write_json(std::ostream& os) const;
   /// write_json to a file; false on I/O failure.
   bool write_json_file(const std::string& path) const;
+  /// snapshot() serialized via RegistrySnapshot::write_prometheus.
+  void write_prometheus(std::ostream& os) const;
 
  private:
   struct Cell;

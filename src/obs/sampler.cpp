@@ -1,8 +1,11 @@
 #include "obs/sampler.h"
 
 #include <cstdio>
+#include <cstring>
 
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace lingxi::obs {
@@ -21,26 +24,79 @@ std::uint64_t process_rss_bytes() noexcept {
 #endif
 }
 
+std::uint64_t process_peak_rss_bytes() noexcept {
+#if defined(__linux__)
+  // VmHWM ("high water mark") is the peak RSS in kB; /proc/self/status is
+  // line-oriented text.
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t peak_kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long kb = 0;
+      if (std::sscanf(line + 6, "%llu", &kb) == 1) peak_kb = kb;
+      break;
+    }
+  }
+  std::fclose(f);
+  return peak_kb * 1024ull;
+#else
+  return 0;
+#endif
+}
+
 PeriodicSampler::PeriodicSampler(Registry* registry,
                                  std::uint64_t base_sessions) noexcept
     : registry_(registry), last_sessions_(base_sessions) {}
 
-void PeriodicSampler::sample(std::uint64_t next_day, std::uint64_t live_users,
-                             std::uint64_t total_sessions) {
+void PeriodicSampler::sample(const FleetDayFacts& facts) {
+  sample_at(facts, Tracer::now_us());
+}
+
+void PeriodicSampler::sample_at(const FleetDayFacts& facts, std::uint64_t now_us) {
   if (registry_ == nullptr) return;
-  const std::uint64_t now_us = Tracer::now_us();
-  registry_->set("sim.fleet.day", static_cast<double>(next_day));
-  registry_->set("sim.fleet.live_users", static_cast<double>(live_users));
-  registry_->set("sim.fleet.sessions_total",
-                 static_cast<double>(total_sessions));
-  double rate = 0.0;
-  if (have_last_ && now_us > last_us_ && total_sessions >= last_sessions_) {
-    rate = static_cast<double>(total_sessions - last_sessions_) /
-           (static_cast<double>(now_us - last_us_) * 1e-6);
+  // Deterministic section: accumulator-derived fleet gauges (see
+  // timeline_deterministic()). Everything here must be a pure function of
+  // (config, seed, day).
+  registry_->set("sim.fleet.day", static_cast<double>(facts.day));
+  registry_->set("sim.fleet.live_users", static_cast<double>(facts.live_users));
+  registry_->set("sim.fleet.sessions_total", static_cast<double>(facts.sessions_total));
+  registry_->set("sim.fleet.completed_total", static_cast<double>(facts.completed_total));
+  registry_->set("sim.fleet.stall_events_total",
+                 static_cast<double>(facts.stall_events_total));
+  registry_->set("sim.fleet.stall_exits_total",
+                 static_cast<double>(facts.stall_exits_total));
+  registry_->set("sim.fleet.quality_switches_total",
+                 static_cast<double>(facts.quality_switches_total));
+  registry_->set("sim.fleet.lingxi_optimizations_total",
+                 static_cast<double>(facts.lingxi_optimizations_total));
+  registry_->set("sim.fleet.adjusted_user_days_total",
+                 static_cast<double>(facts.adjusted_user_days_total));
+  registry_->set("sim.fleet.watch_seconds_total", facts.watch_seconds_total);
+  registry_->set("sim.fleet.stall_seconds_total", facts.stall_seconds_total);
+  registry_->set("sim.fleet.mean_bitrate_kbps", facts.mean_bitrate_kbps);
+  registry_->set("sim.fleet.completion_rate", facts.completion_rate);
+
+  // Wall-clock section. The rate needs a real window: the first sample only
+  // establishes one, and a zero-microsecond resample (sub-microsecond legs,
+  // clock granularity) neither publishes a bogus rate nor collapses the
+  // window it would divide by — the next distinct-time sample still
+  // measures from the last published point.
+  if (have_last_ && now_us > last_us_ && facts.sessions_total >= last_sessions_) {
+    const double rate = static_cast<double>(facts.sessions_total - last_sessions_) /
+                        (static_cast<double>(now_us - last_us_) * 1e-6);
+    registry_->set("sim.fleet.sessions_per_sec", rate);
+    last_sessions_ = facts.sessions_total;
+    last_us_ = now_us;
+  } else if (!have_last_) {
+    last_sessions_ = facts.sessions_total;
+    last_us_ = now_us;
+    have_last_ = true;
   }
-  registry_->set("sim.fleet.sessions_per_sec", rate);
-  registry_->set("process.rss_bytes",
-                 static_cast<double>(process_rss_bytes()));
+  registry_->set("process.rss_bytes", static_cast<double>(process_rss_bytes()));
+  registry_->set("process.rss_peak_bytes",
+                 static_cast<double>(process_peak_rss_bytes()));
   const std::uint64_t flushes = registry_->counter("predictor.pool.flushes");
   if (flushes > 0) {
     registry_->set("predictor.pool.mean_flush_occupancy",
@@ -48,9 +104,17 @@ void PeriodicSampler::sample(std::uint64_t next_day, std::uint64_t live_users,
                        "predictor.pool.queries")) /
                        static_cast<double>(flushes));
   }
-  last_sessions_ = total_sessions;
-  last_us_ = now_us;
-  have_last_ = true;
+
+  // One merged snapshot feeds the health plane: the timeline's day record
+  // first, then SLO evaluation (so a rule's alert lands after the day it
+  // judged).
+  TimelineWriter* timeline = TimelineWriter::active();
+  HealthMonitor* monitor = HealthMonitor::active();
+  if (timeline != nullptr || monitor != nullptr) {
+    const RegistrySnapshot snap = registry_->snapshot();
+    if (timeline != nullptr) timeline->append_day(facts.day, snap);
+    if (monitor != nullptr) monitor->evaluate(facts.day, snap);
+  }
 }
 
 }  // namespace lingxi::obs

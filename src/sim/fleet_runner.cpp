@@ -12,8 +12,10 @@
 
 #include "common/assert.h"
 #include "common/crc32.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
+#include "obs/timeline.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
 #include "sim/optimizer_pool.h"
@@ -256,6 +258,33 @@ void FleetRunner::set_checkpoint_hook(CheckpointHook hook, std::size_t every_k_d
   checkpoint_every_k_days_ = every_k_days;
 }
 
+namespace {
+
+/// Fleet facts for one day boundary — every field a pure function of
+/// (config, seed, day) via the merged accumulator, so the sampler's
+/// `sim.fleet.*` gauges (the timeline's deterministic section) splice
+/// bitwise across chained legs and resumed runs.
+obs::FleetDayFacts day_facts(std::size_t day, std::size_t live_users,
+                             const FleetAccumulator& acc) {
+  obs::FleetDayFacts facts;
+  facts.day = day;
+  facts.live_users = live_users;
+  facts.sessions_total = acc.sessions;
+  facts.completed_total = acc.completed;
+  facts.stall_events_total = acc.stall_events;
+  facts.stall_exits_total = acc.stall_exits;
+  facts.quality_switches_total = acc.quality_switches;
+  facts.lingxi_optimizations_total = acc.lingxi_optimizations;
+  facts.adjusted_user_days_total = acc.adjusted_user_days;
+  facts.watch_seconds_total = acc.total_watch_time();
+  facts.stall_seconds_total = acc.total_stall_time();
+  facts.mean_bitrate_kbps = acc.mean_bitrate();
+  facts.completion_rate = acc.completion_rate();
+  return facts;
+}
+
+}  // namespace
+
 FleetAccumulator FleetRunner::run_days(std::uint64_t seed, std::size_t first_day,
                                        std::size_t last_day, const FleetDayState* resume,
                                        FleetDayState* out_state,
@@ -268,44 +297,120 @@ FleetAccumulator FleetRunner::run_days(std::uint64_t seed, std::size_t first_day
       obs::Registry::active(),
       resume != nullptr ? resume->accumulated.sessions : 0);
   const std::size_t k = checkpoint_every_k_days_;
-  if (!checkpoint_hook_ || k == 0 || last_day - first_day <= k) {
-    const FleetAccumulator acc =
-        run_days_leg(seed, first_day, last_day, resume, out_state, stats);
-    sampler.sample(last_day, config_.users, acc.sessions);
+  const bool hook_armed = checkpoint_hook_ != nullptr && k > 0;
+  // The health timeline wants a record per fleet day, but that no longer
+  // forces 1-day leg chaining: with a TimelineWriter or HealthMonitor armed
+  // (and a Registry to snapshot) each leg collects fleet-wide PER-DAY
+  // accumulator totals in-band (see run_days_leg) and the interior day
+  // records are emitted post-hoc after the leg, from base + partial sums.
+  // That reconstruction is bitwise equal to what a chain of 1-day legs
+  // would have exported — the accumulator is associative integer saturating
+  // sums, and every user-level tally is attributed to the same day a 1-day
+  // leg would have banked it on — while costing none of the per-leg fixed
+  // work chaining paid. Legs therefore follow the checkpoint cadence only,
+  // and with observability off the single-leg fast path is unchanged.
+  //
+  // The deterministic section of each interior day record is exact per day;
+  // the wall-clock section (RSS, counters, sessions/sec) is sampled when
+  // the leg ends, so its resolution is the leg cadence. Interior samples
+  // share one timestamp: the first carries the leg-window rate and the rest
+  // hit the sampler's zero-window guard instead of fabricating rates.
+  const bool per_day_obs =
+      obs::Registry::active() != nullptr &&
+      (obs::TimelineWriter::active() != nullptr || obs::HealthMonitor::active() != nullptr);
+  std::vector<FleetAccumulator> day_totals;
+  std::vector<FleetAccumulator>* day_totals_ptr = per_day_obs ? &day_totals : nullptr;
+  // Emit the day records of leg [a, b): cumulative day boundaries a+1..b-1
+  // reconstructed from `base` (everything accumulated before the leg) plus
+  // the leg's per-day totals, then the boundary at b from the leg's exact
+  // merged accumulator (bitwise the same sum; using it directly keeps the
+  // final record trivially equal to the run result).
+  const auto emit_leg_days = [&](std::size_t a, std::size_t b,
+                                 const FleetAccumulator& base,
+                                 const FleetAccumulator& leg_merged) {
+    if (!per_day_obs) {
+      sampler.sample(day_facts(b, config_.users, leg_merged));
+      return;
+    }
+    const std::uint64_t now_us = obs::Tracer::now_us();
+    FleetAccumulator cum = base;
+    for (std::size_t d = a; d + 1 < b; ++d) {
+      cum.merge(day_totals[d - a]);
+      sampler.sample_at(day_facts(d + 1, config_.users, cum), now_us);
+    }
+    sampler.sample_at(day_facts(b, config_.users, leg_merged), now_us);
+  };
+
+  const std::size_t step = hook_armed ? k : 0;
+  if (step == 0 || last_day - first_day <= step) {
+    const FleetAccumulator base =
+        resume != nullptr ? resume->accumulated : FleetAccumulator{};
+    const FleetAccumulator acc = run_days_leg(seed, first_day, last_day, resume,
+                                              out_state, stats, nullptr, day_totals_ptr);
+    emit_leg_days(first_day, last_day, base, acc);
     return acc;
   }
-  // Auto-checkpoint policy: chain <= k-day legs through the day-boundary
-  // state and hand each interior boundary to the hook. The chained-legs
-  // resume contract makes the chunking bitwise invisible.
+  // Chain <= step-day legs through the day-boundary state; hand boundaries
+  // on the checkpoint cadence (every k days from first_day) to the hook and
+  // every leg's days to the sampler.
   if (stats != nullptr) *stats = FleetRunStats{};
+  // Clone the per-worker private-net predictors ONCE for the whole chain.
+  // Each clone is driven by exactly one worker thread per leg and forwards
+  // are pure in (weights, input), so reuse across legs is bitwise invisible
+  // — re-cloning per leg was pure per-leg fixed cost.
+  std::vector<predictor::HybridExitPredictor> worker_predictors;
+  if (config_.enable_lingxi && config_.users > 0) {
+    LINGXI_ASSERT(predictor_factory_ != nullptr);
+    const std::size_t pool = worker_pool_size();
+    worker_predictors.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) {
+      worker_predictors.emplace_back(predictor_factory_().with_private_net());
+    }
+  }
   FleetDayState boundary;
   const FleetDayState* leg_resume = resume;
   std::size_t leg_first = first_day;
   FleetRunStats leg_stats;
-  for (std::size_t b = first_day + k; b < last_day; b += k) {
+  FleetAccumulator leg_base =
+      resume != nullptr ? resume->accumulated : FleetAccumulator{};
+  for (std::size_t b = first_day + step; b < last_day; b += step) {
     FleetDayState next;
     run_days_leg(seed, leg_first, b, leg_resume, &next,
-                 stats != nullptr ? &leg_stats : nullptr);
+                 stats != nullptr ? &leg_stats : nullptr,
+                 worker_predictors.empty() ? nullptr : &worker_predictors,
+                 day_totals_ptr);
     if (stats != nullptr) stats->merge(leg_stats);
-    checkpoint_hook_(next);
-    sampler.sample(next.next_day, next.users.size(), next.accumulated.sessions);
+    if (hook_armed && (b - first_day) % k == 0) checkpoint_hook_(next);
+    emit_leg_days(leg_first, b, leg_base, next.accumulated);
+    leg_base = next.accumulated;
     boundary = std::move(next);
     leg_resume = &boundary;
     leg_first = b;
   }
   const FleetAccumulator merged =
       run_days_leg(seed, leg_first, last_day, leg_resume, out_state,
-                   stats != nullptr ? &leg_stats : nullptr);
+                   stats != nullptr ? &leg_stats : nullptr,
+                   worker_predictors.empty() ? nullptr : &worker_predictors,
+                   day_totals_ptr);
   if (stats != nullptr) stats->merge(leg_stats);
-  sampler.sample(last_day, config_.users, merged.sessions);
+  emit_leg_days(leg_first, last_day, leg_base, merged);
   return merged;
 }
 
-FleetAccumulator FleetRunner::run_days_leg(std::uint64_t seed, std::size_t first_day,
-                                           std::size_t last_day,
-                                           const FleetDayState* resume,
-                                           FleetDayState* out_state,
-                                           FleetRunStats* stats) const {
+std::size_t FleetRunner::worker_pool_size() const noexcept {
+  const std::size_t shard_count =
+      (config_.users + config_.users_per_shard - 1) / config_.users_per_shard;
+  std::size_t pool = config_.threads != 0
+                         ? config_.threads
+                         : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return std::min(pool, shard_count);
+}
+
+FleetAccumulator FleetRunner::run_days_leg(
+    std::uint64_t seed, std::size_t first_day, std::size_t last_day,
+    const FleetDayState* resume, FleetDayState* out_state, FleetRunStats* stats,
+    std::vector<predictor::HybridExitPredictor>* worker_predictors,
+    std::vector<FleetAccumulator>* day_totals) const {
   LINGXI_ASSERT(first_day < last_day && last_day <= config_.days);
   // Resuming mid-calendar requires the matching day-boundary state; a fresh
   // start must begin at day 0.
@@ -324,6 +429,8 @@ FleetAccumulator FleetRunner::run_days_leg(std::uint64_t seed, std::size_t first
     out_state->users.assign(config_.users, UserFleetState{});
     out_state->accumulated = FleetAccumulator{};
   }
+  const std::size_t leg_days = last_day - first_day;
+  if (day_totals != nullptr) day_totals->assign(leg_days, FleetAccumulator{});
   // A resumed leg must not reset the sink: its capture buffers carry the
   // earlier days' records (restored from a snapshot or reused in-process).
   if (sink_ && first_day == 0) sink_->begin_fleet(config_, seed);
@@ -343,35 +450,63 @@ FleetAccumulator FleetRunner::run_days_leg(std::uint64_t seed, std::size_t first
       (config_.users + config_.users_per_shard - 1) / config_.users_per_shard;
   std::vector<FleetAccumulator> shards(shard_count);
   std::vector<FleetRunStats> shard_stats(shard_count);
+  // Per-shard per-day slots (shard-major), merged below in fixed shard order
+  // once the workers join. Only allocated when per-day totals are wanted:
+  // the obs-off path stays allocation-identical. ~176 B per (shard, day) —
+  // auto-checkpoint cadences bound leg_days, so this stays small even for
+  // very large fleets.
+  std::vector<FleetAccumulator> shard_day_totals;
+  if (day_totals != nullptr) {
+    shard_day_totals.assign(shard_count * leg_days, FleetAccumulator{});
+  }
 
   std::atomic<std::size_t> next_shard{0};
-  const auto worker = [&] {
+  const auto worker = [&](std::size_t slot) {
     // One fit pool per worker, shared across its shards, so the fit workers
     // are spawned once per leg rather than once per shard. A zero-worker
     // pool runs the fits inline on this thread.
     OptimizerPool fit_pool(config_.optimizer_threads);
+    // One private-net predictor per worker, shared by every shard it
+    // processes. Forward passes are pure in (weights, input) and weights
+    // never change during a run, so sharing within the single driving
+    // thread is bitwise invisible; cloning per shard only protected against
+    // cross-THREAD cache races, and the clone is ~ms-scale (the fc1 weight
+    // matrix) — a fixed cost every leg would otherwise pay. Checkpoint-chained
+    // runs hoist further: run_days pre-clones one predictor per worker slot
+    // and every leg reuses them through `worker_predictors`.
+    std::optional<predictor::HybridExitPredictor> local_predictor;
+    const predictor::HybridExitPredictor* worker_predictor = nullptr;
+    if (config_.enable_lingxi) {
+      LINGXI_ASSERT(predictor_factory_ != nullptr);
+      if (worker_predictors != nullptr) {
+        worker_predictor = &(*worker_predictors)[slot];
+      } else {
+        local_predictor.emplace(predictor_factory_().with_private_net());
+        worker_predictor = &*local_predictor;
+      }
+    }
     for (;;) {
       const std::size_t shard = next_shard.fetch_add(1, std::memory_order_relaxed);
       if (shard >= shard_count) return;
       const std::size_t first = shard * config_.users_per_shard;
       const std::size_t last = std::min(first + config_.users_per_shard, config_.users);
-      ShardScheduler scheduler(*this, world, seed, first, last, shards[shard],
-                               first_day, last_day, resume, out_state, &fit_pool);
+      ShardScheduler scheduler(
+          *this, world, seed, first, last, shards[shard], first_day, last_day,
+          resume, out_state, &fit_pool, worker_predictor,
+          day_totals != nullptr ? &shard_day_totals[shard * leg_days] : nullptr);
       scheduler.run();
       shard_stats[shard] = scheduler.stats();
     }
   };
 
-  std::size_t pool = config_.threads != 0
-                         ? config_.threads
-                         : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  pool = std::min(pool, shard_count);
+  const std::size_t pool = worker_pool_size();
+  LINGXI_ASSERT(worker_predictors == nullptr || worker_predictors->size() >= pool);
   if (pool <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> threads;
     threads.reserve(pool);
-    for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(worker);
+    for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(worker, t);
     for (auto& t : threads) t.join();
   }
 
@@ -379,6 +514,13 @@ FleetAccumulator FleetRunner::run_days_leg(std::uint64_t seed, std::size_t first
   // any merge tree gives the same bits; the fixed order keeps that true even
   // if a float field is ever added.
   for (const auto& shard : shards) merged.merge(shard);
+  if (day_totals != nullptr) {
+    for (std::size_t d = 0; d < leg_days; ++d) {
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        (*day_totals)[d].merge(shard_day_totals[s * leg_days + d]);
+      }
+    }
+  }
   if (stats != nullptr) {
     for (const auto& s : shard_stats) stats->merge(s);
   }
@@ -408,17 +550,23 @@ class ShardScheduler::UserTask {
   /// streams, evolving state restores from `resume`).
   /// With `park_fits`, optimizations park at round boundaries so the
   /// cohort schedule can pool the fits (see parked_fit()).
+  /// `day_totals`, when non-null, is the shard's leg-relative per-day slot
+  /// array (see ShardScheduler): every tally banked into `acc` is also
+  /// banked into the slot of the day it is attributed to.
   UserTask(const FleetRunner& runner, const FleetWorld& world, std::uint64_t seed,
            std::size_t user_index, FleetAccumulator& acc,
            const predictor::HybridExitPredictor* shard_predictor,
            predictor::ExitQueryPool* pool, std::size_t first_day, std::size_t stop_day,
-           const UserFleetState* resume, bool park_fits = false)
+           const UserFleetState* resume, bool park_fits = false,
+           FleetAccumulator* day_totals = nullptr)
       : runner_(runner),
         cfg_(runner.config()),
         world_(world),
         seed_(seed),
         user_(user_index),
         acc_(acc),
+        day_totals_(day_totals),
+        leg_first_day_(first_day),
         shard_predictor_(shard_predictor),
         pool_(pool),
         scenario_(runner.config().scenario.empty() ? nullptr : &runner.config().scenario),
@@ -518,9 +666,11 @@ class ShardScheduler::UserTask {
 
     if (cfg_.enable_lingxi) {
       LINGXI_ASSERT(shard_predictor_ != nullptr);
-      // The shard's users share one private net copy (see
-      // set_predictor_factory): forwards are pure per row and the shard runs
-      // on one worker, so sharing is bitwise invisible.
+      // The shard's users BORROW the worker's private net copy (LingXi never
+      // mutates it): forwards are pure per row and the shard runs on one
+      // worker, so sharing is bitwise invisible — and not copying the net
+      // per user keeps identity (re)builds cheap when the checkpoint cadence
+      // chains legs or churn rolls a slot over.
       lingxi_ = std::make_unique<core::LingXi>(cfg_.lingxi, *shard_predictor_,
                                                cfg_.video.ladder);
     }
@@ -611,6 +761,9 @@ class ShardScheduler::UserTask {
     }
     measured_ = session_index_ >= cfg_.warmup_sessions;
     acc_.add_session(result_, measured_);
+    if (day_totals_ != nullptr) {
+      day_totals_[day_ - leg_first_day_].add_session(result_, measured_);
+    }
 
     if (lingxi_) {
       for (const auto& seg : result_.segments) lingxi_->on_segment(seg);
@@ -656,11 +809,21 @@ class ShardScheduler::UserTask {
 
   /// Bank the current occupant's summary: accumulator tallies plus the
   /// telemetry user record. Emitted at the horizon (finish_user) and at
-  /// every churn departure (retire_generation).
-  void emit_user_summary() {
+  /// every churn departure (retire_generation). `slot_day` attributes the
+  /// tallies to one calendar day for per-day observation; the attribution
+  /// (rollover day for churn, final day for the horizon) reproduces exactly
+  /// which 1-day-leg boundary accumulators would have contained them, so
+  /// post-hoc per-day reconstruction stays bitwise equal to leg chaining.
+  void emit_user_summary(std::size_t slot_day) {
     acc_.adjusted_user_days += adjusted_days_;
     if (lingxi_) acc_.add_lingxi_stats(lingxi_->stats());
     ++acc_.users;
+    if (day_totals_ != nullptr) {
+      FleetAccumulator& slot = day_totals_[slot_day - leg_first_day_];
+      slot.adjusted_user_days += adjusted_days_;
+      if (lingxi_) slot.add_lingxi_stats(lingxi_->stats());
+      ++slot.users;
+    }
     if (runner_.sink_) {
       telemetry::UserTelemetry user;
       user.user_index = user_;
@@ -671,12 +834,12 @@ class ShardScheduler::UserTask {
     }
   }
 
-  void finish_user() { emit_user_summary(); }
+  void finish_user() { emit_user_summary(stop_day_ - 1); }
 
   /// Churn departure: the occupant leaves the fleet mid-run, so its summary
   /// is banked now and the per-user tallies reset for the replacement.
   void retire_generation() {
-    emit_user_summary();
+    emit_user_summary(day_);
     adjusted_days_ = 0;
   }
 
@@ -686,6 +849,10 @@ class ShardScheduler::UserTask {
   std::uint64_t seed_;
   std::size_t user_;
   FleetAccumulator& acc_;
+  /// Shard's per-day accumulator slots (leg-relative), mirroring every bank
+  /// into acc_; null when per-day observation is off.
+  FleetAccumulator* day_totals_;
+  std::size_t leg_first_day_;
   const predictor::HybridExitPredictor* shard_predictor_;  ///< kept for churn rebuilds
   predictor::ExitQueryPool* pool_;
 
@@ -730,7 +897,9 @@ ShardScheduler::ShardScheduler(const FleetRunner& runner, const FleetWorld& worl
                                std::size_t last_user, FleetAccumulator& acc,
                                std::size_t first_day, std::size_t last_day,
                                const FleetDayState* resume, FleetDayState* out_state,
-                               OptimizerPool* fit_pool)
+                               OptimizerPool* fit_pool,
+                               const predictor::HybridExitPredictor* worker_predictor,
+                               FleetAccumulator* day_totals)
     : runner_(runner),
       world_(world),
       seed_(seed),
@@ -742,7 +911,9 @@ ShardScheduler::ShardScheduler(const FleetRunner& runner, const FleetWorld& worl
       resume_(resume),
       out_state_(out_state),
       pool_(std::make_unique<predictor::ExitQueryPool>()),
-      fit_pool_(fit_pool) {
+      fit_pool_(fit_pool),
+      worker_predictor_(worker_predictor),
+      day_totals_(day_totals) {
   LINGXI_ASSERT(first_user_ <= last_user_);
   LINGXI_ASSERT(first_day_ < last_day_);
 }
@@ -765,17 +936,22 @@ void ShardScheduler::run_per_user() {
   // sequential rollout fast path (nothing to batch anyway).
   predictor::ExitQueryPool* pool =
       cfg.lingxi.monte_carlo.batch_size > 1 ? pool_.get() : nullptr;
+  // The worker's private-net predictor serves every user (forwards are pure
+  // and this thread is the only one touching the net's layer caches); the
+  // clone-per-user fallback covers direct ShardScheduler construction.
+  std::optional<predictor::HybridExitPredictor> fallback_predictor;
+  if (cfg.enable_lingxi && worker_predictor_ == nullptr) {
+    LINGXI_ASSERT(runner_.predictor_factory_ != nullptr);
+    fallback_predictor.emplace(runner_.predictor_factory_().with_private_net());
+  }
+  const predictor::HybridExitPredictor* predictor =
+      worker_predictor_ != nullptr ? worker_predictor_
+                                   : (fallback_predictor ? &*fallback_predictor : nullptr);
   for (std::size_t u = first_user_; u < last_user_; ++u) {
-    // Deep-copy the predictor per user: predict() runs forward passes whose
-    // layer caches are not shareable across worker threads.
-    std::optional<predictor::HybridExitPredictor> user_predictor;
-    if (cfg.enable_lingxi) {
-      LINGXI_ASSERT(runner_.predictor_factory_ != nullptr);
-      user_predictor.emplace(runner_.predictor_factory_().with_private_net());
-    }
-    UserTask task(runner_, world_, seed_, u, acc_,
-                  user_predictor ? &*user_predictor : nullptr, pool, first_day_,
-                  last_day_, resume_ != nullptr ? &resume_->users[u] : nullptr);
+    UserTask task(runner_, world_, seed_, u, acc_, cfg.enable_lingxi ? predictor : nullptr,
+                  pool, first_day_, last_day_,
+                  resume_ != nullptr ? &resume_->users[u] : nullptr,
+                  /*park_fits=*/false, day_totals_);
     while (!task.step()) {
       OBS_SPAN("wave.flush");
       OBS_TIMED("sim.wave.flush_us");
@@ -786,22 +962,26 @@ void ShardScheduler::run_per_user() {
 }
 
 void ShardScheduler::run_cohort() {
-  // One deep-copied predictor per shard, shared by the shard's users (each
+  // The worker's deep-copied predictor, shared by the shard's users (each
   // user's LingXi copies the handle, not the net) — see
-  // set_predictor_factory for why sharing is bitwise invisible.
-  std::optional<predictor::HybridExitPredictor> shard_predictor;
-  if (runner_.config().enable_lingxi) {
+  // set_predictor_factory for why sharing is bitwise invisible. The
+  // clone-per-shard fallback covers direct ShardScheduler construction.
+  std::optional<predictor::HybridExitPredictor> fallback_predictor;
+  if (runner_.config().enable_lingxi && worker_predictor_ == nullptr) {
     LINGXI_ASSERT(runner_.predictor_factory_ != nullptr);
-    shard_predictor.emplace(runner_.predictor_factory_().with_private_net());
+    fallback_predictor.emplace(runner_.predictor_factory_().with_private_net());
   }
+  const predictor::HybridExitPredictor* shard_predictor =
+      worker_predictor_ != nullptr ? worker_predictor_
+                                   : (fallback_predictor ? &*fallback_predictor : nullptr);
   std::vector<std::unique_ptr<UserTask>> tasks;
   tasks.reserve(last_user_ - first_user_);
   for (std::size_t u = first_user_; u < last_user_; ++u) {
     tasks.push_back(std::make_unique<UserTask>(
         runner_, world_, seed_, u, acc_,
-        shard_predictor ? &*shard_predictor : nullptr, pool_.get(), first_day_,
-        last_day_, resume_ != nullptr ? &resume_->users[u] : nullptr,
-        /*park_fits=*/true));
+        runner_.config().enable_lingxi ? shard_predictor : nullptr, pool_.get(),
+        first_day_, last_day_, resume_ != nullptr ? &resume_->users[u] : nullptr,
+        /*park_fits=*/true, day_totals_));
   }
 
   // Live tasks in ascending user order. Each wave steps every live task

@@ -366,10 +366,25 @@ class FleetRunner {
   friend class ShardScheduler;
 
   /// One contiguous leg (the pre-hook run_days body); run_days() chains legs
-  /// through it when the checkpoint hook is armed.
-  FleetAccumulator run_days_leg(std::uint64_t seed, std::size_t first_day,
-                                std::size_t last_day, const FleetDayState* resume,
-                                FleetDayState* out_state, FleetRunStats* stats) const;
+  /// through it when the checkpoint hook is armed. `worker_predictors`, when
+  /// non-null, supplies one pre-cloned private-net predictor per worker slot
+  /// (size >= the worker pool) so chained legs reuse the clones instead of
+  /// re-deriving them per leg; null keeps the per-leg clone (single-leg runs).
+  /// `day_totals`, when non-null, receives (last_day - first_day) fleet-wide
+  /// per-day accumulators (merged across shards in fixed shard order): slot i
+  /// holds exactly the tallies attributed to day first_day + i, so
+  /// base + slots[0..i] reproduces the day-boundary aggregate a chain of
+  /// 1-day legs would have exported — bitwise, because the accumulator is
+  /// all integer saturating sums (associative and commutative).
+  FleetAccumulator run_days_leg(
+      std::uint64_t seed, std::size_t first_day, std::size_t last_day,
+      const FleetDayState* resume, FleetDayState* out_state, FleetRunStats* stats,
+      std::vector<predictor::HybridExitPredictor>* worker_predictors = nullptr,
+      std::vector<FleetAccumulator>* day_totals = nullptr) const;
+
+  /// Size of the leg worker pool for the current config (threads capped by
+  /// shard count); shared by run_days_leg and the run_days clone hoist.
+  std::size_t worker_pool_size() const noexcept;
 
   FleetConfig config_;
   AbrFactory abr_factory_;
@@ -409,11 +424,24 @@ class ShardScheduler {
   /// exports into; the scheduler touches only its own users' entries.
   /// `fit_pool`, when non-null, runs the cohort waves' parked optimizer
   /// fits (shared across the worker's shards; may be a zero-worker pool).
+  /// `worker_predictor`, when non-null, is the driving worker's private-net
+  /// predictor clone, shared by every shard (and user) the worker processes
+  /// instead of re-cloning the net per shard/user — forwards are pure
+  /// functions of (weights, input) and weights never change during a run,
+  /// so the sharing is bitwise invisible (the net's fc1 weight matrix makes
+  /// each clone ~ms-scale).
+  /// `day_totals`, when non-null, points at (last_day - first_day)
+  /// per-day accumulators for this shard: every tally banked into `acc` is
+  /// also banked into the slot of the day it belongs to, so the health
+  /// timeline can reconstruct each interior day-boundary aggregate from a
+  /// single leg without forcing 1-day leg chaining.
   ShardScheduler(const FleetRunner& runner, const FleetWorld& world, std::uint64_t seed,
                  std::size_t first_user, std::size_t last_user, FleetAccumulator& acc,
                  std::size_t first_day, std::size_t last_day,
                  const FleetDayState* resume, FleetDayState* out_state,
-                 OptimizerPool* fit_pool = nullptr);
+                 OptimizerPool* fit_pool = nullptr,
+                 const predictor::HybridExitPredictor* worker_predictor = nullptr,
+                 FleetAccumulator* day_totals = nullptr);
   ~ShardScheduler();
   ShardScheduler(const ShardScheduler&) = delete;
   ShardScheduler& operator=(const ShardScheduler&) = delete;
@@ -441,6 +469,12 @@ class ShardScheduler {
   FleetDayState* out_state_;
   std::unique_ptr<predictor::ExitQueryPool> pool_;
   OptimizerPool* fit_pool_;  ///< not owned; may be null (fits run inline)
+  /// Worker-owned private-net predictor; null falls back to per-shard /
+  /// per-user clones.
+  const predictor::HybridExitPredictor* worker_predictor_;
+  /// Per-day accumulator slots for this shard (leg-relative, size
+  /// last_day_ - first_day_); null when no per-day observation is wanted.
+  FleetAccumulator* day_totals_;
 };
 
 }  // namespace lingxi::sim

@@ -98,6 +98,10 @@ CheckResult check_binary(const char* expr_a, const char* expr_b, const char* op_
   return os.str();
 }
 
+inline CheckResult check_always_failed() {
+  return std::string("Failed");
+}
+
 inline CheckResult check_bool(const char* expr, bool value, bool expected) {
   if (value == expected) return std::nullopt;
   std::ostringstream os;
@@ -428,6 +432,9 @@ inline int RUN_ALL_TESTS() {
 #define ASSERT_LE(a, b) MINIGTEST_BINARY_(a, b, "<=", <=, return)
 #define ASSERT_GT(a, b) MINIGTEST_BINARY_(a, b, ">", >, return)
 #define ASSERT_GE(a, b) MINIGTEST_BINARY_(a, b, ">=", >=, return)
+
+// Unconditional non-fatal failure; streams context like every other check.
+#define ADD_FAILURE() MINIGTEST_CHECK_(::testing::internal::check_always_failed(), )
 
 #define EXPECT_TRUE(x) MINIGTEST_CHECK_(::testing::internal::check_bool(#x, bool(x), true), )
 #define EXPECT_FALSE(x) \

@@ -2,12 +2,22 @@
 // experiment driver.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <sstream>
+#include <string>
 
 #include "abr/hyb.h"
+#include "analytics/bench_gate.h"
 #include "analytics/experiment.h"
+#include "analytics/health_report.h"
 #include "analytics/metrics.h"
+#include "common/json.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "predictor/exit_net.h"
 #include "predictor/os_model.h"
 
@@ -279,6 +289,252 @@ TEST(RelativeDailyGap, ComputesPerDayRelativeDifference) {
   ASSERT_EQ(gaps.size(), 2u);
   EXPECT_NEAR(gaps[0], 0.1, 1e-9);
   EXPECT_NEAR(gaps[1], -0.05, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Health report: timeline summarization and A/B comparison.
+
+TEST(HealthReport, SummarizesTimelineSeriesDigestsAndAlerts) {
+  const std::string path = ::testing::TempDir() + "/lingxi_health_report_timeline.bin";
+  {
+    obs::Registry reg;
+    obs::TimelineWriter writer(path);
+    static const obs::HistogramSpec spec({10.0, 20.0});
+    reg.set("sim.fleet.sessions_total", 100.0);
+    reg.set("sim.fleet.day", 1.0);
+    reg.add("predictor.pool.queries", 4);
+    reg.observe("snapshot.save.total_us", spec, 5.0);
+    writer.append_day(1, reg.snapshot());
+    reg.set("sim.fleet.sessions_total", 250.0);
+    reg.set("sim.fleet.day", 2.0);
+    reg.add("predictor.pool.queries", 6);
+    reg.observe("snapshot.save.total_us", spec, 15.0);
+    reg.observe("snapshot.save.total_us", spec, 15.0);
+    writer.append_day(2, reg.snapshot());
+    obs::HealthAlert alert;
+    alert.day = 2;
+    alert.rule = "sessions-ceiling";
+    alert.metric = "sim.fleet.sessions_total";
+    alert.observed = 250.0;
+    alert.threshold = 200.0;
+    alert.message = "gauge above ceiling";
+    writer.append_alert(alert);
+    ASSERT_TRUE(writer.close().ok());
+  }
+
+  const auto summary = summarize_timeline(path);
+  ASSERT_TRUE(summary.has_value()) << summary.error().message;
+  EXPECT_EQ(summary->day_records, 2u);
+  EXPECT_EQ(summary->first_day, 1u);
+  EXPECT_EQ(summary->last_day, 2u);
+
+  const MetricDaySeries* sessions = summary->find("sim.fleet.sessions_total");
+  ASSERT_NE(sessions, nullptr);
+  EXPECT_TRUE(sessions->deterministic);
+  EXPECT_EQ(sessions->kind, obs::MetricKind::kGauge);
+  ASSERT_EQ(sessions->values.size(), 2u);
+  EXPECT_DOUBLE_EQ(sessions->first, 100.0);
+  EXPECT_DOUBLE_EQ(sessions->last, 250.0);
+  EXPECT_DOUBLE_EQ(sessions->min, 100.0);
+  EXPECT_DOUBLE_EQ(sessions->max, 250.0);
+  EXPECT_DOUBLE_EQ(sessions->mean, 175.0);
+
+  // Counters are process-lifetime, not splice-invariant, so they live in the
+  // wall-clock section; the series still tracks their cumulative trajectory.
+  const MetricDaySeries* queries = summary->find("predictor.pool.queries");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_FALSE(queries->deterministic);
+  EXPECT_EQ(queries->kind, obs::MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(queries->first, 4.0);
+  EXPECT_DOUBLE_EQ(queries->last, 10.0);
+
+  // Digest is over the FINAL day's histogram: {5, 15, 15} in buckets
+  // (<=10, <=20] -> p50 interpolates to 12.5, p95/p99 clamp to observed max.
+  ASSERT_EQ(summary->histograms.size(), 1u);
+  const HistogramDigest& d = summary->histograms[0];
+  EXPECT_EQ(d.name, "snapshot.save.total_us");
+  EXPECT_EQ(d.count, 3u);
+  EXPECT_DOUBLE_EQ(d.sum, 35.0);
+  EXPECT_DOUBLE_EQ(d.p50, 12.5);
+  EXPECT_DOUBLE_EQ(d.p95, 15.0);
+  EXPECT_DOUBLE_EQ(d.p99, 15.0);
+
+  ASSERT_EQ(summary->alerts.size(), 1u);
+  EXPECT_EQ(summary->alerts[0].day, 2u);
+  EXPECT_EQ(summary->alerts[0].rule, "sessions-ceiling");
+  EXPECT_DOUBLE_EQ(summary->alerts[0].observed, 250.0);
+
+  // The JSON report must itself parse under the repo's JSON reader.
+  std::ostringstream os;
+  summary->write_json(os);
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value()) << doc.error().message;
+  const JsonValue* schema = doc->find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->as_string(), "lingxi.obs.health_report/v1");
+  const JsonValue* days = doc->find("day_records");
+  ASSERT_NE(days, nullptr);
+  EXPECT_DOUBLE_EQ(days->as_number(), 2.0);
+
+  std::remove(path.c_str());
+}
+
+TEST(HealthReport, CorruptOrMissingTimelineIsErrorNotUb) {
+  const std::string garbage = ::testing::TempDir() + "/lingxi_health_report_garbage.bin";
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "this is not a timeline";
+  }
+  const auto corrupt = summarize_timeline(garbage);
+  ASSERT_FALSE(corrupt.has_value());
+  EXPECT_EQ(corrupt.error().code, Error::Code::kCorrupt);
+  std::remove(garbage.c_str());
+
+  const auto missing = summarize_timeline(::testing::TempDir() + "/no_such_timeline.bin");
+  ASSERT_FALSE(missing.has_value());
+  EXPECT_EQ(missing.error().code, Error::Code::kIo);
+}
+
+TEST(HealthReport, CompareTimelinesFlagsMovedMetrics) {
+  const auto series = [](const char* name, double last) {
+    MetricDaySeries s;
+    s.name = name;
+    s.last = last;
+    return s;
+  };
+  TimelineSummary base, cand;
+  base.series = {series("a.shared", 100.0), series("b.gone", 1.0), series("c.zero", 0.0),
+                 series("d.steady", 50.0)};
+  cand.series = {series("a.shared", 120.0), series("c.zero", 2.0), series("d.steady", 50.0),
+                 series("e.new", 5.0)};
+  base.alerts.emplace_back();
+
+  const TimelineComparison cmp = compare_timelines(base, cand, 0.1);
+  // Sorted by |rel_change| descending: the zero-base sentinel outranks +20%.
+  ASSERT_EQ(cmp.flagged.size(), 2u);
+  EXPECT_EQ(cmp.flagged[0].name, "c.zero");
+  EXPECT_GT(cmp.flagged[0].rel_change, 1e8);
+  EXPECT_EQ(cmp.flagged[1].name, "a.shared");
+  EXPECT_NEAR(cmp.flagged[1].rel_change, 0.2, 1e-12);
+  ASSERT_EQ(cmp.base_only.size(), 1u);
+  EXPECT_EQ(cmp.base_only[0], "b.gone");
+  ASSERT_EQ(cmp.candidate_only.size(), 1u);
+  EXPECT_EQ(cmp.candidate_only[0], "e.new");
+  EXPECT_EQ(cmp.base_alerts, 1u);
+  EXPECT_EQ(cmp.candidate_alerts, 0u);
+  EXPECT_FALSE(cmp.clean());
+
+  const TimelineComparison self = compare_timelines(base, base, 0.1);
+  EXPECT_TRUE(self.clean());
+}
+
+// ---------------------------------------------------------------------------
+// Bench gate: baseline spec parsing and regression evaluation.
+
+TEST(BenchGate, ParsesBaselineSpec) {
+  const auto doc = parse_json(R"({
+    "schema": "lingxi.bench.baseline/v1",
+    "max_regression": 0.2,
+    "checks": [
+      {"name": "batched-speedup", "input": "scaling",
+       "metric": "batched.sessions_per_sec", "divide_by": "scalar.sessions_per_sec",
+       "baseline": 2.0},
+      {"name": "p99-latency", "input": "scaling", "metric": "p99_ms",
+       "baseline": 10.0, "higher_is_better": false, "max_regression": 0.5}
+    ]
+  })");
+  ASSERT_TRUE(doc.has_value()) << doc.error().message;
+  const auto spec = BaselineSpec::parse(*doc);
+  ASSERT_TRUE(spec.has_value()) << spec.error().message;
+  EXPECT_DOUBLE_EQ(spec->default_max_regression, 0.2);
+  ASSERT_EQ(spec->checks.size(), 2u);
+  EXPECT_EQ(spec->checks[0].name, "batched-speedup");
+  EXPECT_EQ(spec->checks[0].divide_by, "scalar.sessions_per_sec");
+  EXPECT_TRUE(spec->checks[0].higher_is_better);
+  EXPECT_LT(spec->checks[0].max_regression, 0.0);  // inherits the default
+  EXPECT_FALSE(spec->checks[1].higher_is_better);
+  EXPECT_DOUBLE_EQ(spec->checks[1].max_regression, 0.5);
+}
+
+TEST(BenchGate, RejectsMalformedBaselineSpec) {
+  const char* bad_docs[] = {
+      R"({"schema": "lingxi.bench.baseline/v2", "checks": []})",
+      R"({"checks": [{"name": "x", "input": "i", "metric": "m", "baseline": 1}]})",
+      R"({"schema": "lingxi.bench.baseline/v1"})",
+      R"({"schema": "lingxi.bench.baseline/v1", "checks": []})",
+      R"({"schema": "lingxi.bench.baseline/v1",
+          "checks": [{"name": "x", "input": "i", "metric": "m"}]})",
+      R"({"schema": "lingxi.bench.baseline/v1", "max_regression": -0.1,
+          "checks": [{"name": "x", "input": "i", "metric": "m", "baseline": 1}]})",
+  };
+  for (const char* text : bad_docs) {
+    const auto doc = parse_json(text);
+    ASSERT_TRUE(doc.has_value()) << text;
+    const auto spec = BaselineSpec::parse(*doc);
+    ASSERT_FALSE(spec.has_value()) << text;
+    EXPECT_EQ(spec.error().code, Error::Code::kParse) << text;
+  }
+}
+
+TEST(BenchGate, EvaluatesRatiosAndCatchesRegressions) {
+  BaselineSpec spec;
+  spec.default_max_regression = 0.2;
+  BaselineCheck ratio;
+  ratio.name = "batched-speedup";
+  ratio.input = "scaling";
+  ratio.metric = "batched.sessions_per_sec";
+  ratio.divide_by = "scalar.sessions_per_sec";
+  ratio.baseline = 2.0;
+  BaselineCheck latency;
+  latency.name = "p99-latency";
+  latency.input = "scaling";
+  latency.metric = "p99_ms";
+  latency.baseline = 10.0;
+  latency.higher_is_better = false;
+  latency.max_regression = 0.5;
+  spec.checks = {ratio, latency};
+
+  std::map<std::string, JsonValue> inputs;
+  const auto healthy = parse_json(
+      R"({"batched": {"sessions_per_sec": 300.0},
+          "scalar": {"sessions_per_sec": 100.0}, "p99_ms": 12.0})");
+  ASSERT_TRUE(healthy.has_value());
+  inputs.emplace("scaling", *healthy);
+  const GateReport good = evaluate_baseline(spec, inputs);
+  ASSERT_EQ(good.results.size(), 2u);
+  EXPECT_TRUE(good.ok());
+  EXPECT_DOUBLE_EQ(good.results[0].observed, 3.0);  // 300/100 via divide_by
+  EXPECT_NEAR(good.results[0].rel_change, 0.5, 1e-12);
+  EXPECT_TRUE(good.results[1].ok);  // 12 <= 10 * (1 + 0.5)
+
+  // Higher-is-better regression: ratio 1.5 < floor 2.0 * (1 - 0.2) = 1.6.
+  inputs.clear();
+  const auto regressed = parse_json(
+      R"({"batched": {"sessions_per_sec": 150.0},
+          "scalar": {"sessions_per_sec": 100.0}, "p99_ms": 16.0})");
+  ASSERT_TRUE(regressed.has_value());
+  inputs.emplace("scaling", *regressed);
+  const GateReport bad = evaluate_baseline(spec, inputs);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(bad.results[0].ok);
+  EXPECT_FALSE(bad.results[1].ok);  // 16 > ceiling 15
+
+  // Missing input label and missing metric path fail the check, not the
+  // process.
+  inputs.clear();
+  const auto sparse = parse_json(R"({"scalar": {"sessions_per_sec": 100.0}})");
+  ASSERT_TRUE(sparse.has_value());
+  inputs.emplace("other-label", *sparse);
+  const GateReport missing_input = evaluate_baseline(spec, inputs);
+  EXPECT_FALSE(missing_input.ok());
+  EXPECT_NE(missing_input.results[0].detail.find("no --input"), std::string::npos);
+
+  inputs.clear();
+  inputs.emplace("scaling", *sparse);
+  const GateReport missing_metric = evaluate_baseline(spec, inputs);
+  EXPECT_FALSE(missing_metric.ok());
+  EXPECT_NE(missing_metric.results[0].detail.find("missing or non-numeric"),
+            std::string::npos);
 }
 
 }  // namespace

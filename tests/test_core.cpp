@@ -41,7 +41,8 @@ LingXiConfig fast_config() {
 }
 
 TEST(LingXi, NoTriggerBeforeThreshold) {
-  LingXi lx(fast_config(), make_predictor(), trace::BitrateLadder::default_ladder());
+  const auto lx_predictor = make_predictor();
+  LingXi lx(fast_config(), lx_predictor, trace::BitrateLadder::default_ladder());
   lx.begin_session();
   lx.on_segment(make_segment(1000.0, 1.0));
   lx.on_segment(make_segment(1000.0, 1.0));
@@ -52,14 +53,16 @@ TEST(LingXi, NoTriggerBeforeThreshold) {
 }
 
 TEST(LingXi, CleanSegmentsNeverTrigger) {
-  LingXi lx(fast_config(), make_predictor(), trace::BitrateLadder::default_ladder());
+  const auto lx_predictor = make_predictor();
+  LingXi lx(fast_config(), lx_predictor, trace::BitrateLadder::default_ladder());
   lx.begin_session();
   for (int i = 0; i < 100; ++i) lx.on_segment(make_segment(5000.0, 0.0));
   EXPECT_FALSE(lx.should_optimize());
 }
 
 TEST(LingXi, MaybeOptimizeNoOpWithoutTrigger) {
-  LingXi lx(fast_config(), make_predictor(), trace::BitrateLadder::default_ladder());
+  const auto lx_predictor = make_predictor();
+  LingXi lx(fast_config(), lx_predictor, trace::BitrateLadder::default_ladder());
   abr::Hyb hyb;
   Rng rng(2);
   EXPECT_FALSE(lx.maybe_optimize(hyb, 2.0, rng).has_value());
@@ -67,7 +70,8 @@ TEST(LingXi, MaybeOptimizeNoOpWithoutTrigger) {
 }
 
 TEST(LingXi, OptimizationRunsAndUpdatesAbr) {
-  LingXi lx(fast_config(), make_predictor(), trace::BitrateLadder::default_ladder());
+  const auto lx_predictor = make_predictor();
+  LingXi lx(fast_config(), lx_predictor, trace::BitrateLadder::default_ladder());
   lx.begin_session();
   for (int i = 0; i < 4; ++i) lx.on_segment(make_segment(800.0, 1.5));
   ASSERT_TRUE(lx.should_optimize());
@@ -90,7 +94,8 @@ TEST(LingXi, OptimizationRunsAndUpdatesAbr) {
 
 TEST(LingXi, PreplayPruningSkipsHighBandwidthUsers) {
   LingXiConfig cfg = fast_config();
-  LingXi lx(cfg, make_predictor(), trace::BitrateLadder::default_ladder());
+  const auto lx_predictor = make_predictor();
+  LingXi lx(cfg, lx_predictor, trace::BitrateLadder::default_ladder());
   lx.begin_session();
   // Huge stable bandwidth with (synthetic) stalls: mu - 3 sigma > 4300.
   for (int i = 0; i < 4; ++i) lx.on_segment(make_segment(50000.0, 1.0));
@@ -104,7 +109,8 @@ TEST(LingXi, PreplayPruningSkipsHighBandwidthUsers) {
 TEST(LingXi, PreplayPruningCanBeDisabled) {
   LingXiConfig cfg = fast_config();
   cfg.enable_preplay_pruning = false;
-  LingXi lx(cfg, make_predictor(), trace::BitrateLadder::default_ladder());
+  const auto lx_predictor = make_predictor();
+  LingXi lx(cfg, lx_predictor, trace::BitrateLadder::default_ladder());
   lx.begin_session();
   for (int i = 0; i < 4; ++i) lx.on_segment(make_segment(50000.0, 1.0));
   abr::Hyb hyb;
@@ -119,7 +125,8 @@ TEST(LingXi, FixedCandidateModePicksFromList) {
   abr::QoeParams b;
   b.hyb_beta = 0.9;
   cfg.fixed_candidates = {a, b};
-  LingXi lx(cfg, make_predictor(), trace::BitrateLadder::default_ladder());
+  const auto lx_predictor = make_predictor();
+  LingXi lx(cfg, lx_predictor, trace::BitrateLadder::default_ladder());
   lx.begin_session();
   for (int i = 0; i < 4; ++i) lx.on_segment(make_segment(800.0, 1.5));
   abr::Hyb hyb;
@@ -135,7 +142,8 @@ TEST(LingXi, FixedCandidateModePicksFromList) {
 }
 
 TEST(LingXi, BandwidthEstimateTracksSegments) {
-  LingXi lx(fast_config(), make_predictor(), trace::BitrateLadder::default_ladder());
+  const auto lx_predictor = make_predictor();
+  LingXi lx(fast_config(), lx_predictor, trace::BitrateLadder::default_ladder());
   lx.begin_session();
   for (int i = 0; i < 10; ++i) lx.on_segment(make_segment(2000.0, 0.0));
   const auto [mean, sd] = lx.bandwidth_estimate();
@@ -144,7 +152,8 @@ TEST(LingXi, BandwidthEstimateTracksSegments) {
 }
 
 TEST(LingXi, SnapshotRestoreRoundTrip) {
-  LingXi lx(fast_config(), make_predictor(), trace::BitrateLadder::default_ladder());
+  const auto lx_predictor = make_predictor();
+  LingXi lx(fast_config(), lx_predictor, trace::BitrateLadder::default_ladder());
   lx.begin_session();
   for (int i = 0; i < 4; ++i) lx.on_segment(make_segment(800.0, 2.0));
   lx.end_session(true);
@@ -156,7 +165,9 @@ TEST(LingXi, SnapshotRestoreRoundTrip) {
   EXPECT_EQ(snap.engagement.total_stall_events, 4u);
   EXPECT_EQ(snap.engagement.total_stall_exits, 1u);
 
-  LingXi restored(fast_config(), make_predictor(), trace::BitrateLadder::default_ladder());
+  const auto restored_predictor = make_predictor();
+
+  LingXi restored(fast_config(), restored_predictor, trace::BitrateLadder::default_ladder());
   restored.restore(snap);
   EXPECT_DOUBLE_EQ(restored.current_params().hyb_beta, lx.current_params().hyb_beta);
   EXPECT_EQ(restored.engagement().long_term(), snap.engagement);
@@ -166,13 +177,15 @@ TEST(LingXi, RestoreClampsOutOfBoxParams) {
   logstore::UserState snap;
   snap.has_params = true;
   snap.best_params.hyb_beta = 5.0;  // way outside the box
-  LingXi lx(fast_config(), make_predictor(), trace::BitrateLadder::default_ladder());
+  const auto lx_predictor = make_predictor();
+  LingXi lx(fast_config(), lx_predictor, trace::BitrateLadder::default_ladder());
   lx.restore(snap);
   EXPECT_LE(lx.current_params().hyb_beta, fast_config().space.beta_max);
 }
 
 TEST(LingXi, EndSessionWithoutStallExitKeepsCounters) {
-  LingXi lx(fast_config(), make_predictor(), trace::BitrateLadder::default_ladder());
+  const auto lx_predictor = make_predictor();
+  LingXi lx(fast_config(), lx_predictor, trace::BitrateLadder::default_ladder());
   lx.begin_session();
   lx.on_segment(make_segment(800.0, 1.0));
   lx.end_session(false);
@@ -189,7 +202,8 @@ TEST(LingXi, StallSensitiveUserGetsLowerBeta) {
   cfg.monte_carlo.samples = 8;
 
   auto run_user = [&](bool add_exit_history, std::uint64_t seed) {
-    LingXi lx(cfg, make_predictor(42), trace::BitrateLadder::default_ladder());
+    const auto lx_predictor = make_predictor(42);
+    LingXi lx(cfg, lx_predictor, trace::BitrateLadder::default_ladder());
     lx.begin_session();
     for (int i = 0; i < 4; ++i) {
       lx.on_segment(make_segment(900.0, 2.0));

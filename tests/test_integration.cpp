@@ -77,7 +77,10 @@ TEST(Integration, LingXiStatePersistsThroughStore) {
   cfg.space.optimize_switch = false;
   cfg.space.optimize_beta = true;
 
-  core::LingXi lx(cfg, predictor::HybridExitPredictor(net, os),
+  const predictor::HybridExitPredictor lx_predictor(net, os);
+
+  core::LingXi lx(cfg, lx_predictor,
+
                   trace::BitrateLadder::default_ladder());
   lx.begin_session();
   for (int i = 0; i < 5; ++i) {
@@ -105,8 +108,11 @@ TEST(Integration, LingXiStatePersistsThroughStore) {
   const auto state = store2.get(42);
   ASSERT_TRUE(state.has_value());
 
-  core::LingXi lx2(cfg, predictor::HybridExitPredictor(net, os),
-                   trace::BitrateLadder::default_ladder());
+  const predictor::HybridExitPredictor lx2_predictor(net, os);
+
+  core::LingXi lx2(cfg, lx2_predictor,
+
+                  trace::BitrateLadder::default_ladder());
   lx2.restore(*state);
   EXPECT_DOUBLE_EQ(lx2.current_params().hyb_beta, lx.current_params().hyb_beta);
   EXPECT_EQ(lx2.engagement().long_term().total_stall_events, 5u);
@@ -194,7 +200,10 @@ TEST(Integration, MpcIntegrationSearchesStallSwitchSpace) {
   cfg.space.optimize_switch = true;
   cfg.space.optimize_beta = false;
 
-  core::LingXi lx(cfg, predictor::HybridExitPredictor(net, os),
+  const predictor::HybridExitPredictor lx_predictor(net, os);
+
+  core::LingXi lx(cfg, lx_predictor,
+
                   trace::BitrateLadder::default_ladder());
   lx.begin_session();
   for (int i = 0; i < 5; ++i) {

@@ -21,7 +21,9 @@
 #include "common/rng.h"
 #include "logstore/session_log.h"
 #include "nn/dense.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "predictor/exit_net.h"
 #include "predictor/hybrid.h"
@@ -723,13 +725,29 @@ TEST(ObservabilityParity, ChecksumAndArchiveBytesIdenticalWithObsEnabled) {
   for (const ObsCase& c : cases) {
     const auto [ref_acc, ref_archive] = capture_run(c);
 
+    // The FULL health plane: registry + tracer + per-day timeline + SLO
+    // monitor. The timeline forces run_days onto 1-day chained legs, so this
+    // also pins that the chunking is bitwise invisible.
+    const std::string timeline_path =
+        ::testing::TempDir() + "/lingxi_obs_parity_timeline.bin";
     obs::Registry registry;
     obs::Tracer tracer;
+    obs::TimelineWriter timeline(timeline_path);
+    obs::HealthMonitor monitor(
+        {{obs::SloKind::kGaugeFloor, "sim.fleet.sessions_total", 1.0, "sessions-floor"}});
     obs::Registry::install(&registry);
     obs::Tracer::install(&tracer);
+    obs::TimelineWriter::install(&timeline);
+    obs::HealthMonitor::install(&monitor);
     const auto [obs_acc, obs_archive] = capture_run(c);
     obs::Registry::install(nullptr);
     obs::Tracer::install(nullptr);
+    obs::TimelineWriter::install(nullptr);
+    obs::HealthMonitor::install(nullptr);
+    EXPECT_TRUE(timeline.close().ok());
+    EXPECT_EQ(timeline.days_written(), 2u);  // one record per fleet day
+    EXPECT_TRUE(monitor.healthy());
+    std::filesystem::remove(timeline_path);
 
     EXPECT_EQ(obs_acc.checksum(), ref_acc.checksum())
         << "threads=" << c.threads << " users_per_shard=" << c.users_per_shard
@@ -863,6 +881,251 @@ INSTANTIATE_TEST_SUITE_P(Grid, SnapshotResumeParity,
                                             ::testing::Values(1, 4),
                                             ::testing::Values(1, 8),
                                             ::testing::Values(0, 64)));
+
+// ---------------------------------------------------------------------------
+// Deterministic timeline (the health-timeline headline contract): the
+// deterministic section of every day record — the accumulator-derived
+// `sim.fleet.*` gauges — is BITWISE identical across the whole (scheduler x
+// threads x users_per_shard x predictor_batch) grid, and an SLO rule over a
+// deterministic metric fires on the same fleet day in every cell. A
+// companion test pins the same bytes across a checkpoint/kill/resume splice:
+// leg timelines concatenate to the uninterrupted run's timeline.
+// ---------------------------------------------------------------------------
+
+class DeterministicTimeline : public ::testing::TestWithParam<SnapshotCase> {
+ public:
+  static constexpr std::uint64_t kSeed = 77;
+
+  struct TimelineRun {
+    sim::FleetAccumulator acc;
+    std::vector<obs::TimelineRecord> records;
+    std::vector<obs::HealthAlert> alerts;
+  };
+
+  /// Run the 8-user / 4-day grid fleet with the full health plane installed
+  /// and return the decoded timeline. `rules` arms the SLO monitor.
+  static TimelineRun run_with_timeline(const sim::FleetConfig& cfg,
+                                       const std::vector<obs::SloRule>& rules,
+                                       const std::string& tag) {
+    const std::string path = ::testing::TempDir() + "/lingxi_dtl_" + tag + ".bin";
+    TimelineRun out;
+    {
+      obs::Registry registry;
+      obs::TimelineWriter writer(path);
+      obs::HealthMonitor monitor(rules);
+      obs::Registry::install(&registry);
+      obs::TimelineWriter::install(&writer);
+      obs::HealthMonitor::install(&monitor);
+      sim::FleetRunner runner = SnapshotResumeParity::make_runner(cfg);
+      out.acc = runner.run(kSeed);
+      obs::Registry::install(nullptr);
+      obs::TimelineWriter::install(nullptr);
+      obs::HealthMonitor::install(nullptr);
+      EXPECT_TRUE(writer.close().ok());
+      out.alerts = monitor.alerts();
+    }
+    auto reader = obs::TimelineReader::open(path);
+    EXPECT_TRUE(static_cast<bool>(reader)) << reader.error().message;
+    auto records = reader->read_all();
+    EXPECT_TRUE(static_cast<bool>(records)) << records.error().message;
+    out.records = std::move(*records);
+    std::filesystem::remove(path);
+    return out;
+  }
+
+  /// Day records only (alert records interleave with them in file order).
+  static std::vector<const obs::TimelineRecord*> day_records(const TimelineRun& run) {
+    std::vector<const obs::TimelineRecord*> days;
+    for (const obs::TimelineRecord& r : run.records) {
+      if (r.type == obs::TimelineRecord::Type::kDay) days.push_back(&r);
+    }
+    return days;
+  }
+
+  static double det_gauge(const obs::TimelineRecord& day, std::string_view name) {
+    for (const obs::MetricSnapshot& m : day.deterministic) {
+      if (m.name == name) return m.value;
+    }
+    ADD_FAILURE() << "gauge " << name << " missing from deterministic section";
+    return 0.0;
+  }
+
+  struct Reference {
+    std::vector<obs::SloRule> rules;
+    TimelineRun run;
+  };
+
+  /// Reference cell (per-user scheduler, serial, shard=2, scalar predictor)
+  /// plus an SLO rule derived from a probe run so that the ceiling on the
+  /// deterministic sessions_total is crossed mid-run — the alert must then
+  /// land on the SAME day in every grid cell.
+  static const Reference& reference() {
+    static const Reference* ref = [] {
+      auto* r = new Reference;
+      const sim::FleetConfig cfg = SnapshotResumeParity::grid_config(0, 1, 2, 0);
+      const TimelineRun probe = run_with_timeline(cfg, {}, "probe");
+      auto days = day_records(probe);
+      EXPECT_EQ(days.size(), 4u);
+      const double day2 = det_gauge(*days[1], "sim.fleet.sessions_total");
+      const double day3 = det_gauge(*days[2], "sim.fleet.sessions_total");
+      EXPECT_LT(day2, day3);
+      r->rules = {{obs::SloKind::kGaugeCeiling, "sim.fleet.sessions_total",
+                   0.5 * (day2 + day3), "sessions-ceiling"}};
+      r->run = run_with_timeline(cfg, r->rules, "ref");
+      return r;
+    }();
+    return *ref;
+  }
+};
+
+TEST_P(DeterministicTimeline, DetSectionBytesIdenticalAcrossGrid) {
+  const Reference& ref = reference();
+  const auto ref_days = day_records(ref.run);
+  ASSERT_EQ(ref_days.size(), 4u);  // one record per fleet day
+  // The derived ceiling fires exactly once, on day 3 (the first boundary
+  // whose deterministic sessions_total exceeds it), and rides the timeline.
+  ASSERT_EQ(ref.run.alerts.size(), 1u);
+  EXPECT_EQ(ref.run.alerts[0].day, 3u);
+  EXPECT_EQ(ref.run.alerts[0].rule, "sessions-ceiling");
+
+  const auto [scheduler, threads, users_per_shard, batch] = GetParam();
+  const std::string tag = std::to_string(scheduler) + "_" + std::to_string(threads) +
+                          "_" + std::to_string(users_per_shard) + "_" +
+                          std::to_string(batch);
+  const TimelineRun run = run_with_timeline(
+      SnapshotResumeParity::grid_config(scheduler, threads, users_per_shard, batch),
+      ref.rules, tag);
+
+  // Result parity first: arming the health plane changed no result bit.
+  EXPECT_EQ(run.acc.checksum(), ref.run.acc.checksum()) << tag;
+
+  // The deterministic section of every day record is bitwise identical.
+  const auto days = day_records(run);
+  ASSERT_EQ(days.size(), ref_days.size()) << tag;
+  for (std::size_t d = 0; d < days.size(); ++d) {
+    EXPECT_EQ(days[d]->day, ref_days[d]->day) << tag;
+    EXPECT_EQ(days[d]->deterministic_bytes, ref_days[d]->deterministic_bytes)
+        << tag << " day " << days[d]->day;
+  }
+
+  // The deterministic SLO rule fired on the same fleet day.
+  ASSERT_EQ(run.alerts.size(), ref.run.alerts.size()) << tag;
+  for (std::size_t a = 0; a < run.alerts.size(); ++a) {
+    EXPECT_EQ(run.alerts[a].day, ref.run.alerts[a].day) << tag;
+    EXPECT_EQ(run.alerts[a].rule, ref.run.alerts[a].rule) << tag;
+    EXPECT_EQ(run.alerts[a].observed, ref.run.alerts[a].observed) << tag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DeterministicTimeline,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(1, 4),
+                                            ::testing::Values(1, 8),
+                                            ::testing::Values(0, 64)));
+
+TEST(DeterministicTimelineSplice, LegTimelinesConcatenateToFullRun) {
+  // Kill/resume through the snapshot subsystem's disk round trip: the
+  // resumed process writes its own timeline with fresh obs sinks, and the
+  // two legs' day records concatenate to the uninterrupted run's — same
+  // days, same deterministic bytes — while the deterministic SLO alert
+  // fires on the same day (it lands in leg 2, whose monitor starts cold).
+  const auto& ref = DeterministicTimeline::reference();
+  const sim::FleetConfig cfg = SnapshotResumeParity::grid_config(1, 4, 3, 7);
+
+  const DeterministicTimeline::TimelineRun full =
+      DeterministicTimeline::run_with_timeline(cfg, ref.rules, "splice_full");
+  const auto full_days = DeterministicTimeline::day_records(full);
+  ASSERT_EQ(full_days.size(), 4u);
+  ASSERT_EQ(full.alerts.size(), 1u);
+  ASSERT_EQ(full.alerts[0].day, 3u);
+
+  // Leg 1: days [0, 2) with its own health plane, snapshotted to disk.
+  const std::string dir = ::testing::TempDir() + "/lingxi_dtl_splice_snap";
+  std::filesystem::remove_all(dir);
+  DeterministicTimeline::TimelineRun leg1;
+  sim::FleetDayState state;
+  {
+    const std::string path = ::testing::TempDir() + "/lingxi_dtl_leg1.bin";
+    obs::Registry registry;
+    obs::TimelineWriter writer(path);
+    obs::HealthMonitor monitor(ref.rules);
+    obs::Registry::install(&registry);
+    obs::TimelineWriter::install(&writer);
+    obs::HealthMonitor::install(&monitor);
+    sim::FleetRunner runner = SnapshotResumeParity::make_runner(cfg);
+    runner.run_days(DeterministicTimeline::kSeed, 0, 2, nullptr, &state);
+    auto snap = snapshot::capture_snapshot(runner, DeterministicTimeline::kSeed,
+                                           std::move(state), nullptr);
+    obs::Registry::install(nullptr);
+    obs::TimelineWriter::install(nullptr);
+    obs::HealthMonitor::install(nullptr);
+    ASSERT_TRUE(snap.has_value()) << snap.error().message;
+    ASSERT_TRUE(snapshot::save_snapshot(*snap, dir, 3).ok());
+    EXPECT_TRUE(writer.close().ok());
+    leg1.alerts = monitor.alerts();
+    auto reader = obs::TimelineReader::open(path);
+    ASSERT_TRUE(static_cast<bool>(reader));
+    auto records = reader->read_all();
+    ASSERT_TRUE(static_cast<bool>(records)) << records.error().message;
+    leg1.records = std::move(*records);
+    std::filesystem::remove(path);
+  }
+  EXPECT_TRUE(leg1.alerts.empty());  // the ceiling is not yet crossed
+
+  // Leg 2: a "new process" — fresh runner, restored predictor, fresh sinks.
+  auto loaded = snapshot::load_snapshot(dir);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error().message;
+  ASSERT_TRUE(snapshot::check_compatible(*loaded, cfg, DeterministicTimeline::kSeed).ok());
+  DeterministicTimeline::TimelineRun leg2;
+  {
+    const std::string path = ::testing::TempDir() + "/lingxi_dtl_leg2.bin";
+    obs::Registry registry;
+    obs::TimelineWriter writer(path);
+    obs::HealthMonitor monitor(ref.rules);
+    obs::Registry::install(&registry);
+    obs::TimelineWriter::install(&writer);
+    obs::HealthMonitor::install(&monitor);
+    sim::FleetRunner runner(cfg, [] { return std::make_unique<abr::Hyb>(); });
+    runner.set_predictor_factory(snapshot::resume_predictor_factory(
+        SnapshotResumeParity::predictor_factory(), loaded->net_model));
+    leg2.acc = runner.run_days(DeterministicTimeline::kSeed, 2, cfg.days, &loaded->state);
+    obs::Registry::install(nullptr);
+    obs::TimelineWriter::install(nullptr);
+    obs::HealthMonitor::install(nullptr);
+    EXPECT_TRUE(writer.close().ok());
+    leg2.alerts = monitor.alerts();
+    auto reader = obs::TimelineReader::open(path);
+    ASSERT_TRUE(static_cast<bool>(reader));
+    auto records = reader->read_all();
+    ASSERT_TRUE(static_cast<bool>(records)) << records.error().message;
+    leg2.records = std::move(*records);
+    std::filesystem::remove(path);
+  }
+  std::filesystem::remove_all(dir);
+
+  // Results splice bitwise (the snapshot contract, re-checked with obs on).
+  EXPECT_EQ(leg2.acc.checksum(), full.acc.checksum());
+
+  // Day records concatenate: leg1 holds days 1-2, leg2 days 3-4, and each
+  // deterministic section matches the uninterrupted run byte for byte.
+  const auto leg1_days = DeterministicTimeline::day_records(leg1);
+  const auto leg2_days = DeterministicTimeline::day_records(leg2);
+  ASSERT_EQ(leg1_days.size(), 2u);
+  ASSERT_EQ(leg2_days.size(), 2u);
+  const std::vector<const obs::TimelineRecord*> spliced = {
+      leg1_days[0], leg1_days[1], leg2_days[0], leg2_days[1]};
+  for (std::size_t d = 0; d < full_days.size(); ++d) {
+    EXPECT_EQ(spliced[d]->day, full_days[d]->day) << "day index " << d;
+    EXPECT_EQ(spliced[d]->deterministic_bytes, full_days[d]->deterministic_bytes)
+        << "day " << full_days[d]->day;
+  }
+
+  // The deterministic alert fires in leg 2, on the same day as the full run.
+  ASSERT_EQ(leg2.alerts.size(), 1u);
+  EXPECT_EQ(leg2.alerts[0].day, full.alerts[0].day);
+  EXPECT_EQ(leg2.alerts[0].rule, full.alerts[0].rule);
+  EXPECT_EQ(leg2.alerts[0].observed, full.alerts[0].observed);
+}
 
 // ---------------------------------------------------------------------------
 // Scenario determinism (the scenario subsystem's headline contract): with a
